@@ -1,0 +1,365 @@
+(* jsontool — command-line front end to the schemas_types toolkit.
+
+   Subcommands:
+     parse      parse/pretty-print JSON syntax
+     validate   validate documents against a JSON Schema / JSound schema
+     infer      infer a schema (parametric, spark, mongo, skinfer, skeleton)
+     stats      profile a collection (counts, types, field statistics)
+     translate  convert NDJSON to Avro-like binary or columnar form
+     generate   produce synthetic corpora (tweets, articles, orders, ...)
+     query      run a Jaql-style pipeline (with output-schema inference)
+     discover   cluster a mixed collection by structural similarity
+     profile    explain structural variants with a decision tree
+     compat     check schema-evolution compatibility between two schemas
+     normalize  JSON -> normalized relational CSVs *)
+
+open Core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> read_file path
+
+let load_documents path =
+  match Json.Stream.fold_documents (read_input path) ~init:[] ~f:(fun acc v -> v :: acc) with
+  | Ok rev -> Ok (List.rev rev)
+  | Error e -> Error (Json.Parser.string_of_error e)
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("jsontool: " ^ msg);
+      exit 1
+
+open Cmdliner
+
+let input_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Input file (NDJSON or concatenated JSON); - for stdin.")
+
+(* --- parse ----------------------------------------------------------- *)
+
+let parse_cmd =
+  let pretty = Arg.(value & flag & info [ "pretty"; "p" ] ~doc:"Pretty-print output.") in
+  let run pretty file =
+    let docs = or_die (load_documents file) in
+    List.iter
+      (fun v ->
+        print_endline
+          (if pretty then Json.Printer.to_string_pretty v else Json.Printer.to_string v))
+      docs
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and re-print JSON documents.")
+    Term.(const run $ pretty $ input_arg)
+
+(* --- validate -------------------------------------------------------- *)
+
+let validate_cmd =
+  let schema_file =
+    Arg.(required & opt (some string) None & info [ "schema"; "s" ] ~docv:"SCHEMA" ~doc:"Schema file.")
+  in
+  let language =
+    Arg.(value & opt (enum [ ("jsonschema", `Jsonschema); ("jsound", `Jsound) ]) `Jsonschema
+         & info [ "language"; "l" ] ~doc:"Schema language: jsonschema or jsound.")
+  in
+  let formats = Arg.(value & flag & info [ "assert-formats" ] ~doc:"Treat format as an assertion.") in
+  let run language formats schema_file file =
+    let docs = or_die (load_documents file) in
+    let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
+    let failures = ref 0 in
+    (match language with
+     | `Jsonschema ->
+         let config =
+           { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = formats }
+         in
+         List.iteri
+           (fun i v ->
+             match Jsonschema.Validate.validate ~config ~root:schema_json v with
+             | Ok () -> ()
+             | Error es ->
+                 incr failures;
+                 List.iter
+                   (fun e ->
+                     Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
+                   es)
+           docs
+     | `Jsound ->
+         let schema = or_die (Jsound.parse schema_json) in
+         List.iteri
+           (fun i v ->
+             match Jsound.validate schema v with
+             | Ok () -> ()
+             | Error es ->
+                 incr failures;
+                 List.iter
+                   (fun e -> Printf.printf "document %d: %s\n" i (Jsound.string_of_error e))
+                   es)
+           docs);
+    Printf.printf "%d/%d documents valid\n" (List.length docs - !failures) (List.length docs);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
+    Term.(const run $ language $ formats $ schema_file $ input_arg)
+
+(* --- infer ----------------------------------------------------------- *)
+
+let infer_cmd =
+  let approach =
+    Arg.(value
+         & opt (enum [ ("parametric", `Parametric); ("spark", `Spark); ("mongo", `Mongo);
+                       ("skinfer", `Skinfer); ("skeleton", `Skeleton) ]) `Parametric
+         & info [ "approach"; "a" ] ~doc:"Inference approach.")
+  in
+  let equiv =
+    Arg.(value & opt (enum [ ("kind", Jtype.Merge.Kind); ("label", Jtype.Merge.Label) ]) Jtype.Merge.Kind
+         & info [ "equiv"; "e" ] ~doc:"Equivalence for parametric inference: kind or label.")
+  in
+  let output =
+    Arg.(value
+         & opt (enum [ ("type", `Type); ("counting", `Counting); ("jsonschema", `Schema);
+                       ("typescript", `Ts); ("swift", `Swift) ]) `Type
+         & info [ "output"; "o" ] ~doc:"Output form for parametric inference.")
+  in
+  let run approach equiv output file =
+    let docs = or_die (load_documents file) in
+    match approach with
+    | `Parametric -> (
+        let inferred = Pipeline.infer ~equiv docs in
+        match output with
+        | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
+        | `Counting -> print_endline (Jtype.Counting.to_string inferred.Pipeline.counting)
+        | `Schema -> print_endline (Json.Printer.to_string_pretty inferred.Pipeline.json_schema)
+        | `Ts -> print_endline inferred.Pipeline.typescript
+        | `Swift -> print_endline inferred.Pipeline.swift)
+    | `Spark ->
+        let f = Inference.Spark.infer docs in
+        print_endline (Inference.Spark.field_to_ddl f)
+    | `Mongo ->
+        print_endline
+          (Json.Printer.to_string_pretty (Inference.Mongo.to_json (Inference.Mongo.analyze docs)))
+    | `Skinfer ->
+        print_endline (Json.Printer.to_string_pretty (Inference.Skinfer.infer_json docs))
+    | `Skeleton ->
+        let sk = Inference.Skeleton.build docs in
+        List.iter
+          (fun (s, n) ->
+            Printf.printf "%6d  %s\n" n (Inference.Skeleton.structure_to_string s))
+          sk.Inference.Skeleton.groups;
+        Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped
+  in
+  Cmd.v (Cmd.info "infer" ~doc:"Infer a schema from a collection.")
+    Term.(const run $ approach $ equiv $ output $ input_arg)
+
+(* --- stats ----------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file =
+    let docs = or_die (load_documents file) in
+    print_endline (Json.Printer.to_string_pretty (Pipeline.profile docs))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Profile a collection.") Term.(const run $ input_arg)
+
+(* --- translate --------------------------------------------------------- *)
+
+let translate_cmd =
+  let target =
+    Arg.(value & opt (enum [ ("avro", `Avro); ("columnar", `Columnar) ]) `Avro
+         & info [ "to"; "t" ] ~doc:"Target format: avro or columnar.")
+  in
+  let out = Arg.(value & opt string "" & info [ "output-file" ] ~docv:"OUT" ~doc:"Write binary output here.") in
+  let run target out file =
+    let docs = or_die (load_documents file) in
+    let tr = or_die (Pipeline.translate docs) in
+    let bytes =
+      match target with `Avro -> tr.Pipeline.avro_bytes | `Columnar -> tr.Pipeline.columnar_bytes
+    in
+    (if out <> "" then begin
+       let oc = open_out_bin out in
+       output_string oc bytes;
+       close_out oc
+     end);
+    Printf.printf "json: %d bytes; %s: %d bytes (%.1f%%)\n" tr.Pipeline.json_bytes
+      (match target with `Avro -> "avro" | `Columnar -> "columnar")
+      (String.length bytes)
+      (100.0 *. float_of_int (String.length bytes) /. float_of_int tr.Pipeline.json_bytes);
+    if target = `Avro then
+      print_endline (Json.Printer.to_string_pretty tr.Pipeline.avro_schema)
+  in
+  Cmd.v (Cmd.info "translate" ~doc:"Schema-aware translation to binary formats.")
+    Term.(const run $ target $ out $ input_arg)
+
+(* --- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let corpus =
+    Arg.(value
+         & opt (enum [ ("tweets", `Tweets); ("articles", `Articles); ("opendata", `Opendata);
+                       ("orders", `Orders); ("events", `Events); ("tickets", `Tickets) ]) `Tweets
+         & info [ "corpus"; "c" ] ~doc:"Corpus kind.")
+  in
+  let count = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of documents.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run corpus count seed =
+    let st = Datagen.rng ~seed in
+    let docs =
+      match corpus with
+      | `Tweets -> Datagen.tweets st count
+      | `Articles -> Datagen.articles st count
+      | `Opendata -> Datagen.open_data st count
+      | `Orders -> Datagen.orders st count
+      | `Tickets -> Datagen.tickets st count
+      | `Events -> Datagen.events st ~fields:16 count
+    in
+    print_string (Datagen.to_ndjson docs)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate synthetic corpora.")
+    Term.(const run $ corpus $ count $ seed)
+
+(* --- query ----------------------------------------------------------------- *)
+
+let query_cmd =
+  let query_string =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"Pipeline, e.g. 'filter \\$.age > 18 | group by \\$.city into {n: count}'.")
+  in
+  let file =
+    Arg.(value & pos 1 string "-" & info [] ~docv:"FILE" ~doc:"Input collection.")
+  in
+  let show_type =
+    Arg.(value & flag & info [ "type" ] ~doc:"Also print the inferred output schema.")
+  in
+  let run q show_type file =
+    let docs = or_die (load_documents file) in
+    let pipeline = or_die (Query.Parse.pipeline q) in
+    if show_type then begin
+      let input_t =
+        Jtype.Merge.merge_all ~equiv:Jtype.Merge.Kind
+          (List.map Jtype.Types.of_value docs)
+      in
+      Printf.printf "input  type: %s\n" (Jtype.Types.to_string input_t);
+      Printf.printf "output type: %s\n"
+        (Jtype.Types.to_string (Query.Typing.type_pipeline input_t pipeline))
+    end;
+    List.iter
+      (fun v -> print_endline (Json.Printer.to_string v))
+      (Query.Eval.run pipeline docs)
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a Jaql-style pipeline (with output schema inference).")
+    Term.(const run $ query_string $ show_type $ file)
+
+(* --- compat ------------------------------------------------------------------ *)
+
+let compat_cmd =
+  let old_schema =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"Old schema file.")
+  in
+  let new_schema =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"New schema file.")
+  in
+  let run old_file new_file =
+    let load f =
+      or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input f)))
+    in
+    let old_s = load old_file and new_s = load new_file in
+    (* backward compatibility: everything valid under the old schema must
+       stay valid under the new one *)
+    (match Jtype.Containment.check old_s new_s with
+     | Jtype.Containment.Included ->
+         print_endline "backward compatible: old instances remain valid"
+     | Jtype.Containment.Not_included cex ->
+         Printf.printf "NOT backward compatible; counterexample:\n  %s\n"
+           (Json.Printer.to_string cex);
+         exit 1
+     | Jtype.Containment.Unknown ->
+         print_endline "backward compatibility: unknown (outside the decidable fragment)");
+    match Jtype.Containment.check new_s old_s with
+    | Jtype.Containment.Included ->
+        print_endline "forward compatible: new instances validate against the old schema"
+    | Jtype.Containment.Not_included cex ->
+        Printf.printf "not forward compatible (expected for widening changes); example:\n  %s\n"
+          (Json.Printer.to_string cex)
+    | Jtype.Containment.Unknown -> print_endline "forward compatibility: unknown"
+  in
+  Cmd.v
+    (Cmd.info "compat" ~doc:"Check schema-evolution compatibility between two JSON Schemas.")
+    Term.(const run $ old_schema $ new_schema)
+
+(* --- discover ---------------------------------------------------------------- *)
+
+let discover_cmd =
+  let threshold =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~doc:"Jaccard similarity threshold.")
+  in
+  let run threshold file =
+    let docs = or_die (load_documents file) in
+    let clusters = Inference.Discovery.discover ~threshold docs in
+    List.iteri
+      (fun i (c : Inference.Discovery.cluster) ->
+        Printf.printf "cluster %d: %d documents\n  %s\n" i c.Inference.Discovery.size
+          (Jtype.Types.to_string c.Inference.Discovery.schema))
+      clusters
+  in
+  Cmd.v (Cmd.info "discover" ~doc:"Cluster a mixed collection by structural similarity.")
+    Term.(const run $ threshold $ input_arg)
+
+(* --- profile ----------------------------------------------------------------- *)
+
+let profile_cmd =
+  let depth = Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Maximum tree depth.") in
+  let run depth file =
+    let docs = or_die (load_documents file) in
+    let p = Inference.Profile.profile ~max_depth:depth docs in
+    Printf.printf "structural variants: %d; training accuracy %.3f\n"
+      (List.length p.Inference.Profile.variants)
+      p.Inference.Profile.training_accuracy;
+    List.iter (fun r -> print_endline ("  " ^ r)) (Inference.Profile.rules p)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Explain structural variants with a decision tree over field values.")
+    Term.(const run $ depth $ input_arg)
+
+(* --- normalize ------------------------------------------------------------ *)
+
+let normalize_cmd =
+  let outdir = Arg.(value & opt string "" & info [ "outdir"; "d" ] ~doc:"Write one CSV per table here.") in
+  let run outdir file =
+    let docs = or_die (load_documents file) in
+    let r = Inference.Relational.normalize ~name:"root" docs in
+    Printf.printf "cells: %d -> %d (%.1f%% of original)\n" r.Inference.Relational.cells_before
+      r.Inference.Relational.cells_after
+      (100.0
+      *. float_of_int r.Inference.Relational.cells_after
+      /. float_of_int (max 1 r.Inference.Relational.cells_before));
+    List.iter
+      (fun (name, csv) ->
+        if outdir = "" then begin
+          Printf.printf "-- %s --\n%s" name csv
+        end
+        else begin
+          let path = Filename.concat outdir (name ^ ".csv") in
+          let oc = open_out path in
+          output_string oc csv;
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        end)
+      (Translate.Csv_export.result_to_csvs r)
+  in
+  Cmd.v (Cmd.info "normalize" ~doc:"Normalize nested JSON into relational CSVs.")
+    Term.(const run $ outdir $ input_arg)
+
+let () =
+  let doc = "schemas and types for JSON data — toolkit CLI" in
+  let info = Cmd.info "jsontool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; validate_cmd; infer_cmd; stats_cmd; translate_cmd;
+            generate_cmd; query_cmd; discover_cmd; profile_cmd; compat_cmd;
+            normalize_cmd ]))

@@ -1,0 +1,1 @@
+examples/api_evolution.ml: Core Datagen Inference Json Jtype List Printf String Translate

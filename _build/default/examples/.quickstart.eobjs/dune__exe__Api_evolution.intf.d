@@ -1,0 +1,1 @@
+examples/api_evolution.mli:

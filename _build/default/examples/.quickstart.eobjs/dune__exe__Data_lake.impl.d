@@ -1,0 +1,1 @@
+examples/data_lake.ml: Core Datagen Inference List Pipeline Printf Stdlib String Translate

@@ -1,0 +1,1 @@
+examples/event_analytics.ml: Core Datagen Fastjson Json List Printf String Unix

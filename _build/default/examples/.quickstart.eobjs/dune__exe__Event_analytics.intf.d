@@ -1,0 +1,1 @@
+examples/event_analytics.mli:

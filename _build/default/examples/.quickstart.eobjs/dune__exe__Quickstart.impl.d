@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Json Jsonschema Jtype List Pipeline Printf

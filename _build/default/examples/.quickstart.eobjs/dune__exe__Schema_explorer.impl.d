@@ -1,0 +1,1 @@
+examples/schema_explorer.ml: Core Datagen Inference Json Jtype List Printf Query String

@@ -1,0 +1,1 @@
+examples/validation_pipeline.ml: Core Joi Json Jsonschema Jsound List Printf

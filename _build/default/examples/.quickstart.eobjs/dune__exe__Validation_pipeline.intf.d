@@ -1,0 +1,1 @@
+examples/validation_pipeline.mli:

@@ -1,0 +1,98 @@
+(* Scenario: tracking an evolving web API (the tutorial's Twitter example).
+
+   A service consumes tweets whose shape drifts over time: optional fields
+   appear, a field changes type. We infer schemas under both equivalence
+   parameters, compare their precision/conciseness trade-off, and emit
+   client-side types.
+
+   Run with:  dune exec examples/api_evolution.exe *)
+
+open Core
+
+let () =
+  let st = Datagen.rng ~seed:2019 in
+  let v1 = Datagen.tweets st 400 in
+
+  (* simulate an API evolution: v2 renames "lang" to a structured object *)
+  let evolve (doc : Json.Value.t) =
+    match doc with
+    | Json.Value.Object fields ->
+        Json.Value.Object
+          (List.map
+             (fun (k, v) ->
+               if k = "lang" then
+                 ( "lang",
+                   Json.Value.Object
+                     [ ("code", v); ("confidence", Json.Value.Float 0.99) ] )
+               else (k, v))
+             fields)
+    | v -> v
+  in
+  let v2 = List.map evolve (Datagen.tweets st 100) in
+  let all = v1 @ v2 in
+
+  let kind_t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind all in
+  let label_t = Inference.Parametric.infer ~equiv:Jtype.Merge.Label all in
+
+  Printf.printf "documents: %d (v1: %d, v2: %d)\n\n" (List.length all)
+    (List.length v1) (List.length v2);
+  Printf.printf "kind-equivalence type size:  %4d nodes\n" (Jtype.Types.size kind_t);
+  Printf.printf "label-equivalence type size: %4d nodes\n\n" (Jtype.Types.size label_t);
+
+  (* the "lang" field shows the union the evolution created *)
+  (match kind_t with
+   | Jtype.Types.Rec fields ->
+       List.iter
+         (fun f ->
+           if f.Jtype.Types.fname = "lang" then
+             Printf.printf "lang under kind-equiv: %s\n\n"
+               (Jtype.Types.to_string f.Jtype.Types.ftype))
+         fields
+   | _ -> ());
+
+  (* counting types quantify the drift *)
+  let counting = Inference.Parametric.infer_counting ~equiv:Jtype.Merge.Kind all in
+  (match Jtype.Counting.field_probability counting [ "coordinates" ] with
+   | Some p -> Printf.printf "P(coordinates present) = %.2f\n" p
+   | None -> ());
+  (match Jtype.Counting.field_probability counting [ "retweeted_status" ] with
+   | Some p -> Printf.printf "P(retweet)             = %.2f\n\n" p
+   | None -> ());
+
+  (* held-out precision: infer on a prefix, test on the rest *)
+  let rec split n = function
+    | [] -> ([], [])
+    | x :: rest when n > 0 ->
+        let a, b = split (n - 1) rest in
+        (x :: a, b)
+    | rest -> ([], rest)
+  in
+  let train, test = split 250 all in
+  List.iter
+    (fun (label, equiv) ->
+      let t = Inference.Parametric.infer ~equiv train in
+      Printf.printf "held-out precision (%s): %.3f\n" label
+        (Inference.Parametric.precision t test))
+    [ ("kind ", Jtype.Merge.Kind); ("label", Jtype.Merge.Label) ];
+
+  (* storage-side evolution: data written under the v1 schema is read
+     under the merged schema via Avro resolution *)
+  let v1_t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind v1 in
+  let writer = Translate.Avro.of_jtype ~name:"tweet" v1_t in
+  let reader = Translate.Avro.of_jtype ~name:"tweet" kind_t in
+  (match Translate.Avro.resolve ~writer ~reader with
+   | Ok () -> print_endline "\navro: v1-written data is readable under the evolved schema"
+   | Error m -> Printf.printf "\navro: schemas do not resolve (%s)\n" m);
+  (match Translate.Avro.encode writer (List.hd v1) with
+   | Ok bytes -> (
+       match Translate.Avro.decode_resolved ~writer ~reader bytes with
+       | Ok _ -> print_endline "avro: sample v1 record decoded under the v2 reader"
+       | Error m -> print_endline ("avro: " ^ m))
+   | Error m -> print_endline ("avro: " ^ m));
+
+  (* client code generation for the mobile team *)
+  print_endline "\n== TypeScript client types (truncated) ==";
+  let ts = Jtype.Typescript.declaration ~name:"Tweet" kind_t in
+  let lines = String.split_on_char '\n' ts in
+  List.iteri (fun i l -> if i < 12 then print_endline l) lines;
+  Printf.printf "... (%d more lines)\n" (max 0 (List.length lines - 12))

@@ -1,0 +1,85 @@
+(* Scenario: validating a payment API with the three schema languages the
+   tutorial compares — Joi (co-occurrence + value-dependent constraints),
+   JSON Schema (the same contract compiled), and JSound (a restrictive
+   subset for the config file).
+
+   Run with:  dune exec examples/validation_pipeline.exe *)
+
+open Core
+
+let payment_schema =
+  (* Joi's sweet spot: relations between sibling fields.
+     - card payments need number + expiry, and billing_address
+     - iban payments need iban, and must NOT carry card fields
+     - exactly one of "card" / "iban" mode markers *)
+  Joi.object_
+    [ ("amount", Joi.(number |> positive |> required));
+      ("currency", Joi.(string |> length 3 |> uppercase |> required));
+      ("card", Joi.(object_
+                      [ ("number", Joi.(string |> pattern "^[0-9]{12,19}$" |> required));
+                        ("expiry", Joi.(string |> pattern "^[0-9]{2}/[0-9]{2}$" |> required)) ]));
+      ("iban", Joi.(string |> pattern "^[A-Z]{2}[0-9]{2}[A-Z0-9]+$"));
+      ("billing_address", Joi.string);
+      ("note", Joi.(string |> max 140 |> default (Json.Value.String ""))) ]
+  |> Joi.xor [ "card"; "iban" ]
+  |> Joi.with_ "card" [ "billing_address" ]
+  |> Joi.without "iban" [ "billing_address" ]
+
+let requests =
+  [ {|{"amount": 10.5, "currency": "EUR",
+       "card": {"number": "4111111111111111", "expiry": "12/27"},
+       "billing_address": "1 rue de la Paix"}|};
+    {|{"amount": 20, "currency": "USD", "iban": "DE89370400440532013000"}|};
+    {|{"amount": 5, "currency": "GBP",
+       "card": {"number": "4111111111111111", "expiry": "12/27"}}|};
+    {|{"amount": 7, "currency": "EUR",
+       "card": {"number": "4111111111111111", "expiry": "12/27"},
+       "iban": "DE89370400440532013000", "billing_address": "x"}|};
+    {|{"amount": -3, "currency": "EUR", "iban": "DE89370400440532013000"}|};
+    {|{"amount": 3, "currency": "eur", "iban": "DE89370400440532013000"}|} ]
+
+let () =
+  print_endline "== Joi validation ==";
+  List.iter
+    (fun src ->
+      let v = Json.Parser.parse_exn src in
+      match Joi.validate payment_schema v with
+      | Ok coerced ->
+          Printf.printf "OK      %s\n"
+            (Json.Printer.to_string coerced)
+      | Error es ->
+          Printf.printf "REJECT  %s\n" (Json.Printer.to_string v);
+          List.iter (fun e -> Printf.printf "        - %s\n" (Joi.string_of_error e)) es)
+    requests;
+
+  (* the same contract, compiled to JSON Schema (the expressible part) *)
+  print_endline "\n== compiled JSON Schema ==";
+  let compiled = Joi.to_json_schema payment_schema in
+  print_endline (Jsonschema.Print.to_string ~pretty:true compiled);
+
+  (* describe() — Joi's introspection *)
+  print_endline "\n== Joi describe() ==";
+  print_endline (Json.Printer.to_string_pretty (Joi.describe payment_schema));
+
+  (* JSound for the service's config file: restrictive on purpose *)
+  print_endline "\n== JSound config validation ==";
+  let config_schema =
+    match
+      Jsound.parse_string
+        {|{"endpoint": "anyURI", "timeout_ms": "integer",
+           "?retries": "integer?", "currencies": ["string"]}|}
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  List.iter
+    (fun src ->
+      let v = Json.Parser.parse_exn src in
+      match Jsound.validate config_schema v with
+      | Ok () -> Printf.printf "OK      %s\n" src
+      | Error es ->
+          Printf.printf "REJECT  %s\n" src;
+          List.iter (fun e -> Printf.printf "        - %s\n" (Jsound.string_of_error e)) es)
+    [ {|{"endpoint": "https://pay.example.com", "timeout_ms": 500, "currencies": ["EUR", "USD"]}|};
+      {|{"endpoint": "https://pay.example.com", "timeout_ms": 500, "retries": null, "currencies": []}|};
+      {|{"endpoint": "not a uri", "timeout_ms": "fast", "currencies": ["EUR"]}|} ]

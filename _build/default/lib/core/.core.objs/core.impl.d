@@ -1,0 +1,1 @@
+lib/core/core.ml: Datagen Fastjson Inference Joi Json Jsonschema Jsound Jtype Pipeline Query Translate

@@ -1,0 +1,14 @@
+(** Umbrella module: one [open] (or dune [libraries core]) pulls in every
+    component of the toolkit under its natural name. *)
+
+module Json = Json
+module Jsonschema = Jsonschema
+module Jtype = Jtype
+module Joi = Joi
+module Jsound = Jsound
+module Inference = Inference
+module Fastjson = Fastjson
+module Translate = Translate
+module Datagen = Datagen
+module Query = Query
+module Pipeline = Pipeline

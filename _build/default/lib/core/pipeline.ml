@@ -1,0 +1,91 @@
+type inferred = {
+  jtype : Jtype.Types.t;
+  counting : Jtype.Counting.t;
+  json_schema : Json.Value.t;
+  typescript : string;
+  swift : string;
+}
+
+let build_inferred ~name t c =
+  {
+    jtype = t;
+    counting = c;
+    json_schema = Jtype.Interop.to_schema_json t;
+    typescript = Jtype.Typescript.declaration ~name t;
+    swift = Jtype.Swift.declaration ~name t;
+  }
+
+let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") values =
+  let t = Inference.Parametric.infer ~equiv values in
+  let c = Inference.Parametric.infer_counting ~equiv values in
+  build_inferred ~name t c
+
+let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
+  match
+    Json.Stream.fold_documents text ~init:[] ~f:(fun acc v -> v :: acc)
+  with
+  | Error e -> Error (Json.Parser.string_of_error e)
+  | Ok rev_docs -> Ok (infer ~equiv ~name (List.rev rev_docs))
+
+let validate_collection ~root values =
+  let failures =
+    List.mapi
+      (fun i v ->
+        match Jsonschema.Validate.validate ~root v with
+        | Ok () -> None
+        | Error es -> Some (i, es))
+      values
+    |> List.filter_map Fun.id
+  in
+  if failures = [] then Ok (List.length values) else Error failures
+
+let profile values =
+  let t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind values in
+  let mongo = Inference.Mongo.analyze values in
+  let sk = Inference.Skeleton.build values in
+  let total_bytes =
+    List.fold_left (fun acc v -> acc + String.length (Json.Printer.to_string v)) 0 values
+  in
+  Json.Value.Object
+    [ ("documents", Json.Value.Int (List.length values));
+      ("json_bytes", Json.Value.Int total_bytes);
+      ("inferred_type", Json.Value.String (Jtype.Types.to_string t));
+      ("type_size", Json.Value.Int (Jtype.Types.size t));
+      ("field_statistics", Inference.Mongo.to_json mongo);
+      ("skeleton",
+       Json.Value.Object
+         [ ("structures",
+            Json.Value.Array
+              (List.map
+                 (fun (s, n) ->
+                   Json.Value.Object
+                     [ ("structure",
+                        Json.Value.String (Inference.Skeleton.structure_to_string s));
+                       ("count", Json.Value.Int n) ])
+                 sk.Inference.Skeleton.groups));
+           ("documents_outside_skeleton", Json.Value.Int sk.Inference.Skeleton.dropped) ]) ]
+
+type translated = {
+  avro_schema : Json.Value.t;
+  avro_bytes : string;
+  columnar_bytes : string;
+  json_bytes : int;
+}
+
+let translate ?(equiv = Jtype.Merge.Kind) values =
+  let t = Inference.Parametric.infer ~equiv values in
+  let avro_schema = Translate.Avro.of_jtype ~name:"root" t in
+  match Translate.Avro.encode_all avro_schema values with
+  | Error m -> Error ("avro: " ^ m)
+  | Ok avro_bytes -> (
+      let spark = Inference.Spark.infer values in
+      match Translate.Columnar.shred ~schema:spark values with
+      | Error m -> Error ("columnar: " ^ m)
+      | Ok table ->
+          Ok
+            {
+              avro_schema = Translate.Avro.schema_to_json avro_schema;
+              avro_bytes;
+              columnar_bytes = Translate.Columnar.encode table;
+              json_bytes = String.length (Datagen.to_ndjson values);
+            })

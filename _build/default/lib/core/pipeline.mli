@@ -1,0 +1,48 @@
+(** End-to-end pipelines combining the toolkit's components — the workflows
+    a user of the tutorial's systems would actually run. *)
+
+(** {1 Inference pipeline} *)
+
+type inferred = {
+  jtype : Jtype.Types.t;            (** the union-aware structural type *)
+  counting : Jtype.Counting.t;      (** with cardinalities *)
+  json_schema : Json.Value.t;       (** translated to JSON Schema *)
+  typescript : string;              (** TypeScript declarations *)
+  swift : string;                   (** Swift Codable declarations *)
+}
+
+val infer :
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> Json.Value.t list -> inferred
+(** One call from collection to every schema artifact (default equivalence
+    [Kind], default root declaration name ["Root"]). *)
+
+val infer_ndjson :
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> string -> (inferred, string) result
+
+(** {1 Validation pipeline} *)
+
+val validate_collection :
+  root:Json.Value.t -> Json.Value.t list ->
+  (int, (int * Jsonschema.Validate.error list) list) result
+(** Validate every document against a JSON Schema document; [Ok n] = all [n]
+    valid, otherwise the failing indices with their errors. *)
+
+(** {1 Dataset profiling} *)
+
+val profile : Json.Value.t list -> Json.Value.t
+(** A JSON report: document count, inferred type (paper syntax), mongo-style
+    field statistics, skeleton summary, size metrics. The CLI's [stats]
+    command prints this. *)
+
+(** {1 Translation pipeline} *)
+
+type translated = {
+  avro_schema : Json.Value.t;
+  avro_bytes : string;
+  columnar_bytes : string;
+  json_bytes : int;     (** size of the NDJSON text, for comparison *)
+}
+
+val translate :
+  ?equiv:Jtype.Merge.equiv -> Json.Value.t list -> (translated, string) result
+(** Infer, derive Avro + Spark schemas, encode both ways. *)

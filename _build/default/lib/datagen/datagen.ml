@@ -1,0 +1,286 @@
+type rng = Random.State.t
+
+let rng ~seed = Random.State.make [| seed |]
+
+open Json.Value
+
+let chance st p = Random.State.float st 1.0 < p
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let word st =
+  let words =
+    [| "data"; "json"; "schema"; "type"; "query"; "spark"; "tweet"; "graph";
+       "model"; "cloud"; "index"; "store"; "table"; "array"; "union"; "merge" |]
+  in
+  words.(Random.State.int st (Array.length words))
+
+let sentence st n =
+  String.concat " " (List.init n (fun _ -> word st))
+
+let name_ st =
+  let first = [| "ann"; "bob"; "carol"; "dan"; "eve"; "frank"; "grace"; "hugo" |] in
+  let last = [| "smith"; "jones"; "lopez"; "kim"; "chen"; "rossi"; "dubois" |] in
+  first.(Random.State.int st (Array.length first))
+  ^ " "
+  ^ last.(Random.State.int st (Array.length last))
+
+let date st =
+  Printf.sprintf "%04d-%02d-%02d" (2015 + Random.State.int st 8)
+    (1 + Random.State.int st 12)
+    (1 + Random.State.int st 28)
+
+let datetime st = date st ^ Printf.sprintf "T%02d:%02d:%02dZ" (Random.State.int st 24) (Random.State.int st 60) (Random.State.int st 60)
+
+(* --- tweets ------------------------------------------------------------ *)
+
+let user st =
+  Object
+    ([ ("id", Int (Random.State.int st 1_000_000));
+       ("screen_name", String (word st ^ string_of_int (Random.State.int st 100)));
+       ("name", String (name_ st));
+       ("followers_count", Int (Random.State.int st 100_000));
+       ("verified", Bool (chance st 0.08)) ]
+    @ (if chance st 0.6 then [ ("location", String (word st)) ] else [])
+    @ if chance st 0.3 then [ ("url", String ("https://t.co/" ^ word st)) ] else [])
+
+let hashtag st =
+  Object [ ("text", String (word st)); ("indices", Array [ Int 0; Int 7 ]) ]
+
+let url_entity st =
+  Object
+    [ ("url", String ("https://t.co/" ^ word st));
+      ("expanded_url", String ("https://example.com/" ^ word st)) ]
+
+let rec tweet_inner st ~allow_retweet =
+  let base =
+    [ ("id", Int (Random.State.int st 10_000_000));
+      ("created_at", String (datetime st));
+      ("text", String (sentence st (3 + Random.State.int st 8)));
+      ("user", user st);
+      ("retweet_count", Int (Random.State.int st 5000));
+      ("favorite_count", Int (Random.State.int st 10000));
+      ("lang", String (pick st [ "en"; "fr"; "it"; "de"; "es" ])) ]
+  in
+  let optional =
+    (if chance st 0.15 then
+       [ ("coordinates",
+          Object
+            [ ("type", String "Point");
+              ("coordinates",
+               Array [ Float (Random.State.float st 360.0 -. 180.0);
+                       Float (Random.State.float st 180.0 -. 90.0) ]) ]) ]
+     else [])
+    @ (if chance st 0.55 then
+         [ ("entities",
+            Object
+              [ ("hashtags",
+                 Array (List.init (Random.State.int st 4) (fun _ -> hashtag st)));
+                ("urls",
+                 Array (List.init (Random.State.int st 2) (fun _ -> url_entity st))) ]) ]
+       else [])
+    @ (if chance st 0.2 then [ ("in_reply_to_status_id", Int (Random.State.int st 10_000_000)) ]
+       else [])
+    @
+    if allow_retweet && chance st 0.1 then
+      [ ("retweeted_status", tweet_inner st ~allow_retweet:false) ]
+    else []
+  in
+  Object (base @ optional)
+
+let tweet st = tweet_inner st ~allow_retweet:true
+let tweets st n = List.init n (fun _ -> tweet st)
+
+(* --- articles ----------------------------------------------------------- *)
+
+let article st =
+  Object
+    ([ ("_id", String (Printf.sprintf "article-%06d" (Random.State.int st 1_000_000)));
+       ("headline",
+        Object
+          ([ ("main", String (sentence st 6)) ]
+          @ if chance st 0.4 then [ ("kicker", String (word st)) ] else []));
+       ("pub_date", String (datetime st));
+       ("document_type", String (pick st [ "article"; "blogpost"; "multimedia" ]));
+       ("word_count", Int (100 + Random.State.int st 3000));
+       ("keywords",
+        Array
+          (List.init (Random.State.int st 5) (fun _ ->
+               Object
+                 [ ("name", String (pick st [ "subject"; "persons"; "glocations" ]));
+                   ("value", String (word st)) ]))) ]
+    @ (if chance st 0.7 then [ ("byline", Object [ ("original", String ("By " ^ name_ st)) ]) ]
+       else [])
+    @ (if chance st 0.5 then [ ("snippet", String (sentence st 12)) ] else [])
+    @
+    if chance st 0.35 then
+      [ ("multimedia",
+         Array
+           (List.init
+              (1 + Random.State.int st 3)
+              (fun _ ->
+                Object
+                  [ ("url", String ("https://img.example.com/" ^ word st));
+                    ("height", Int (100 + Random.State.int st 900));
+                    ("width", Int (100 + Random.State.int st 900)) ]))) ]
+    else [])
+
+let articles st n = List.init n (fun _ -> article st)
+
+(* --- open data ----------------------------------------------------------- *)
+
+let open_data_record st =
+  Object
+    ([ ("title", String (sentence st 5));
+       ("identifier", String (Printf.sprintf "dataset-%05d" (Random.State.int st 100_000)));
+       ("accessLevel", String (pick st [ "public"; "restricted public"; "non-public" ]));
+       (* heterogeneous field: string in some records, object in others *)
+       ("temporal",
+        if chance st 0.5 then String (date st ^ "/" ^ date st)
+        else Object [ ("start", String (date st)); ("end", String (date st)) ]);
+       ("publisher", Object [ ("name", String (word st ^ " agency") ) ]) ]
+    @ (if chance st 0.6 then
+         [ ("distribution",
+            Array
+              (List.init
+                 (1 + Random.State.int st 3)
+                 (fun _ ->
+                   Object
+                     ([ ("mediaType", String (pick st [ "text/csv"; "application/json" ])) ]
+                     @ if chance st 0.8 then [ ("downloadURL", String ("https://data.gov/" ^ word st)) ]
+                       else [])))) ]
+       else [])
+    @ (if chance st 0.4 then [ ("describedBy", String ("https://schema.example.org/" ^ word st)) ]
+       else [])
+    @ if chance st 0.3 then [ ("landingPage", Null) ] else [])
+
+let open_data st n = List.init n (fun _ -> open_data_record st)
+
+(* --- denormalized orders -------------------------------------------------- *)
+
+let order st =
+  (* small key spaces so functional dependencies are observable *)
+  let customer_id = 1 + Random.State.int st 20 in
+  let product_id = 1 + Random.State.int st 15 in
+  let cnames = [| "acme"; "globex"; "initech"; "umbrella"; "stark"; "wayne";
+                  "tyrell"; "cyberdyne"; "oscorp"; "soylent"; "wonka"; "dunder";
+                  "hooli"; "massive"; "pied"; "aviato"; "bluth"; "sterling";
+                  "prestige"; "vandelay" |] in
+  let cities = [| "paris"; "pisa"; "potenza"; "lyon"; "rome"; "milan"; "nice";
+                  "turin"; "bari"; "lille"; "genoa"; "nantes"; "siena"; "parma";
+                  "arles"; "dijon"; "pavia"; "lucca"; "aosta"; "amiens" |] in
+  let pnames = [| "widget"; "gadget"; "sprocket"; "gizmo"; "doohickey"; "flange";
+                  "grommet"; "bracket"; "fitting"; "coupler"; "valve"; "washer";
+                  "bearing"; "spindle"; "gasket" |] in
+  let prices = [| 9.99; 19.99; 4.5; 100.0; 42.0; 7.25; 15.0; 3.99; 89.0; 12.5;
+                  6.75; 22.0; 31.5; 54.0; 18.25 |] in
+  Object
+    [ ("order_id", Int (100000 + Random.State.int st 900000));
+      ("order_date", String (date st));
+      ("quantity", Int (1 + Random.State.int st 9));
+      ("customer",
+       Object
+         [ ("customer_id", Int customer_id);
+           ("customer_name", String cnames.(customer_id - 1));
+           ("customer_city", String cities.(customer_id - 1)) ]);
+      ("product",
+       Object
+         [ ("product_id", Int product_id);
+           ("product_name", String pnames.(product_id - 1));
+           ("product_price", Float prices.(product_id - 1)) ]) ]
+
+let orders st n = List.init n (fun _ -> order st)
+
+(* --- support tickets --------------------------------------------------------- *)
+
+let ticket st =
+  let base =
+    [ ("ticket_id", Int (Random.State.int st 1_000_000));
+      ("opened_at", String (datetime st));
+      ("priority", String (pick st [ "low"; "normal"; "high" ])) ]
+  in
+  match pick st [ "email"; "phone"; "chat" ] with
+  | "email" ->
+      Object
+        (base
+        @ [ ("channel", String "email");
+            ("subject", String (sentence st 4));
+            ("body", String (sentence st 20)) ]
+        @ if chance st 0.3 then [ ("attachments", Int (Random.State.int st 4)) ] else [])
+  | "phone" ->
+      Object
+        (base
+        @ [ ("channel", String "phone");
+            ("duration_s", Int (Random.State.int st 1800));
+            ("callback", Bool (chance st 0.5)) ])
+  | _ ->
+      Object
+        (base
+        @ [ ("channel", String "chat");
+            ("messages",
+             Array
+               (List.init
+                  (1 + Random.State.int st 5)
+                  (fun _ ->
+                    Object
+                      [ ("from", String (pick st [ "agent"; "customer" ]));
+                        ("text", String (sentence st 6)) ]))) ])
+
+let tickets st n = List.init n (fun _ -> ticket st)
+
+(* --- parametric corpora ---------------------------------------------------- *)
+
+let heterogeneous st ~heterogeneity n =
+  let h = Float.max 0.0 (Float.min 1.0 heterogeneity) in
+  List.init n (fun i ->
+      let shape = if chance st h then Random.State.int st 4 else 0 in
+      let id_value : Json.Value.t =
+        (* with heterogeneity, the id field's type itself varies *)
+        if chance st (h *. 0.5) then String (string_of_int i) else Int i
+      in
+      let base = [ ("id", id_value); ("name", String (word st)) ] in
+      let extra =
+        match shape with
+        | 0 -> [ ("score", Int (Random.State.int st 100)) ]
+        | 1 -> [ ("score", Float (Random.State.float st 1.0)); ("tags", Array [ String (word st) ]) ]
+        | 2 -> [ ("nested", Object [ ("flag", Bool (chance st 0.5)) ]) ]
+        | _ -> [ ("payload", if chance st 0.5 then Null else String (word st)) ]
+      in
+      Object (base @ extra))
+
+let skewed_structures st ~shapes ~zipf n =
+  (* shape s is chosen with probability proportional to 1/(s+1)^zipf *)
+  let weights =
+    Array.init shapes (fun s -> 1.0 /. Float.pow (float_of_int (s + 1)) zipf)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pick_shape () =
+    let r = Random.State.float st total in
+    let rec go i acc =
+      if i >= shapes - 1 then i
+      else if acc +. weights.(i) > r then i
+      else go (i + 1) (acc +. weights.(i))
+    in
+    go 0 0.0
+  in
+  List.init n (fun i ->
+      let s = pick_shape () in
+      (* each shape has a distinctive field set *)
+      Object
+        ([ ("id", Int i) ]
+        @ List.init (s + 1) (fun j -> (Printf.sprintf "field_%d_%d" s j, Int j))))
+
+let events st ~fields n =
+  List.init n (fun i ->
+      Object
+        (List.init fields (fun j ->
+             let value : Json.Value.t =
+               match j mod 4 with
+               | 0 -> Int (i + j)
+               | 1 -> String (word st)
+               | 2 -> Bool (chance st 0.5)
+               | _ -> Float (Random.State.float st 1000.0)
+             in
+             (Printf.sprintf "f%d" j, value))))
+
+let to_ndjson docs =
+  String.concat "\n" (List.map Json.Printer.to_string docs) ^ "\n"

@@ -1,0 +1,69 @@
+(** Seeded synthetic JSON corpora.
+
+    Stand-ins for the public datasets the tutorial's running examples use
+    (Twitter API results, newspaper articles, data.gov open data) — the
+    real services are unreachable offline, so these generators reproduce
+    the {e structural} properties that matter to the experiments:
+    optional fields with controlled probability, cross-field correlation,
+    type heterogeneity, nesting, and skewed structure frequencies.
+
+    All generators are deterministic in [seed]. *)
+
+type rng
+
+val rng : seed:int -> rng
+
+(** {1 Domain corpora} *)
+
+val tweet : rng -> Json.Value.t
+(** Twitter-like status: [id], [text], [user{...}], optional [coordinates],
+    optional [entities{hashtags[], urls[]}], [retweet_count], …; about 10%
+    are retweets carrying a nested [retweeted_status]. *)
+
+val tweets : rng -> int -> Json.Value.t list
+
+val article : rng -> Json.Value.t
+(** New-York-Times-ish article metadata: [headline{...}], [byline],
+    [keywords[]], optional [multimedia[]]. *)
+
+val articles : rng -> int -> Json.Value.t list
+
+val open_data_record : rng -> Json.Value.t
+(** data.gov-ish dataset descriptor with heterogeneous [temporal] (string
+    or {start,end} object) and optional distribution list. *)
+
+val open_data : rng -> int -> Json.Value.t list
+
+val order : rng -> Json.Value.t
+(** Denormalized e-commerce order for the normalization experiment:
+    customer and product attributes are embedded (functionally dependent
+    on their ids). *)
+
+val orders : rng -> int -> Json.Value.t list
+
+val ticket : rng -> Json.Value.t
+(** Support ticket whose structure is {e determined by} the value of its
+    [channel] field ("email" → subject/body, "phone" → duration/callback,
+    "chat" → messages[]). The value→structure correlation is what the
+    schema-profiling experiment (E12) learns. *)
+
+val tickets : rng -> int -> Json.Value.t list
+
+(** {1 Parametric corpora} *)
+
+val heterogeneous : rng -> heterogeneity:float -> int -> Json.Value.t list
+(** Records drawn from [k] distinct shapes; [heterogeneity] ∈ [0,1]
+    controls how much shapes and field types vary (0 = single rigid shape;
+    1 = every document may differ in fields and in the types of shared
+    fields). Used by E1. *)
+
+val skewed_structures : rng -> shapes:int -> zipf:float -> int -> Json.Value.t list
+(** Documents whose structure index follows a Zipf-like distribution —
+    a few very frequent shapes and a long tail (E8). *)
+
+val events : rng -> fields:int -> int -> Json.Value.t list
+(** Wide flat records with [fields] scalar fields [f0..f(n-1)], for the
+    projection-parser experiments (E5/E6). *)
+
+val to_ndjson : Json.Value.t list -> string
+(** One compact document per line. *)

@@ -1,0 +1,1 @@
+lib/fastjson/fadjs.ml: Hashtbl Json List Option Rawscan String

@@ -1,0 +1,1 @@
+lib/fastjson/fadjs.mli: Json

@@ -1,0 +1,1 @@
+lib/fastjson/mison.ml: Array Hashtbl Json List Rawscan String Structural_index

@@ -1,0 +1,1 @@
+lib/fastjson/mison.mli: Json Structural_index

@@ -1,0 +1,1 @@
+lib/fastjson/rawscan.ml: String

@@ -1,0 +1,1 @@
+lib/fastjson/structural_index.ml: Array Int64 List String

@@ -1,0 +1,1 @@
+lib/fastjson/structural_index.mli:

@@ -1,0 +1,130 @@
+type slot =
+  | Parsed of Json.Value.t
+  | Raw of int * int  (* byte span [lo, hi) in the source *)
+
+type t = {
+  profile : (string, unit) Hashtbl.t;
+  mutable n_decoded : int;
+  mutable n_eager : int;
+  mutable n_skipped : int;
+  mutable n_deopts : int;
+}
+
+type doc = {
+  decoder : t;
+  src : string;
+  slots : (string * slot ref) list;
+}
+
+type stats = {
+  decoded : int;
+  eager_fields : int;
+  skipped_fields : int;
+  deopts : int;
+}
+
+let create ?(eager = []) () =
+  let profile = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace profile f ()) eager;
+  { profile; n_decoded = 0; n_eager = 0; n_skipped = 0; n_deopts = 0 }
+
+let stats t =
+  { decoded = t.n_decoded;
+    eager_fields = t.n_eager;
+    skipped_fields = t.n_skipped;
+    deopts = t.n_deopts }
+
+(* Scan the top-level object: for each key decide eager-parse vs raw-skip. *)
+let decode t src =
+  let n = String.length src in
+  let i = Rawscan.skip_ws src 0 in
+  if i >= n || src.[i] <> '{' then Error "Fadjs.decode: expected a top-level object"
+  else begin
+    t.n_decoded <- t.n_decoded + 1;
+    let slots = ref [] in
+    let exception Fail of string in
+    let fail msg = raise (Fail msg) in
+    let rec fields i =
+      let i = Rawscan.skip_ws src i in
+      if i >= n then fail "unterminated object"
+      else if src.[i] = '}' then i + 1
+      else begin
+        (* key *)
+        let key_start = i in
+        if src.[i] <> '"' then fail "expected a field name";
+        let key_end =
+          match Rawscan.skip_string src i with Ok e -> e | Error m -> fail m
+        in
+        let raw_key = String.sub src (key_start + 1) (key_end - key_start - 2) in
+        let i = Rawscan.skip_ws src key_end in
+        if i >= n || src.[i] <> ':' then fail "expected ':'";
+        let value_start = Rawscan.skip_ws src (i + 1) in
+        let value_end =
+          match Rawscan.skip_value src value_start with Ok e -> e | Error m -> fail m
+        in
+        let slot =
+          if Hashtbl.mem t.profile raw_key then begin
+            t.n_eager <- t.n_eager + 1;
+            match Json.Parser.parse_substring src ~pos:value_start with
+            | Ok (v, _) -> Parsed v
+            | Error e -> fail (Json.Parser.string_of_error e)
+          end
+          else begin
+            t.n_skipped <- t.n_skipped + 1;
+            Raw (value_start, value_end)
+          end
+        in
+        slots := (raw_key, ref slot) :: !slots;
+        let i = Rawscan.skip_ws src value_end in
+        if i < n && src.[i] = ',' then fields (i + 1)
+        else if i < n && src.[i] = '}' then i + 1
+        else fail "expected ',' or '}'"
+      end
+    in
+    match fields (i + 1) with
+    | _end_pos -> Ok { decoder = t; src; slots = List.rev !slots }
+    | exception Fail msg -> Error msg
+  end
+
+let force doc (slot : slot ref) =
+  match !slot with
+  | Parsed v -> Some v
+  | Raw (lo, _hi) -> (
+      doc.decoder.n_deopts <- doc.decoder.n_deopts + 1;
+      match Json.Parser.parse_substring doc.src ~pos:lo with
+      | Ok (v, _) ->
+          slot := Parsed v;
+          Some v
+      | Error _ -> None)
+
+let get doc field =
+  match List.assoc_opt field doc.slots with
+  | None -> None
+  | Some slot ->
+      (* learn: next documents will materialize this field eagerly *)
+      Hashtbl.replace doc.decoder.profile field ();
+      force doc slot
+
+let get_path doc = function
+  | [] -> None
+  | [ last ] -> get doc last
+  | first :: rest -> (
+      match get doc first with
+      | Some (Json.Value.Object _ as v) -> (
+          (* re-wrap nested objects through the same decoder so nested
+             access patterns are profiled as "parent.child" keys *)
+          let rec walk v = function
+            | [] -> Some v
+            | k :: more -> (
+                match Json.Value.member k v with
+                | Some x -> walk x more
+                | None -> None)
+          in
+          walk v rest)
+      | _ -> None)
+
+let materialize doc =
+  Json.Value.Object
+    (List.filter_map
+       (fun (k, slot) -> Option.map (fun v -> (k, v)) (force doc slot))
+       doc.slots)

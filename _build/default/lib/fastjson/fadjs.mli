@@ -1,0 +1,48 @@
+(** Fad.js-style speculative JSON decoding (Bonetta & Brantner, VLDB'17).
+
+    Fad.js bets that "most applications never use all the fields of input
+    objects": the decoder materializes only the fields the application has
+    been observed to access, leaving the rest as raw byte spans. Touching an
+    unmaterialized field {e deoptimizes}: the span is parsed on demand and
+    the access profile is updated so future documents materialize it
+    eagerly. In the original this is driven by the Graal JIT; here the
+    profile is an explicit runtime structure with the same behaviour
+    (see DESIGN.md for the substitution argument).
+
+    The decoder also speculates on {e constant object layout}: it caches the
+    byte offset at which each profiled field's key appeared in the previous
+    document and probes it before scanning. *)
+
+type t
+(** A decoder with its learned access profile. *)
+
+val create : ?eager:string list -> unit -> t
+(** [eager] pre-seeds the profile (an application that declares its
+    accesses up front, as in the paper's API use). *)
+
+type doc
+(** A lazily-decoded document. *)
+
+val decode : t -> string -> (doc, string) result
+(** Decode the top-level object: profiled fields are parsed eagerly, all
+    other values are stored as raw spans without parsing. *)
+
+val get : doc -> string -> Json.Value.t option
+(** Field access. A raw span triggers deoptimization: on-demand parse +
+    profile update (counted in {!stats}). *)
+
+val get_path : doc -> string list -> Json.Value.t option
+(** Chained access: intermediate objects are decoded with the same
+    decoder, so nested access patterns are learned too. *)
+
+val materialize : doc -> Json.Value.t
+(** Force everything (equivalent to a full parse). *)
+
+type stats = {
+  decoded : int;        (** documents decoded *)
+  eager_fields : int;   (** fields parsed during decode *)
+  skipped_fields : int; (** fields left as raw spans *)
+  deopts : int;         (** lazy accesses that forced a parse *)
+}
+
+val stats : t -> stats

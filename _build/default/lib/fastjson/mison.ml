@@ -1,0 +1,169 @@
+type projection = { fields : string list }
+
+type stats = {
+  records : int;
+  speculative_hits : int;
+  fallback_scans : int;
+}
+
+type t = {
+  wanted : (string, unit) Hashtbl.t;
+  depth : int; (* deepest projected path *)
+  predicted : (string, int) Hashtbl.t; (* field -> colon ordinal *)
+  mutable records : int;
+  mutable speculative_hits : int;
+  mutable fallback_scans : int;
+}
+
+let create (p : projection) =
+  let wanted = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace wanted f ()) p.fields;
+  let depth =
+    List.fold_left
+      (fun d f -> max d (List.length (String.split_on_char '.' f)))
+      1 p.fields
+  in
+  { wanted;
+    depth;
+    predicted = Hashtbl.create 8;
+    records = 0;
+    speculative_hits = 0;
+    fallback_scans = 0 }
+
+let stats t =
+  { records = t.records;
+    speculative_hits = t.speculative_hits;
+    fallback_scans = t.fallback_scans }
+
+let parse_value_at src pos =
+  let pos = Rawscan.skip_ws src pos in
+  match Json.Parser.parse_substring src ~pos with
+  | Ok (v, _) -> Ok v
+  | Error e -> Error (Json.Parser.string_of_error e)
+
+(* name of the field owning the colon at offset c *)
+let key_of src c = Rawscan.raw_key_at src ~colon:c
+
+(* Locate a dotted path inside [lo,hi) using colons of increasing level;
+   returns the byte offset of the value, never parsing enclosing objects.
+   Falls back to None when the path is absent (or deeper than the index). *)
+let rec locate idx ~level ~lo ~hi segments =
+  let src = Structural_index.source idx in
+  match segments with
+  | [] -> None
+  | seg :: rest ->
+      let colons = Structural_index.colons idx ~level ~lo ~hi in
+      let rec scan = function
+        | [] -> None
+        | c :: more -> (
+            match key_of src c with
+            | Ok (name, _) when String.equal name seg -> (
+                let value_start = Rawscan.skip_ws src (c + 1) in
+                match rest with
+                | [] -> Some value_start
+                | _ -> (
+                    match Rawscan.skip_value src value_start with
+                    | Ok value_end ->
+                        if level + 1 <= Structural_index.max_level idx then
+                          locate idx ~level:(level + 1) ~lo:value_start
+                            ~hi:value_end rest
+                        else None
+                    | Error _ -> None))
+            | _ -> scan more)
+      in
+      scan colons
+
+let parse_record t idx ~lo ~hi =
+  let src = Structural_index.source idx in
+  (* dotted paths go through the leveled locator; plain names through the
+     speculative ordinal machinery below *)
+  let nested =
+    Hashtbl.fold
+      (fun f () acc -> if String.contains f '.' then f :: acc else acc)
+      t.wanted []
+  in
+  let nested_results =
+    List.filter_map
+      (fun path ->
+        let segments = String.split_on_char '.' path in
+        match locate idx ~level:1 ~lo ~hi segments with
+        | Some value_pos -> (
+            match parse_value_at src value_pos with
+            | Ok v -> Some (path, v)
+            | Error _ -> None)
+        | None -> None)
+      nested
+  in
+  let colon_list = Structural_index.colons idx ~level:1 ~lo ~hi in
+  let colon_arr = Array.of_list colon_list in
+  let n_colons = Array.length colon_arr in
+  let n_wanted = Hashtbl.length t.wanted - List.length nested in
+  t.records <- t.records + 1;
+  let results = ref [] in
+  let found = Hashtbl.create 8 in
+  let exception Fail of string in
+  let take field c =
+    match parse_value_at src (c + 1) with
+    | Ok v ->
+        Hashtbl.replace found field ();
+        results := (field, v) :: !results
+    | Error msg -> raise (Fail msg)
+  in
+  match
+    (* speculative probe: for each wanted field, test its predicted colon *)
+    Hashtbl.iter
+      (fun field () ->
+        if String.contains field '.' then ()
+        else
+        match Hashtbl.find_opt t.predicted field with
+        | Some ord when ord < n_colons -> (
+            let c = colon_arr.(ord) in
+            match key_of src c with
+            | Ok (name, _) when String.equal name field ->
+                t.speculative_hits <- t.speculative_hits + 1;
+                take field c
+            | _ -> ())
+        | _ -> ())
+      t.wanted;
+    (* fallback: scan remaining colons for fields not yet found *)
+    if Hashtbl.length found < n_wanted then begin
+      t.fallback_scans <- t.fallback_scans + 1;
+      let rec scan ord =
+        if ord < n_colons && Hashtbl.length found < n_wanted then begin
+          let c = colon_arr.(ord) in
+          (match key_of src c with
+           | Ok (name, _) when Hashtbl.mem t.wanted name && not (Hashtbl.mem found name) ->
+               Hashtbl.replace t.predicted name ord;
+               take name c
+           | _ -> ());
+          scan (ord + 1)
+        end
+      in
+      scan 0
+    end
+  with
+  | () -> Ok (nested_results @ List.rev !results)
+  | exception Fail msg -> Error msg
+
+let parse_string t src =
+  let idx = Structural_index.build ~max_level:t.depth src in
+  parse_record t idx ~lo:0 ~hi:(String.length src)
+
+let project_ndjson_with_stats p text =
+  let t = create p in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc, stats t)
+    | line :: rest -> (
+        match parse_string t line with
+        | Ok fields -> go (fields :: acc) rest
+        | Error _ as e -> (match e with Error msg -> Error msg | _ -> assert false))
+  in
+  go [] lines
+
+let project_ndjson p text =
+  match project_ndjson_with_stats p text with
+  | Ok (rows, _) -> Ok rows
+  | Error _ as e -> e

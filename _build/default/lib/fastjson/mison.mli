@@ -1,0 +1,50 @@
+(** Mison's projection parser: parse only the queried fields.
+
+    Given the colon positions from the {!Structural_index}, each record's
+    wanted fields are located directly: walk the level-1 colons, recover the
+    field name with a short backward scan, and fully parse {e only} values
+    whose name is in the projection set — everything else is never touched.
+
+    Speculation (§5 of the paper): across records of a collection, a field
+    tends to appear at the same ordinal position. The parser remembers, for
+    every projected field, the colon ordinal where it was last found and
+    probes that position first; a miss falls back to the full scan of the
+    record's colons and retrains. {!stats} reports the hit rate (E6 uses
+    the same mechanism in Fad.js form). *)
+
+type projection = {
+  fields : string list;
+      (** field paths wanted: top-level names (["id"]) or dotted paths into
+          nested objects (["user.name"]), resolved with the leveled colon
+          bitmaps — level k of the index serves depth-k fields without
+          parsing the enclosing objects *)
+}
+
+type stats = {
+  records : int;
+  speculative_hits : int;  (** fields found at their predicted ordinal *)
+  fallback_scans : int;    (** records needing a full colon scan *)
+}
+
+type t
+(** Stateful projection parser (holds the learned field positions). *)
+
+val create : projection -> t
+val stats : t -> stats
+
+val parse_record :
+  t -> Structural_index.t -> lo:int -> hi:int -> ((string * Json.Value.t) list, string) result
+(** Parse the projected fields of the object spanning [lo,hi) in the
+    indexed input. Fields absent from the record are simply not returned. *)
+
+val parse_string : t -> string -> ((string * Json.Value.t) list, string) result
+(** Convenience: index one standalone JSON object and project it. *)
+
+val project_ndjson :
+  projection -> string -> ((string * Json.Value.t) list list, string) result
+(** Project every line of an NDJSON text with a fresh speculative parser;
+    lines share the learned positions, which is where the speedup comes
+    from. *)
+
+val project_ndjson_with_stats :
+  projection -> string -> ((string * Json.Value.t) list list * stats, string) result

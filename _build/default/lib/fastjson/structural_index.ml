@@ -1,0 +1,119 @@
+(* Bitmaps are Int64 arrays, one bit per input byte, little-endian within a
+   word: bit i of word w covers byte w*64 + i. The byte→bitmap pass and the
+   set-bit extraction loop (x & (x-1)) follow Mison; the AVX lanes of the
+   paper become 64-bit words here, which changes constants, not the
+   algorithm. *)
+
+type t = {
+  source : string;
+  max_level : int;
+  quotes : int64 array;          (* structural quotes *)
+  string_mask : int64 array;     (* 1 = inside a string literal *)
+  leveled_colons : int array array;  (* level (1-based) -> sorted offsets *)
+}
+
+let source t = t.source
+let max_level t = t.max_level
+
+let words_for n = (n + 63) / 64
+
+let bit_set bm i =
+  let w = i lsr 6 and b = i land 63 in
+  Int64.logand bm.(w) (Int64.shift_left 1L b) <> 0L
+
+let set_bit bm i =
+  let w = i lsr 6 and b = i land 63 in
+  bm.(w) <- Int64.logor bm.(w) (Int64.shift_left 1L b)
+
+(* iterate over set bits of a bitmap in increasing order *)
+let iter_bits bm n f =
+  let nwords = Array.length bm in
+  for w = 0 to nwords - 1 do
+    let x = ref bm.(w) in
+    while !x <> 0L do
+      let lsb = Int64.logand !x (Int64.neg !x) in
+      let b =
+        (* count trailing zeros *)
+        let rec ctz v acc =
+          if Int64.logand v 1L = 1L then acc else ctz (Int64.shift_right_logical v 1) (acc + 1)
+        in
+        ctz lsb 0
+      in
+      let i = (w * 64) + b in
+      if i < n then f i;
+      x := Int64.logand !x (Int64.sub !x 1L)
+    done
+  done
+
+(* The paper builds the bitmaps in four word-parallel passes (character
+   comparison, carry-less backslash parity, prefix-XOR string mask, leveled
+   colon extraction). Without SIMD the four passes cost more than they
+   save, so this port fuses them into one scalar pass that produces the
+   very same three artifacts — structural-quote bitmap, string-mask bitmap,
+   leveled colon positions — with the same semantics. *)
+let build ?(max_level = 2) s =
+  let n = String.length s in
+  let nw = words_for n in
+  let quotes = Array.make nw 0L in
+  let string_mask = Array.make nw 0L in
+  let acc = Array.make (max_level + 1) [] in
+  let i = ref 0 in
+  let in_str = ref false in
+  let depth = ref 0 in
+  while !i < n do
+    let c = String.unsafe_get s !i in
+    if !in_str then begin
+      if c = '"' then begin
+        set_bit quotes !i;
+        in_str := false
+      end
+      else begin
+        set_bit string_mask !i;
+        if c = '\\' && !i + 1 < n then begin
+          set_bit string_mask (!i + 1);
+          incr i
+        end
+      end
+    end
+    else begin
+      match c with
+      | '"' ->
+          set_bit quotes !i;
+          set_bit string_mask !i;
+          in_str := true
+      | ':' ->
+          if !depth >= 1 && !depth <= max_level then acc.(!depth) <- !i :: acc.(!depth)
+      | '{' -> incr depth
+      | '}' -> decr depth
+      | _ -> ()
+    end;
+    incr i
+  done;
+  let leveled_colons = Array.map (fun l -> Array.of_list (List.rev l)) acc in
+  { source = s; max_level; quotes; string_mask; leveled_colons }
+
+let colons t ~level ~lo ~hi =
+  if level < 1 || level > t.max_level then []
+  else
+    let arr = t.leveled_colons.(level) in
+    (* binary search for the first index >= lo *)
+    let start =
+      let l = ref 0 and r = ref (Array.length arr) in
+      while !l < !r do
+        let m = (!l + !r) / 2 in
+        if arr.(m) < lo then l := m + 1 else r := m
+      done;
+      !l
+    in
+    let rec collect i acc =
+      if i >= Array.length arr || arr.(i) >= hi then List.rev acc
+      else collect (i + 1) (arr.(i) :: acc)
+    in
+    collect start []
+
+let in_string t i = bit_set t.string_mask i
+
+let structural_quotes t =
+  let out = ref [] in
+  iter_bits t.quotes (String.length t.source) (fun i -> out := i :: !out);
+  List.rev !out

@@ -1,0 +1,37 @@
+(** Mison-style structural index (Li et al., VLDB'17, §4).
+
+    The index is a set of bitmaps over the input bytes, built with 64-bit
+    word-parallel operations (the paper uses AVX lanes; 64-bit words run the
+    identical algorithm — see DESIGN.md):
+
+    + character bitmaps for backslash, quote, colon, braces — one pass;
+    + the {e structural quote} bitmap: quotes preceded by an even number of
+      backslashes (carry-less two-step of the paper simplified to a serial
+      check per set bit, which is still word-sparse);
+    + the {e string mask} via prefix-XOR over the quote bitmap with carry
+      between words;
+    + {e leveled colon bitmaps}: colon positions attributed to each object
+      nesting level up to [max_level], computed from the masked brace
+      bitmaps with a stack, exactly Algorithm 3 of the paper.
+
+    Querying the index yields the colon positions of a record's top-level
+    (or deeper) fields without ever scanning the bytes in between. *)
+
+type t
+
+val build : ?max_level:int -> string -> t
+(** Index the whole input (default [max_level] 2). Cost is linear with a
+    small constant; no JSON tree is built. *)
+
+val max_level : t -> int
+val source : t -> string
+
+val colons : t -> level:int -> lo:int -> hi:int -> int list
+(** Colon offsets at the given nesting level within byte range [lo,hi). The
+    outermost object's fields are level 1. *)
+
+val in_string : t -> int -> bool
+(** Is this byte inside a string literal? (Used by tests.) *)
+
+val structural_quotes : t -> int list
+(** Offsets of string-delimiting quotes (tests / diagnostics). *)

@@ -1,0 +1,1 @@
+lib/inference/discovery.ml: Json Jtype List Stdlib String

@@ -1,0 +1,1 @@
+lib/inference/discovery.mli: Json Jtype

@@ -1,0 +1,1 @@
+lib/inference/mongo.ml: Hashtbl Json Jtype List Map Option Seq Stdlib String

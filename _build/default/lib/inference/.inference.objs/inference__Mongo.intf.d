@@ -1,0 +1,1 @@
+lib/inference/mongo.mli: Json Jtype Seq

@@ -1,0 +1,1 @@
+lib/inference/parametric.ml: Json Jtype List

@@ -1,0 +1,1 @@
+lib/inference/parametric.mli: Json Jtype

@@ -1,0 +1,1 @@
+lib/inference/profile.ml: Float Hashtbl Json List Option Printf Skeleton Stdlib String

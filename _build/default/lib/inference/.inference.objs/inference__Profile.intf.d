@@ -1,0 +1,1 @@
+lib/inference/profile.mli: Json

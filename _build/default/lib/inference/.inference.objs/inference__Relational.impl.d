@@ -1,0 +1,1 @@
+lib/inference/relational.ml: Hashtbl Json List Option Printf Stdlib String

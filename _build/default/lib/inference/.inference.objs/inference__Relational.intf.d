@@ -1,0 +1,1 @@
+lib/inference/relational.mli: Json

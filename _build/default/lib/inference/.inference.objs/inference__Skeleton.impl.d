@@ -1,0 +1,1 @@
+lib/inference/skeleton.ml: Hashtbl Json List Stdlib String

@@ -1,0 +1,1 @@
+lib/inference/skeleton.mli: Json

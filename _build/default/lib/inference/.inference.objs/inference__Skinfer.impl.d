@@ -1,0 +1,1 @@
+lib/inference/skinfer.ml: Hashtbl Json Jsonschema List Print Schema String

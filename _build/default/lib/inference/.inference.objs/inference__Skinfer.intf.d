@@ -1,0 +1,1 @@
+lib/inference/skinfer.mli: Json Jsonschema

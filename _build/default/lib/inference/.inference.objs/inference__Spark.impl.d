@@ -1,0 +1,1 @@
+lib/inference/spark.ml: Hashtbl Json Jtype List Printf String

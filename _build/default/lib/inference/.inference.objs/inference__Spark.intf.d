@@ -1,0 +1,1 @@
+lib/inference/spark.mli: Json Jtype

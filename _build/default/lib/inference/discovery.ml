@@ -1,0 +1,102 @@
+type cluster = {
+  size : int;
+  paths : string list;
+  schema : Jtype.Types.t;
+  members : Json.Value.t list;
+}
+
+let scalar_type_name (v : Json.Value.t) =
+  match v with
+  | Json.Value.Null -> "null"
+  | Json.Value.Bool _ -> "boolean"
+  | Json.Value.Int _ | Json.Value.Float _ -> "number"
+  | Json.Value.String _ -> "string"
+  | Json.Value.Array _ -> "array"
+  | Json.Value.Object _ -> "object"
+
+let typed_paths v =
+  let rec go prefix (v : Json.Value.t) acc =
+    match v with
+    | Json.Value.Object fields ->
+        List.fold_left
+          (fun acc (k, x) ->
+            let p = if prefix = "" then k else prefix ^ "." ^ k in
+            go p x acc)
+          acc fields
+    | Json.Value.Array vs ->
+        let p = prefix ^ "[]" in
+        if vs = [] then (p ^ ":empty") :: acc
+        else List.fold_left (fun acc x -> go p x acc) acc vs
+    | scalar ->
+        ((if prefix = "" then "value" else prefix) ^ ":" ^ scalar_type_name scalar)
+        :: acc
+  in
+  List.sort_uniq String.compare (go "" v [])
+
+(* Jaccard over sorted lists, without materializing sets. *)
+let jaccard a b =
+  let rec go a b inter union =
+    match (a, b) with
+    | [], [] -> if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+    | [], rest | rest, [] -> go [] [] inter (union + List.length rest)
+    | x :: a', y :: b' ->
+        let c = String.compare x y in
+        if c = 0 then go a' b' (inter + 1) (union + 1)
+        else if c < 0 then go a' b (inter) (union + 1)
+        else go a b' inter (union + 1)
+  in
+  go a b 0 0
+
+(* internal growing cluster *)
+type acc = {
+  mutable a_size : int;
+  mutable a_paths : string list;
+  mutable a_members : Json.Value.t list;  (* reversed *)
+}
+
+let merge_paths a b = List.sort_uniq String.compare (List.rev_append a b)
+
+let discover ?(threshold = 0.5) docs =
+  let clusters : acc list ref = ref [] in
+  List.iter
+    (fun doc ->
+      let paths = typed_paths doc in
+      let best =
+        List.fold_left
+          (fun best c ->
+            let s = jaccard paths c.a_paths in
+            match best with
+            | Some (_, s0) when s0 >= s -> best
+            | _ -> if s >= threshold then Some (c, s) else best)
+          None !clusters
+      in
+      match best with
+      | Some (c, _) ->
+          c.a_size <- c.a_size + 1;
+          c.a_paths <- merge_paths paths c.a_paths;
+          c.a_members <- doc :: c.a_members
+      | None ->
+          clusters :=
+            !clusters @ [ { a_size = 1; a_paths = paths; a_members = [ doc ] } ])
+    docs;
+  !clusters
+  |> List.map (fun c ->
+         let members = List.rev c.a_members in
+         {
+           size = c.a_size;
+           paths = c.a_paths;
+           schema =
+             Jtype.Merge.merge_all ~equiv:Jtype.Merge.Kind
+               (List.map Jtype.Types.of_value members);
+           members;
+         })
+  |> List.sort (fun a b -> Stdlib.compare b.size a.size)
+
+let classify clusters doc =
+  let paths = typed_paths doc in
+  let scored =
+    List.mapi (fun i c -> (i, jaccard paths c.paths)) clusters
+  in
+  match List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) scored with
+  | (i, s) :: _ when s > 0.0 -> Some i
+  | _ -> None

@@ -1,0 +1,32 @@
+(** Couchbase-style schema discovery: classify the objects of a collection
+    into clusters of similar structure, then describe each cluster.
+
+    The tutorial (§4.1) describes Couchbase's module as classifying objects
+    "based on both structural and semantic information" to "facilitate
+    query formulation". Here: documents are abstracted to their typed-path
+    sets (structure + leaf types — the semantic part), clustered by Jaccard
+    similarity with a single-pass leader algorithm, and each cluster gets a
+    parametric schema. Documents of mixed collections (e.g. several entity
+    types stored in one bucket) come apart cleanly; see E12. *)
+
+type cluster = {
+  size : int;                    (** documents in the cluster *)
+  paths : string list;           (** union of typed paths, sorted *)
+  schema : Jtype.Types.t;        (** parametric (kind) schema of members *)
+  members : Json.Value.t list;   (** in arrival order *)
+}
+
+val typed_paths : Json.Value.t -> string list
+(** Sorted typed paths, e.g. ["user.name:string"; "tags[]:number"]. *)
+
+val jaccard : string list -> string list -> float
+(** Jaccard similarity of two sorted path lists (1.0 for two empties). *)
+
+val discover : ?threshold:float -> Json.Value.t list -> cluster list
+(** Leader clustering: a document joins the first cluster whose
+    accumulated path set is ≥ [threshold] (default 0.5) similar, else
+    founds a new one. Clusters are returned largest first. *)
+
+val classify : cluster list -> Json.Value.t -> int option
+(** Index of the best-matching cluster (by similarity), if any clears the
+    threshold implied by the clusters' coherence; [None] for an outlier. *)

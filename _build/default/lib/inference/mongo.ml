@@ -1,0 +1,221 @@
+module SMap = Map.Make (String)
+
+let max_samples = 5
+let max_distinct_tracked = 64
+
+type type_stats = {
+  type_name : string;
+  type_count : int;
+  samples : Json.Value.t list;
+  fields : field_stats list;
+  item_types : type_stats list;
+}
+
+and field_stats = {
+  name : string;
+  count : int;
+  probability : float;
+  types : type_stats list;
+  has_duplicates : bool;
+}
+
+type analysis = { total : int; fields : field_stats list }
+
+(* --- accumulators ----------------------------------------------------- *)
+
+type tacc = {
+  t_count : int;
+  t_samples : Json.Value.t list; (* reversed, bounded *)
+  t_fields : facc SMap.t;        (* when Document *)
+  t_items : tacc SMap.t;         (* when Array: per element type name *)
+}
+
+and facc = {
+  f_count : int;
+  f_types : tacc SMap.t;
+  f_distinct : int SMap.t; (* serialized scalar -> occurrences (bounded) *)
+  f_dup : bool;
+}
+
+type state = { total : int; top : facc SMap.t }
+
+let empty = { total = 0; top = SMap.empty }
+
+let type_name_of (v : Json.Value.t) =
+  match v with
+  | Json.Value.Null -> "Null"
+  | Json.Value.Bool _ -> "Boolean"
+  | Json.Value.Int _ | Json.Value.Float _ -> "Number"
+  | Json.Value.String _ -> "String"
+  | Json.Value.Array _ -> "Array"
+  | Json.Value.Object _ -> "Document"
+
+let empty_tacc = { t_count = 0; t_samples = []; t_fields = SMap.empty; t_items = SMap.empty }
+let empty_facc = { f_count = 0; f_types = SMap.empty; f_distinct = SMap.empty; f_dup = false }
+
+let rec observe_type (acc : tacc) (v : Json.Value.t) : tacc =
+  let samples =
+    if List.length acc.t_samples < max_samples then v :: acc.t_samples
+    else acc.t_samples
+  in
+  let acc = { acc with t_count = acc.t_count + 1; t_samples = samples } in
+  match v with
+  | Json.Value.Object fields ->
+      let t_fields =
+        List.fold_left
+          (fun m (k, x) -> SMap.update k (fun f -> Some (observe_field f x)) m)
+          acc.t_fields
+          (dedup_fields fields)
+      in
+      { acc with t_fields }
+  | Json.Value.Array elems ->
+      let t_items =
+        List.fold_left
+          (fun m x ->
+            SMap.update (type_name_of x)
+              (fun t -> Some (observe_type (Option.value ~default:empty_tacc t) x))
+              m)
+          acc.t_items elems
+      in
+      { acc with t_items }
+  | _ -> acc
+
+and observe_field (f : facc option) (v : Json.Value.t) : facc =
+  let f = Option.value ~default:empty_facc f in
+  let f_types =
+    SMap.update (type_name_of v)
+      (fun t -> Some (observe_type (Option.value ~default:empty_tacc t) v))
+      f.f_types
+  in
+  let f_distinct, f_dup =
+    if f.f_dup then (f.f_distinct, true)
+    else if Json.Value.is_scalar v && SMap.cardinal f.f_distinct < max_distinct_tracked
+    then begin
+      let key = Json.Printer.to_string v in
+      match SMap.find_opt key f.f_distinct with
+      | Some n -> (SMap.add key (n + 1) f.f_distinct, true)
+      | None -> (SMap.add key 1 f.f_distinct, false)
+    end
+    else (f.f_distinct, f.f_dup)
+  in
+  { f_count = f.f_count + 1; f_types; f_distinct; f_dup }
+
+and dedup_fields fields =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    (List.rev fields)
+
+let observe (st : state) (v : Json.Value.t) : state =
+  let top =
+    match v with
+    | Json.Value.Object fields ->
+        List.fold_left
+          (fun m (k, x) -> SMap.update k (fun f -> Some (observe_field f x)) m)
+          st.top (dedup_fields fields)
+    | _ -> st.top
+  in
+  { total = st.total + 1; top }
+
+(* --- finalization ----------------------------------------------------- *)
+
+let rec finalize_tacc name (acc : tacc) : type_stats =
+  {
+    type_name = name;
+    type_count = acc.t_count;
+    samples = List.rev acc.t_samples;
+    fields = finalize_fields ~parent:acc.t_count acc.t_fields;
+    item_types =
+      List.map (fun (n, t) -> finalize_tacc n t) (SMap.bindings acc.t_items)
+      |> List.sort (fun a b -> Stdlib.compare b.type_count a.type_count);
+  }
+
+and finalize_fields ~parent (m : facc SMap.t) : field_stats list =
+  List.map
+    (fun (name, f) ->
+      {
+        name;
+        count = f.f_count;
+        probability =
+          (if parent = 0 then 0.0 else float_of_int f.f_count /. float_of_int parent);
+        types =
+          List.map (fun (n, t) -> finalize_tacc n t) (SMap.bindings f.f_types)
+          |> List.sort (fun a b -> Stdlib.compare b.type_count a.type_count);
+        has_duplicates = f.f_dup;
+      })
+    (SMap.bindings m)
+
+let finalize (st : state) : analysis =
+  { total = st.total; fields = finalize_fields ~parent:st.total st.top }
+
+let analyze vs = finalize (List.fold_left observe empty vs)
+let analyze_seq seq = finalize (Seq.fold_left observe empty seq)
+
+let rec type_stats_to_json (t : type_stats) : Json.Value.t =
+  Json.Value.Object
+    ([ ("name", Json.Value.String t.type_name);
+       ("count", Json.Value.Int t.type_count) ]
+    @ (if t.samples = [] then [] else [ ("values", Json.Value.Array t.samples) ])
+    @ (if t.fields = [] then []
+       else [ ("fields", Json.Value.Array (List.map field_stats_to_json t.fields)) ])
+    @
+    if t.item_types = [] then []
+    else [ ("types", Json.Value.Array (List.map type_stats_to_json t.item_types)) ])
+
+and field_stats_to_json (f : field_stats) : Json.Value.t =
+  Json.Value.Object
+    [ ("name", Json.Value.String f.name);
+      ("count", Json.Value.Int f.count);
+      ("probability", Json.Value.Float f.probability);
+      ("hasDuplicates", Json.Value.Bool f.has_duplicates);
+      ("types", Json.Value.Array (List.map type_stats_to_json f.types)) ]
+
+let to_json (a : analysis) : Json.Value.t =
+  Json.Value.Object
+    [ ("count", Json.Value.Int a.total);
+      ("fields", Json.Value.Array (List.map field_stats_to_json a.fields)) ]
+
+let field (a : analysis) name = List.find_opt (fun f -> String.equal f.name name) a.fields
+
+(* --- conversion to the type algebra ------------------------------------- *)
+
+let rec type_stats_to_jtype (t : type_stats) : Jtype.Types.t =
+  match t.type_name with
+  | "Null" -> Jtype.Types.null
+  | "Boolean" -> Jtype.Types.bool
+  | "Number" ->
+      (* sample-based refinement: all-integer samples stay Int *)
+      if
+        t.samples <> []
+        && List.for_all (function Json.Value.Int _ -> true | _ -> false) t.samples
+      then Jtype.Types.int
+      else Jtype.Types.num
+  | "String" -> Jtype.Types.str
+  | "Array" ->
+      Jtype.Types.arr
+        (Jtype.Types.union (List.map type_stats_to_jtype t.item_types))
+  | "Document" ->
+      Jtype.Types.rec_
+        (List.map
+           (fun (f : field_stats) ->
+             Jtype.Types.field
+               ~optional:(f.count < t.type_count)
+               f.name
+               (Jtype.Types.union (List.map type_stats_to_jtype f.types)))
+           t.fields)
+  | _ -> Jtype.Types.any
+
+let to_jtype ?(optional_below = 1.0) (a : analysis) : Jtype.Types.t =
+  Jtype.Types.rec_
+    (List.map
+       (fun (f : field_stats) ->
+         Jtype.Types.field
+           ~optional:(f.probability < optional_below)
+           f.name
+           (Jtype.Types.union (List.map type_stats_to_jtype f.types)))
+       a.fields)

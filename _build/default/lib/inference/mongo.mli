@@ -1,0 +1,54 @@
+(** mongodb-schema-style streaming schema analysis.
+
+    Processes documents one at a time (never materializing the collection),
+    computing per-field statistics: occurrence counts, probabilities, a
+    type histogram, and a bounded sample of values. Exactly like the
+    JavaScript original, it records {e no field correlations} — each field
+    is summarized independently — which is the limitation the tutorial
+    notes. *)
+
+type type_stats = {
+  type_name : string;  (** "Null" | "Boolean" | "Number" | "String" | "Document" | "Array" *)
+  type_count : int;
+  samples : Json.Value.t list;  (** up to [max_samples], first-seen order *)
+  fields : field_stats list;  (** for "Document": nested analysis *)
+  item_types : type_stats list;  (** for "Array": element type histogram *)
+}
+
+and field_stats = {
+  name : string;
+  count : int;  (** documents in which the field occurs *)
+  probability : float;  (** count / parent document count *)
+  types : type_stats list;  (** descending by count *)
+  has_duplicates : bool;  (** a scalar value repeated across documents *)
+}
+
+type analysis = {
+  total : int;  (** documents analyzed *)
+  fields : field_stats list;  (** of the top-level documents, sorted by name *)
+}
+
+type state
+(** Streaming accumulator. *)
+
+val empty : state
+val max_samples : int
+val observe : state -> Json.Value.t -> state
+(** Non-object documents are counted but contribute no fields, matching
+    mongodb-schema (MongoDB documents are always objects). *)
+
+val finalize : state -> analysis
+val analyze : Json.Value.t list -> analysis
+val analyze_seq : Json.Value.t Seq.t -> analysis
+
+val to_json : analysis -> Json.Value.t
+(** Rendering close to mongodb-schema's output format. *)
+
+val field : analysis -> string -> field_stats option
+(** Look up a top-level field. *)
+
+val to_jtype : ?optional_below:float -> analysis -> Jtype.Types.t
+(** Express the analysis as a structural type: per-field union of observed
+    types, fields with probability < [optional_below] (default 1.0) marked
+    optional. Enables apples-to-apples precision/size comparison with the
+    other inference approaches. *)

@@ -1,0 +1,225 @@
+type tree =
+  | Leaf of { variant : string; support : int; hits : int }
+  | Split of {
+      feature : string;
+      branches : (Json.Value.t * tree) list;
+      default : tree;
+    }
+
+type t = {
+  tree : tree;
+  variants : (string * int) list;
+  training_accuracy : float;
+}
+
+let variant_of doc = Skeleton.structure_to_string (Skeleton.structure_of doc)
+
+(* scalar leaf fields of a document, as (dotted path, value) *)
+let scalar_fields doc =
+  let rec go prefix (v : Json.Value.t) acc =
+    match v with
+    | Json.Value.Object fields ->
+        List.fold_left
+          (fun acc (k, x) ->
+            let p = if prefix = "" then k else prefix ^ "." ^ k in
+            go p x acc)
+          acc fields
+    | Json.Value.Array _ -> acc
+    | scalar -> if prefix = "" then acc else (prefix, scalar) :: acc
+  in
+  go "" doc []
+
+let entropy labeled =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, variant) ->
+      Hashtbl.replace counts variant
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts variant)))
+    labeled;
+  let n = float_of_int (List.length labeled) in
+  Hashtbl.fold
+    (fun _ c acc ->
+      let p = float_of_int c /. n in
+      acc -. (p *. Float.log p))
+    counts 0.0
+
+let majority labeled =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, variant) ->
+      Hashtbl.replace counts variant
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts variant)))
+    labeled;
+  let best =
+    Hashtbl.fold
+      (fun v c best ->
+        match best with Some (_, c0) when c0 >= c -> best | _ -> Some (v, c))
+      counts None
+  in
+  match best with
+  | Some (variant, hits) -> Leaf { variant; support = List.length labeled; hits }
+  | None -> Leaf { variant = "{}"; support = 0; hits = 0 }
+
+(* candidate features: scalar paths whose distinct-value count is small *)
+let candidates ~max_values labeled =
+  let by_feature = Hashtbl.create 16 in
+  List.iter
+    (fun (doc, _) ->
+      List.iter
+        (fun (path, v) ->
+          let key = Json.Printer.to_string v in
+          let vals =
+            Option.value ~default:[] (Hashtbl.find_opt by_feature path)
+          in
+          if not (List.mem_assoc key vals) then
+            Hashtbl.replace by_feature path ((key, v) :: vals))
+        (scalar_fields doc))
+    labeled;
+  Hashtbl.fold
+    (fun path vals acc ->
+      if List.length vals >= 2 && List.length vals <= max_values then
+        (path, List.map snd vals) :: acc
+      else acc)
+    by_feature []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let feature_value doc path =
+  List.assoc_opt path (scalar_fields doc)
+
+let rec grow ~max_depth ~max_values labeled =
+  let pure =
+    match labeled with
+    | [] -> true
+    | (_, v0) :: rest -> List.for_all (fun (_, v) -> String.equal v v0) rest
+  in
+  if max_depth = 0 || pure then majority labeled
+  else
+    let base_entropy = entropy labeled in
+    let n = float_of_int (List.length labeled) in
+    let score (path, values) =
+      (* information gain of splitting on this feature *)
+      let parts =
+        List.map
+          (fun value ->
+            List.filter
+              (fun (doc, _) ->
+                match feature_value doc path with
+                | Some v -> Json.Value.equal v value
+                | None -> false)
+              labeled)
+          values
+      in
+      let rest =
+        List.filter
+          (fun (doc, _) ->
+            match feature_value doc path with
+            | Some v -> not (List.exists (Json.Value.equal v) values)
+            | None -> true)
+          labeled
+      in
+      let weighted =
+        List.fold_left
+          (fun acc part ->
+            if part = [] then acc
+            else acc +. (float_of_int (List.length part) /. n *. entropy part))
+          0.0 (rest :: parts)
+      in
+      (base_entropy -. weighted, path, values, parts, rest)
+    in
+    let best =
+      List.fold_left
+        (fun best cand ->
+          let (gain, _, _, _, _) as scored = score cand in
+          match best with
+          | Some (g0, _, _, _, _) when g0 >= gain -> best
+          | _ -> Some scored)
+        None
+        (candidates ~max_values labeled)
+    in
+    match best with
+    | Some (gain, path, values, parts, rest) when gain > 1e-9 ->
+        Split
+          {
+            feature = path;
+            branches =
+              List.map2
+                (fun value part ->
+                  (value, grow ~max_depth:(max_depth - 1) ~max_values part))
+                values parts
+              |> List.filter (fun (_, t) ->
+                     match t with Leaf { support = 0; _ } -> false | _ -> true);
+            default = grow ~max_depth:(max_depth - 1) ~max_values rest;
+          }
+    | _ -> majority labeled
+
+let rec predict_tree tree doc =
+  match tree with
+  | Leaf { variant; _ } -> variant
+  | Split { feature; branches; default } -> (
+      match feature_value doc feature with
+      | Some v -> (
+          match
+            List.find_opt (fun (value, _) -> Json.Value.equal v value) branches
+          with
+          | Some (_, sub) -> predict_tree sub doc
+          | None -> predict_tree default doc)
+      | None -> predict_tree default doc)
+
+let profile ?(max_depth = 4) ?(max_values = 8) docs =
+  let labeled = List.map (fun d -> (d, variant_of d)) docs in
+  let tree = grow ~max_depth ~max_values labeled in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, v) ->
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    labeled;
+  let variants =
+    Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+  in
+  let hits =
+    List.length
+      (List.filter (fun (d, v) -> String.equal (predict_tree tree d) v) labeled)
+  in
+  {
+    tree;
+    variants;
+    training_accuracy =
+      (if docs = [] then 1.0 else float_of_int hits /. float_of_int (List.length docs));
+  }
+
+let predict t doc = predict_tree t.tree doc
+
+let accuracy t docs =
+  match docs with
+  | [] -> 1.0
+  | _ ->
+      let hits =
+        List.length
+          (List.filter (fun d -> String.equal (predict t d) (variant_of d)) docs)
+      in
+      float_of_int hits /. float_of_int (List.length docs)
+
+let rules t =
+  let out = ref [] in
+  let rec go conditions tree =
+    match tree with
+    | Leaf { variant; support; hits } ->
+        let cond =
+          match conditions with
+          | [] -> "always"
+          | cs -> String.concat " and " (List.rev cs)
+        in
+        out := Printf.sprintf "%s => %s (%d/%d)" cond variant hits support :: !out
+    | Split { feature; branches; default } ->
+        List.iter
+          (fun (value, sub) ->
+            go
+              (Printf.sprintf "%s = %s" feature (Json.Printer.to_string value)
+              :: conditions)
+              sub)
+          branches;
+        go (Printf.sprintf "%s = <other>" feature :: conditions) default
+  in
+  go [] t.tree;
+  List.rev !out

@@ -1,0 +1,41 @@
+(** Schema profiling (Gallinucci, Golfarelli, Rizzi — Inf. Syst. 2018):
+    {e explain} a collection's structural variants with a decision tree
+    over field values.
+
+    This is the tutorial's closing "Schema Inference and ML" opportunity:
+    instead of only describing {e what} variants exist (as skeletons or
+    types do), profiling learns {e why} a document takes a variant — e.g.
+    "when [type] = "retweet", the document carries [retweeted_status]".
+
+    Documents are labeled with their structural variant
+    ({!Skeleton.structure_of}); candidate features are low-cardinality
+    scalar fields; the tree is grown greedily by information gain. *)
+
+type tree =
+  | Leaf of { variant : string; support : int; hits : int }
+      (** predicted variant; [hits]/[support] training documents match *)
+  | Split of {
+      feature : string;  (** dotted path of the tested field *)
+      branches : (Json.Value.t * tree) list;  (** one per observed value *)
+      default : tree;  (** value unseen at training time / field missing *)
+    }
+
+type t = {
+  tree : tree;
+  variants : (string * int) list;  (** variant -> frequency, descending *)
+  training_accuracy : float;
+}
+
+val profile : ?max_depth:int -> ?max_values:int -> Json.Value.t list -> t
+(** Learn a profile ([max_depth] 4, [max_values] 8 distinct values per
+    candidate feature). *)
+
+val predict : t -> Json.Value.t -> string
+(** Predicted structural variant (as {!Skeleton.structure_to_string}). *)
+
+val accuracy : t -> Json.Value.t list -> float
+(** Fraction of documents whose actual variant matches the prediction. *)
+
+val rules : t -> string list
+(** Human-readable root-to-leaf rules, e.g.
+    ["kind = \"b\" => {b_payload: *, kind: *} (50/50)"]. *)

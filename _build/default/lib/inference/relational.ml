@@ -1,0 +1,215 @@
+type fd = { determinant : string; dependent : string }
+
+type table = {
+  table_name : string;
+  columns : string list;
+  key : string option;
+  rows : Json.Value.t list list;
+}
+
+type result = {
+  tables : table list;
+  fds : fd list;
+  cells_before : int;
+  cells_after : int;
+}
+
+(* --- flattening -------------------------------------------------------- *)
+
+let join_path prefix k = if prefix = "" then k else prefix ^ "." ^ k
+
+(* A document flattens to a set of rows (association lists). Arrays unnest:
+   each element yields its own copies of the enclosing row. *)
+let rec flatten_at prefix (v : Json.Value.t) : (string * Json.Value.t) list list =
+  match v with
+  | Json.Value.Null | Json.Value.Bool _ | Json.Value.Int _ | Json.Value.Float _
+  | Json.Value.String _ ->
+      [ [ ((if prefix = "" then "value" else prefix), v) ] ]
+  | Json.Value.Array [] -> [ [] ]
+  | Json.Value.Array elems -> List.concat_map (flatten_at prefix) elems
+  | Json.Value.Object fields ->
+      (* cross-join the row-sets of the fields *)
+      List.fold_left
+        (fun rows (k, x) ->
+          let sub_rows = flatten_at (join_path prefix k) x in
+          List.concat_map (fun row -> List.map (fun sub -> row @ sub) sub_rows) rows)
+        [ [] ] fields
+
+let flatten v = flatten_at "" v
+
+(* --- FD mining --------------------------------------------------------- *)
+
+let prefix_related a b =
+  let pa = a ^ "." and pb = b ^ "." in
+  String.length a >= String.length pb && String.sub a 0 (String.length pb) = pb
+  || String.length b >= String.length pa && String.sub b 0 (String.length pa) = pa
+
+let mine_fds ?(min_support = 2) rows =
+  let attrs =
+    List.sort_uniq String.compare (List.concat_map (List.map fst) rows)
+  in
+  let holds a b =
+    (* a -> b on all rows where both occur *)
+    let mapping = Hashtbl.create 16 in
+    let support = ref 0 in
+    let ok =
+      List.for_all
+        (fun row ->
+          match (List.assoc_opt a row, List.assoc_opt b row) with
+          | Some va, Some vb -> (
+              incr support;
+              let key = Json.Printer.to_string va in
+              match Hashtbl.find_opt mapping key with
+              | Some vb' -> Json.Value.equal vb vb'
+              | None ->
+                  Hashtbl.add mapping key vb;
+                  true)
+          | _ -> true)
+        rows
+    in
+    ok && !support >= min_support && Hashtbl.length mapping >= 2
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if String.equal a b || prefix_related a b then None
+          else if holds a b then Some { determinant = a; dependent = b }
+          else None)
+        attrs)
+    attrs
+
+(* --- normalization ----------------------------------------------------- *)
+
+let normalize ?(min_support = 2) ~name values =
+  let rows = List.concat_map flatten values in
+  let attrs =
+    List.sort_uniq String.compare (List.concat_map (List.map fst) rows)
+  in
+  let cells_before =
+    List.fold_left (fun acc row -> acc + List.length row) 0 rows
+  in
+  let fds = mine_fds ~min_support rows in
+  (* group dependents by determinant *)
+  let by_det = Hashtbl.create 16 in
+  List.iter
+    (fun { determinant; dependent } ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_det determinant) in
+      Hashtbl.replace by_det determinant (dependent :: existing))
+    fds;
+  let candidates =
+    Hashtbl.fold (fun det deps acc -> (det, List.sort_uniq String.compare deps) :: acc) by_det []
+    |> List.sort (fun (a, da) (b, db) ->
+           match Stdlib.compare (List.length db) (List.length da) with
+           | 0 -> String.compare a b
+           | c -> c)
+  in
+  (* greedy factoring: a dependent claimed by one dimension table cannot be
+     claimed again, a claimed attribute cannot become a determinant, and —
+     crucially — a dimension is only created when deduplication actually
+     compresses (a unique key like order_id functionally determines every
+     attribute but factoring it out would just clone the table) *)
+  let distinct_count det =
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun row ->
+        match List.assoc_opt det row with
+        | Some v -> Hashtbl.replace seen (Json.Printer.to_string v) ()
+        | None -> ())
+      rows;
+    Hashtbl.length seen
+  in
+  let support_count det =
+    List.length (List.filter (fun row -> List.mem_assoc det row) rows)
+  in
+  let claimed = Hashtbl.create 16 in
+  let dimensions =
+    List.filter_map
+      (fun (det, deps) ->
+        if Hashtbl.mem claimed det then None
+        else
+          let free = List.filter (fun d -> not (Hashtbl.mem claimed d)) deps in
+          (* avoid factoring 1:1 pairs twice: only keep deps that do not
+             determine det with a lexicographically smaller name *)
+          let free =
+            List.filter
+              (fun d ->
+                not
+                  (List.exists
+                     (fun fd ->
+                       String.equal fd.determinant d && String.equal fd.dependent det)
+                     fds)
+                || String.compare det d < 0)
+              free
+          in
+          if free = [] then None
+          else
+            let support = support_count det in
+            let distinct = distinct_count det in
+            (* cells saved by moving |free| columns out of [support] rows
+               into a dimension of [distinct] rows with |free|+1 columns *)
+            let saved =
+              (support * List.length free) - (distinct * (List.length free + 1))
+            in
+            if saved <= 0 then None
+            else begin
+              List.iter (fun d -> Hashtbl.replace claimed d ()) free;
+              Some (det, free)
+            end)
+      candidates
+  in
+  let dedup_rows rows =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun row ->
+        let key = String.concat "\x00" (List.map Json.Printer.to_string row) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      rows
+  in
+  let cell v = Option.value ~default:Json.Value.Null v in
+  let project columns =
+    List.map (fun row -> List.map (fun c -> cell (List.assoc_opt c row)) columns) rows
+  in
+  let dim_tables =
+    List.map
+      (fun (det, deps) ->
+        let columns = det :: deps in
+        let projected =
+          (* only rows where the determinant is present belong in the
+             dimension *)
+          List.filter_map
+            (fun row ->
+              match List.assoc_opt det row with
+              | Some _ -> Some (List.map (fun c -> cell (List.assoc_opt c row)) columns)
+              | None -> None)
+            rows
+        in
+        { table_name = Printf.sprintf "%s_%s" name (String.map (function '.' -> '_' | c -> c) det);
+          columns;
+          key = Some det;
+          rows = dedup_rows projected })
+      dimensions
+  in
+  let factored_out =
+    List.concat_map (fun (_, deps) -> deps) dimensions
+  in
+  let fact_columns =
+    List.filter (fun a -> not (List.mem a factored_out)) attrs
+  in
+  let fact =
+    { table_name = name;
+      columns = fact_columns;
+      key = None;
+      rows = dedup_rows (project fact_columns) }
+  in
+  let tables = fact :: dim_tables in
+  let cells_after =
+    List.fold_left
+      (fun acc t -> acc + (List.length t.rows * List.length t.columns))
+      0 tables
+  in
+  { tables; fds; cells_before; cells_after }

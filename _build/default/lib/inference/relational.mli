@@ -1,0 +1,46 @@
+(** Automatic generation of normalized relational schemas from nested
+    key-value data (DiScala & Abadi, SIGMOD'16).
+
+    The pipeline, as the tutorial summarizes it, "ignores the original
+    structure of the JSON input and instead depends on patterns in the
+    attribute data values (functional dependencies) to guide its schema
+    generation":
+
+    1. {b flatten} every document into leaf attributes (array elements are
+       unnested into child rows up front);
+    2. {b mine functional dependencies} A → B that hold on every row where
+       both attributes are present;
+    3. {b factor} attribute groups determined by a common attribute into
+       separate relations (a lightweight 3NF synthesis), deduplicating
+       their rows.
+
+    Experiment E9 reports the discovered tables and the redundancy
+    (total cell count) reduction on a denormalized orders corpus. *)
+
+type fd = { determinant : string; dependent : string }
+(** [determinant → dependent], attribute names are dotted paths. *)
+
+type table = {
+  table_name : string;
+  columns : string list;
+  key : string option;  (** the determinant column, if factored out *)
+  rows : Json.Value.t list list;  (** deduplicated; scalar cells *)
+}
+
+type result = {
+  tables : table list;
+  fds : fd list;
+  cells_before : int;  (** flattened cells before normalization *)
+  cells_after : int;
+}
+
+val flatten : Json.Value.t -> (string * Json.Value.t) list list
+(** One document → one or more flat rows (arrays unnest multiplicatively).
+    Attribute names are dotted paths; scalars only. *)
+
+val mine_fds : ?min_support:int -> (string * Json.Value.t) list list -> fd list
+(** FDs with at least [min_support] (default 2) witnessing rows and at
+    least two distinct determinant values (constants are uninformative).
+    Trivial A → A and attributes of the same path prefix are excluded. *)
+
+val normalize : ?min_support:int -> name:string -> Json.Value.t list -> result

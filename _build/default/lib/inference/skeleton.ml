@@ -1,0 +1,117 @@
+type structure =
+  | S_leaf
+  | S_arr of structure option
+  | S_obj of (string * structure) list
+
+let rec structure_of (v : Json.Value.t) : structure =
+  match v with
+  | Json.Value.Null | Json.Value.Bool _ | Json.Value.Int _ | Json.Value.Float _
+  | Json.Value.String _ ->
+      S_leaf
+  | Json.Value.Array [] -> S_arr None
+  | Json.Value.Array (x :: _) ->
+      (* array elements are summarized by their first element's structure,
+         as in the paper's tree encoding *)
+      S_arr (Some (structure_of x))
+  | Json.Value.Object fields ->
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev fields)
+      in
+      S_obj
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, x) -> (k, structure_of x)) uniq))
+
+let rec structure_to_string = function
+  | S_leaf -> "*"
+  | S_arr None -> "[]"
+  | S_arr (Some s) -> "[" ^ structure_to_string s ^ "]"
+  | S_obj fields ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, s) -> k ^ ": " ^ structure_to_string s) fields)
+      ^ "}"
+
+type t = {
+  groups : (structure * int) list;
+  dropped : int;
+  total : int;
+}
+
+let build ?(min_support = 0.05) ?(max_groups = 10) values =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let s = structure_of v in
+      let key = structure_to_string s in
+      match Hashtbl.find_opt tbl key with
+      | Some (s, n) -> Hashtbl.replace tbl key (s, n + 1)
+      | None -> Hashtbl.add tbl key (s, 1))
+    values;
+  let total = List.length values in
+  let groups =
+    Hashtbl.fold (fun _ pair acc -> pair :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+  in
+  let threshold = min_support *. float_of_int total in
+  let retained, rest =
+    List.partition (fun (_, n) -> float_of_int n >= threshold) groups
+  in
+  let retained =
+    if List.length retained > max_groups then
+      (* keep only the most frequent max_groups *)
+      List.filteri (fun i _ -> i < max_groups) retained
+    else retained
+  in
+  let kept = List.fold_left (fun acc (_, n) -> acc + n) 0 retained in
+  ignore rest;
+  { groups = retained; dropped = total - kept; total }
+
+let covers t v =
+  let s = structure_of v in
+  List.exists (fun (g, _) -> g = s) t.groups
+
+let rec structure_size = function
+  | S_leaf -> 1
+  | S_arr None -> 1
+  | S_arr (Some s) -> 1 + structure_size s
+  | S_obj fields -> 1 + List.fold_left (fun n (_, s) -> n + structure_size s) 0 fields
+
+let size t = List.fold_left (fun n (s, _) -> n + structure_size s) 0 t.groups
+
+let paths s =
+  let rec go prefix s acc =
+    match s with
+    | S_leaf -> List.rev prefix :: acc
+    | S_arr None -> List.rev prefix :: acc
+    | S_arr (Some inner) -> go ("[]" :: prefix) inner acc
+    | S_obj [] -> List.rev prefix :: acc
+    | S_obj fields ->
+        List.fold_left (fun acc (k, inner) -> go (k :: prefix) inner acc) acc fields
+  in
+  List.rev (go [] s [])
+
+let all_paths t =
+  List.sort_uniq Stdlib.compare (List.concat_map (fun (s, _) -> paths s) t.groups)
+
+let path_coverage t values =
+  let collection_paths =
+    List.sort_uniq Stdlib.compare
+      (List.concat_map (fun v -> paths (structure_of v)) values)
+  in
+  match collection_paths with
+  | [] -> 1.0
+  | _ ->
+      let skeleton_paths = all_paths t in
+      let covered =
+        List.length (List.filter (fun p -> List.mem p skeleton_paths) collection_paths)
+      in
+      float_of_int covered /. float_of_int (List.length collection_paths)

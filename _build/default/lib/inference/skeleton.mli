@@ -1,0 +1,48 @@
+(** Skeleton schemas for JSON document stores (Wang et al., VLDB'15).
+
+    A skeleton is a small collection of trees describing the structures
+    that appear {e frequently} in a collection. Documents are first
+    abstracted to their structural tree (field names only, values erased);
+    structurally identical documents are grouped and counted (the eSiBu-tree
+    of the paper is an indexing device for this grouping — here an in-memory
+    hash group-by plays that role); the skeleton keeps the most frequent
+    structures up to a support threshold.
+
+    The tutorial's key observation — "the skeleton may totally miss
+    information about paths that can be traversed in some of the JSON
+    objects" — is measurable: {!path_coverage} reports the fraction of
+    distinct paths of the collection that the skeleton retains (E8). *)
+
+type structure =
+  | S_leaf  (** any scalar *)
+  | S_arr of structure option  (** element structure; [None] for empty *)
+  | S_obj of (string * structure) list  (** sorted by field name *)
+
+val structure_of : Json.Value.t -> structure
+(** Structural abstraction of one document. *)
+
+val structure_to_string : structure -> string
+
+type t = {
+  groups : (structure * int) list;  (** retained structures, most frequent first *)
+  dropped : int;  (** documents whose structure was not retained *)
+  total : int;
+}
+
+val build : ?min_support:float -> ?max_groups:int -> Json.Value.t list -> t
+(** Group by structure; retain groups with frequency ≥ [min_support]
+    (default 0.05) and at most [max_groups] (default 10) groups. *)
+
+val covers : t -> Json.Value.t -> bool
+(** Is the document's structure one of the retained ones? *)
+
+val size : t -> int
+(** Total number of structure nodes retained. *)
+
+val paths : structure -> string list list
+val all_paths : t -> string list list
+(** Distinct field paths over the retained structures. *)
+
+val path_coverage : t -> Json.Value.t list -> float
+(** Fraction of distinct paths occurring in the collection that appear in
+    the skeleton. *)

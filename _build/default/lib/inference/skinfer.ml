@@ -1,0 +1,124 @@
+open Jsonschema
+
+let typed t = Schema.Schema { Schema.empty with Schema.types = Some [ t ] }
+
+let rec infer_one (v : Json.Value.t) : Schema.t =
+  match v with
+  | Json.Value.Null -> typed `Null
+  | Json.Value.Bool _ -> typed `Boolean
+  | Json.Value.Int _ -> typed `Integer
+  | Json.Value.Float _ -> typed `Number
+  | Json.Value.String _ -> typed `String
+  | Json.Value.Array [] -> typed `Array
+  | Json.Value.Array (first :: _ as elems) ->
+      (* Skinfer's documented limitation: element schemas are not merged
+         recursively; the first element wins unless all elements have the
+         same scalar type. *)
+      let first_schema = infer_one first in
+      let all_same =
+        List.for_all
+          (fun x -> Json.Value.kind x = Json.Value.kind first)
+          elems
+      in
+      let items = if all_same then Some (Schema.Items_one first_schema) else None in
+      Schema.Schema { Schema.empty with Schema.types = Some [ `Array ]; Schema.items = items }
+  | Json.Value.Object fields ->
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev fields)
+      in
+      let uniq = List.sort (fun (a, _) (b, _) -> String.compare a b) uniq in
+      Schema.Schema
+        { Schema.empty with
+          Schema.types = Some [ `Object ];
+          Schema.properties = List.map (fun (k, x) -> (k, infer_one x)) uniq;
+          Schema.required = List.map fst uniq;
+          Schema.additional_properties = Some (Schema.Bool_schema false) }
+
+let types_of = function
+  | Schema.Bool_schema _ -> None
+  | Schema.Schema n -> n.Schema.types
+
+let is_object_schema s =
+  match types_of s with Some [ `Object ] -> true | _ -> false
+
+let rec merge_schemas (a : Schema.t) (b : Schema.t) : Schema.t =
+  match (a, b) with
+  | Schema.Bool_schema true, _ | _, Schema.Bool_schema true -> Schema.Bool_schema true
+  | Schema.Bool_schema false, s | s, Schema.Bool_schema false -> s
+  | Schema.Schema na, Schema.Schema nb -> (
+      match (na.Schema.types, nb.Schema.types) with
+      | Some [ `Object ], Some [ `Object ] ->
+          (* the one real merge Skinfer implements *)
+          let keys =
+            List.sort_uniq String.compare
+              (List.map fst na.Schema.properties @ List.map fst nb.Schema.properties)
+          in
+          let properties =
+            List.map
+              (fun k ->
+                match
+                  ( List.assoc_opt k na.Schema.properties,
+                    List.assoc_opt k nb.Schema.properties )
+                with
+                | Some x, Some y -> (k, merge_schemas x y)
+                | Some x, None | None, Some x -> (k, x)
+                | None, None -> (k, Schema.Bool_schema true))
+              keys
+          in
+          let required =
+            List.filter
+              (fun k -> List.mem k na.Schema.required && List.mem k nb.Schema.required)
+              keys
+          in
+          Schema.Schema
+            { Schema.empty with
+              Schema.types = Some [ `Object ];
+              Schema.properties;
+              Schema.required;
+              Schema.additional_properties = Some (Schema.Bool_schema false) }
+      | Some [ `Integer ], Some [ `Number ] | Some [ `Number ], Some [ `Integer ] ->
+          typed `Number
+      | Some ta, Some tb when ta = tb -> (
+          (* same type: keep it; arrays do NOT merge items recursively —
+             if both have items keep the first, else drop *)
+          match ta with
+          | [ `Array ] ->
+              let items =
+                match (na.Schema.items, nb.Schema.items) with
+                | Some x, Some y when items_equal x y -> Some x
+                | _ -> None
+              in
+              Schema.Schema
+                { Schema.empty with Schema.types = Some ta; Schema.items = items }
+          | _ -> Schema.Schema { Schema.empty with Schema.types = Some ta })
+      | _ ->
+          (* non-record conflict: widen to anything *)
+          Schema.Bool_schema true)
+
+and items_equal x y =
+  match (x, y) with
+  | Schema.Items_one a, Schema.Items_one b ->
+      Json.Value.equal (Print.to_json a) (Print.to_json b)
+  | Schema.Items_many xs, Schema.Items_many ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun a b -> Json.Value.equal (Print.to_json a) (Print.to_json b))
+           xs ys
+  | _ -> false
+
+let infer = function
+  | [] -> Schema.Bool_schema true
+  | v :: vs ->
+      List.fold_left (fun acc x -> merge_schemas acc (infer_one x)) (infer_one v) vs
+
+let infer_json vs = Print.to_json (infer vs)
+
+let _ = is_object_schema

@@ -1,0 +1,23 @@
+(** Skinfer-style JSON Schema inference (scrapinghub/skinfer).
+
+    Skinfer works directly in JSON Schema: one function infers a schema
+    from a single object, a second merges two schemas. Faithfully to the
+    original (and to the tutorial's description), {b merging is limited to
+    record types only and is not applied recursively to objects nested
+    inside arrays}: when two [items] schemas disagree the constraint is
+    simply dropped, and non-object conflicts widen to an unconstrained
+    schema. Experiment E1 measures what this loses against the parametric
+    approach. *)
+
+val infer_one : Json.Value.t -> Jsonschema.Schema.t
+(** Schema of a single value: objects get [properties] + all-[required] +
+    closed; arrays get [items] from merging element schemas {e only} when
+    all elements agree on being objects with identical shape, otherwise the
+    first element's schema. *)
+
+val merge_schemas : Jsonschema.Schema.t -> Jsonschema.Schema.t -> Jsonschema.Schema.t
+(** Record-only merge: object schemas merge property-wise ([required]
+    intersects), everything else that conflicts widens to [true]. *)
+
+val infer : Json.Value.t list -> Jsonschema.Schema.t
+val infer_json : Json.Value.t list -> Json.Value.t

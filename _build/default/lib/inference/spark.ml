@@ -1,0 +1,138 @@
+type t =
+  | Null_type
+  | Boolean
+  | Long
+  | Double
+  | String
+  | Array of field
+  | Struct of (string * field) list
+
+and field = { typ : t; nullable : bool }
+
+let not_null typ = { typ; nullable = false }
+
+let rec infer_value (v : Json.Value.t) : field =
+  match v with
+  | Json.Value.Null -> { typ = Null_type; nullable = true }
+  | Json.Value.Bool _ -> not_null Boolean
+  | Json.Value.Int _ -> not_null Long
+  | Json.Value.Float _ -> not_null Double
+  | Json.Value.String _ -> not_null String
+  | Json.Value.Array vs ->
+      let elem =
+        List.fold_left
+          (fun acc x -> merge acc (infer_value x))
+          { typ = Null_type; nullable = false }
+          vs
+      in
+      not_null (Array elem)
+  | Json.Value.Object fields ->
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev fields)
+      in
+      let entries =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (List.map (fun (k, x) -> (k, infer_value x)) uniq)
+      in
+      not_null (Struct entries)
+
+and merge (a : field) (b : field) : field =
+  let nullable = a.nullable || b.nullable in
+  let typ =
+    match (a.typ, b.typ) with
+    | Null_type, t | t, Null_type -> t
+    | Boolean, Boolean -> Boolean
+    | Long, Long -> Long
+    | (Long | Double), (Long | Double) -> Double
+    | String, _ | _, String -> String (* the string fallback *)
+    | Array x, Array y -> Array (merge x y)
+    | Struct xs, Struct ys -> Struct (merge_struct xs ys)
+    | _ -> String (* cross-kind conflict: resort to Str *)
+  in
+  let nullable =
+    (* Null_type on either side forces nullability of the merged column *)
+    nullable || a.typ = Null_type || b.typ = Null_type
+  in
+  { typ; nullable }
+
+and merge_struct xs ys =
+  (* both sorted; a field missing on one side becomes nullable *)
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] ->
+        List.map (fun (k, f) -> (k, { f with nullable = true })) rest
+    | ((kx, fx) :: xs' as xl), ((ky, fy) :: ys' as yl) ->
+        let c = String.compare kx ky in
+        if c = 0 then (kx, merge fx fy) :: go xs' ys'
+        else if c < 0 then (kx, { fx with nullable = true }) :: go xs' yl
+        else (ky, { fy with nullable = true }) :: go xl ys'
+  in
+  go xs ys
+
+let infer = function
+  | [] -> { typ = Null_type; nullable = true }
+  | v :: vs -> List.fold_left (fun acc x -> merge acc (infer_value x)) (infer_value v) vs
+
+let rec to_ddl = function
+  | Null_type -> "NULL"
+  | Boolean -> "BOOLEAN"
+  | Long -> "BIGINT"
+  | Double -> "DOUBLE"
+  | String -> "STRING"
+  | Array f -> Printf.sprintf "ARRAY<%s>" (to_ddl f.typ)
+  | Struct fields ->
+      Printf.sprintf "STRUCT<%s>"
+        (String.concat ", "
+           (List.map (fun (k, f) -> Printf.sprintf "%s: %s" k (to_ddl f.typ)) fields))
+
+let field_to_ddl f = to_ddl f.typ ^ if f.nullable then "" else " NOT NULL"
+
+let rec to_jtype (f : field) : Jtype.Types.t =
+  let base =
+    match f.typ with
+    | Null_type -> Jtype.Types.null
+    | Boolean -> Jtype.Types.bool
+    | Long -> Jtype.Types.int
+    | Double -> Jtype.Types.num
+    | String -> Jtype.Types.str
+    | Array elem -> Jtype.Types.arr (to_jtype elem)
+    | Struct fields ->
+        Jtype.Types.rec_
+          (List.map
+             (fun (k, sub) ->
+               (* nullable column = optional-or-null field *)
+               Jtype.Types.field ~optional:sub.nullable k (to_jtype sub))
+             fields)
+  in
+  if f.nullable && f.typ <> Null_type then
+    Jtype.Types.union [ base; Jtype.Types.null ]
+  else base
+
+let rec accepts (f : field) (v : Json.Value.t) : bool =
+  match v with
+  | Json.Value.Null -> f.nullable
+  | _ -> (
+      match (f.typ, v) with
+      | Boolean, Json.Value.Bool _ -> true
+      | Long, Json.Value.Int _ -> true
+      | Double, (Json.Value.Int _ | Json.Value.Float _) -> true
+      | String, Json.Value.String _ -> true
+      | Array elem, Json.Value.Array vs -> List.for_all (accepts elem) vs
+      | Struct fields, Json.Value.Object obj ->
+          List.for_all
+            (fun (k, sub) ->
+              match List.assoc_opt k obj with
+              | Some x -> accepts sub x
+              | None -> sub.nullable)
+            fields
+          && List.for_all (fun (k, _) -> List.mem_assoc k fields) obj
+      | _ -> false)

@@ -1,0 +1,43 @@
+(** Spark-Dataframe-style schema extraction.
+
+    Reproduces the behaviour of [spark.read.json]'s schema inference, whose
+    type language has {e no union types}: [StructType]/[ArrayType]/atomic
+    types plus per-field nullability. When two samples disagree on a type
+    the inferencer widens — numerics to [Double], and any other conflict to
+    [String] (Spark's "resort to Str" that the tutorial criticizes, also
+    quoting it for strongly heterogeneous collections). Experiment E1
+    measures the resulting precision loss against the union-aware
+    parametric inference. *)
+
+type t =
+  | Null_type  (** no evidence yet; collapses into nullability *)
+  | Boolean
+  | Long
+  | Double
+  | String
+  | Array of field
+  | Struct of (string * field) list  (** sorted by name *)
+
+and field = { typ : t; nullable : bool }
+
+val infer_value : Json.Value.t -> field
+val merge : field -> field -> field
+val infer : Json.Value.t list -> field
+(** [Null_type] when the collection is empty. *)
+
+val to_ddl : t -> string
+(** Spark DDL syntax: [STRUCT<a: BIGINT, b: ARRAY<STRING>>]. *)
+
+val field_to_ddl : field -> string
+val to_jtype : field -> Jtype.Types.t
+(** Express the Spark schema in the common type algebra so that precision
+    and size can be compared with other approaches. A [String] produced by
+    widening accepts only strings — exactly the semantics Spark gives the
+    column after conversion (non-strings are rendered as their JSON text).
+    We therefore model widened [String] as [Str]; values that were not
+    strings no longer typecheck, which is the measured precision loss. *)
+
+val accepts : field -> Json.Value.t -> bool
+(** Does the value load into a column of this schema without coercion?
+    Coercions Spark performs silently (number → double) are allowed;
+    the string fallback is not (that is the information loss). *)

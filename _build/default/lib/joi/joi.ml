@@ -1,0 +1,635 @@
+type presence = Default_presence | Required | Optional | Forbidden
+
+type rule =
+  | Min of int
+  | Max of int
+  | Length of int
+  | Greater of float
+  | Less of float
+  | Positive
+  | Negative
+  | Multiple of int
+  | Integer_rule
+  | Pattern of string * Re.re
+  | Email
+  | Uri
+  | Lowercase
+  | Uppercase
+  | Alphanum
+  | Unique
+
+type relation =
+  | And of string list
+  | Or of string list
+  | Xor of string list
+  | Nand of string list
+  | With of string * string list
+  | Without of string * string list
+
+type base =
+  | Any_base
+  | String_base
+  | Number_base
+  | Boolean_base
+  | Null_base
+  | Object_base of obj_spec
+  | Array_base of arr_spec
+  | Alternatives_base of t list
+
+and obj_spec = {
+  keys_ : (string * t) list;
+  relations : relation list;  (* reversed order of addition *)
+  allow_unknown : bool;
+}
+
+and arr_spec = { items_ : t option }
+
+and when_clause = {
+  w_ref : string;
+  w_is : t;
+  w_then : t;
+  w_otherwise : t option;
+}
+
+and t = {
+  base : base;
+  presence : presence;
+  valid_ : Json.Value.t list;
+  invalid_ : Json.Value.t list;
+  rules : rule list;  (* reversed order of addition *)
+  default_ : Json.Value.t option;
+  whens : when_clause list;  (* reversed *)
+}
+
+let make base =
+  { base; presence = Default_presence; valid_ = []; invalid_ = []; rules = [];
+    default_ = None; whens = [] }
+
+let any = make Any_base
+let string = make String_base
+let number = make Number_base
+let integer = { (make Number_base) with rules = [ Integer_rule ] }
+let boolean = make Boolean_base
+let null = make Null_base
+
+let object_ keys_ =
+  make (Object_base { keys_; relations = []; allow_unknown = false })
+
+let array = make (Array_base { items_ = None })
+let alternatives ts = make (Alternatives_base ts)
+let required s = { s with presence = Required }
+let optional s = { s with presence = Optional }
+let forbidden s = { s with presence = Forbidden }
+let add_rule r s = { s with rules = r :: s.rules }
+let min n = add_rule (Min n)
+let max n = add_rule (Max n)
+let length n = add_rule (Length n)
+let greater f = add_rule (Greater f)
+let less f = add_rule (Less f)
+let positive s = add_rule Positive s
+let negative s = add_rule Negative s
+let multiple n = add_rule (Multiple n)
+
+let pattern src s =
+  match Re.Pcre.re src with
+  | re -> add_rule (Pattern (src, Re.compile re)) s
+  | exception _ -> invalid_arg (Printf.sprintf "Joi.pattern: invalid regex %S" src)
+
+let email s = add_rule Email s
+let uri s = add_rule Uri s
+let lowercase s = add_rule Lowercase s
+let uppercase s = add_rule Uppercase s
+let alphanum s = add_rule Alphanum s
+let unique s = add_rule Unique s
+
+let items item s =
+  match s.base with
+  | Array_base _ -> { s with base = Array_base { items_ = Some item } }
+  | _ -> invalid_arg "Joi.items: not an array schema"
+
+let valid vs s = { s with valid_ = s.valid_ @ vs }
+let invalid vs s = { s with invalid_ = s.invalid_ @ vs }
+let default v s = { s with default_ = Some v }
+
+let with_object name f s =
+  match s.base with
+  | Object_base spec -> { s with base = Object_base (f spec) }
+  | _ -> invalid_arg (Printf.sprintf "Joi.%s: not an object schema" name)
+
+let keys more =
+  with_object "keys" (fun spec -> { spec with keys_ = spec.keys_ @ more })
+
+let unknown allow =
+  with_object "unknown" (fun spec -> { spec with allow_unknown = allow })
+
+let add_relation name r =
+  with_object name (fun spec -> { spec with relations = r :: spec.relations })
+
+let and_ ks = add_relation "and_" (And ks)
+let or_ ks = add_relation "or_" (Or ks)
+let xor ks = add_relation "xor" (Xor ks)
+let nand ks = add_relation "nand" (Nand ks)
+let with_ k peers = add_relation "with_" (With (k, peers))
+let without k peers = add_relation "without" (Without (k, peers))
+
+let when_ ~ref_ ~is ~then_ ?otherwise s =
+  { s with whens = { w_ref = ref_; w_is = is; w_then = then_; w_otherwise = otherwise } :: s.whens }
+
+(* --- validation ------------------------------------------------------- *)
+
+type error = { path : Json.Pointer.t; message : string }
+
+let string_of_error { path; message } =
+  Printf.sprintf "%s: %s"
+    (match Json.Pointer.to_string path with "" -> "value" | p -> p)
+    message
+
+let err path fmt = Printf.ksprintf (fun message -> { path; message }) fmt
+let kp path k = Json.Pointer.append path (Json.Pointer.Key k)
+let ip path i = Json.Pointer.append path (Json.Pointer.Index i)
+
+let utf8_length s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let c = Char.code s.[i] in
+      let step = if c < 0x80 then 1 else if c < 0xE0 then 2 else if c < 0xF0 then 3 else 4 in
+      go (i + step) (acc + 1)
+  in
+  go 0 0
+
+let email_re =
+  Re.compile
+    (Re.whole_string
+       (Re.Pcre.re {re|[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}|re}))
+
+let uri_re = Re.compile (Re.whole_string (Re.Pcre.re {|[A-Za-z][A-Za-z0-9+.-]*:[^ ]*|}))
+
+(* Check one rule against a value; None = rule passes or is inapplicable. *)
+let check_rule path (v : Json.Value.t) rule : error option =
+  let str_rule f = match v with Json.Value.String s -> f s | _ -> None in
+  let num_rule f =
+    match v with
+    | Json.Value.Int n -> f (float_of_int n)
+    | Json.Value.Float x -> f x
+    | _ -> None
+  in
+  match rule with
+  | Min lo -> (
+      match v with
+      | Json.Value.String s when utf8_length s < lo ->
+          Some (err path "length %d is less than %d" (utf8_length s) lo)
+      | Json.Value.Int n when n < lo -> Some (err path "%d is less than %d" n lo)
+      | Json.Value.Float f when f < float_of_int lo ->
+          Some (err path "%g is less than %d" f lo)
+      | Json.Value.Array vs when List.length vs < lo ->
+          Some (err path "%d items, need at least %d" (List.length vs) lo)
+      | Json.Value.Object fs when List.length fs < lo ->
+          Some (err path "%d keys, need at least %d" (List.length fs) lo)
+      | _ -> None)
+  | Max hi -> (
+      match v with
+      | Json.Value.String s when utf8_length s > hi ->
+          Some (err path "length %d exceeds %d" (utf8_length s) hi)
+      | Json.Value.Int n when n > hi -> Some (err path "%d exceeds %d" n hi)
+      | Json.Value.Float f when f > float_of_int hi ->
+          Some (err path "%g exceeds %d" f hi)
+      | Json.Value.Array vs when List.length vs > hi ->
+          Some (err path "%d items, allowed at most %d" (List.length vs) hi)
+      | Json.Value.Object fs when List.length fs > hi ->
+          Some (err path "%d keys, allowed at most %d" (List.length fs) hi)
+      | _ -> None)
+  | Length n -> (
+      match v with
+      | Json.Value.String s when utf8_length s <> n ->
+          Some (err path "length %d, expected exactly %d" (utf8_length s) n)
+      | Json.Value.Array vs when List.length vs <> n ->
+          Some (err path "%d items, expected exactly %d" (List.length vs) n)
+      | _ -> None)
+  | Greater lo ->
+      num_rule (fun f ->
+          if f > lo then None else Some (err path "%g is not greater than %g" f lo))
+  | Less hi ->
+      num_rule (fun f ->
+          if f < hi then None else Some (err path "%g is not less than %g" f hi))
+  | Positive ->
+      num_rule (fun f -> if f > 0.0 then None else Some (err path "%g is not positive" f))
+  | Negative ->
+      num_rule (fun f -> if f < 0.0 then None else Some (err path "%g is not negative" f))
+  | Multiple n ->
+      num_rule (fun f ->
+          if Float.is_integer f && int_of_float f mod n = 0 then None
+          else Some (err path "%g is not a multiple of %d" f n))
+  | Integer_rule ->
+      num_rule (fun f ->
+          if Float.is_integer f then None else Some (err path "%g is not an integer" f))
+  | Pattern (src, re) ->
+      str_rule (fun s ->
+          if Re.execp re s then None
+          else Some (err path "%S does not match /%s/" s src))
+  | Email ->
+      str_rule (fun s ->
+          if Re.execp email_re s then None else Some (err path "%S is not an email" s))
+  | Uri ->
+      str_rule (fun s ->
+          if Re.execp uri_re s then None else Some (err path "%S is not a uri" s))
+  | Lowercase ->
+      str_rule (fun s ->
+          if String.equal s (String.lowercase_ascii s) then None
+          else Some (err path "%S is not lowercase" s))
+  | Uppercase ->
+      str_rule (fun s ->
+          if String.equal s (String.uppercase_ascii s) then None
+          else Some (err path "%S is not uppercase" s))
+  | Alphanum ->
+      str_rule (fun s ->
+          if
+            String.for_all
+              (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+              s
+          then None
+          else Some (err path "%S is not alphanumeric" s))
+  | Unique -> (
+      match v with
+      | Json.Value.Array vs ->
+          let sorted = List.sort Json.Value.compare vs in
+          let rec dup = function
+            | a :: (b :: _ as rest) -> Json.Value.equal a b || dup rest
+            | _ -> false
+          in
+          if dup sorted then Some (err path "array items are not unique") else None
+      | _ -> None)
+
+let check_relations path fields relations =
+  let present k = List.mem_assoc k fields in
+  List.concat_map
+    (fun relation ->
+      match relation with
+      | And ks ->
+          let here = List.filter present ks in
+          if here = [] || List.length here = List.length ks then []
+          else
+            [ err path "keys [%s] must appear together (missing %s)"
+                (String.concat ", " ks)
+                (String.concat ", " (List.filter (fun k -> not (present k)) ks)) ]
+      | Or ks ->
+          if List.exists present ks then []
+          else [ err path "at least one of [%s] is required" (String.concat ", " ks) ]
+      | Xor ks -> (
+          match List.length (List.filter present ks) with
+          | 1 -> []
+          | 0 -> [ err path "exactly one of [%s] is required (none present)" (String.concat ", " ks) ]
+          | n ->
+              [ err path "exactly one of [%s] is required (%d present)" (String.concat ", " ks) n ])
+      | Nand ks ->
+          if List.for_all present ks then
+            [ err path "keys [%s] must not all appear together" (String.concat ", " ks) ]
+          else []
+      | With (k, peers) ->
+          if present k then
+            List.filter_map
+              (fun p ->
+                if present p then None
+                else Some (err path "%S requires peer %S" k p))
+              peers
+          else []
+      | Without (k, peers) ->
+          if present k then
+            List.filter_map
+              (fun p ->
+                if present p then Some (err path "%S conflicts with %S" k p) else None)
+              peers
+          else [])
+    (List.rev relations)
+
+(* Validation rewrites the value (defaults) and collects errors. [siblings]
+   carries the enclosing object's fields for when_ resolution. *)
+let rec walk ~siblings path (s : t) (v : Json.Value.t) :
+    Json.Value.t * error list =
+  (* resolve when_ clauses into an effective schema first *)
+  let s =
+    List.fold_left
+      (fun acc w ->
+        let matches =
+          match List.assoc_opt w.w_ref siblings with
+          | Some ref_val ->
+              let _, es = walk ~siblings:[] (kp path w.w_ref) w.w_is ref_val in
+              es = []
+          | None -> false
+        in
+        if matches then conjoin acc w.w_then
+        else match w.w_otherwise with Some o -> conjoin acc o | None -> acc)
+      { s with whens = [] }
+      (List.rev s.whens)
+  in
+  let errors = ref [] in
+  let add es = errors := !errors @ es in
+  (if s.valid_ <> [] && not (List.exists (Json.Value.equal v) s.valid_) then
+     add [ err path "value is not in the allowed set" ]);
+  (if List.exists (Json.Value.equal v) s.invalid_ then
+     add [ err path "value is explicitly disallowed" ]);
+  let v' =
+    match (s.base, v) with
+    | Any_base, _ -> v
+    | String_base, Json.Value.String _ -> v
+    | String_base, _ ->
+        add [ err path "expected a string" ];
+        v
+    | Number_base, (Json.Value.Int _ | Json.Value.Float _) -> v
+    | Number_base, _ ->
+        add [ err path "expected a number" ];
+        v
+    | Boolean_base, Json.Value.Bool _ -> v
+    | Boolean_base, _ ->
+        add [ err path "expected a boolean" ];
+        v
+    | Null_base, Json.Value.Null -> v
+    | Null_base, _ ->
+        add [ err path "expected null" ];
+        v
+    | Array_base spec, Json.Value.Array vs ->
+        let vs' =
+          List.mapi
+            (fun i x ->
+              match spec.items_ with
+              | None -> x
+              | Some item_schema ->
+                  let x', es = walk ~siblings:[] (ip path i) item_schema x in
+                  add es;
+                  x')
+            vs
+        in
+        Json.Value.Array vs'
+    | Array_base _, _ ->
+        add [ err path "expected an array" ];
+        v
+    | Object_base spec, Json.Value.Object fields ->
+        (* unknown keys *)
+        if not spec.allow_unknown then
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k spec.keys_) then
+                add [ err (kp path k) "key is not allowed" ])
+            fields;
+        (* declared keys *)
+        let fields' =
+          List.fold_left
+            (fun acc (k, key_schema) ->
+              match List.assoc_opt k fields with
+              | Some x ->
+                  if key_schema.presence = Forbidden then begin
+                    add [ err (kp path k) "key is forbidden" ];
+                    acc
+                  end
+                  else
+                    let x', es = walk ~siblings:fields (kp path k) key_schema x in
+                    add es;
+                    acc @ [ (k, x') ]
+              | None -> (
+                  match (key_schema.presence, key_schema.default_) with
+                  | Required, _ ->
+                      add [ err (kp path k) "key is required" ];
+                      acc
+                  | _, Some d -> acc @ [ (k, d) ]
+                  | _, None -> acc))
+            [] spec.keys_
+        in
+        let undeclared =
+          List.filter (fun (k, _) -> not (List.mem_assoc k spec.keys_)) fields
+        in
+        add (check_relations path fields (List.rev spec.relations));
+        Json.Value.Object (fields' @ undeclared)
+    | Object_base _, _ ->
+        add [ err path "expected an object" ];
+        v
+    | Alternatives_base alts, _ ->
+        let attempts = List.map (fun alt -> walk ~siblings path alt v) alts in
+        (match List.find_opt (fun (_, es) -> es = []) attempts with
+         | Some (v', _) -> v'
+         | None ->
+             add [ err path "no alternative matched (%d tried)" (List.length alts) ];
+             v)
+  in
+  List.iter
+    (fun rule -> match check_rule path v' rule with Some e -> add [ e ] | None -> ())
+    (List.rev s.rules);
+  (v', !errors)
+
+(* Conjoin two schemas: used to apply when_ branches. Rules/valid sets
+   concatenate; bases combine by preferring the more specific one. *)
+and conjoin a b =
+  let base =
+    match (a.base, b.base) with
+    | Any_base, other -> other
+    | other, Any_base -> other
+    | Object_base x, Object_base y ->
+        (* keys present on both sides conjoin recursively so the branch's
+           refinements (e.g. required) take effect *)
+        let merged =
+          List.map
+            (fun (k, ks) ->
+              match List.assoc_opt k y.keys_ with
+              | Some ks' -> (k, conjoin ks ks')
+              | None -> (k, ks))
+            x.keys_
+          @ List.filter (fun (k, _) -> not (List.mem_assoc k x.keys_)) y.keys_
+        in
+        Object_base
+          { keys_ = merged;
+            relations = y.relations @ x.relations;
+            allow_unknown = x.allow_unknown || y.allow_unknown }
+    | other, _ -> other
+  in
+  { base;
+    presence =
+      (match (a.presence, b.presence) with
+       | Default_presence, p -> p
+       | p, Default_presence -> p
+       | _, p -> p);
+    valid_ = a.valid_ @ b.valid_;
+    invalid_ = a.invalid_ @ b.invalid_;
+    rules = b.rules @ a.rules;
+    default_ = (match b.default_ with Some _ -> b.default_ | None -> a.default_);
+    whens = b.whens @ a.whens }
+
+let validate s v =
+  (* top-level forbidden/required make little sense; accept and validate *)
+  let v', errors = walk ~siblings:[] [] s v in
+  if errors = [] then Ok v' else Error errors
+
+let is_valid s v = Result.is_ok (validate s v)
+
+(* --- describe --------------------------------------------------------- *)
+
+let rec describe (s : t) : Json.Value.t =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  let type_name =
+    match s.base with
+    | Any_base -> "any"
+    | String_base -> "string"
+    | Number_base -> "number"
+    | Boolean_base -> "boolean"
+    | Null_base -> "null"
+    | Object_base _ -> "object"
+    | Array_base _ -> "array"
+    | Alternatives_base _ -> "alternatives"
+  in
+  add "type" (Json.Value.String type_name);
+  (match s.presence with
+   | Required -> add "presence" (Json.Value.String "required")
+   | Forbidden -> add "presence" (Json.Value.String "forbidden")
+   | Optional | Default_presence -> ());
+  if s.valid_ <> [] then add "valids" (Json.Value.Array s.valid_);
+  if s.invalid_ <> [] then add "invalids" (Json.Value.Array s.invalid_);
+  Option.iter (fun d -> add "default" d) s.default_;
+  let rule_json r =
+    let name n = Json.Value.Object [ ("name", Json.Value.String n) ] in
+    let with_arg n (a : Json.Value.t) =
+      Json.Value.Object [ ("name", Json.Value.String n); ("arg", a) ]
+    in
+    match r with
+    | Min n -> with_arg "min" (Json.Value.Int n)
+    | Max n -> with_arg "max" (Json.Value.Int n)
+    | Length n -> with_arg "length" (Json.Value.Int n)
+    | Greater f -> with_arg "greater" (Json.Value.Float f)
+    | Less f -> with_arg "less" (Json.Value.Float f)
+    | Positive -> name "positive"
+    | Negative -> name "negative"
+    | Multiple n -> with_arg "multiple" (Json.Value.Int n)
+    | Integer_rule -> name "integer"
+    | Pattern (src, _) -> with_arg "pattern" (Json.Value.String src)
+    | Email -> name "email"
+    | Uri -> name "uri"
+    | Lowercase -> name "lowercase"
+    | Uppercase -> name "uppercase"
+    | Alphanum -> name "alphanum"
+    | Unique -> name "unique"
+  in
+  (match List.rev s.rules with
+   | [] -> ()
+   | rs -> add "rules" (Json.Value.Array (List.map rule_json rs)));
+  (match s.base with
+   | Object_base spec ->
+       if spec.keys_ <> [] then
+         add "keys"
+           (Json.Value.Object (List.map (fun (k, ks) -> (k, describe ks)) spec.keys_));
+       if spec.allow_unknown then add "unknown" (Json.Value.Bool true);
+       let rel_json = function
+         | And ks -> ("and", ks)
+         | Or ks -> ("or", ks)
+         | Xor ks -> ("xor", ks)
+         | Nand ks -> ("nand", ks)
+         | With (k, peers) -> ("with " ^ k, peers)
+         | Without (k, peers) -> ("without " ^ k, peers)
+       in
+       (match List.rev spec.relations with
+        | [] -> ()
+        | rels ->
+            add "dependencies"
+              (Json.Value.Array
+                 (List.map
+                    (fun r ->
+                      let name, ks = rel_json r in
+                      Json.Value.Object
+                        [ ("rel", Json.Value.String name);
+                          ("keys", Json.Value.Array (List.map (fun k -> Json.Value.String k) ks)) ])
+                    rels)))
+   | Array_base { items_ = Some item } -> add "items" (describe item)
+   | Alternatives_base alts ->
+       add "alternatives" (Json.Value.Array (List.map describe alts))
+   | _ -> ());
+  (match List.rev s.whens with
+   | [] -> ()
+   | ws ->
+       add "whens"
+         (Json.Value.Array
+            (List.map
+               (fun w ->
+                 Json.Value.Object
+                   ([ ("ref", Json.Value.String w.w_ref);
+                      ("is", describe w.w_is);
+                      ("then", describe w.w_then) ]
+                   @ match w.w_otherwise with
+                     | Some o -> [ ("otherwise", describe o) ]
+                     | None -> []))
+               ws)));
+  Json.Value.Object (List.rev !fields)
+
+(* --- JSON Schema translation ------------------------------------------ *)
+
+let rec to_json_schema (s : t) : Jsonschema.Schema.t =
+  let open Jsonschema.Schema in
+  let base_node =
+    match s.base with
+    | Any_base -> empty
+    | String_base -> { empty with types = Some [ `String ] }
+    | Number_base ->
+        if List.mem Integer_rule s.rules then { empty with types = Some [ `Integer ] }
+        else { empty with types = Some [ `Number ] }
+    | Boolean_base -> { empty with types = Some [ `Boolean ] }
+    | Null_base -> { empty with types = Some [ `Null ] }
+    | Array_base spec ->
+        { empty with
+          types = Some [ `Array ];
+          items = Option.map (fun i -> Items_one (to_json_schema i)) spec.items_ }
+    | Object_base spec ->
+        let required =
+          List.filter_map
+            (fun (k, ks) -> if ks.presence = Required then Some k else None)
+            spec.keys_
+        in
+        let dependencies =
+          List.concat_map
+            (function
+              | With (k, peers) -> [ (k, Dep_required peers) ]
+              | _ -> [])
+            (List.rev spec.relations)
+        in
+        { empty with
+          types = Some [ `Object ];
+          properties = List.map (fun (k, ks) -> (k, to_json_schema ks)) spec.keys_;
+          required;
+          dependencies;
+          additional_properties =
+            (if spec.allow_unknown then None else Some (Bool_schema false)) }
+    | Alternatives_base alts ->
+        { empty with any_of = List.map to_json_schema alts }
+  in
+  let node =
+    List.fold_left
+      (fun n rule ->
+        match (rule, s.base) with
+        | Min lo, String_base -> { n with min_length = Some lo }
+        | Max hi, String_base -> { n with max_length = Some hi }
+        | Length l, String_base -> { n with min_length = Some l; max_length = Some l }
+        | Min lo, Number_base -> { n with minimum = Some (float_of_int lo) }
+        | Max hi, Number_base -> { n with maximum = Some (float_of_int hi) }
+        | Min lo, Array_base _ -> { n with min_items = Some lo }
+        | Max hi, Array_base _ -> { n with max_items = Some hi }
+        | Length l, Array_base _ -> { n with min_items = Some l; max_items = Some l }
+        | Min lo, Object_base _ -> { n with min_properties = Some lo }
+        | Max hi, Object_base _ -> { n with max_properties = Some hi }
+        | Greater lo, Number_base -> { n with exclusive_minimum = Some lo }
+        | Less hi, Number_base -> { n with exclusive_maximum = Some hi }
+        | Positive, Number_base -> { n with exclusive_minimum = Some 0.0 }
+        | Negative, Number_base -> { n with exclusive_maximum = Some 0.0 }
+        | Multiple m, Number_base -> { n with multiple_of = Some (float_of_int m) }
+        | Pattern (src, re), String_base -> { n with pattern = Some (src, re) }
+        | Email, String_base -> { n with format = Some "email" }
+        | Uri, String_base -> { n with format = Some "uri" }
+        | Unique, Array_base _ -> { n with unique_items = true }
+        | _ -> n)
+      base_node (List.rev s.rules)
+  in
+  let node =
+    match s.valid_ with
+    | [] -> node
+    | [ v ] -> { node with const = Some v }
+    | vs -> { node with enum = Some vs }
+  in
+  let node =
+    match s.default_ with None -> node | Some d -> { node with default = Some d }
+  in
+  Schema node

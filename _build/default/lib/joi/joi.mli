@@ -1,0 +1,108 @@
+(** An OCaml embedding of the Walmart Labs Joi schema DSL.
+
+    Joi describes JSON {e objects} inside an untyped language by chaining
+    refinements onto base types; its distinguishing features — the ones the
+    tutorial contrasts against JSON Schema — are relational constraints
+    between sibling fields ([and_]/[or_]/[xor]/[nand]/[with_]/[without])
+    and value-dependent types ([when_]).
+
+    The embedding is purely functional: every combinator returns a new
+    schema. Validation optionally rewrites the value (inserting [default]s),
+    mirroring Joi's [validate] returning the coerced value. *)
+
+type t
+
+(** {1 Base types} *)
+
+val any : t
+val string : t
+val number : t
+val integer : t
+val boolean : t
+val null : t
+
+val object_ : (string * t) list -> t
+(** Keys with their schemas. Unknown keys are rejected unless {!unknown}. *)
+
+val array : t
+val alternatives : t list -> t
+(** Matches if any alternative matches (Joi's [alternatives().try()]). *)
+
+(** {1 Presence} *)
+
+val required : t -> t
+(** Field must be present (fields default to optional, as in Joi). *)
+
+val optional : t -> t
+val forbidden : t -> t
+
+(** {1 Refinements} — meaning depends on the base type, as in Joi:
+    on strings they constrain length, on numbers the value, on arrays the
+    element count, on objects the number of keys. *)
+
+val min : int -> t -> t
+val max : int -> t -> t
+val length : int -> t -> t
+val greater : float -> t -> t
+val less : float -> t -> t
+val positive : t -> t
+val negative : t -> t
+val multiple : int -> t -> t
+val pattern : string -> t -> t  (** @raise Invalid_argument on a bad regex *)
+val email : t -> t
+val uri : t -> t
+val lowercase : t -> t
+val uppercase : t -> t
+val alphanum : t -> t
+val valid : Json.Value.t list -> t -> t  (** whitelist (Joi [valid]) *)
+val invalid : Json.Value.t list -> t -> t  (** blacklist *)
+val default : Json.Value.t -> t -> t
+(** Inserted by {!validate} when the field is absent. *)
+
+(** {1 Array refinements} *)
+
+val items : t -> t -> t  (** element schema *)
+val unique : t -> t
+
+(** {1 Object refinements and field relations} *)
+
+val keys : (string * t) list -> t -> t  (** add keys to an object schema *)
+val unknown : bool -> t -> t  (** tolerate undeclared keys *)
+val and_ : string list -> t -> t  (** all-or-none co-occurrence *)
+val or_ : string list -> t -> t  (** at least one present *)
+val xor : string list -> t -> t  (** exactly one present *)
+val nand : string list -> t -> t  (** not all present together *)
+val with_ : string -> string list -> t -> t
+(** if the first key is present, its peers must be too *)
+
+val without : string -> string list -> t -> t
+(** if the first key is present, its peers must be absent *)
+
+(** {1 Value-dependent types} *)
+
+val when_ : ref_:string -> is:t -> then_:t -> ?otherwise:t -> t -> t
+(** [when_ ~ref_:"type" ~is:(valid [`String "card"] any) ~then_:... schema]:
+    while validating an {e object} field whose schema carries this clause,
+    the sibling field [ref_] is tested against [is] and the [then_]
+    (respectively [otherwise]) schema is conjoined. *)
+
+(** {1 Validation} *)
+
+type error = { path : Json.Pointer.t; message : string }
+
+val string_of_error : error -> string
+
+val validate : t -> Json.Value.t -> (Json.Value.t, error list) result
+(** All errors; on success returns the value with defaults inserted. *)
+
+val is_valid : t -> Json.Value.t -> bool
+
+(** {1 Introspection} *)
+
+val describe : t -> Json.Value.t
+(** Joi's [describe()]: a JSON rendering of the schema tree. *)
+
+val to_json_schema : t -> Jsonschema.Schema.t
+(** Best-effort translation to JSON Schema. Relational constraints map to
+    [dependencies]/[allOf]-encodings where possible; [when_] clauses map to
+    [if]/[then]/[else]. *)

@@ -1,0 +1,1 @@
+lib/json/jsonpath.ml: List Printf String Value

@@ -1,0 +1,1 @@
+lib/json/jsonpath.mli: Value

@@ -1,0 +1,1 @@
+lib/json/lexer.ml: Buffer Char Number Printf String

@@ -1,0 +1,1 @@
+lib/json/lexer.mli: Number

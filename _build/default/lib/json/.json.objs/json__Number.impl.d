@@ -1,0 +1,1 @@
+lib/json/number.ml: Float Printf Result String

@@ -1,0 +1,1 @@
+lib/json/parser.ml: Hashtbl Lexer List Number Printf Value

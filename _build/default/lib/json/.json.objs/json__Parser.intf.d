@@ -1,0 +1,1 @@
+lib/json/parser.mli: Lexer Value

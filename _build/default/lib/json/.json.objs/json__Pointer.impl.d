@@ -1,0 +1,1 @@
+lib/json/pointer.ml: Buffer Format List Printf String Value

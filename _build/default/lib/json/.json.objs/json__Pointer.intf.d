@@ -1,0 +1,1 @@
+lib/json/pointer.mli: Format Value

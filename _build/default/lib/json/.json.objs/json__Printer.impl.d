@@ -1,0 +1,1 @@
+lib/json/printer.ml: Buffer Char Format List Number Printf String Value

@@ -1,0 +1,1 @@
+lib/json/printer.mli: Buffer Format Value

@@ -1,0 +1,1 @@
+lib/json/stream.ml: Format Lexer List Number Parser Printf String Value

@@ -1,0 +1,1 @@
+lib/json/stream.mli: Format Parser Value

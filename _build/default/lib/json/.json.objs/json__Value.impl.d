@@ -1,0 +1,1 @@
+lib/json/value.ml: Bool Float Format Int List Printf String

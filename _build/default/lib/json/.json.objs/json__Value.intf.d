@@ -1,0 +1,1 @@
+lib/json/value.mli: Format

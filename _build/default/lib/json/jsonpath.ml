@@ -1,0 +1,102 @@
+type step =
+  | Field of string
+  | Item of int
+  | Wildcard
+  | Descend of string
+
+type t = step list
+
+let parse str =
+  let n = String.length str in
+  let err msg = Error (Printf.sprintf "JSONPath %S: %s" str msg) in
+  if n = 0 || str.[0] <> '$' then err "must start with '$'"
+  else
+    let rec ident i =
+      (* consume [A-Za-z0-9_-]* starting at i *)
+      if
+        i < n
+        &&
+        match str.[i] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+        | _ -> false
+      then ident (i + 1)
+      else i
+    in
+    let rec go acc i =
+      if i >= n then Ok (List.rev acc)
+      else if i + 1 < n && str.[i] = '.' && str.[i + 1] = '.' then begin
+        let stop = ident (i + 2) in
+        if stop = i + 2 then err "'..' must be followed by a name"
+        else go (Descend (String.sub str (i + 2) (stop - i - 2)) :: acc) stop
+      end
+      else if str.[i] = '.' then
+        if i + 1 < n && str.[i + 1] = '*' then go (Wildcard :: acc) (i + 2)
+        else begin
+          let stop = ident (i + 1) in
+          if stop = i + 1 then err "'.' must be followed by a name"
+          else go (Field (String.sub str (i + 1) (stop - i - 1)) :: acc) stop
+        end
+      else if str.[i] = '[' then
+        if i + 1 < n && str.[i + 1] = '*' then
+          if i + 2 < n && str.[i + 2] = ']' then go (Wildcard :: acc) (i + 3)
+          else err "expected ']' after '*'"
+        else if i + 1 < n && str.[i + 1] = '\'' then begin
+          match String.index_from_opt str (i + 2) '\'' with
+          | Some q when q + 1 < n && str.[q + 1] = ']' ->
+              go (Field (String.sub str (i + 2) (q - i - 2)) :: acc) (q + 2)
+          | Some _ -> err "expected ']' after quoted name"
+          | None -> err "unterminated quoted name"
+        end
+        else begin
+          match String.index_from_opt str i ']' with
+          | Some q -> (
+              let digits = String.sub str (i + 1) (q - i - 1) in
+              match int_of_string_opt digits with
+              | Some k -> go (Item k :: acc) (q + 1)
+              | None -> err (Printf.sprintf "invalid index %S" digits))
+          | None -> err "unterminated '['"
+        end
+      else err (Printf.sprintf "unexpected character %C" str.[i])
+    in
+    go [] 1
+
+let parse_exn str =
+  match parse str with Ok t -> t | Error msg -> invalid_arg msg
+
+let step_to_string = function
+  | Field f -> "." ^ f
+  | Item k -> Printf.sprintf "[%d]" k
+  | Wildcard -> "[*]"
+  | Descend f -> ".." ^ f
+
+let to_string t = "$" ^ String.concat "" (List.map step_to_string t)
+
+let rec descend_matches name v acc =
+  let acc =
+    match Value.member name v with Some x -> x :: acc | None -> acc
+  in
+  match v with
+  | Value.Array vs -> List.fold_left (fun acc x -> descend_matches name x acc) acc vs
+  | Value.Object fields ->
+      List.fold_left (fun acc (_, x) -> descend_matches name x acc) acc fields
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _ -> acc
+
+let eval_step v = function
+  | Field f -> ( match Value.member f v with Some x -> [ x ] | None -> [])
+  | Item k -> ( match Value.index k v with Some x -> [ x ] | None -> [])
+  | Wildcard -> (
+      match v with
+      | Value.Array vs -> vs
+      | Value.Object fields -> List.map snd fields
+      | _ -> [])
+  | Descend f -> List.rev (descend_matches f v [])
+
+let eval t root =
+  List.fold_left
+    (fun frontier step -> List.concat_map (fun v -> eval_step v step) frontier)
+    [ root ] t
+
+let eval_first t root = match eval t root with [] -> None | x :: _ -> Some x
+
+let first_fields t =
+  match t with Field f :: _ -> [ f ] | _ -> []

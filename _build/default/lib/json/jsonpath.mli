@@ -1,0 +1,28 @@
+(** A deliberately small JSONPath dialect for field projection.
+
+    Supported syntax: [$] (root), [.name] / [['name']] (member),
+    [[k]] (array index), [[*]] and [.*] (wildcard), [..name] (recursive
+    descent). This is the query fragment the projection experiments (E5/E6)
+    need; it is not the full JSONPath proposal. *)
+
+type step =
+  | Field of string
+  | Item of int
+  | Wildcard
+  | Descend of string  (** [..name]: any depth *)
+
+type t = step list
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+val to_string : t -> string
+
+val eval : t -> Value.t -> Value.t list
+(** All matches in document order. *)
+
+val eval_first : t -> Value.t -> Value.t option
+
+val first_fields : t -> string list
+(** The set of top-level object fields the path can touch — the projection
+    set that {!Fastjson}'s Mison-style parser needs. Empty means
+    "potentially all" (e.g. a leading wildcard). *)

@@ -1,0 +1,222 @@
+type position = { offset : int; line : int; column : int }
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Comma
+  | True
+  | False
+  | Null_tok
+  | String_tok of string
+  | Number_tok of Number.parsed
+
+  | Eof
+
+exception Lex_error of position * string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+  mutable lookahead : (token * position) option;
+  buf : Buffer.t; (* scratch for string unescaping *)
+}
+
+let create ?(pos = 0) src =
+  { src; pos; line = 1; bol = pos; lookahead = None; buf = Buffer.create 64 }
+
+let position_at lx off = { offset = off; line = lx.line; column = off - lx.bol + 1 }
+let position lx = position_at lx lx.pos
+
+let error lx off msg = raise (Lex_error (position_at lx off, msg))
+
+let token_name = function
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Colon -> "':'"
+  | Comma -> "','"
+  | True -> "'true'"
+  | False -> "'false'"
+  | Null_tok -> "'null'"
+  | String_tok _ -> "string"
+  | Number_tok _ -> "number"
+  | Eof -> "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let skip_ws lx =
+  let n = String.length lx.src in
+  let rec go () =
+    if lx.pos < n then
+      match lx.src.[lx.pos] with
+      | ' ' | '\t' | '\r' -> lx.pos <- lx.pos + 1; go ()
+      | '\n' ->
+          lx.pos <- lx.pos + 1;
+          lx.line <- lx.line + 1;
+          lx.bol <- lx.pos;
+          go ()
+      | _ -> ()
+  in
+  go ()
+
+let expect_keyword lx word token =
+  let n = String.length word in
+  if lx.pos + n <= String.length lx.src && String.sub lx.src lx.pos n = word then begin
+    lx.pos <- lx.pos + n;
+    token
+  end
+  else error lx lx.pos (Printf.sprintf "expected %s" word)
+
+(* Append a Unicode scalar value as UTF-8. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex_value lx off c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error lx off "invalid hex digit in \\u escape"
+
+let read_hex4 lx =
+  let n = String.length lx.src in
+  if lx.pos + 4 > n then error lx lx.pos "truncated \\u escape";
+  let v =
+    (hex_value lx lx.pos lx.src.[lx.pos] lsl 12)
+    lor (hex_value lx (lx.pos + 1) lx.src.[lx.pos + 1] lsl 8)
+    lor (hex_value lx (lx.pos + 2) lx.src.[lx.pos + 2] lsl 4)
+    lor hex_value lx (lx.pos + 3) lx.src.[lx.pos + 3]
+  in
+  lx.pos <- lx.pos + 4;
+  v
+
+let read_string lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  lx.pos <- lx.pos + 1; (* opening quote *)
+  Buffer.clear lx.buf;
+  let rec go () =
+    if lx.pos >= n then error lx start "unterminated string"
+    else
+      match lx.src.[lx.pos] with
+      | '"' -> lx.pos <- lx.pos + 1
+      | '\\' ->
+          lx.pos <- lx.pos + 1;
+          if lx.pos >= n then error lx start "unterminated string";
+          (match lx.src.[lx.pos] with
+           | '"' -> Buffer.add_char lx.buf '"'; lx.pos <- lx.pos + 1
+           | '\\' -> Buffer.add_char lx.buf '\\'; lx.pos <- lx.pos + 1
+           | '/' -> Buffer.add_char lx.buf '/'; lx.pos <- lx.pos + 1
+           | 'b' -> Buffer.add_char lx.buf '\b'; lx.pos <- lx.pos + 1
+           | 'f' -> Buffer.add_char lx.buf '\012'; lx.pos <- lx.pos + 1
+           | 'n' -> Buffer.add_char lx.buf '\n'; lx.pos <- lx.pos + 1
+           | 'r' -> Buffer.add_char lx.buf '\r'; lx.pos <- lx.pos + 1
+           | 't' -> Buffer.add_char lx.buf '\t'; lx.pos <- lx.pos + 1
+           | 'u' ->
+               lx.pos <- lx.pos + 1;
+               let u = read_hex4 lx in
+               if u >= 0xD800 && u <= 0xDBFF then begin
+                 (* high surrogate: require a following \uDC00-\uDFFF *)
+                 if lx.pos + 2 <= n && lx.src.[lx.pos] = '\\' && lx.src.[lx.pos + 1] = 'u'
+                 then begin
+                   lx.pos <- lx.pos + 2;
+                   let lo = read_hex4 lx in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then
+                     add_utf8 lx.buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                   else error lx lx.pos "invalid low surrogate"
+                 end
+                 else error lx lx.pos "unpaired high surrogate"
+               end
+               else if u >= 0xDC00 && u <= 0xDFFF then
+                 error lx lx.pos "unpaired low surrogate"
+               else add_utf8 lx.buf u
+           | c -> error lx lx.pos (Printf.sprintf "invalid escape '\\%c'" c));
+          go ()
+      | c when Char.code c < 0x20 ->
+          error lx lx.pos "unescaped control character in string"
+      | c ->
+          Buffer.add_char lx.buf c;
+          lx.pos <- lx.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents lx.buf
+
+let read_number lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  if lx.pos < n && lx.src.[lx.pos] = '-' then lx.pos <- lx.pos + 1;
+  while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done;
+  if lx.pos < n && lx.src.[lx.pos] = '.' then begin
+    lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done
+  end;
+  if lx.pos < n && (lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E') then begin
+    lx.pos <- lx.pos + 1;
+    if lx.pos < n && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-') then
+      lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done
+  end;
+  let literal = String.sub lx.src start (lx.pos - start) in
+  match Number.parse literal with
+  | Ok parsed -> Number_tok parsed
+  | Error msg -> error lx start msg
+
+let lex_token lx =
+  skip_ws lx;
+  let start = lx.pos in
+  let pos = position_at lx start in
+  let tok =
+    if lx.pos >= String.length lx.src then Eof
+    else
+      match lx.src.[lx.pos] with
+      | '{' -> lx.pos <- lx.pos + 1; Lbrace
+      | '}' -> lx.pos <- lx.pos + 1; Rbrace
+      | '[' -> lx.pos <- lx.pos + 1; Lbracket
+      | ']' -> lx.pos <- lx.pos + 1; Rbracket
+      | ':' -> lx.pos <- lx.pos + 1; Colon
+      | ',' -> lx.pos <- lx.pos + 1; Comma
+      | 't' -> expect_keyword lx "true" True
+      | 'f' -> expect_keyword lx "false" False
+      | 'n' -> expect_keyword lx "null" Null_tok
+      | '"' -> String_tok (read_string lx)
+      | '-' | '0' .. '9' -> read_number lx
+      | c -> error lx start (Printf.sprintf "unexpected character %C" c)
+  in
+  (tok, pos)
+
+let next lx =
+  match lx.lookahead with
+  | Some t ->
+      lx.lookahead <- None;
+      t
+  | None -> lex_token lx
+
+let peek lx =
+  match lx.lookahead with
+  | Some t -> t
+  | None ->
+      let t = lex_token lx in
+      lx.lookahead <- Some t;
+      t

@@ -1,0 +1,43 @@
+(** Hand-written JSON lexer with byte-accurate source positions.
+
+    The lexer is shared by the tree parser ({!Parser}) and the event parser
+    ({!Stream}). It performs string unescaping (including surrogate pairs)
+    and validates UTF-8 in string literals. *)
+
+type position = { offset : int; line : int; column : int }
+(** 0-based byte [offset]; 1-based [line] and [column]. *)
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Colon
+  | Comma
+  | True
+  | False
+  | Null_tok
+  | String_tok of string  (** unescaped contents *)
+  | Number_tok of Number.parsed
+  | Eof
+
+exception Lex_error of position * string
+
+type t
+(** Lexer state over an in-memory document. *)
+
+(** [create ?pos src] lexes [src] starting at byte offset [pos]
+    (default 0; line/column numbers are counted from that point). *)
+val create : ?pos:int -> string -> t
+val next : t -> token * position
+(** Next token and the position where it starts.
+    @raise Lex_error on malformed input. *)
+
+val peek : t -> token * position
+(** Like {!next} without consuming. *)
+
+val position : t -> position
+(** Current position (after the last consumed token). *)
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)

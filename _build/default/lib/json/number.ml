@@ -1,0 +1,74 @@
+type parsed =
+  | Int_lit of int
+  | Float_lit of float
+
+(* RFC 8259: number = [ minus ] int [ frac ] [ exp ]
+   int  = zero / ( digit1-9 *DIGIT )
+   frac = decimal-point 1*DIGIT
+   exp  = e [ minus / plus ] 1*DIGIT *)
+let scan s =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let pos = ref 0 in
+  let ok = ref true in
+  let has_frac = ref false and has_exp = ref false in
+  if !pos < n && s.[!pos] = '-' then incr pos;
+  (if !pos < n && s.[!pos] = '0' then incr pos
+   else if !pos < n && is_digit s.[!pos] then
+     while !pos < n && is_digit s.[!pos] do incr pos done
+   else ok := false);
+  if !ok && !pos < n && s.[!pos] = '.' then begin
+    has_frac := true;
+    incr pos;
+    if !pos < n && is_digit s.[!pos] then
+      while !pos < n && is_digit s.[!pos] do incr pos done
+    else ok := false
+  end;
+  if !ok && !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+    has_exp := true;
+    incr pos;
+    if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+    if !pos < n && is_digit s.[!pos] then
+      while !pos < n && is_digit s.[!pos] do incr pos done
+    else ok := false
+  end;
+  if !ok && !pos = n && n > 0 then Ok (!has_frac, !has_exp) else Error ()
+
+let parse s =
+  match scan s with
+  | Error () -> Error (Printf.sprintf "invalid number literal %S" s)
+  | Ok (has_frac, has_exp) ->
+      if (not has_frac) && not has_exp then
+        match int_of_string_opt s with
+        | Some n -> Ok (Int_lit n)
+        | None ->
+            (* Magnitude exceeds the native int: degrade to float, as every
+               JSON implementation with bounded integers does. *)
+            Ok (Float_lit (float_of_string s))
+      else Ok (Float_lit (float_of_string s))
+
+let is_valid_literal s = Result.is_ok (scan s)
+
+let float_fits_int f =
+  Float.is_integer f
+  && f >= -1.0e15 && f <= 1.0e15 (* conservatively within exact int range *)
+
+let print_float f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    invalid_arg "Json.Number.print_float: not representable in JSON"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    (* Integral floats print as "N.0", not exponent notation. *)
+    Printf.sprintf "%.1f" f
+  else
+    (* Shortest round-tripping decimal: try increasing precision. *)
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    let rec search p = if p > 17 then Printf.sprintf "%.17g" f else
+      match try_prec p with Some s -> s | None -> search (p + 1)
+    in
+    let s = search 1 in
+    (* Ensure the literal cannot re-lex as an integer. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"

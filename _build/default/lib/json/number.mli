@@ -1,0 +1,28 @@
+(** Lexical grammar of JSON numbers (RFC 8259 §6) and round-trippable
+    printing.
+
+    JSON does not distinguish integers from floats; this toolkit does (see
+    {!Value.t}) because schema languages and type systems do. A literal with
+    no fraction and no exponent that fits in an OCaml [int] lexes as an
+    integer; everything else lexes as a float. *)
+
+type parsed =
+  | Int_lit of int
+  | Float_lit of float
+
+val parse : string -> (parsed, string) result
+(** Parse a complete JSON number literal. Rejects leading zeros, bare [.5],
+    [5.], [+5], hex, [NaN], [Infinity] — exactly the RFC grammar. *)
+
+val is_valid_literal : string -> bool
+
+val print_float : float -> string
+(** Shortest decimal representation that round-trips through
+    [float_of_string], always containing ['.'], ['e'], or ['E'] so it cannot
+    be mistaken for an integer literal.
+
+    @raise Invalid_argument on NaN or infinities, which JSON cannot encode. *)
+
+val float_fits_int : float -> bool
+(** [true] when the float is integral and exactly representable as an OCaml
+    [int]. Used by canonicalization and by equality of [Int]/[Float]. *)

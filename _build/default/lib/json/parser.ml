@@ -1,0 +1,158 @@
+type dup_policy = Keep_first | Keep_last | Reject | Keep_all
+
+type options = {
+  dup_keys : dup_policy;
+  max_depth : int;
+  allow_trailing : bool;
+}
+
+let default_options = { dup_keys = Keep_last; max_depth = 512; allow_trailing = false }
+
+type error = { position : Lexer.position; message : string }
+
+exception Parse_error of error
+
+let string_of_error { position; message } =
+  Printf.sprintf "line %d, column %d: %s" position.Lexer.line position.Lexer.column
+    message
+
+let fail position message = raise (Parse_error { position; message })
+
+let apply_dup_policy policy fields_rev last_pos =
+  (* [fields_rev] is in reverse document order. *)
+  let fields = List.rev fields_rev in
+  match policy with
+  | Keep_all -> fields
+  | Reject ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then
+            fail last_pos (Printf.sprintf "duplicate key %S" k)
+          else Hashtbl.add seen k ())
+        fields;
+      fields
+  | Keep_first ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        fields
+  | Keep_last ->
+      (* JavaScript object semantics: a repeated key keeps its first
+         position but its last value. *)
+      let latest = Hashtbl.create 8 in
+      List.iter (fun (k, v) -> Hashtbl.replace latest k v) fields;
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.add seen k ();
+            Some (k, Hashtbl.find latest k)
+          end)
+        fields
+
+let parse_value options lx =
+  let rec value depth =
+    if depth > options.max_depth then
+      fail (Lexer.position lx) "maximum nesting depth exceeded";
+    let tok, pos = Lexer.next lx in
+    match tok with
+    | Lexer.Null_tok -> Value.Null
+    | Lexer.True -> Value.Bool true
+    | Lexer.False -> Value.Bool false
+    | Lexer.Number_tok (Number.Int_lit n) -> Value.Int n
+    | Lexer.Number_tok (Number.Float_lit f) -> Value.Float f
+    | Lexer.String_tok s -> Value.String s
+    | Lexer.Lbracket -> array depth pos
+    | Lexer.Lbrace -> object_ depth pos
+    | (Lexer.Rbrace | Lexer.Rbracket | Lexer.Colon | Lexer.Comma | Lexer.Eof) as t ->
+        fail pos (Printf.sprintf "expected a value, got %s" (Lexer.token_name t))
+  and array depth _open_pos =
+    match Lexer.peek lx with
+    | Lexer.Rbracket, _ ->
+        ignore (Lexer.next lx);
+        Value.Array []
+    | _ ->
+        let rec elements acc =
+          let v = value (depth + 1) in
+          let tok, pos = Lexer.next lx in
+          match tok with
+          | Lexer.Comma -> elements (v :: acc)
+          | Lexer.Rbracket -> List.rev (v :: acc)
+          | t -> fail pos (Printf.sprintf "expected ',' or ']', got %s" (Lexer.token_name t))
+        in
+        Value.Array (elements [])
+  and object_ depth _open_pos =
+    match Lexer.peek lx with
+    | Lexer.Rbrace, _ ->
+        ignore (Lexer.next lx);
+        Value.Object []
+    | _ ->
+        let rec fields acc =
+          let tok, pos = Lexer.next lx in
+          match tok with
+          | Lexer.String_tok key -> (
+              let tok, pos = Lexer.next lx in
+              match tok with
+              | Lexer.Colon -> (
+                  let v = value (depth + 1) in
+                  let tok, pos = Lexer.next lx in
+                  match tok with
+                  | Lexer.Comma -> fields ((key, v) :: acc)
+                  | Lexer.Rbrace -> ((key, v) :: acc, pos)
+                  | t ->
+                      fail pos
+                        (Printf.sprintf "expected ',' or '}', got %s" (Lexer.token_name t)))
+              | t -> fail pos (Printf.sprintf "expected ':', got %s" (Lexer.token_name t)))
+          | t -> fail pos (Printf.sprintf "expected a field name, got %s" (Lexer.token_name t))
+        in
+        let fields_rev, close_pos = fields [] in
+        Value.Object (apply_dup_policy options.dup_keys fields_rev close_pos)
+  in
+  value 0
+
+let run lx f =
+  try Ok (f ()) with
+  | Parse_error e -> Error e
+  | Lexer.Lex_error (position, message) -> Error { position; message }
+  | Stack_overflow ->
+      Error { position = Lexer.position lx; message = "nesting too deep (stack overflow)" }
+
+let parse ?(options = default_options) src =
+  let lx = Lexer.create src in
+  run lx (fun () ->
+      let v = parse_value options lx in
+      if not options.allow_trailing then begin
+        match Lexer.next lx with
+        | Lexer.Eof, _ -> ()
+        | t, pos ->
+            fail pos (Printf.sprintf "trailing input: %s" (Lexer.token_name t))
+      end;
+      v)
+
+let parse_exn ?options src =
+  match parse ?options src with
+  | Ok v -> v
+  | Error e -> failwith (string_of_error e)
+
+let parse_many ?(options = default_options) src =
+  let lx = Lexer.create src in
+  run lx (fun () ->
+      let rec go acc =
+        match Lexer.peek lx with
+        | Lexer.Eof, _ -> List.rev acc
+        | _ -> go (parse_value options lx :: acc)
+      in
+      go [])
+
+let parse_substring ?(options = default_options) src ~pos =
+  let lx = Lexer.create ~pos src in
+  run lx (fun () ->
+      let v = parse_value options lx in
+      (v, (Lexer.position lx).Lexer.offset))

@@ -1,0 +1,40 @@
+(** Recursive-descent JSON parser producing {!Value.t} trees.
+
+    RFC 8259 compliant: any value may appear at the top level, strings are
+    unescaped, numbers follow the strict grammar. Behaviour knobs that real
+    deployments disagree on — duplicate keys, nesting limits, trailing
+    garbage — are explicit {!options}. *)
+
+type dup_policy =
+  | Keep_first   (** ignore later bindings of a repeated key *)
+  | Keep_last    (** later bindings win (JavaScript semantics, default) *)
+  | Reject       (** duplicate key is a parse error *)
+  | Keep_all     (** preserve every binding in document order *)
+
+type options = {
+  dup_keys : dup_policy;
+  max_depth : int;        (** nesting limit to bound stack use *)
+  allow_trailing : bool;  (** permit trailing input after the value *)
+}
+
+val default_options : options
+(** [Keep_last], depth 512, no trailing input. *)
+
+type error = { position : Lexer.position; message : string }
+
+val string_of_error : error -> string
+
+val parse : ?options:options -> string -> (Value.t, error) result
+(** Parse one JSON document from a string. *)
+
+val parse_exn : ?options:options -> string -> Value.t
+(** @raise Failure with a formatted message on error. *)
+
+val parse_many : ?options:options -> string -> (Value.t list, error) result
+(** Parse a whitespace/newline-separated stream of documents (NDJSON and
+    concatenated JSON both work). *)
+
+val parse_substring :
+  ?options:options -> string -> pos:int -> (Value.t * int, error) result
+(** Parse one value starting at byte [pos]; returns the value and the offset
+    one past its last byte. Used by the lazy/speculative parsers. *)

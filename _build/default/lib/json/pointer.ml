@@ -1,0 +1,137 @@
+type token = Key of string | Index of int
+type t = token list
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '~' then
+      if i + 1 >= n then Error "dangling '~' in pointer token"
+      else
+        match s.[i + 1] with
+        | '0' -> Buffer.add_char buf '~'; go (i + 2)
+        | '1' -> Buffer.add_char buf '/'; go (i + 2)
+        | c -> Error (Printf.sprintf "invalid escape '~%c'" c)
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '~' -> Buffer.add_string buf "~0"
+      | '/' -> Buffer.add_string buf "~1"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let classify s =
+  (* RFC array index: 0, or nonzero digits with no leading zero. *)
+  let is_index =
+    String.length s > 0
+    && String.for_all (fun c -> c >= '0' && c <= '9') s
+    && (String.length s = 1 || s.[0] <> '0')
+  in
+  if is_index then
+    match int_of_string_opt s with Some i -> Index i | None -> Key s
+  else Key s
+
+let parse str =
+  if String.equal str "" then Ok []
+  else if str.[0] <> '/' then Error "pointer must start with '/' or be empty"
+  else
+    let parts = String.split_on_char '/' (String.sub str 1 (String.length str - 1)) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match unescape p with
+          | Ok s -> go (classify s :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] parts
+
+let parse_exn str =
+  match parse str with Ok t -> t | Error msg -> invalid_arg ("Json.Pointer.parse: " ^ msg)
+
+let token_to_string = function
+  | Key k -> escape k
+  | Index i -> string_of_int i
+
+let to_string t = String.concat "" (List.map (fun tok -> "/" ^ token_to_string tok) t)
+let append t tok = t @ [ tok ]
+
+let rec get t v =
+  match (t, v) with
+  | [], _ -> Some v
+  | Key k :: rest, Value.Object fields -> (
+      match List.assoc_opt k fields with Some x -> get rest x | None -> None)
+  | Index i :: rest, Value.Object fields -> (
+      (* a numeric token may still name an object member *)
+      match List.assoc_opt (string_of_int i) fields with
+      | Some x -> get rest x
+      | None -> None)
+  | Index i :: rest, Value.Array vs ->
+      if i >= 0 && i < List.length vs then get rest (List.nth vs i) else None
+  | Key _ :: _, (Value.Null | Value.Bool _ | Value.Int _ | Value.Float _
+                | Value.String _ | Value.Array _) ->
+      None
+  | Index _ :: _, (Value.Null | Value.Bool _ | Value.Int _ | Value.Float _
+                  | Value.String _) ->
+      None
+
+let get_exn t v = match get t v with Some x -> x | None -> raise Not_found
+let exists t v = get t v <> None
+
+let rec set t replacement v =
+  match (t, v) with
+  | [], _ -> Ok replacement
+  | Key "-" :: [], Value.Array vs -> Ok (Value.Array (vs @ [ replacement ]))
+  | Key k :: rest, Value.Object fields ->
+      if List.mem_assoc k fields then
+        let rec update = function
+          | [] -> Ok []
+          | (k', x) :: tail when String.equal k k' -> (
+              match set rest replacement x with
+              | Ok x' -> Ok ((k', x') :: tail)
+              | Error _ as e -> e)
+          | pair :: tail -> (
+              match update tail with
+              | Ok tail' -> Ok (pair :: tail')
+              | Error _ as e -> e)
+        in
+        (match update fields with
+         | Ok fields' -> Ok (Value.Object fields')
+         | Error _ as e -> e)
+      else if rest = [] then Ok (Value.Object (fields @ [ (k, replacement) ]))
+      else Error (Printf.sprintf "no member %S to descend into" k)
+  | Index i :: rest, Value.Array vs ->
+      let n = List.length vs in
+      if i = n && rest = [] then Ok (Value.Array (vs @ [ replacement ]))
+      else if i < 0 || i >= n then Error (Printf.sprintf "index %d out of bounds" i)
+      else
+        let res =
+          List.mapi
+            (fun j x -> if j = i then set rest replacement x else Ok x)
+            vs
+        in
+        let rec collect acc = function
+          | [] -> Ok (Value.Array (List.rev acc))
+          | Ok x :: tail -> collect (x :: acc) tail
+          | (Error _ as e) :: _ -> e
+        in
+        collect [] res
+  | Index i :: rest, Value.Object fields ->
+      set (Key (string_of_int i) :: rest) replacement (Value.Object fields)
+  | tok :: _, _ ->
+      Error
+        (Printf.sprintf "cannot traverse %s with token %S"
+           (Value.kind_name (Value.kind v))
+           (token_to_string tok))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,37 @@
+(** RFC 6901 JSON Pointers.
+
+    Pointers are the error-location and [$ref] addressing mechanism used by
+    {!module:Jsonschema}; they also serve as stable field identifiers in the
+    inference statistics. *)
+
+type token =
+  | Key of string   (** object member name *)
+  | Index of int    (** array position *)
+
+type t = token list
+(** Root is [[]]. *)
+
+val parse : string -> (t, string) result
+(** Parse the string form, e.g. ["/foo/0/bar"]. Handles [~0]/[~1] escapes.
+    Numeric tokens are returned as [Index]; resolution against objects
+    falls back to the literal key. *)
+
+val parse_exn : string -> t
+val to_string : t -> string
+(** Inverse of {!parse} (indices print as decimal). *)
+
+val append : t -> token -> t
+val get : t -> Value.t -> Value.t option
+(** Resolve against a document. A numeric token selects an array element or
+    an object member whose name is the decimal literal. *)
+
+val get_exn : t -> Value.t -> Value.t
+(** @raise Not_found when the pointer does not resolve. *)
+
+val set : t -> Value.t -> Value.t -> (Value.t, string) result
+(** [set ptr replacement doc] replaces the pointed-at value. Appending to an
+    array is expressed with an [Index] equal to the length, or the RFC's
+    ["-"] token (parsed as [Key "-"]). *)
+
+val exists : t -> Value.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_escaped buf s;
+  Buffer.contents buf
+
+let rec add_compact buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Bool true -> Buffer.add_string buf "true"
+  | Value.Bool false -> Buffer.add_string buf "false"
+  | Value.Int n -> Buffer.add_string buf (string_of_int n)
+  | Value.Float f -> Buffer.add_string buf (Number.print_float f)
+  | Value.String s -> add_escaped buf s
+  | Value.Array vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_compact buf x)
+        vs;
+      Buffer.add_char buf ']'
+  | Value.Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add_compact buf x)
+        fields;
+      Buffer.add_char buf '}'
+
+let add_pretty ~indent buf v =
+  let pad level = Buffer.add_string buf (String.make (level * indent) ' ') in
+  let rec go level (v : Value.t) =
+    match v with
+    | Value.Array [] -> Buffer.add_string buf "[]"
+    | Value.Object [] -> Buffer.add_string buf "{}"
+    | Value.Array vs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (level + 1);
+            go (level + 1) x)
+          vs;
+        Buffer.add_char buf '\n';
+        pad level;
+        Buffer.add_char buf ']'
+    | Value.Object fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (level + 1);
+            add_escaped buf k;
+            Buffer.add_string buf ": ";
+            go (level + 1) x)
+          fields;
+        Buffer.add_char buf '\n';
+        pad level;
+        Buffer.add_char buf '}'
+    | scalar -> add_compact buf scalar
+  in
+  go 0 v
+
+let to_buffer buf v = add_compact buf v
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_compact buf v;
+  Buffer.contents buf
+
+let to_string_pretty ?(indent = 2) v =
+  let buf = Buffer.create 256 in
+  add_pretty ~indent buf v;
+  Buffer.contents buf
+
+let to_channel oc v = output_string oc (to_string v)
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let pp_pretty ppf v = Format.pp_print_string ppf (to_string_pretty v)
+
+(* Make Value.pp usable without depending on this module. *)
+let () = Value.pp_ref := pp

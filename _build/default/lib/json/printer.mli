@@ -1,0 +1,20 @@
+(** JSON serialization.
+
+    [to_string] produces compact output; [to_string_pretty] produces
+    2-space-indented output. Both escape control characters, quotes and
+    backslashes, and print floats with the shortest round-tripping literal
+    (see {!Number.print_float}). *)
+
+val escape_string : string -> string
+(** The JSON string literal for [s], including the surrounding quotes. *)
+
+val to_string : Value.t -> string
+val to_string_pretty : ?indent:int -> Value.t -> string
+
+val to_buffer : Buffer.t -> Value.t -> unit
+val to_channel : out_channel -> Value.t -> unit
+
+val pp : Format.formatter -> Value.t -> unit
+(** Compact form, suitable for Alcotest testables and logs. *)
+
+val pp_pretty : Format.formatter -> Value.t -> unit

@@ -1,0 +1,251 @@
+type event =
+  | Start_object
+  | Field_name of string
+  | End_object
+  | Start_array
+  | End_array
+  | Scalar of Value.t
+
+let pp_event ppf = function
+  | Start_object -> Format.pp_print_string ppf "{"
+  | Field_name k -> Format.fprintf ppf "key %S" k
+  | End_object -> Format.pp_print_string ppf "}"
+  | Start_array -> Format.pp_print_string ppf "["
+  | End_array -> Format.pp_print_string ppf "]"
+  | Scalar v -> Value.pp ppf v
+
+let event_equal a b =
+  match (a, b) with
+  | Start_object, Start_object
+  | End_object, End_object
+  | Start_array, Start_array
+  | End_array, End_array ->
+      true
+  | Field_name x, Field_name y -> String.equal x y
+  | Scalar x, Scalar y -> Value.equal_strict x y
+  | (Start_object | End_object | Start_array | End_array | Field_name _ | Scalar _), _
+    ->
+      false
+
+(* The reader is a small pushdown automaton over lexer tokens. The stack
+   tracks whether we are inside an array or an object, and whether the next
+   thing expected is a value, a comma, or a field name. *)
+type frame = In_array_value | In_array_sep | In_object_key | In_object_colon | In_object_sep
+
+type reader = {
+  lx : Lexer.t;
+  mutable stack : frame list;
+  mutable started : bool;
+  mutable finished : bool;
+}
+
+let reader src = { lx = Lexer.create src; stack = []; started = false; finished = false }
+
+exception Err of Parser.error
+
+let fail pos message = raise (Err { Parser.position = pos; message })
+
+let scalar_of_token tok =
+  match tok with
+  | Lexer.Null_tok -> Some Value.Null
+  | Lexer.True -> Some (Value.Bool true)
+  | Lexer.False -> Some (Value.Bool false)
+  | Lexer.Number_tok (Number.Int_lit n) -> Some (Value.Int n)
+  | Lexer.Number_tok (Number.Float_lit f) -> Some (Value.Float f)
+  | Lexer.String_tok s -> Some (Value.String s)
+  | Lexer.Lbrace | Lexer.Rbrace | Lexer.Lbracket | Lexer.Rbracket | Lexer.Colon
+  | Lexer.Comma | Lexer.Eof ->
+      None
+
+(* After producing a complete value, the enclosing frame switches to
+   "expect separator". *)
+let after_value r =
+  match r.stack with
+  | In_array_value :: rest -> r.stack <- In_array_sep :: rest
+  | In_object_colon :: rest -> r.stack <- In_object_sep :: rest
+  | _ -> ()
+
+let read_value r tok pos =
+  match tok with
+  | Lexer.Lbrace ->
+      r.stack <- In_object_key :: r.stack;
+      Start_object
+  | Lexer.Lbracket ->
+      r.stack <- In_array_value :: r.stack;
+      Start_array
+  | tok -> (
+      match scalar_of_token tok with
+      | Some v ->
+          after_value r;
+          Scalar v
+      | None -> fail pos (Printf.sprintf "expected a value, got %s" (Lexer.token_name tok)))
+
+let read_event r =
+  let tok, pos = Lexer.next r.lx in
+  match r.stack with
+  | [] ->
+      if r.started then fail pos "trailing input after document"
+      else begin
+        r.started <- true;
+        let ev = read_value r tok pos in
+        if r.stack = [] then r.finished <- true;
+        ev
+      end
+  | In_array_value :: rest -> (
+      match tok with
+      | Lexer.Rbracket ->
+          (* only legal immediately after '[' — i.e. an empty array *)
+          r.stack <- rest;
+          after_value r;
+          if r.stack = [] then r.finished <- true;
+          End_array
+      | tok ->
+          let ev = read_value r tok pos in
+          if r.stack = [] then r.finished <- true;
+          ev)
+  | In_array_sep :: rest -> (
+      match tok with
+      | Lexer.Comma ->
+          r.stack <- In_array_value :: rest;
+          let tok, pos = Lexer.next r.lx in
+          let ev = read_value r tok pos in
+          if r.stack = [] then r.finished <- true;
+          ev
+      | Lexer.Rbracket ->
+          r.stack <- rest;
+          after_value r;
+          if r.stack = [] then r.finished <- true;
+          End_array
+      | tok -> fail pos (Printf.sprintf "expected ',' or ']', got %s" (Lexer.token_name tok)))
+  | In_object_key :: rest -> (
+      match tok with
+      | Lexer.String_tok k ->
+          r.stack <- In_object_colon :: rest;
+          Field_name k
+      | Lexer.Rbrace ->
+          r.stack <- rest;
+          after_value r;
+          if r.stack = [] then r.finished <- true;
+          End_object
+      | tok ->
+          fail pos (Printf.sprintf "expected a field name or '}', got %s" (Lexer.token_name tok)))
+  | In_object_colon :: _ -> (
+      match tok with
+      | Lexer.Colon ->
+          let tok, pos = Lexer.next r.lx in
+          let ev = read_value r tok pos in
+          if r.stack = [] then r.finished <- true;
+          ev
+      | tok -> fail pos (Printf.sprintf "expected ':', got %s" (Lexer.token_name tok)))
+  | In_object_sep :: rest -> (
+      match tok with
+      | Lexer.Comma ->
+          r.stack <- In_object_key :: rest;
+          let tok, pos = Lexer.next r.lx in
+          (match tok with
+           | Lexer.String_tok k ->
+               r.stack <- In_object_colon :: (match r.stack with _ :: t -> t | [] -> []);
+               Field_name k
+           | tok ->
+               fail pos (Printf.sprintf "expected a field name, got %s" (Lexer.token_name tok)))
+      | Lexer.Rbrace ->
+          r.stack <- rest;
+          after_value r;
+          if r.stack = [] then r.finished <- true;
+          End_object
+      | tok -> fail pos (Printf.sprintf "expected ',' or '}', got %s" (Lexer.token_name tok)))
+
+let read r =
+  if r.finished then Ok None
+  else
+    try Ok (Some (read_event r)) with
+    | Err e -> Error e
+    | Lexer.Lex_error (position, message) -> Error { Parser.position; message }
+
+let events_of_value v =
+  let rec go v acc =
+    match v with
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _ ->
+        Scalar v :: acc
+    | Value.Array vs -> End_array :: List.fold_left (fun acc x -> go x acc) (Start_array :: acc) vs
+    | Value.Object fields ->
+        End_object
+        :: List.fold_left
+             (fun acc (k, x) -> go x (Field_name k :: acc))
+             (Start_object :: acc)
+             fields
+  in
+  List.rev (go v [])
+
+let value_of_events events =
+  (* Stack of partially-built containers. *)
+  let module S = struct
+    type partial =
+      | Arr of Value.t list                     (* reversed elements *)
+      | Obj of (string * Value.t) list * string option  (* reversed fields, pending key *)
+  end in
+  let open S in
+  let rec push_value v stack =
+    match stack with
+    | [] -> Ok (`Done v)
+    | Arr elts :: rest -> Ok (`More (Arr (v :: elts) :: rest))
+    | Obj (fields, Some k) :: rest -> Ok (`More (Obj ((k, v) :: fields, None) :: rest))
+    | Obj (_, None) :: _ -> Error "value in object position without a field name"
+  and go stack events =
+    match events with
+    | [] -> Error "truncated event sequence"
+    | ev :: rest -> (
+        match ev with
+        | Scalar v -> continue (push_value v stack) rest
+        | Start_array -> go (Arr [] :: stack) rest
+        | Start_object -> go (Obj ([], None) :: stack) rest
+        | Field_name k -> (
+            match stack with
+            | Obj (fields, None) :: tail -> go (Obj (fields, Some k) :: tail) rest
+            | _ -> Error "field name outside an object")
+        | End_array -> (
+            match stack with
+            | Arr elts :: tail ->
+                continue (push_value (Value.Array (List.rev elts)) tail) rest
+            | _ -> Error "unmatched end of array")
+        | End_object -> (
+            match stack with
+            | Obj (fields, None) :: tail ->
+                continue (push_value (Value.Object (List.rev fields)) tail) rest
+            | Obj (_, Some _) :: _ -> Error "object ended while expecting a value"
+            | _ -> Error "unmatched end of object"))
+  and continue result rest =
+    match result with
+    | Error _ as e -> e
+    | Ok (`Done v) -> if rest = [] then Ok v else Error "events after document end"
+    | Ok (`More stack) -> go stack rest
+  in
+  go [] events
+
+let fold ?options:_ src ~init ~f =
+  let r = reader src in
+  let rec go acc =
+    match read r with
+    | Ok None -> Ok acc
+    | Ok (Some ev) -> go (f acc ev)
+    | Error e -> Error e
+  in
+  go init
+
+let fold_documents ?(options = Parser.default_options) src ~init ~f =
+  let options = { options with Parser.allow_trailing = true } in
+  let n = String.length src in
+  let rec skip_ws i =
+    if i < n && (src.[i] = ' ' || src.[i] = '\t' || src.[i] = '\n' || src.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let rec go acc pos =
+    let pos = skip_ws pos in
+    if pos >= n then Ok acc
+    else
+      match Parser.parse_substring ~options src ~pos with
+      | Ok (v, next_pos) -> go (f acc v) next_pos
+      | Error e -> Error e
+  in
+  go init 0

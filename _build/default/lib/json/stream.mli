@@ -1,0 +1,44 @@
+(** Event-based (SAX-style) JSON processing.
+
+    The streaming inference tools (mongodb-schema style) and the translators
+    consume events rather than trees, so collections larger than memory can
+    be processed one object at a time. *)
+
+type event =
+  | Start_object
+  | Field_name of string
+  | End_object
+  | Start_array
+  | End_array
+  | Scalar of Value.t  (** always [Null], [Bool], [Int], [Float] or [String] *)
+
+val pp_event : Format.formatter -> event -> unit
+val event_equal : event -> event -> bool
+
+type reader
+(** Pull-based event reader over one document. *)
+
+val reader : string -> reader
+val read : reader -> (event option, Parser.error) result
+(** [Ok None] at end of the document. Events are verified well-nested. *)
+
+val events_of_value : Value.t -> event list
+val value_of_events : event list -> (Value.t, string) result
+(** Rebuild a tree; fails on ill-formed sequences. *)
+
+val fold :
+  ?options:Parser.options ->
+  string ->
+  init:'a ->
+  f:('a -> event -> 'a) ->
+  ('a, Parser.error) result
+(** Fold over all events of one document without building a tree. *)
+
+val fold_documents :
+  ?options:Parser.options ->
+  string ->
+  init:'a ->
+  f:('a -> Value.t -> 'a) ->
+  ('a, Parser.error) result
+(** Fold over an NDJSON / concatenated-JSON collection one parsed document at
+    a time — constant memory in the number of documents. *)

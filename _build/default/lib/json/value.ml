@@ -1,0 +1,195 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+let null = Null
+let bool b = Bool b
+let int n = Int n
+let float f = Float f
+let string s = String s
+let array vs = Array vs
+let obj fields = Object fields
+
+exception Type_error of string
+
+type kind = [ `Null | `Bool | `Number | `String | `Array | `Object ]
+
+let kind = function
+  | Null -> `Null
+  | Bool _ -> `Bool
+  | Int _ | Float _ -> `Number
+  | String _ -> `String
+  | Array _ -> `Array
+  | Object _ -> `Object
+
+let kind_name = function
+  | `Null -> "null"
+  | `Bool -> "boolean"
+  | `Number -> "number"
+  | `String -> "string"
+  | `Array -> "array"
+  | `Object -> "object"
+
+let is_scalar v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> true
+  | Array _ | Object _ -> false
+
+let type_error expected v =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (kind_name (kind v))))
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_string = function String s -> Some s | _ -> None
+let to_array = function Array vs -> Some vs | _ -> None
+let to_obj = function Object fields -> Some fields | _ -> None
+let to_bool_exn = function Bool b -> b | v -> type_error "boolean" v
+let to_int_exn = function Int n -> n | v -> type_error "integer" v
+
+let to_float_exn = function
+  | Float f -> f
+  | Int n -> float_of_int n
+  | v -> type_error "number" v
+
+let to_string_exn = function String s -> s | v -> type_error "string" v
+let to_array_exn = function Array vs -> vs | v -> type_error "array" v
+let to_obj_exn = function Object fields -> fields | v -> type_error "object" v
+
+let member key = function
+  | Object fields -> List.assoc_opt key fields
+  | _ -> None
+
+let member_exn key v =
+  match member key v with
+  | Some x -> x
+  | None -> raise (Type_error (Printf.sprintf "no member %S" key))
+
+let index i = function
+  | Array vs ->
+      let n = List.length vs in
+      let i = if i < 0 then n + i else i in
+      if i < 0 || i >= n then None else Some (List.nth vs i)
+  | _ -> None
+
+let has_member key v = member key v <> None
+
+(* Objects are unordered in the JSON data model: canonicalize by sorting
+   fields before comparing. Duplicate keys keep the last binding, matching
+   the parser's default policy. *)
+let dedup_last_sorted fields =
+  let sorted =
+    List.stable_sort (fun (k1, _) (k2, _) -> String.compare k1 k2) fields
+  in
+  let rec keep_last = function
+    | (k1, _) :: ((k2, _) :: _ as rest) when String.equal k1 k2 -> keep_last rest
+    | pair :: rest -> pair :: keep_last rest
+    | [] -> []
+  in
+  keep_last sorted
+
+let rec sort_keys v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> v
+  | Array vs -> Array (List.map sort_keys vs)
+  | Object fields ->
+      Object (dedup_last_sorted (List.map (fun (k, x) -> (k, sort_keys x)) fields))
+
+let rec compare_canonical a b =
+  let rank = function
+    | Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2
+    | String _ -> 3 | Array _ -> 4 | Object _ -> 5
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Array xs, Array ys -> compare_lists xs ys
+  | Object xs, Object ys ->
+      compare_lists
+        (List.map (fun (k, v) -> Array [ String k; v ]) xs)
+        (List.map (fun (k, v) -> Array [ String k; v ]) ys)
+  | _ -> Int.compare (rank a) (rank b)
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare_canonical x y in
+      if c <> 0 then c else compare_lists xs' ys'
+
+let compare a b = compare_canonical (sort_keys a) (sort_keys b)
+let equal a b = compare a b = 0
+
+let rec equal_strict a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Array xs, Array ys ->
+      List.length xs = List.length ys && List.for_all2 equal_strict xs ys
+  | Object xs, Object ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal_strict v1 v2)
+           xs ys
+  | (Null | Bool _ | Int _ | Float _ | String _ | Array _ | Object _), _ -> false
+
+let rec fold f acc v =
+  let acc = f acc v in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> acc
+  | Array vs -> List.fold_left (fold f) acc vs
+  | Object fields -> List.fold_left (fun acc (_, x) -> fold f acc x) acc fields
+
+let rec map_values f v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> f v
+  | Array vs -> f (Array (List.map (map_values f) vs))
+  | Object fields ->
+      f (Object (List.map (fun (k, x) -> (k, map_values f x)) fields))
+
+let rec depth = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> 1
+  | Array vs -> 1 + List.fold_left (fun m v -> max m (depth v)) 0 vs
+  | Object fields ->
+      1 + List.fold_left (fun m (_, v) -> max m (depth v)) 0 fields
+
+let size v = fold (fun n _ -> n + 1) 0 v
+
+let paths v =
+  let rec go prefix v acc =
+    match v with
+    | Null | Bool _ | Int _ | Float _ | String _ -> List.rev prefix :: acc
+    | Array [] -> List.rev prefix :: acc
+    | Array vs -> List.fold_left (fun acc x -> go ("[]" :: prefix) x acc) acc vs
+    | Object [] -> List.rev prefix :: acc
+    | Object fields ->
+        List.fold_left (fun acc (k, x) -> go (k :: prefix) x acc) acc fields
+  in
+  List.rev (go [] v [])
+
+(* Printing lives in Printer; this forward reference is filled at library
+   initialization so Value.pp can be used in error messages and tests. *)
+let pp_ref : (Format.formatter -> t -> unit) ref =
+  ref (fun ppf _ -> Format.pp_print_string ppf "<json>")
+
+let pp ppf v = !pp_ref ppf v

@@ -1,0 +1,115 @@
+(** JSON abstract syntax tree and structural operations.
+
+    This is the data model shared by every component of the toolkit: the
+    parsers produce it, the validators consume it, the inference algorithms
+    abstract it into types, and the translators shred it into other formats.
+
+    Objects are represented as association lists in document order, so a
+    parsed document can be re-printed byte-identically (modulo whitespace);
+    use {!sort_keys} to obtain a canonical form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int          (** JSON numbers with no fractional/exponent part *)
+  | Float of float      (** all other JSON numbers *)
+  | String of string    (** UTF-8, already unescaped *)
+  | Array of t list
+  | Object of (string * t) list  (** fields in document order *)
+
+(** {1 Constructors} *)
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+val array : t list -> t
+val obj : (string * t) list -> t
+
+(** {1 Accessors}
+
+    The [*_exn] accessors raise {!Type_error}; the optional variants
+    return [None] on a type mismatch. *)
+
+exception Type_error of string
+(** Raised by [*_exn] accessors when the value has the wrong shape. *)
+
+val to_bool : t -> bool option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int], widening it. *)
+
+val to_string : t -> string option
+val to_array : t -> t list option
+val to_obj : t -> (string * t) list option
+
+val to_bool_exn : t -> bool
+val to_int_exn : t -> int
+val to_float_exn : t -> float
+val to_string_exn : t -> string
+val to_array_exn : t -> t list
+val to_obj_exn : t -> (string * t) list
+
+val member : string -> t -> t option
+(** [member k v] is the value of field [k] if [v] is an object that has it. *)
+
+val member_exn : string -> t -> t
+val index : int -> t -> t option
+(** [index i v] is the [i]-th element if [v] is an array; negative indices
+    count from the end. *)
+
+val has_member : string -> t -> bool
+
+(** {1 Classification} *)
+
+type kind = [ `Null | `Bool | `Number | `String | `Array | `Object ]
+
+val kind : t -> kind
+(** The JSON-level kind; [Int] and [Float] both map to [`Number]. *)
+
+val kind_name : kind -> string
+val is_scalar : t -> bool
+
+(** {1 Structural operations} *)
+
+val equal : t -> t -> bool
+(** Structural equality. Objects compare unordered (per the JSON data model):
+    [{"a":1,"b":2}] equals [{"b":2,"a":1}]. Numbers compare by numeric value,
+    so [Int 1] equals [Float 1.0]. Duplicate keys make comparison
+    last-wins, matching {!Parser} defaults. *)
+
+val equal_strict : t -> t -> bool
+(** Like {!equal} but field order and Int/Float distinction are significant. *)
+
+val compare : t -> t -> int
+(** Total order compatible with {!equal} (canonicalizes before comparing). *)
+
+val sort_keys : t -> t
+(** Recursively sort object fields by key (byte order); on duplicate keys the
+    last binding wins. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every node of the tree, including the root. *)
+
+val map_values : (t -> t) -> t -> t
+(** Bottom-up rewrite: children are rewritten first, then the function is
+    applied to the rebuilt node. *)
+
+val depth : t -> int
+(** Nesting depth; scalars have depth 1. *)
+
+val size : t -> int
+(** Number of nodes in the tree. *)
+
+val paths : t -> string list list
+(** All root-to-leaf field paths (array elements contribute ["[]"]).
+    Scalars at the root produce [[]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (compact JSON). *)
+
+(**/**)
+
+val pp_ref : (Format.formatter -> t -> unit) ref
+(** Installed by {!Printer} at load time; not part of the public API. *)

@@ -1,0 +1,1 @@
+lib/jsonschema/generate.ml: Char Float Json List Option Parse Random Schema String Validate

@@ -1,0 +1,1 @@
+lib/jsonschema/generate.mli: Json Schema

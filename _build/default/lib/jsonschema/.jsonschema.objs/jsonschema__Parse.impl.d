@@ -1,0 +1,1 @@
+lib/jsonschema/parse.ml: Json List Option Printf Re Schema

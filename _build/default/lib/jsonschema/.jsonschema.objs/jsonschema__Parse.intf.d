@@ -1,0 +1,1 @@
+lib/jsonschema/parse.mli: Json Schema

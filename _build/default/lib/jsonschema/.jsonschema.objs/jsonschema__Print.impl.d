@@ -1,0 +1,1 @@
+lib/jsonschema/print.ml: Float Format Fun Json List Option Schema

@@ -1,0 +1,1 @@
+lib/jsonschema/print.mli: Format Json Schema

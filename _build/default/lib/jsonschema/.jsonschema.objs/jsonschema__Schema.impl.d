@@ -1,0 +1,1 @@
+lib/jsonschema/schema.ml: Json List Option Re

@@ -1,0 +1,1 @@
+lib/jsonschema/schema.mli: Json Re

@@ -1,0 +1,1 @@
+lib/jsonschema/validate.ml: Char Float Hashtbl Json Lazy List Option Parse Print Printf Re Result Schema String

@@ -1,0 +1,1 @@
+lib/jsonschema/validate.mli: Json Schema

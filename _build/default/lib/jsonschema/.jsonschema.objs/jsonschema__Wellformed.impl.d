@@ -1,0 +1,1 @@
+lib/jsonschema/wellformed.ml: Float Json List Option Parse Printf Schema String

@@ -1,0 +1,1 @@
+lib/jsonschema/wellformed.mli: Json

@@ -1,0 +1,159 @@
+type rng = Random.State.t
+
+let rng ~seed = Random.State.make [| seed |]
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let gen_string st n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Random.State.int st 26))
+
+let gen_number st (n : Schema.node) =
+  let lo =
+    match (n.Schema.minimum, n.Schema.exclusive_minimum) with
+    | Some m, _ -> m
+    | None, Some m -> m +. 1.0
+    | None, None -> -1000.0
+  in
+  let hi =
+    match (n.Schema.maximum, n.Schema.exclusive_maximum) with
+    | Some m, _ -> m
+    | None, Some m -> m -. 1.0
+    | None, None -> 1000.0
+  in
+  let hi = if hi < lo then lo else hi in
+  match n.Schema.multiple_of with
+  | Some m ->
+      let k_lo = Float.ceil (lo /. m) in
+      let k_hi = Float.floor (hi /. m) in
+      let k = k_lo +. Float.of_int (Random.State.int st (max 1 (int_of_float (k_hi -. k_lo +. 1.0)))) in
+      k *. m
+  | None -> lo +. Random.State.float st (hi -. lo)
+
+let rec generate ?(max_depth = 6) st (s : Schema.t) : Json.Value.t =
+  match s with
+  | Schema.Bool_schema _ -> Json.Value.Null
+  | Schema.Schema n -> gen_node ~max_depth st n
+
+and gen_node ~max_depth st (n : Schema.node) =
+  match (n.Schema.const, n.Schema.enum) with
+  | Some c, _ -> c
+  | None, Some vs -> pick st vs
+  | None, None -> (
+      (* delegate through combinators first *)
+      match n.Schema.any_of, n.Schema.one_of, n.Schema.all_of with
+      | (_ :: _ as branches), _, _ | [], (_ :: _ as branches), _ ->
+          generate ~max_depth st (pick st branches)
+      | [], [], [ s ] -> generate ~max_depth st s
+      | _ ->
+          let t =
+            match n.Schema.types with
+            | Some ts -> pick st ts
+            | None ->
+                if n.Schema.properties <> [] || n.Schema.required <> [] then `Object
+                else if n.Schema.items <> None then `Array
+                else if
+                  n.Schema.minimum <> None || n.Schema.maximum <> None
+                  || n.Schema.multiple_of <> None
+                then `Number
+                else if
+                  n.Schema.pattern <> None || n.Schema.min_length <> None
+                  || n.Schema.max_length <> None || n.Schema.format <> None
+                then `String
+                else
+                  pick st
+                    (if max_depth > 0 then
+                       [ `Null; `Boolean; `Integer; `Number; `String; `Array; `Object ]
+                     else [ `Null; `Boolean; `Integer; `Number; `String ])
+          in
+          gen_typed ~max_depth st n t)
+
+and gen_typed ~max_depth st (n : Schema.node) t =
+  match t with
+  | `Null -> Json.Value.Null
+  | `Boolean -> Json.Value.Bool (Random.State.bool st)
+  | `Integer ->
+      let f = gen_number st n in
+      let i = Float.to_int (Float.round f) in
+      let i =
+        (* re-clamp after rounding *)
+        match (n.Schema.minimum, n.Schema.maximum) with
+        | Some lo, _ when float_of_int i < lo -> int_of_float (Float.ceil lo)
+        | _, Some hi when float_of_int i > hi -> int_of_float (Float.floor hi)
+        | _ -> i
+      in
+      Json.Value.Int i
+  | `Number ->
+      let f = gen_number st n in
+      if Float.is_integer f then Json.Value.Float f else Json.Value.Float f
+  | `String ->
+      let min_l = Option.value ~default:0 n.Schema.min_length in
+      let max_l = Option.value ~default:(max min_l 12) n.Schema.max_length in
+      let len = min_l + Random.State.int st (max 1 (max_l - min_l + 1)) in
+      let s =
+        match n.Schema.format with
+        | Some "date" -> "2021-04-05"
+        | Some "date-time" -> "2021-04-05T10:44:00Z"
+        | Some "time" -> "10:44:00Z"
+        | Some "email" -> gen_string st 5 ^ "@example.com"
+        | Some "uri" -> "https://example.com/" ^ gen_string st 6
+        | Some "uuid" -> "123e4567-e89b-12d3-a456-426614174000"
+        | Some "ipv4" -> "192.168.0.1"
+        | Some "hostname" -> gen_string st 6 ^ ".example.com"
+        | _ -> gen_string st len
+      in
+      Json.Value.String s
+  | `Array ->
+      if max_depth <= 0 then Json.Value.Array []
+      else
+        let min_i = Option.value ~default:0 n.Schema.min_items in
+        let max_i = Option.value ~default:(min_i + 3) n.Schema.max_items in
+        let len = min_i + Random.State.int st (max 1 (max_i - min_i + 1)) in
+        let elem i =
+          match n.Schema.items with
+          | Some (Schema.Items_one s) -> generate ~max_depth:(max_depth - 1) st s
+          | Some (Schema.Items_many ss) when i < List.length ss ->
+              generate ~max_depth:(max_depth - 1) st (List.nth ss i)
+          | Some (Schema.Items_many _) -> (
+              match n.Schema.additional_items with
+              | Some s -> generate ~max_depth:(max_depth - 1) st s
+              | None -> Json.Value.Null)
+          | None -> Json.Value.Int (Random.State.int st 100)
+        in
+        Json.Value.Array (List.init len elem)
+  | `Object ->
+      if max_depth <= 0 then Json.Value.Object []
+      else
+        let required = n.Schema.required in
+        let optional =
+          List.filter (fun (k, _) -> not (List.mem k required)) n.Schema.properties
+        in
+        let fields =
+          List.map
+            (fun k ->
+              let s =
+                match List.assoc_opt k n.Schema.properties with
+                | Some s -> s
+                | None -> Schema.Bool_schema true
+              in
+              (k, generate ~max_depth:(max_depth - 1) st s))
+            required
+          @ List.filter_map
+              (fun (k, s) ->
+                if Random.State.bool st then
+                  Some (k, generate ~max_depth:(max_depth - 1) st s)
+                else None)
+              optional
+        in
+        Json.Value.Object fields
+
+let generate_valid ?max_depth ?(attempts = 50) st ~root =
+  match Parse.of_json root with
+  | Error _ -> None
+  | Ok s ->
+      let rec try_ k =
+        if k <= 0 then None
+        else
+          let v = generate ?max_depth st s in
+          if Validate.is_valid ~root v then Some v else try_ (k - 1)
+      in
+      try_ attempts

@@ -1,0 +1,21 @@
+(** Deterministic instance generation from a schema.
+
+    Used to test the validator against itself (everything generated must
+    validate) and to synthesize workloads in the benchmarks. Generation is
+    best-effort: schemas relying on [not], [oneOf] disjointness or patterns
+    may produce instances that fail validation; {!generate_valid} retries
+    and filters through the validator. *)
+
+type rng
+(** Deterministic splittable generator state. *)
+
+val rng : seed:int -> rng
+
+val generate : ?max_depth:int -> rng -> Schema.t -> Json.Value.t
+(** One instance aimed at satisfying the schema. *)
+
+val generate_valid :
+  ?max_depth:int -> ?attempts:int -> rng -> root:Json.Value.t ->
+  Json.Value.t option
+(** Retry {!generate} until the result validates against the schema document
+    [root] (or attempts are exhausted). *)

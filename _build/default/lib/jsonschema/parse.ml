@@ -1,0 +1,249 @@
+type error = { at : Json.Pointer.t; message : string }
+
+let string_of_error { at; message } =
+  Printf.sprintf "at %s: %s"
+    (match Json.Pointer.to_string at with "" -> "#" | p -> "#" ^ p)
+    message
+
+exception Err of error
+
+let fail at message = raise (Err { at; message })
+let key at k = Json.Pointer.append at (Json.Pointer.Key k)
+let idx at i = Json.Pointer.append at (Json.Pointer.Index i)
+
+let as_int at = function
+  | Json.Value.Int n -> n
+  | v -> fail at (Printf.sprintf "expected an integer, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let as_nonneg_int at v =
+  let n = as_int at v in
+  if n < 0 then fail at "expected a non-negative integer" else n
+
+let as_number at = function
+  | Json.Value.Int n -> float_of_int n
+  | Json.Value.Float f -> f
+  | v -> fail at (Printf.sprintf "expected a number, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let as_string at = function
+  | Json.Value.String s -> s
+  | v -> fail at (Printf.sprintf "expected a string, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let as_bool at = function
+  | Json.Value.Bool b -> b
+  | v -> fail at (Printf.sprintf "expected a boolean, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let as_array at = function
+  | Json.Value.Array vs -> vs
+  | v -> fail at (Printf.sprintf "expected an array, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let as_obj at = function
+  | Json.Value.Object fields -> fields
+  | v -> fail at (Printf.sprintf "expected an object, got %s" (Json.Value.kind_name (Json.Value.kind v)))
+
+let compile_pattern at src =
+  match Re.Pcre.re src with
+  | re -> (src, Re.compile re)
+  | exception _ -> fail at (Printf.sprintf "invalid regular expression %S" src)
+
+let parse_type_field at v =
+  let one at v =
+    let s = as_string at v in
+    match Schema.type_name_of_string s with
+    | Some t -> t
+    | None -> fail at (Printf.sprintf "unknown type name %S" s)
+  in
+  match v with
+  | Json.Value.String _ -> [ one at v ]
+  | Json.Value.Array vs ->
+      if vs = [] then fail at "\"type\" array must not be empty"
+      else List.mapi (fun i x -> one (idx at i) x) vs
+  | _ -> fail at "\"type\" must be a string or an array of strings"
+
+let rec parse_schema at v : Schema.t =
+  match v with
+  | Json.Value.Bool b -> Schema.Bool_schema b
+  | Json.Value.Object fields -> Schema.Schema (parse_node at fields)
+  | v ->
+      fail at
+        (Printf.sprintf "a schema must be a boolean or an object, got %s"
+           (Json.Value.kind_name (Json.Value.kind v)))
+
+and parse_node at fields : Schema.node =
+  let find k = List.assoc_opt k fields in
+  let opt k f = Option.map (fun v -> f (key at k) v) (find k) in
+  let schema_opt k = opt k parse_schema in
+  let schema_list k =
+    match find k with
+    | None -> []
+    | Some v ->
+        let vs = as_array (key at k) v in
+        if vs = [] then fail (key at k) (Printf.sprintf "%S must not be empty" k)
+        else List.mapi (fun i x -> parse_schema (idx (key at k) i) x) vs
+  in
+  let schema_map k =
+    match find k with
+    | None -> []
+    | Some v ->
+        List.map
+          (fun (name, x) -> (name, parse_schema (key (key at k) name) x))
+          (as_obj (key at k) v)
+  in
+  let items =
+    match find "items" with
+    | None -> None
+    | Some (Json.Value.Array vs) ->
+        Some
+          (Schema.Items_many
+             (List.mapi (fun i x -> parse_schema (idx (key at "items") i) x) vs))
+    | Some v -> Some (Schema.Items_one (parse_schema (key at "items") v))
+  in
+  let required =
+    match find "required" with
+    | None -> []
+    | Some v ->
+        let a = key at "required" in
+        List.mapi (fun i x -> as_string (idx a i) x) (as_array a v)
+  in
+  let dependencies =
+    (* draft-7 "dependencies" plus its 2019-09 split into dependentRequired /
+       dependentSchemas; all three merge into one list *)
+    let legacy =
+      match find "dependencies" with
+      | None -> []
+      | Some v ->
+          let a = key at "dependencies" in
+          List.map
+            (fun (name, x) ->
+              let da = key a name in
+              match x with
+              | Json.Value.Array vs ->
+                  (name, Schema.Dep_required (List.mapi (fun i y -> as_string (idx da i) y) vs))
+              | _ -> (name, Schema.Dep_schema (parse_schema da x)))
+            (as_obj a v)
+    in
+    let dep_required =
+      match find "dependentRequired" with
+      | None -> []
+      | Some v ->
+          let a = key at "dependentRequired" in
+          List.map
+            (fun (name, x) ->
+              let da = key a name in
+              (name,
+               Schema.Dep_required
+                 (List.mapi (fun i y -> as_string (idx da i) y) (as_array da x))))
+            (as_obj a v)
+    in
+    let dep_schemas =
+      match find "dependentSchemas" with
+      | None -> []
+      | Some v ->
+          let a = key at "dependentSchemas" in
+          List.map
+            (fun (name, x) -> (name, Schema.Dep_schema (parse_schema (key a name) x)))
+            (as_obj a v)
+    in
+    legacy @ dep_required @ dep_schemas
+  in
+  let pattern_properties =
+    match find "patternProperties" with
+    | None -> []
+    | Some v ->
+        let a = key at "patternProperties" in
+        List.map
+          (fun (pat, x) ->
+            let src, re = compile_pattern (key a pat) pat in
+            (src, re, parse_schema (key a pat) x))
+          (as_obj a v)
+  in
+  (* draft-4 wrote exclusiveMaximum as a boolean modifying maximum;
+     draft-6+ made it a standalone number. Accept both: a boolean [true]
+     turns the adjacent bound exclusive. *)
+  let maximum, exclusive_maximum =
+    match find "exclusiveMaximum" with
+    | Some (Json.Value.Bool true) ->
+        (None, Option.map (as_number (key at "maximum")) (find "maximum"))
+    | Some (Json.Value.Bool false) | None -> (opt "maximum" as_number, None)
+    | Some v ->
+        (opt "maximum" as_number, Some (as_number (key at "exclusiveMaximum") v))
+  in
+  let minimum, exclusive_minimum =
+    match find "exclusiveMinimum" with
+    | Some (Json.Value.Bool true) ->
+        (None, Option.map (as_number (key at "minimum")) (find "minimum"))
+    | Some (Json.Value.Bool false) | None -> (opt "minimum" as_number, None)
+    | Some v ->
+        (opt "minimum" as_number, Some (as_number (key at "exclusiveMinimum") v))
+  in
+  {
+    Schema.empty with
+    types = opt "type" parse_type_field;
+    enum =
+      Option.map
+        (fun v ->
+          let a = key at "enum" in
+          match as_array a v with
+          | [] -> fail a "\"enum\" must not be empty"
+          | vs -> vs)
+        (find "enum");
+    const = find "const";
+    multiple_of =
+      opt "multipleOf" (fun a v ->
+          let f = as_number a v in
+          if f <= 0.0 then fail a "\"multipleOf\" must be positive" else f);
+    maximum;
+    exclusive_maximum;
+    minimum;
+    exclusive_minimum;
+    min_length = opt "minLength" as_nonneg_int;
+    max_length = opt "maxLength" as_nonneg_int;
+    pattern = opt "pattern" (fun a v -> compile_pattern a (as_string a v));
+    format = opt "format" as_string;
+    items;
+    additional_items = schema_opt "additionalItems";
+    min_items = opt "minItems" as_nonneg_int;
+    max_items = opt "maxItems" as_nonneg_int;
+    unique_items = Option.value ~default:false (opt "uniqueItems" as_bool);
+    contains = schema_opt "contains";
+    min_contains = opt "minContains" as_nonneg_int;
+    max_contains = opt "maxContains" as_nonneg_int;
+    properties = schema_map "properties";
+    pattern_properties;
+    additional_properties = schema_opt "additionalProperties";
+    required;
+    min_properties = opt "minProperties" as_nonneg_int;
+    max_properties = opt "maxProperties" as_nonneg_int;
+    property_names = schema_opt "propertyNames";
+    dependencies;
+    all_of = schema_list "allOf";
+    any_of = schema_list "anyOf";
+    one_of = schema_list "oneOf";
+    not_ = schema_opt "not";
+    if_ = schema_opt "if";
+    then_ = schema_opt "then";
+    else_ = schema_opt "else";
+    ref_ = opt "$ref" (fun a v -> as_string a v);
+    definitions = schema_map "definitions" @ schema_map "$defs";
+    title = opt "title" as_string;
+    description = opt "description" as_string;
+    default = find "default";
+  }
+
+let of_json v =
+  match parse_schema [] v with
+  | s -> Ok s
+  | exception Err e -> Error e
+
+let of_json_exn v =
+  match of_json v with Ok s -> s | Error e -> invalid_arg (string_of_error e)
+
+let of_string src =
+  match Json.Parser.parse src with
+  | Error e -> Error (Json.Parser.string_of_error e)
+  | Ok v -> (
+      match of_json v with
+      | Ok s -> Ok s
+      | Error e -> Error (string_of_error e))
+
+let of_string_exn src =
+  match of_string src with Ok s -> s | Error msg -> invalid_arg msg

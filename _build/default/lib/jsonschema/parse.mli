@@ -1,0 +1,15 @@
+(** Reading a {!Schema.t} out of its JSON representation.
+
+    Unknown keywords are ignored (per spec); malformed keyword values are
+    errors. Each error carries the JSON pointer of the offending keyword. *)
+
+type error = { at : Json.Pointer.t; message : string }
+
+val string_of_error : error -> string
+
+val of_json : Json.Value.t -> (Schema.t, error) result
+val of_string : string -> (Schema.t, string) result
+(** Parse the JSON text then the schema; both error kinds are formatted. *)
+
+val of_json_exn : Json.Value.t -> Schema.t
+val of_string_exn : string -> Schema.t

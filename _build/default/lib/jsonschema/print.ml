@@ -1,0 +1,93 @@
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Json.Value.Int (int_of_float f)
+  else Json.Value.Float f
+
+let rec to_json (s : Schema.t) : Json.Value.t =
+  match s with
+  | Schema.Bool_schema b -> Json.Value.Bool b
+  | Schema.Schema n ->
+      let fields = ref [] in
+      let add k v = fields := (k, v) :: !fields in
+      let add_opt k f o = Option.iter (fun x -> add k (f x)) o in
+      let add_schemas k = function
+        | [] -> ()
+        | ss -> add k (Json.Value.Array (List.map to_json ss))
+      in
+      let add_schema_map k = function
+        | [] -> ()
+        | m -> add k (Json.Value.Object (List.map (fun (name, s) -> (name, to_json s)) m))
+      in
+      let str s = Json.Value.String s in
+      let int n = Json.Value.Int n in
+      add_opt "title" str n.title;
+      add_opt "description" str n.description;
+      add_opt "type"
+        (function
+          | [ t ] -> str (Schema.type_name_to_string t)
+          | ts -> Json.Value.Array (List.map (fun t -> str (Schema.type_name_to_string t)) ts))
+        n.types;
+      add_opt "enum" (fun vs -> Json.Value.Array vs) n.enum;
+      add_opt "const" Fun.id n.const;
+      add_opt "multipleOf" number n.multiple_of;
+      add_opt "maximum" number n.maximum;
+      add_opt "exclusiveMaximum" number n.exclusive_maximum;
+      add_opt "minimum" number n.minimum;
+      add_opt "exclusiveMinimum" number n.exclusive_minimum;
+      add_opt "minLength" int n.min_length;
+      add_opt "maxLength" int n.max_length;
+      add_opt "pattern" (fun (src, _) -> str src) n.pattern;
+      add_opt "format" str n.format;
+      add_opt "items"
+        (function
+          | Schema.Items_one s -> to_json s
+          | Schema.Items_many ss -> Json.Value.Array (List.map to_json ss))
+        n.items;
+      add_opt "additionalItems" to_json n.additional_items;
+      add_opt "minItems" int n.min_items;
+      add_opt "maxItems" int n.max_items;
+      if n.unique_items then add "uniqueItems" (Json.Value.Bool true);
+      add_opt "contains" to_json n.contains;
+      add_opt "minContains" int n.min_contains;
+      add_opt "maxContains" int n.max_contains;
+      add_schema_map "properties" n.properties;
+      (match n.pattern_properties with
+       | [] -> ()
+       | pps ->
+           add "patternProperties"
+             (Json.Value.Object (List.map (fun (src, _, s) -> (src, to_json s)) pps)));
+      add_opt "additionalProperties" to_json n.additional_properties;
+      (match n.required with
+       | [] -> ()
+       | rs -> add "required" (Json.Value.Array (List.map str rs)));
+      add_opt "minProperties" int n.min_properties;
+      add_opt "maxProperties" int n.max_properties;
+      add_opt "propertyNames" to_json n.property_names;
+      (match n.dependencies with
+       | [] -> ()
+       | deps ->
+           add "dependencies"
+             (Json.Value.Object
+                (List.map
+                   (fun (name, d) ->
+                     ( name,
+                       match d with
+                       | Schema.Dep_required ks -> Json.Value.Array (List.map str ks)
+                       | Schema.Dep_schema s -> to_json s ))
+                   deps)));
+      add_schemas "allOf" n.all_of;
+      add_schemas "anyOf" n.any_of;
+      add_schemas "oneOf" n.one_of;
+      add_opt "not" to_json n.not_;
+      add_opt "if" to_json n.if_;
+      add_opt "then" to_json n.then_;
+      add_opt "else" to_json n.else_;
+      add_opt "$ref" str n.ref_;
+      add_schema_map "definitions" n.definitions;
+      add_opt "default" Fun.id n.default;
+      Json.Value.Object (List.rev !fields)
+
+let to_string ?(pretty = false) s =
+  let j = to_json s in
+  if pretty then Json.Printer.to_string_pretty j else Json.Printer.to_string j
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,8 @@
+(** Serializing a {!Schema.t} back to its JSON form.
+
+    [of_json |> to_json] is semantics-preserving (draft-7 style output:
+    exclusive bounds print as numbers). *)
+
+val to_json : Schema.t -> Json.Value.t
+val to_string : ?pretty:bool -> Schema.t -> string
+val pp : Format.formatter -> Schema.t -> unit

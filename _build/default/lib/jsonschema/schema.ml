@@ -1,0 +1,166 @@
+type type_name = [ `Null | `Boolean | `Integer | `Number | `String | `Array | `Object ]
+
+let type_name_to_string = function
+  | `Null -> "null"
+  | `Boolean -> "boolean"
+  | `Integer -> "integer"
+  | `Number -> "number"
+  | `String -> "string"
+  | `Array -> "array"
+  | `Object -> "object"
+
+let type_name_of_string = function
+  | "null" -> Some `Null
+  | "boolean" -> Some `Boolean
+  | "integer" -> Some `Integer
+  | "number" -> Some `Number
+  | "string" -> Some `String
+  | "array" -> Some `Array
+  | "object" -> Some `Object
+  | _ -> None
+
+type t =
+  | Bool_schema of bool
+  | Schema of node
+
+and node = {
+  types : type_name list option;
+  enum : Json.Value.t list option;
+  const : Json.Value.t option;
+  multiple_of : float option;
+  maximum : float option;
+  exclusive_maximum : float option;
+  minimum : float option;
+  exclusive_minimum : float option;
+  min_length : int option;
+  max_length : int option;
+  pattern : (string * Re.re) option;
+  format : string option;
+  items : items option;
+  additional_items : t option;
+  min_items : int option;
+  max_items : int option;
+  unique_items : bool;
+  contains : t option;
+  min_contains : int option;
+  max_contains : int option;
+  properties : (string * t) list;
+  pattern_properties : (string * Re.re * t) list;
+  additional_properties : t option;
+  required : string list;
+  min_properties : int option;
+  max_properties : int option;
+  property_names : t option;
+  dependencies : (string * dependency) list;
+  all_of : t list;
+  any_of : t list;
+  one_of : t list;
+  not_ : t option;
+  if_ : t option;
+  then_ : t option;
+  else_ : t option;
+  ref_ : string option;
+  definitions : (string * t) list;
+  title : string option;
+  description : string option;
+  default : Json.Value.t option;
+}
+
+and items =
+  | Items_one : t -> items
+  | Items_many : t list -> items
+
+and dependency =
+  | Dep_required of string list
+  | Dep_schema of t
+
+let empty =
+  {
+    types = None;
+    enum = None;
+    const = None;
+    multiple_of = None;
+    maximum = None;
+    exclusive_maximum = None;
+    minimum = None;
+    exclusive_minimum = None;
+    min_length = None;
+    max_length = None;
+    pattern = None;
+    format = None;
+    items = None;
+    additional_items = None;
+    min_items = None;
+    max_items = None;
+    unique_items = false;
+    contains = None;
+    min_contains = None;
+    max_contains = None;
+    properties = [];
+    pattern_properties = [];
+    additional_properties = None;
+    required = [];
+    min_properties = None;
+    max_properties = None;
+    property_names = None;
+    dependencies = [];
+    all_of = [];
+    any_of = [];
+    one_of = [];
+    not_ = None;
+    if_ = None;
+    then_ = None;
+    else_ = None;
+    ref_ = None;
+    definitions = [];
+    title = None;
+    description = None;
+    default = None;
+  }
+
+let node ?types () = { empty with types }
+
+let is_trivial = function
+  | Bool_schema true -> true
+  | Bool_schema false -> false
+  | Schema n ->
+      n.types = None && n.enum = None && n.const = None && n.multiple_of = None
+      && n.maximum = None && n.exclusive_maximum = None && n.minimum = None
+      && n.exclusive_minimum = None && n.min_length = None && n.max_length = None
+      && n.pattern = None && n.items = None && n.additional_items = None
+      && n.min_items = None && n.max_items = None && not n.unique_items
+      && n.contains = None && n.min_contains = None && n.max_contains = None
+      && n.properties = [] && n.pattern_properties = []
+      && n.additional_properties = None && n.required = [] && n.min_properties = None
+      && n.max_properties = None && n.property_names = None && n.dependencies = []
+      && n.all_of = [] && n.any_of = [] && n.one_of = [] && n.not_ = None
+      && n.if_ = None && n.ref_ = None
+
+let subschemas n =
+  let opt = Option.to_list in
+  let items =
+    match n.items with
+    | None -> []
+    | Some (Items_one s) -> [ s ]
+    | Some (Items_many ss) -> ss
+  in
+  let deps =
+    List.filter_map
+      (function _, Dep_schema s -> Some s | _, Dep_required _ -> None)
+      n.dependencies
+  in
+  items
+  @ opt n.additional_items @ opt n.contains
+  @ List.map snd n.properties
+  @ List.map (fun (_, _, s) -> s) n.pattern_properties
+  @ opt n.additional_properties @ opt n.property_names @ deps @ n.all_of @ n.any_of
+  @ n.one_of @ opt n.not_ @ opt n.if_ @ opt n.then_ @ opt n.else_
+  @ List.map snd n.definitions
+
+let rec fold f acc s =
+  let acc = f acc s in
+  match s with
+  | Bool_schema _ -> acc
+  | Schema n -> List.fold_left (fold f) acc (subschemas n)
+
+let size s = fold (fun n _ -> n + 1) 0 s

@@ -1,0 +1,94 @@
+(** Abstract syntax of JSON Schema (draft-04/06/07 core).
+
+    This follows the formal treatment of Pezoa et al. (WWW'16): a schema is
+    either a boolean or a conjunction of keyword assertions, each keyword
+    constraining one primitive type (assertions for other types are vacuous),
+    plus the Boolean combinators [allOf]/[anyOf]/[oneOf]/[not], conditional
+    [if]/[then]/[else], and internal [$ref] indirection.
+
+    Remote references are out of scope: [$ref] must be ["#"] or a ["#/..."]
+    JSON-pointer into the current document. *)
+
+type type_name = [ `Null | `Boolean | `Integer | `Number | `String | `Array | `Object ]
+
+val type_name_to_string : type_name -> string
+val type_name_of_string : string -> type_name option
+
+type t =
+  | Bool_schema of bool  (** [true] accepts everything, [false] nothing *)
+  | Schema of node
+
+and node = {
+  (* generic *)
+  types : type_name list option;  (** [type]: empty list never occurs *)
+  enum : Json.Value.t list option;
+  const : Json.Value.t option;
+  (* numeric *)
+  multiple_of : float option;
+  maximum : float option;
+  exclusive_maximum : float option;
+  minimum : float option;
+  exclusive_minimum : float option;
+  (* string *)
+  min_length : int option;
+  max_length : int option;
+  pattern : (string * Re.re) option;
+  format : string option;  (** assertion only when the validator opts in *)
+  (* array *)
+  items : items option;
+  additional_items : t option;
+  min_items : int option;
+  max_items : int option;
+  unique_items : bool;
+  contains : t option;
+  min_contains : int option;  (** draft 2019-09; applies with [contains] *)
+  max_contains : int option;
+  (* object *)
+  properties : (string * t) list;
+  pattern_properties : (string * Re.re * t) list;
+  additional_properties : t option;
+  required : string list;
+  min_properties : int option;
+  max_properties : int option;
+  property_names : t option;
+  dependencies : (string * dependency) list;
+  (* combinators *)
+  all_of : t list;
+  any_of : t list;
+  one_of : t list;
+  not_ : t option;
+  if_ : t option;
+  then_ : t option;
+  else_ : t option;
+  (* reference *)
+  ref_ : string option;
+  definitions : (string * t) list;
+  (* annotations *)
+  title : string option;
+  description : string option;
+  default : Json.Value.t option;
+}
+
+and items =
+  | Items_one : t -> items      (** homogeneous: every element *)
+  | Items_many : t list -> items (** positional (tuple) validation *)
+
+and dependency =
+  | Dep_required of string list  (** presence implies presence *)
+  | Dep_schema of t              (** presence implies the whole object matches *)
+
+val empty : node
+(** All keywords absent: semantically [true]. *)
+
+val node : ?types:type_name list -> unit -> node
+(** Convenience for building nodes programmatically; start from {!empty} and
+    override fields for anything richer. *)
+
+val is_trivial : t -> bool
+(** [true] schema or a node with no constraining keyword. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Fold over this schema and every syntactic subschema. *)
+
+val size : t -> int
+(** Number of schema nodes (used by the conciseness experiments). *)

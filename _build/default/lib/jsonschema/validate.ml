@@ -1,0 +1,447 @@
+type config = {
+  assert_formats : bool;
+  max_ref_expansions : int;
+}
+
+let default_config = { assert_formats = false; max_ref_expansions = 64 }
+
+type error = {
+  instance_at : Json.Pointer.t;
+  schema_at : Json.Pointer.t;
+  message : string;
+}
+
+let string_of_error e =
+  let p t = match Json.Pointer.to_string t with "" -> "#" | s -> "#" ^ s in
+  Printf.sprintf "instance %s violates schema %s: %s" (p e.instance_at)
+    (p e.schema_at) e.message
+
+(* --- formats ---------------------------------------------------------- *)
+
+let re_exec re s = Re.execp (Re.compile (Re.whole_string re)) s
+
+let date_re = Re.Pcre.re {|\d{4}-\d{2}-\d{2}|}
+let time_re = Re.Pcre.re {|\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
+let datetime_re = Re.Pcre.re {|\d{4}-\d{2}-\d{2}[Tt]\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
+let email_re = Re.Pcre.re {re|[A-Za-z0-9.!#$%&'*+/=?^_`{|}~-]+@[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)+|re}
+let hostname_re = Re.Pcre.re {|[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*|}
+let ipv4_re = Re.Pcre.re {|((25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)|}
+let ipv6_re = Re.Pcre.re {|[0-9A-Fa-f:.]{2,45}|}
+let uri_re = Re.Pcre.re {|[A-Za-z][A-Za-z0-9+.-]*:[^\s]*|}
+let uuid_re = Re.Pcre.re {|[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}|}
+
+let check_date s =
+  (* calendar-valid, not just shaped like a date *)
+  re_exec date_re s
+  &&
+  let year = int_of_string (String.sub s 0 4) in
+  let month = int_of_string (String.sub s 5 2) in
+  let day = int_of_string (String.sub s 8 2) in
+  let leap = (year mod 4 = 0 && year mod 100 <> 0) || year mod 400 = 0 in
+  let days_in_month =
+    match month with
+    | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+    | 4 | 6 | 9 | 11 -> 30
+    | 2 -> if leap then 29 else 28
+    | _ -> 0
+  in
+  month >= 1 && month <= 12 && day >= 1 && day <= days_in_month
+
+let check_format name s =
+  match name with
+  | "date-time" ->
+      Some (re_exec datetime_re s && check_date (String.sub s 0 (min 10 (String.length s))))
+  | "date" -> Some (check_date s)
+  | "time" -> Some (re_exec time_re s)
+  | "email" -> Some (re_exec email_re s)
+  | "hostname" -> Some (String.length s <= 253 && re_exec hostname_re s)
+  | "ipv4" -> Some (re_exec ipv4_re s)
+  | "ipv6" -> Some (String.contains s ':' && re_exec ipv6_re s)
+  | "uri" -> Some (re_exec uri_re s)
+  | "uuid" -> Some (re_exec uuid_re s)
+  | "json-pointer" -> Some (Result.is_ok (Json.Pointer.parse s))
+  | "regex" -> Some (match Re.Pcre.re s with _ -> true | exception _ -> false)
+  | _ -> None
+
+(* --- context ---------------------------------------------------------- *)
+
+type ctx = {
+  config : config;
+  root : Json.Value.t;                    (* the schema document *)
+  cache : (string, Schema.t) Hashtbl.t;   (* $ref target -> parsed schema *)
+}
+
+exception Invalid_ref of Json.Pointer.t * string
+
+let resolve_ref ctx ~schema_at target =
+  match Hashtbl.find_opt ctx.cache target with
+  | Some s -> s
+  | None ->
+      let ptr_str =
+        if String.equal target "#" then ""
+        else if String.length target > 0 && target.[0] = '#' then
+          String.sub target 1 (String.length target - 1)
+        else raise (Invalid_ref (schema_at, Printf.sprintf "unsupported (non-local) $ref %S" target))
+      in
+      let ptr =
+        match Json.Pointer.parse ptr_str with
+        | Ok p -> p
+        | Error msg -> raise (Invalid_ref (schema_at, msg))
+      in
+      let sub_json =
+        match Json.Pointer.get ptr ctx.root with
+        | Some j -> j
+        | None ->
+            raise (Invalid_ref (schema_at, Printf.sprintf "$ref target %S not found" target))
+      in
+      let s =
+        match Parse.of_json sub_json with
+        | Ok s -> s
+        | Error e -> raise (Invalid_ref (schema_at, Parse.string_of_error e))
+      in
+      Hashtbl.add ctx.cache target s;
+      s
+
+(* --- helpers ---------------------------------------------------------- *)
+
+let kp at k = Json.Pointer.append at (Json.Pointer.Key k)
+let ip at i = Json.Pointer.append at (Json.Pointer.Index i)
+
+let number_of = function
+  | Json.Value.Int n -> Some (float_of_int n)
+  | Json.Value.Float f -> Some f
+  | _ -> None
+
+let is_integer_value = function
+  | Json.Value.Int _ -> true
+  | Json.Value.Float f -> Float.is_integer f
+  | _ -> false
+
+let multiple_of_ok f m =
+  (* float-tolerant divisibility *)
+  let q = f /. m in
+  Float.abs (q -. Float.round q) <= 1e-9 *. Float.abs q +. 1e-12
+
+(* UTF-8 code point count; JSON Schema string lengths are in characters. *)
+let utf8_length s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1
+        else if c < 0xE0 then 2
+        else if c < 0xF0 then 3
+        else 4
+      in
+      go (i + step) (acc + 1)
+  in
+  go 0 0
+
+(* --- validation ------------------------------------------------------- *)
+
+(* Validation returns the list of errors (empty = valid). [fuel] bounds
+   consecutive $ref expansions that do not consume instance input. *)
+let rec check ctx ~fuel ~schema_at ~at (s : Schema.t) (v : Json.Value.t) : error list =
+  match s with
+  | Schema.Bool_schema true -> []
+  | Schema.Bool_schema false ->
+      [ { instance_at = at; schema_at; message = "schema is false" } ]
+  | Schema.Schema n -> check_node ctx ~fuel ~schema_at ~at n v
+
+and check_node ctx ~fuel ~schema_at ~at n v =
+  let err sk message = { instance_at = at; schema_at = kp schema_at sk; message } in
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let add_all es = errors := List.rev_append es !errors in
+  (* $ref: draft-7 semantics — the reference replaces the schema entirely,
+     but we conjoin with sibling keywords (harmless: siblings are rare). *)
+  (match n.Schema.ref_ with
+   | None -> ()
+   | Some target -> (
+       if fuel <= 0 then
+         add (err "$ref" "reference expansion budget exhausted (cyclic schema?)")
+       else
+         match resolve_ref ctx ~schema_at:(kp schema_at "$ref") target with
+         | s -> add_all (check ctx ~fuel:(fuel - 1) ~schema_at:(kp schema_at "$ref") ~at s v)
+         | exception Invalid_ref (p, msg) ->
+             add { instance_at = at; schema_at = p; message = msg }));
+  (* type *)
+  (match n.Schema.types with
+   | None -> ()
+   | Some ts ->
+       let matches t =
+         match (t, v) with
+         | `Null, Json.Value.Null -> true
+         | `Boolean, Json.Value.Bool _ -> true
+         | `Integer, _ -> is_integer_value v
+         | `Number, (Json.Value.Int _ | Json.Value.Float _) -> true
+         | `String, Json.Value.String _ -> true
+         | `Array, Json.Value.Array _ -> true
+         | `Object, Json.Value.Object _ -> true
+         | _ -> false
+       in
+       if not (List.exists matches ts) then
+         add
+           (err "type"
+              (Printf.sprintf "expected %s, got %s"
+                 (String.concat " or " (List.map Schema.type_name_to_string ts))
+                 (Json.Value.kind_name (Json.Value.kind v)))));
+  (* enum / const *)
+  (match n.Schema.enum with
+   | Some vs when not (List.exists (Json.Value.equal v) vs) ->
+       add (err "enum" "value is not one of the enumerated values")
+   | _ -> ());
+  (match n.Schema.const with
+   | Some c when not (Json.Value.equal v c) ->
+       add (err "const" (Printf.sprintf "expected %s" (Json.Printer.to_string c)))
+   | _ -> ());
+  (* numeric *)
+  (match number_of v with
+   | None -> ()
+   | Some f ->
+       let bound keyword test msg = function
+         | Some limit when not (test f limit) ->
+             add (err keyword (Printf.sprintf msg limit f))
+         | _ -> ()
+       in
+       bound "minimum" (fun f l -> f >= l) "expected >= %g, got %g" n.Schema.minimum;
+       bound "maximum" (fun f l -> f <= l) "expected <= %g, got %g" n.Schema.maximum;
+       bound "exclusiveMinimum" (fun f l -> f > l) "expected > %g, got %g"
+         n.Schema.exclusive_minimum;
+       bound "exclusiveMaximum" (fun f l -> f < l) "expected < %g, got %g"
+         n.Schema.exclusive_maximum;
+       (match n.Schema.multiple_of with
+        | Some m when not (multiple_of_ok f m) ->
+            add (err "multipleOf" (Printf.sprintf "%g is not a multiple of %g" f m))
+        | _ -> ()));
+  (* string *)
+  (match v with
+   | Json.Value.String s ->
+       let len = lazy (utf8_length s) in
+       (match n.Schema.min_length with
+        | Some m when Lazy.force len < m ->
+            add (err "minLength" (Printf.sprintf "length %d < %d" (Lazy.force len) m))
+        | _ -> ());
+       (match n.Schema.max_length with
+        | Some m when Lazy.force len > m ->
+            add (err "maxLength" (Printf.sprintf "length %d > %d" (Lazy.force len) m))
+        | _ -> ());
+       (match n.Schema.pattern with
+        | Some (src, re) when not (Re.execp re s) ->
+            add (err "pattern" (Printf.sprintf "%S does not match /%s/" s src))
+        | _ -> ());
+       (match n.Schema.format with
+        | Some name when ctx.config.assert_formats -> (
+            match check_format name s with
+            | Some false ->
+                add (err "format" (Printf.sprintf "%S is not a valid %s" s name))
+            | Some true | None -> ())
+        | _ -> ())
+   | _ -> ());
+  (* array *)
+  (match v with
+   | Json.Value.Array elems ->
+       let len = List.length elems in
+       (match n.Schema.min_items with
+        | Some m when len < m -> add (err "minItems" (Printf.sprintf "%d items < %d" len m))
+        | _ -> ());
+       (match n.Schema.max_items with
+        | Some m when len > m -> add (err "maxItems" (Printf.sprintf "%d items > %d" len m))
+        | _ -> ());
+       if n.Schema.unique_items then begin
+         let sorted = List.sort Json.Value.compare elems in
+         let rec dup = function
+           | a :: (b :: _ as rest) -> Json.Value.equal a b || dup rest
+           | _ -> false
+         in
+         if dup sorted then add (err "uniqueItems" "array elements are not unique")
+       end;
+       (match n.Schema.items with
+        | None -> ()
+        | Some (Schema.Items_one s) ->
+            List.iteri
+              (fun i x ->
+                add_all
+                  (check ctx ~fuel:ctx.config.max_ref_expansions
+                     ~schema_at:(kp schema_at "items") ~at:(ip at i) s x))
+              elems
+        | Some (Schema.Items_many ss) ->
+            let rec go i ss xs =
+              match (ss, xs) with
+              | _, [] -> ()
+              | [], rest ->
+                  (* beyond the tuple prefix: additionalItems applies *)
+                  (match n.Schema.additional_items with
+                   | None -> ()
+                   | Some s ->
+                       List.iteri
+                         (fun j x ->
+                           add_all
+                             (check ctx ~fuel:ctx.config.max_ref_expansions
+                                ~schema_at:(kp schema_at "additionalItems")
+                                ~at:(ip at (i + j)) s x))
+                         rest)
+              | s :: ss', x :: xs' ->
+                  add_all
+                    (check ctx ~fuel:ctx.config.max_ref_expansions
+                       ~schema_at:(ip (kp schema_at "items") i) ~at:(ip at i) s x);
+                  go (i + 1) ss' xs'
+            in
+            go 0 ss elems);
+       (match n.Schema.contains with
+        | None -> ()
+        | Some s ->
+            let hits =
+              List.length
+                (List.filter
+                   (fun x ->
+                     check ctx ~fuel:ctx.config.max_ref_expansions
+                       ~schema_at:(kp schema_at "contains") ~at s x
+                     = [])
+                   elems)
+            in
+            let lo = Option.value ~default:1 n.Schema.min_contains in
+            (if hits < lo then
+               add (err "contains" (Printf.sprintf "%d matching elements, need at least %d" hits lo)));
+            match n.Schema.max_contains with
+            | Some hi when hits > hi ->
+                add (err "maxContains" (Printf.sprintf "%d matching elements, allowed at most %d" hits hi))
+            | _ -> ())
+   | _ -> ());
+  (* object *)
+  (match v with
+   | Json.Value.Object fields ->
+       let nfields = List.length fields in
+       (match n.Schema.min_properties with
+        | Some m when nfields < m ->
+            add (err "minProperties" (Printf.sprintf "%d properties < %d" nfields m))
+        | _ -> ());
+       (match n.Schema.max_properties with
+        | Some m when nfields > m ->
+            add (err "maxProperties" (Printf.sprintf "%d properties > %d" nfields m))
+        | _ -> ());
+       List.iter
+         (fun r ->
+           if not (List.mem_assoc r fields) then
+             add (err "required" (Printf.sprintf "missing required property %S" r)))
+         n.Schema.required;
+       (match n.Schema.property_names with
+        | None -> ()
+        | Some s ->
+            List.iter
+              (fun (k, _) ->
+                add_all
+                  (check ctx ~fuel:ctx.config.max_ref_expansions
+                     ~schema_at:(kp schema_at "propertyNames") ~at:(kp at k) s
+                     (Json.Value.String k)))
+              fields);
+       List.iter
+         (fun (k, x) ->
+           let matched = ref false in
+           (match List.assoc_opt k n.Schema.properties with
+            | Some s ->
+                matched := true;
+                add_all
+                  (check ctx ~fuel:ctx.config.max_ref_expansions
+                     ~schema_at:(kp (kp schema_at "properties") k) ~at:(kp at k) s x)
+            | None -> ());
+           List.iter
+             (fun (src, re, s) ->
+               if Re.execp re k then begin
+                 matched := true;
+                 add_all
+                   (check ctx ~fuel:ctx.config.max_ref_expansions
+                      ~schema_at:(kp (kp schema_at "patternProperties") src)
+                      ~at:(kp at k) s x)
+               end)
+             n.Schema.pattern_properties;
+           if not !matched then
+             match n.Schema.additional_properties with
+             | None -> ()
+             | Some s ->
+                 add_all
+                   (check ctx ~fuel:ctx.config.max_ref_expansions
+                      ~schema_at:(kp schema_at "additionalProperties") ~at:(kp at k) s x))
+         fields;
+       List.iter
+         (fun (trigger, dep) ->
+           if List.mem_assoc trigger fields then
+             match dep with
+             | Schema.Dep_required needed ->
+                 List.iter
+                   (fun k ->
+                     if not (List.mem_assoc k fields) then
+                       add
+                         (err "dependencies"
+                            (Printf.sprintf "property %S requires property %S" trigger k)))
+                   needed
+             | Schema.Dep_schema s ->
+                 add_all
+                   (check ctx ~fuel:ctx.config.max_ref_expansions
+                      ~schema_at:(kp (kp schema_at "dependencies") trigger) ~at s v))
+         n.Schema.dependencies
+   | _ -> ());
+  (* combinators *)
+  List.iteri
+    (fun i s ->
+      add_all (check ctx ~fuel ~schema_at:(ip (kp schema_at "allOf") i) ~at s v))
+    n.Schema.all_of;
+  (match n.Schema.any_of with
+   | [] -> ()
+   | ss ->
+       let ok =
+         List.exists
+           (fun s -> check ctx ~fuel ~schema_at:(kp schema_at "anyOf") ~at s v = [])
+           ss
+       in
+       if not ok then add (err "anyOf" "no alternative matches"));
+  (match n.Schema.one_of with
+   | [] -> ()
+   | ss ->
+       let hits =
+         List.length
+           (List.filter
+              (fun s -> check ctx ~fuel ~schema_at:(kp schema_at "oneOf") ~at s v = [])
+              ss)
+       in
+       if hits <> 1 then
+         add (err "oneOf" (Printf.sprintf "%d alternatives match (need exactly 1)" hits)));
+  (match n.Schema.not_ with
+   | Some s when check ctx ~fuel ~schema_at:(kp schema_at "not") ~at s v = [] ->
+       add (err "not" "value matches the negated schema")
+   | _ -> ());
+  (match n.Schema.if_ with
+   | None -> ()
+   | Some cond ->
+       let branch, which =
+         if check ctx ~fuel ~schema_at:(kp schema_at "if") ~at cond v = [] then
+           (n.Schema.then_, "then")
+         else (n.Schema.else_, "else")
+       in
+       match branch with
+       | None -> ()
+       | Some s -> add_all (check ctx ~fuel ~schema_at:(kp schema_at which) ~at s v));
+  List.rev !errors
+
+let make_ctx config root = { config; root; cache = Hashtbl.create 16 }
+
+let validate ?(config = default_config) ~root instance =
+  match Parse.of_json root with
+  | Error e ->
+      Error
+        [ { instance_at = []; schema_at = e.Parse.at; message = e.Parse.message } ]
+  | Ok s -> (
+      let ctx = make_ctx config root in
+      match check ctx ~fuel:config.max_ref_expansions ~schema_at:[] ~at:[] s instance with
+      | [] -> Ok ()
+      | es -> Error es)
+
+let validate_schema ?(config = default_config) s instance =
+  let ctx = make_ctx config (Print.to_json s) in
+  match check ctx ~fuel:config.max_ref_expansions ~schema_at:[] ~at:[] s instance with
+  | [] -> Ok ()
+  | es -> Error es
+
+let is_valid ?config ~root instance = Result.is_ok (validate ?config ~root instance)

@@ -1,0 +1,45 @@
+(** The JSON Schema validation judgment, following the formal semantics of
+    Pezoa et al. (WWW'16).
+
+    Every keyword is an assertion over instances of one kind and is vacuously
+    satisfied by instances of other kinds; a schema object is the conjunction
+    of its assertions. [$ref] resolves against the root schema document
+    (["#"] and ["#/..."] pointers); infinite derivations are cut off by a
+    configurable expansion budget so cyclic schemas that consume no input
+    fail cleanly instead of diverging. *)
+
+type config = {
+  assert_formats : bool;
+      (** treat [format] as an assertion (default: annotation only) *)
+  max_ref_expansions : int;
+      (** $ref expansions allowed without consuming instance input *)
+}
+
+val default_config : config
+
+type error = {
+  instance_at : Json.Pointer.t;  (** where in the instance *)
+  schema_at : Json.Pointer.t;    (** which schema keyword *)
+  message : string;
+}
+
+val string_of_error : error -> string
+
+val validate :
+  ?config:config -> root:Json.Value.t -> Json.Value.t -> (unit, error list) result
+(** [validate ~root instance] parses schemas lazily out of the [root] schema
+    document (so [$ref] targets anywhere inside it are reachable) and checks
+    [instance]. Returns all violations, outermost first. *)
+
+val validate_schema :
+  ?config:config -> Schema.t -> Json.Value.t -> (unit, error list) result
+(** Validate against an already-parsed schema that contains no [$ref]s (or
+    only ["#"] self-references); for full [$ref] support use {!validate}. *)
+
+val is_valid : ?config:config -> root:Json.Value.t -> Json.Value.t -> bool
+
+val check_format : string -> string -> bool option
+(** [check_format name s]: [None] when the format is unknown (per spec,
+    unknown formats validate); [Some ok] otherwise. Supported: [date-time],
+    [date], [time], [email], [hostname], [ipv4], [ipv6], [uri], [uuid],
+    [json-pointer], [regex]. *)

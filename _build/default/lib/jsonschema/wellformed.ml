@@ -1,0 +1,145 @@
+type warning = { at : Json.Pointer.t; message : string }
+
+let string_of_warning { at; message } =
+  Printf.sprintf "at %s: %s"
+    (match Json.Pointer.to_string at with "" -> "#" | p -> "#" ^ p)
+    message
+
+let check root =
+  let warnings = ref [] in
+  let warn at message = warnings := { at; message } :: !warnings in
+  let check_bound at name lo hi =
+    match (lo, hi) with
+    | Some l, Some h when l > h ->
+        warn at (Printf.sprintf "%s bounds are inconsistent (%g > %g)" name l h)
+    | _ -> ()
+  in
+  let check_int_bound at name lo hi =
+    check_bound at name
+      (Option.map float_of_int lo)
+      (Option.map float_of_int hi)
+  in
+  (* Walk the document structurally, tracking the pointer, so warnings can
+     point at the offending keyword even inside definitions. *)
+  let rec walk at (v : Json.Value.t) =
+    match Parse.of_json v with
+    | Error e -> warn e.Parse.at e.Parse.message
+    | Ok (Schema.Bool_schema _) -> ()
+    | Ok (Schema.Schema n) ->
+        check_bound at "number" n.Schema.minimum n.Schema.maximum;
+        check_bound at "exclusive number" n.Schema.exclusive_minimum
+          n.Schema.exclusive_maximum;
+        check_int_bound at "string length" n.Schema.min_length n.Schema.max_length;
+        check_int_bound at "array size" n.Schema.min_items n.Schema.max_items;
+        check_int_bound at "object size" n.Schema.min_properties n.Schema.max_properties;
+        (match (n.Schema.types, n.Schema.enum) with
+         | Some ts, Some vs ->
+             let matches_some_type e =
+               List.exists
+                 (fun t ->
+                   match (t, Json.Value.kind e) with
+                   | `Null, `Null | `Boolean, `Bool | `Number, `Number
+                   | `String, `String | `Array, `Array | `Object, `Object ->
+                       true
+                   | `Integer, `Number -> (
+                       match e with
+                       | Json.Value.Int _ -> true
+                       | Json.Value.Float f -> Float.is_integer f
+                       | _ -> false)
+                   | _ -> false)
+                 ts
+             in
+             if not (List.exists matches_some_type vs) then
+               warn at "no enum value is compatible with \"type\": schema is unsatisfiable"
+         | _ -> ());
+        (match (n.Schema.items, n.Schema.additional_items) with
+         | Some (Schema.Items_one _), Some _ ->
+             warn at "\"additionalItems\" is ignored when \"items\" is a single schema"
+         | _ -> ());
+        (match n.Schema.ref_ with
+         | None -> ()
+         | Some target ->
+             if String.equal target "#" then ()
+             else if String.length target > 0 && target.[0] = '#' then begin
+               let ptr_str = String.sub target 1 (String.length target - 1) in
+               match Json.Pointer.parse ptr_str with
+               | Error msg -> warn at (Printf.sprintf "invalid $ref %S: %s" target msg)
+               | Ok ptr ->
+                   if not (Json.Pointer.exists ptr root) then
+                     warn at (Printf.sprintf "$ref target %S does not exist" target)
+             end
+             else warn at (Printf.sprintf "non-local $ref %S is not supported" target));
+        (* Recurse into syntactic subschemas via the JSON, so pointers stay
+           accurate. *)
+        descend at v
+  and descend at v =
+    let sub k x =
+      walk (Json.Pointer.append at (Json.Pointer.Key k)) x
+    in
+    match v with
+    | Json.Value.Object fields ->
+        List.iter
+          (fun (k, x) ->
+            match k with
+            | "items" -> (
+                match x with
+                | Json.Value.Array vs ->
+                    List.iteri
+                      (fun i y ->
+                        walk
+                          (Json.Pointer.append
+                             (Json.Pointer.append at (Json.Pointer.Key "items"))
+                             (Json.Pointer.Index i))
+                          y)
+                      vs
+                | _ -> sub k x)
+            | "additionalItems" | "contains" | "additionalProperties"
+            | "propertyNames" | "not" | "if" | "then" | "else" ->
+                sub k x
+            | "allOf" | "anyOf" | "oneOf" -> (
+                match x with
+                | Json.Value.Array vs ->
+                    List.iteri
+                      (fun i y ->
+                        walk
+                          (Json.Pointer.append
+                             (Json.Pointer.append at (Json.Pointer.Key k))
+                             (Json.Pointer.Index i))
+                          y)
+                      vs
+                | _ -> ())
+            | "properties" | "patternProperties" | "definitions" -> (
+                match x with
+                | Json.Value.Object props ->
+                    List.iter
+                      (fun (name, y) ->
+                        walk
+                          (Json.Pointer.append
+                             (Json.Pointer.append at (Json.Pointer.Key k))
+                             (Json.Pointer.Key name))
+                          y)
+                      props
+                | _ -> ())
+            | "dependencies" -> (
+                match x with
+                | Json.Value.Object deps ->
+                    List.iter
+                      (fun (name, y) ->
+                        match y with
+                        | Json.Value.Object _ | Json.Value.Bool _ ->
+                            walk
+                              (Json.Pointer.append
+                                 (Json.Pointer.append at (Json.Pointer.Key k))
+                                 (Json.Pointer.Key name))
+                              y
+                        | _ -> ())
+                      deps
+                | _ -> ())
+            | _ -> ())
+          fields
+    | _ -> ()
+  in
+  walk [] root;
+  List.rev !warnings
+
+let is_wellformed root = check root = []

@@ -1,0 +1,19 @@
+(** Static sanity checks over schema documents (the "well-formedness"
+    judgment of Pezoa et al.).
+
+    These are checks on the schema itself, independent of any instance:
+    internal [$ref] targets must resolve, numeric and size bounds must be
+    internally consistent, and tuple-[items]/[additionalItems] combinations
+    must make sense. A well-formed schema can still be unsatisfiable (that
+    is undecidable in general once [not] enters the language); these checks
+    catch the mistakes schema authors actually make. *)
+
+type warning = { at : Json.Pointer.t; message : string }
+
+val string_of_warning : warning -> string
+
+val check : Json.Value.t -> warning list
+(** Analyze a schema document (as JSON, so that [$ref] targets anywhere in
+    the document can be verified). Empty list = no problems found. *)
+
+val is_wellformed : Json.Value.t -> bool

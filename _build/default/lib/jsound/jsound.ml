@@ -1,0 +1,272 @@
+type atomic =
+  | A_string
+  | A_integer
+  | A_decimal
+  | A_double
+  | A_boolean
+  | A_null
+  | A_date
+  | A_date_time
+  | A_time
+  | A_any_uri
+  | A_item
+
+type t =
+  | Atomic of atomic * bool
+  | Object_s of field list
+  | Array_s of t
+
+and field = { name : string; schema : t; optional : bool; key : bool }
+
+let atomic_of_string = function
+  | "string" -> Some A_string
+  | "integer" -> Some A_integer
+  | "decimal" -> Some A_decimal
+  | "double" -> Some A_double
+  | "boolean" -> Some A_boolean
+  | "null" -> Some A_null
+  | "date" -> Some A_date
+  | "dateTime" -> Some A_date_time
+  | "time" -> Some A_time
+  | "anyURI" -> Some A_any_uri
+  | "item" -> Some A_item
+  | _ -> None
+
+let atomic_to_string = function
+  | A_string -> "string"
+  | A_integer -> "integer"
+  | A_decimal -> "decimal"
+  | A_double -> "double"
+  | A_boolean -> "boolean"
+  | A_null -> "null"
+  | A_date -> "date"
+  | A_date_time -> "dateTime"
+  | A_time -> "time"
+  | A_any_uri -> "anyURI"
+  | A_item -> "item"
+
+let rec parse (v : Json.Value.t) : (t, string) result =
+  match v with
+  | Json.Value.String s ->
+      let nullable = String.length s > 0 && s.[String.length s - 1] = '?' in
+      let base = if nullable then String.sub s 0 (String.length s - 1) else s in
+      (match atomic_of_string base with
+       | Some a -> Ok (Atomic (a, nullable))
+       | None -> Error (Printf.sprintf "unknown type designator %S" s))
+  | Json.Value.Array [ elem ] -> (
+      match parse elem with
+      | Ok s -> Ok (Array_s s)
+      | Error _ as e -> e)
+  | Json.Value.Array _ ->
+      Error "an array schema must contain exactly one member schema"
+  | Json.Value.Object fields ->
+      let rec go acc = function
+        | [] -> Ok (Object_s (List.rev acc))
+        | (raw_name, sub) :: rest -> (
+            let optional = String.length raw_name > 0 && raw_name.[0] = '?' in
+            let key = String.length raw_name > 0 && raw_name.[0] = '@' in
+            let name =
+              if optional || key then String.sub raw_name 1 (String.length raw_name - 1)
+              else raw_name
+            in
+            if name = "" then Error "empty field name"
+            else
+              match parse sub with
+              | Ok schema -> go ({ name; schema; optional; key } :: acc) rest
+              | Error _ as e -> e)
+      in
+      go [] fields
+  | _ -> Error "a JSound schema is a type string, an object, or a singleton array"
+
+let parse_string src =
+  match Json.Parser.parse src with
+  | Error e -> Error (Json.Parser.string_of_error e)
+  | Ok v -> parse v
+
+let rec to_json = function
+  | Atomic (a, nullable) ->
+      Json.Value.String (atomic_to_string a ^ if nullable then "?" else "")
+  | Array_s s -> Json.Value.Array [ to_json s ]
+  | Object_s fields ->
+      Json.Value.Object
+        (List.map
+           (fun f ->
+             let prefix = if f.key then "@" else if f.optional then "?" else "" in
+             (prefix ^ f.name, to_json f.schema))
+           fields)
+
+type error = { at : Json.Pointer.t; message : string }
+
+let string_of_error { at; message } =
+  Printf.sprintf "at %s: %s"
+    (match Json.Pointer.to_string at with "" -> "<root>" | p -> p)
+    message
+
+let date_ok s = Jsonschema.Validate.check_format "date" s = Some true
+let datetime_ok s = Jsonschema.Validate.check_format "date-time" s = Some true
+let time_ok s = Jsonschema.Validate.check_format "time" s = Some true
+let uri_ok s = Jsonschema.Validate.check_format "uri" s = Some true
+
+let atomic_ok a (v : Json.Value.t) =
+  match (a, v) with
+  | A_item, _ -> true
+  | A_string, Json.Value.String _ -> true
+  | A_integer, Json.Value.Int _ -> true
+  | A_integer, Json.Value.Float f -> Float.is_integer f
+  | A_decimal, (Json.Value.Int _ | Json.Value.Float _) -> true
+  | A_double, (Json.Value.Int _ | Json.Value.Float _) -> true
+  | A_boolean, Json.Value.Bool _ -> true
+  | A_null, Json.Value.Null -> true
+  | A_date, Json.Value.String s -> date_ok s
+  | A_date_time, Json.Value.String s -> datetime_ok s
+  | A_time, Json.Value.String s -> time_ok s
+  | A_any_uri, Json.Value.String s -> uri_ok s
+  | _ -> false
+
+let rec check at (s : t) (v : Json.Value.t) : error list =
+  match s with
+  | Atomic (a, nullable) ->
+      if atomic_ok a v || (nullable && v = Json.Value.Null) then []
+      else
+        [ { at;
+            message =
+              Printf.sprintf "expected %s%s, got %s" (atomic_to_string a)
+                (if nullable then "?" else "")
+                (Json.Value.kind_name (Json.Value.kind v)) } ]
+  | Array_s elem -> (
+      match v with
+      | Json.Value.Array vs ->
+          List.concat
+            (List.mapi
+               (fun i x -> check (Json.Pointer.append at (Json.Pointer.Index i)) elem x)
+               vs)
+      | _ -> [ { at; message = "expected an array" } ])
+  | Object_s fields -> (
+      match v with
+      | Json.Value.Object obj ->
+          let declared = List.map (fun f -> f.name) fields in
+          let missing =
+            List.filter_map
+              (fun f ->
+                if f.optional || List.mem_assoc f.name obj then None
+                else
+                  Some { at; message = Printf.sprintf "missing required field %S" f.name })
+              fields
+          in
+          let extra =
+            List.filter_map
+              (fun (k, _) ->
+                if List.mem k declared then None
+                else Some { at; message = Printf.sprintf "undeclared field %S" k })
+              obj
+          in
+          let nested =
+            List.concat_map
+              (fun f ->
+                match List.assoc_opt f.name obj with
+                | Some x ->
+                    check (Json.Pointer.append at (Json.Pointer.Key f.name)) f.schema x
+                | None -> [])
+              fields
+          in
+          missing @ extra @ nested
+      | _ -> [ { at; message = "expected an object" } ])
+
+let validate s v = match check [] s v with [] -> Ok () | es -> Error es
+let is_valid s v = validate s v = Ok ()
+
+let validate_collection s vs =
+  let per_instance =
+    List.concat
+      (List.mapi
+         (fun i v ->
+           List.map
+             (fun e -> { e with at = Json.Pointer.Index i :: e.at })
+             (check [] s v))
+         vs)
+  in
+  (* uniqueness of @key fields at the top level of an object schema *)
+  let key_errors =
+    match s with
+    | Object_s fields ->
+        List.concat_map
+          (fun f ->
+            if not f.key then []
+            else begin
+              let seen = Hashtbl.create 16 in
+              List.concat
+                (List.mapi
+                   (fun i v ->
+                     match Json.Value.member f.name v with
+                     | Some key_val -> (
+                         let repr = Json.Printer.to_string key_val in
+                         match Hashtbl.find_opt seen repr with
+                         | Some first ->
+                             [ { at = [ Json.Pointer.Index i; Json.Pointer.Key f.name ];
+                                 message =
+                                   Printf.sprintf
+                                     "duplicate value for key field %S (first at index %d)"
+                                     f.name first } ]
+                         | None ->
+                             Hashtbl.add seen repr i;
+                             [])
+                     | None -> [])
+                   vs)
+            end)
+          fields
+    | _ -> []
+  in
+  match per_instance @ key_errors with [] -> Ok () | es -> Error es
+
+let rec to_json_schema (s : t) : Jsonschema.Schema.t =
+  let open Jsonschema.Schema in
+  match s with
+  | Atomic (a, nullable) ->
+      let typed ?format t =
+        { empty with
+          types = Some (if nullable then [ t; `Null ] else [ t ]);
+          format }
+      in
+      Schema
+        (match a with
+         | A_string -> typed `String
+         | A_integer -> typed `Integer
+         | A_decimal | A_double -> typed `Number
+         | A_boolean -> typed `Boolean
+         | A_null -> typed `Null
+         | A_date -> typed ~format:"date" `String
+         | A_date_time -> typed ~format:"date-time" `String
+         | A_time -> typed ~format:"time" `String
+         | A_any_uri -> typed ~format:"uri" `String
+         | A_item -> empty)
+  | Array_s elem ->
+      Schema
+        { empty with types = Some [ `Array ]; items = Some (Items_one (to_json_schema elem)) }
+  | Object_s fields ->
+      Schema
+        { empty with
+          types = Some [ `Object ];
+          properties = List.map (fun f -> (f.name, to_json_schema f.schema)) fields;
+          required =
+            List.filter_map (fun f -> if f.optional then None else Some f.name) fields;
+          additional_properties = Some (Bool_schema false) }
+
+let rec to_jtype (s : t) : Jtype.Types.t =
+  match s with
+  | Atomic (a, nullable) ->
+      let base =
+        match a with
+        | A_string | A_date | A_date_time | A_time | A_any_uri -> Jtype.Types.str
+        | A_integer -> Jtype.Types.int
+        | A_decimal | A_double -> Jtype.Types.num
+        | A_boolean -> Jtype.Types.bool
+        | A_null -> Jtype.Types.null
+        | A_item -> Jtype.Types.any
+      in
+      if nullable then Jtype.Types.union [ base; Jtype.Types.null ] else base
+  | Array_s elem -> Jtype.Types.arr (to_jtype elem)
+  | Object_s fields ->
+      Jtype.Types.rec_
+        (List.map
+           (fun f -> Jtype.Types.field ~optional:f.optional f.name (to_jtype f.schema))
+           fields)

@@ -1,0 +1,68 @@
+(** The JSound compact schema language (jsoniq.org/docs/JSound).
+
+    JSound is deliberately restrictive — the tutorial describes it as "an
+    alternative, but quite restrictive, schema language". A schema is itself
+    a JSON value:
+
+    - an {b atomic type designator} string: ["string"], ["integer"],
+      ["decimal"], ["double"], ["boolean"], ["null"], ["date"],
+      ["dateTime"], ["time"], ["anyURI"], ["item"] (anything);
+      a trailing [?] makes the type nullable (["integer?"]);
+    - an {b object schema}: a JSON object mapping field names to schemas.
+      Fields are required by default; a [?] prefix on the name makes the
+      field optional (["?middle_name"]); an [@] prefix marks a required
+      key field whose values must be unique across a collection;
+    - an {b array schema}: a singleton array [[S]] — instances are arrays
+      whose every element matches [S].
+
+    Unions, co-occurrence constraints and negation are intentionally not
+    expressible; that restriction is what experiments E1/E4 measure. *)
+
+type atomic =
+  | A_string
+  | A_integer
+  | A_decimal  (** any JSON number *)
+  | A_double
+  | A_boolean
+  | A_null
+  | A_date
+  | A_date_time
+  | A_time
+  | A_any_uri
+  | A_item  (** wildcard *)
+
+type t =
+  | Atomic of atomic * bool  (** [true] = nullable ([?] suffix) *)
+  | Object_s of field list
+  | Array_s of t
+
+and field = {
+  name : string;
+  schema : t;
+  optional : bool;  (** [?] prefix *)
+  key : bool;  (** [@] prefix *)
+}
+
+val parse : Json.Value.t -> (t, string) result
+(** Read a schema from its JSON form. *)
+
+val parse_string : string -> (t, string) result
+val to_json : t -> Json.Value.t
+
+type error = { at : Json.Pointer.t; message : string }
+
+val string_of_error : error -> string
+
+val validate : t -> Json.Value.t -> (unit, error list) result
+val is_valid : t -> Json.Value.t -> bool
+
+val validate_collection : t -> Json.Value.t list -> (unit, error list) result
+(** Per-instance validation plus uniqueness of [@]-annotated key fields
+    across the collection. *)
+
+val to_json_schema : t -> Jsonschema.Schema.t
+(** Faithful translation ([date]/[dateTime]/[time]/[anyURI] become [format]
+    annotations; [@] uniqueness is not expressible and is dropped). *)
+
+val to_jtype : t -> Jtype.Types.t
+(** Abstraction into the type algebra ([date] etc. collapse to [Str]). *)

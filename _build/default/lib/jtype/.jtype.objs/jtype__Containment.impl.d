@@ -1,0 +1,1 @@
+lib/jtype/containment.ml: Interop Json Jsonschema List Typecheck

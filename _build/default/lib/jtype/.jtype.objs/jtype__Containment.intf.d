@@ -1,0 +1,1 @@
+lib/jtype/containment.mli: Json Jsonschema

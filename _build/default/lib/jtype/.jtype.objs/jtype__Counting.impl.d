@@ -1,0 +1,1 @@
+lib/jtype/counting.ml: Format Hashtbl Json List Merge Printf Stdlib String Types

@@ -1,0 +1,1 @@
+lib/jtype/counting.mli: Format Json Merge Types

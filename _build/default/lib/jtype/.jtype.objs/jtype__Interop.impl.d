@@ -1,0 +1,1 @@
+lib/jtype/interop.ml: Jsonschema List String Types

@@ -1,0 +1,1 @@
+lib/jtype/interop.mli: Json Jsonschema Types

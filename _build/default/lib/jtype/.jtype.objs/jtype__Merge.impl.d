@@ -1,0 +1,1 @@
+lib/jtype/merge.ml: List String Types

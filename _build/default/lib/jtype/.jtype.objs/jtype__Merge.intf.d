@@ -1,0 +1,1 @@
+lib/jtype/merge.mli: Types

@@ -1,0 +1,1 @@
+lib/jtype/swift.ml: Char Fun List Printf String Types

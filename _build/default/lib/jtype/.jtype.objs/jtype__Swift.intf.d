@@ -1,0 +1,1 @@
+lib/jtype/swift.mli: Types

@@ -1,0 +1,1 @@
+lib/jtype/typecheck.ml: Json List Printf Result String Types

@@ -1,0 +1,1 @@
+lib/jtype/typecheck.mli: Json Types

@@ -1,0 +1,1 @@
+lib/jtype/types.ml: Bool Format Hashtbl Json List Printf Stdlib String

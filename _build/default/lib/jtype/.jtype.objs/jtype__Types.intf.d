@@ -1,0 +1,1 @@
+lib/jtype/types.mli: Format Json

@@ -1,0 +1,1 @@
+lib/jtype/typescript.ml: Char Hashtbl Json List Printf String Types

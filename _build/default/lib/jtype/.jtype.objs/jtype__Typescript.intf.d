@@ -1,0 +1,1 @@
+lib/jtype/typescript.mli: Types

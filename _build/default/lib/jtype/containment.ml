@@ -1,0 +1,109 @@
+type verdict =
+  | Included
+  | Not_included of Json.Value.t
+  | Unknown
+
+let verdict_to_string = function
+  | Included -> "included"
+  | Not_included cex -> "not included (counterexample: " ^ Json.Printer.to_string cex ^ ")"
+  | Unknown -> "unknown"
+
+(* The structural fragment: schemas whose Interop.of_schema translation is
+   exact (accepts precisely the same instances). *)
+let exact s =
+  let open Jsonschema.Schema in
+  let rec go s =
+    match s with
+    | Bool_schema _ -> true
+    | Schema n -> (
+        n.enum = None && n.const = None && n.multiple_of = None && n.maximum = None
+        && n.exclusive_maximum = None && n.minimum = None && n.exclusive_minimum = None
+        && n.min_length = None && n.max_length = None && n.pattern = None
+        && n.format = None && n.additional_items = None && n.min_items = None
+        && n.max_items = None && (not n.unique_items) && n.contains = None
+        && n.min_contains = None && n.max_contains = None
+        && n.pattern_properties = [] && n.min_properties = None
+        && n.max_properties = None && n.property_names = None && n.dependencies = []
+        && n.all_of = [] && n.one_of = [] && n.not_ = None && n.if_ = None
+        && n.ref_ = None && n.definitions = []
+        && List.for_all go n.any_of
+        &&
+        match n.types with
+        | None ->
+            n.properties = [] && n.required = [] && n.items = None
+            && n.additional_properties = None
+        | Some [ `Null ] | Some [ `Boolean ] | Some [ `Integer ] | Some [ `Number ]
+        | Some [ `String ] ->
+            n.properties = [] && n.required = [] && n.items = None
+            && n.additional_properties = None && n.any_of = []
+        | Some [ `Array ] -> (
+            n.properties = [] && n.required = [] && n.additional_properties = None
+            && n.any_of = []
+            &&
+            match n.items with
+            | None -> true
+            | Some (Items_one s) -> go s
+            | Some (Items_many _) -> false)
+        | Some [ `Object ] ->
+            n.items = None && n.any_of = []
+            && (match n.additional_properties with
+                | Some (Bool_schema false) -> true
+                | _ -> false)
+            && List.for_all (fun r -> List.mem_assoc r n.properties) n.required
+            && List.for_all (fun (_, s) -> go s) n.properties
+        | Some _ -> false)
+  in
+  go s
+
+let refute ~samples sub_root super_root =
+  let st = Jsonschema.Generate.rng ~seed:97 in
+  let rec go k =
+    if k = 0 then None
+    else
+      match Jsonschema.Generate.generate_valid st ~root:sub_root with
+      | Some v when not (Jsonschema.Validate.is_valid ~root:super_root v) -> Some v
+      | Some _ -> go (k - 1)
+      | None -> go (k - 1)
+  in
+  go samples
+
+let check ?(samples = 200) sub_root super_root =
+  match refute ~samples sub_root super_root with
+  | Some cex -> Not_included cex
+  | None -> (
+      match (Jsonschema.Parse.of_json sub_root, Jsonschema.Parse.of_json super_root) with
+      | Ok sub, Ok super when exact sub && exact super ->
+          if Typecheck.subtype (Interop.of_schema sub) (Interop.of_schema super) then
+            Included
+          else
+            (* the algebra's subtyping is sound but (for unions of records)
+               incomplete: absence of proof is not refutation *)
+            Unknown
+      | _ -> Unknown)
+
+let equivalent ?samples a b =
+  match check ?samples a b with
+  | Not_included cex -> Not_included cex
+  | fwd -> (
+      match check ?samples b a with
+      | Not_included cex -> Not_included cex
+      | bwd -> (
+          match (fwd, bwd) with
+          | Included, Included -> Included
+          | _ -> Unknown))
+
+type sat = Satisfiable of Json.Value.t | Maybe_unsatisfiable
+
+let satisfiable ?(samples = 200) root =
+  match root with
+  | Json.Value.Bool false -> Maybe_unsatisfiable
+  | _ -> (
+      let st = Jsonschema.Generate.rng ~seed:89 in
+      let rec go k =
+        if k = 0 then Maybe_unsatisfiable
+        else
+          match Jsonschema.Generate.generate_valid st ~root with
+          | Some v -> Satisfiable v
+          | None -> go (k - 1)
+      in
+      go (max 1 (samples / 50)))

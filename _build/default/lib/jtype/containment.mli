@@ -1,0 +1,45 @@
+(** JSON Schema containment and satisfiability checking, via the type
+    algebra.
+
+    Full JSON Schema containment is intractable in general (EXPTIME-hard
+    with negation — Pezoa et al. WWW'16, Bourhis et al. PODS'17), so this
+    module is honest about what it knows:
+
+    - {b refutation} is semidecidable and cheap: generate instances of the
+      candidate subschema and test them against the superschema — any
+      failure is a concrete counterexample;
+    - {b proof} is decided on the {e structural fragment} — schemas
+      expressible in the type algebra (single [type], closed objects with
+      [properties]/[required], homogeneous [items], [anyOf], booleans) —
+      by translating both sides exactly ({!Interop.of_schema}) and using
+      the algebra's sound subtyping ({!Typecheck.subtype});
+    - everything else returns [Unknown].
+
+    This three-valued design mirrors how practical tools (e.g. schema
+    registries checking evolution compatibility) behave. *)
+
+type verdict =
+  | Included
+  | Not_included of Json.Value.t
+      (** counterexample: valid for the sub, invalid for the super *)
+  | Unknown
+
+val verdict_to_string : verdict -> string
+
+val check : ?samples:int -> Json.Value.t -> Json.Value.t -> verdict
+(** [check sub super]: is every instance of [sub] an instance of [super]?
+    Schemas are given as JSON documents. [samples] (default 200) bounds
+    the refutation search. *)
+
+val equivalent : ?samples:int -> Json.Value.t -> Json.Value.t -> verdict
+(** Containment both ways (a counterexample may witness either side). *)
+
+val exact : Jsonschema.Schema.t -> bool
+(** Does the schema lie in the structural fragment (its translation to the
+    type algebra is semantics-preserving)? *)
+
+type sat = Satisfiable of Json.Value.t | Maybe_unsatisfiable
+
+val satisfiable : ?samples:int -> Json.Value.t -> sat
+(** Witness search: generation-based, so "maybe" on failure (schemas that
+    are syntactically [false] are reported unsatisfiable immediately). *)

@@ -1,0 +1,219 @@
+type t =
+  | CNull of int
+  | CBool of int
+  | CInt of int
+  | CNum of int
+  | CStr of int
+  | CArr of int * t
+  | CRec of int * cfield list
+  | CUnion of t list
+  | CAny of int
+  | CBot
+
+and cfield = { fname : string; occurs : int; ftype : t }
+
+let rec count = function
+  | CNull n | CBool n | CInt n | CNum n | CStr n | CArr (n, _) | CRec (n, _)
+  | CAny n ->
+      n
+  | CUnion ts -> List.fold_left (fun acc t -> acc + count t) 0 ts
+  | CBot -> 0
+
+let sort_fields = List.sort (fun a b -> String.compare a.fname b.fname)
+
+let rec of_value ~equiv (v : Json.Value.t) : t =
+  match v with
+  | Json.Value.Null -> CNull 1
+  | Json.Value.Bool _ -> CBool 1
+  | Json.Value.Int _ -> CInt 1
+  | Json.Value.Float _ -> CNum 1
+  | Json.Value.String _ -> CStr 1
+  | Json.Value.Array vs ->
+      (* element counts accumulate across all elements of this one array *)
+      let elem =
+        List.fold_left (fun acc x -> merge ~equiv acc (of_value ~equiv x)) CBot vs
+      in
+      CArr (1, elem)
+  | Json.Value.Object fields ->
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev fields)
+      in
+      CRec
+        (1,
+         sort_fields
+           (List.map (fun (k, x) -> { fname = k; occurs = 1; ftype = of_value ~equiv x }) uniq))
+
+and merge_fields ~equiv total_other_absent xs ys =
+  (* Both sorted. A field absent on one side keeps its count (it just
+     becomes optional relative to the merged record count). *)
+  ignore total_other_absent;
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (x :: xs' as xl), (y :: ys' as yl) ->
+        let c = String.compare x.fname y.fname in
+        if c = 0 then
+          { fname = x.fname;
+            occurs = x.occurs + y.occurs;
+            ftype = merge ~equiv x.ftype y.ftype }
+          :: go xs' ys'
+        else if c < 0 then x :: go xs' yl
+        else y :: go xl ys'
+  in
+  go xs ys
+
+and same_labels xs ys =
+  List.length xs = List.length ys
+  && List.for_all2 (fun x y -> String.equal x.fname y.fname) xs ys
+
+and fuse ~equiv a b : t option =
+  match (a, b) with
+  | CAny n, other | other, CAny n -> Some (CAny (n + count other))
+  | CNull n, CNull m -> Some (CNull (n + m))
+  | CBool n, CBool m -> Some (CBool (n + m))
+  | CInt n, CInt m -> Some (CInt (n + m))
+  | CStr n, CStr m -> Some (CStr (n + m))
+  | (CNum n | CInt n), (CNum m | CInt m) -> Some (CNum (n + m))
+  | CArr (n, x), CArr (m, y) -> Some (CArr (n + m, merge ~equiv x y))
+  | CRec (n, xs), CRec (m, ys) -> (
+      match equiv with
+      | Merge.Kind -> Some (CRec (n + m, merge_fields ~equiv 0 xs ys))
+      | Merge.Label ->
+          if same_labels xs ys then Some (CRec (n + m, merge_fields ~equiv 0 xs ys))
+          else None)
+  | _ -> None
+
+and insert ~equiv branch acc =
+  let rec go seen = function
+    | [] -> List.rev (branch :: seen)
+    | candidate :: rest -> (
+        match fuse ~equiv candidate branch with
+        | Some fused -> insert ~equiv fused (List.rev_append seen rest)
+        | None -> go (candidate :: seen) rest)
+  in
+  go [] acc
+
+and merge ~equiv a b =
+  let branches = function CUnion ts -> ts | CBot -> [] | t -> [ t ] in
+  match List.fold_left (fun acc t -> insert ~equiv t acc) [] (branches a @ branches b) with
+  | [] -> CBot
+  | [ t ] -> t
+  | ts -> CUnion (List.sort Stdlib.compare ts)
+
+let merge_all ~equiv = function
+  | [] -> CBot
+  | t :: ts -> List.fold_left (merge ~equiv) t ts
+
+let infer ~equiv values = merge_all ~equiv (List.map (of_value ~equiv) values)
+
+let rec erase (t : t) : Types.t =
+  match t with
+  | CBot -> Types.bot
+  | CNull _ -> Types.null
+  | CBool _ -> Types.bool
+  | CInt _ -> Types.int
+  | CNum _ -> Types.num
+  | CStr _ -> Types.str
+  | CAny _ -> Types.any
+  | CArr (_, elem) -> Types.arr (erase elem)
+  | CRec (n, fields) ->
+      Types.rec_
+        (List.map
+           (fun f -> Types.field ~optional:(f.occurs < n) f.fname (erase f.ftype))
+           fields)
+  | CUnion ts -> Types.union (List.map erase ts)
+
+let rec to_string (t : t) =
+  match t with
+  | CBot -> "Bot"
+  | CNull n -> Printf.sprintf "Null(%d)" n
+  | CBool n -> Printf.sprintf "Bool(%d)" n
+  | CInt n -> Printf.sprintf "Int(%d)" n
+  | CNum n -> Printf.sprintf "Num(%d)" n
+  | CStr n -> Printf.sprintf "Str(%d)" n
+  | CAny n -> Printf.sprintf "Any(%d)" n
+  | CArr (n, elem) -> Printf.sprintf "[%s](%d)" (to_string elem) n
+  | CRec (n, fields) ->
+      let f fld = Printf.sprintf "%s(%d): %s" fld.fname fld.occurs (to_string fld.ftype) in
+      Printf.sprintf "{%s}(%d)" (String.concat ", " (List.map f fields)) n
+  | CUnion ts -> String.concat " + " (List.map to_string ts)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let field_probability t path =
+  (* Walk the chain of record fields, descending through union branches by
+     picking the record branch. *)
+  let rec records = function
+    | CRec (n, fields) -> [ (n, fields) ]
+    | CUnion ts -> List.concat_map records ts
+    | _ -> []
+  in
+  let rec go t = function
+    | [] -> None
+    | [ last ] ->
+        let hits =
+          List.concat_map
+            (fun (n, fields) ->
+              List.filter_map
+                (fun f -> if String.equal f.fname last then Some (f.occurs, n) else None)
+                fields)
+            (records t)
+        in
+        (match hits with
+         | [] -> None
+         | _ ->
+             let occ = List.fold_left (fun a (o, _) -> a + o) 0 hits in
+             let tot = List.fold_left (fun a (_, n) -> a + n) 0 hits in
+             if tot = 0 then None else Some (float_of_int occ /. float_of_int tot))
+    | name :: rest ->
+        let children =
+          List.concat_map
+            (fun (_, fields) ->
+              List.filter_map
+                (fun f -> if String.equal f.fname name then Some f.ftype else None)
+                fields)
+            (records t)
+        in
+        (match children with
+         | [] -> None
+         | [ child ] -> go child rest
+         | many -> go (CUnion many) rest)
+  in
+  go t path
+
+let rec to_json (t : t) : Json.Value.t =
+  let tagged kind n extra =
+    Json.Value.Object
+      ([ ("kind", Json.Value.String kind); ("count", Json.Value.Int n) ] @ extra)
+  in
+  match t with
+  | CBot -> Json.Value.Object [ ("kind", Json.Value.String "bottom") ]
+  | CNull n -> tagged "null" n []
+  | CBool n -> tagged "boolean" n []
+  | CInt n -> tagged "integer" n []
+  | CNum n -> tagged "number" n []
+  | CStr n -> tagged "string" n []
+  | CAny n -> tagged "any" n []
+  | CArr (n, elem) -> tagged "array" n [ ("items", to_json elem) ]
+  | CRec (n, fields) ->
+      tagged "record" n
+        [ ("fields",
+           Json.Value.Object
+             (List.map
+                (fun f ->
+                  ( f.fname,
+                    Json.Value.Object
+                      [ ("occurs", Json.Value.Int f.occurs); ("type", to_json f.ftype) ] ))
+                fields)) ]
+  | CUnion ts ->
+      Json.Value.Object
+        [ ("kind", Json.Value.String "union");
+          ("branches", Json.Value.Array (List.map to_json ts)) ]

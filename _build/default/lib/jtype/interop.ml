@@ -1,0 +1,128 @@
+let rec to_schema (t : Types.t) : Jsonschema.Schema.t =
+  let open Jsonschema.Schema in
+  match t with
+  | Types.Any -> Bool_schema true
+  | Types.Bot -> Bool_schema false
+  | Types.Null -> Schema { empty with types = Some [ `Null ] }
+  | Types.Bool -> Schema { empty with types = Some [ `Boolean ] }
+  | Types.Int -> Schema { empty with types = Some [ `Integer ] }
+  | Types.Num -> Schema { empty with types = Some [ `Number ] }
+  | Types.Str -> Schema { empty with types = Some [ `String ] }
+  | Types.Arr elem ->
+      Schema
+        { empty with
+          types = Some [ `Array ];
+          items = (match elem with Types.Bot -> None | _ -> Some (Items_one (to_schema elem)));
+        }
+  | Types.Rec fields ->
+      Schema
+        { empty with
+          types = Some [ `Object ];
+          properties =
+            List.map (fun f -> (f.Types.fname, to_schema f.Types.ftype)) fields;
+          required =
+            List.filter_map
+              (fun f -> if f.Types.optional then None else Some f.Types.fname)
+              fields;
+          additional_properties = Some (Bool_schema false);
+        }
+  | Types.Union ts ->
+      Schema { empty with any_of = List.map to_schema ts }
+
+let to_schema_json t = Jsonschema.Print.to_json (to_schema t)
+
+let rec of_schema_in ~definitions ~seen (s : Jsonschema.Schema.t) : Types.t =
+  let open Jsonschema.Schema in
+  match s with
+  | Bool_schema true -> Types.any
+  | Bool_schema false -> Types.bot
+  | Schema n -> (
+      match n.ref_ with
+      | Some target when not (List.mem target seen) -> (
+          (* only "#/definitions/<name>" refs are resolved *)
+          match String.split_on_char '/' target with
+          | [ "#"; "definitions"; name ] -> (
+              match List.assoc_opt name definitions with
+              | Some sub -> of_schema_in ~definitions ~seen:(target :: seen) sub
+              | None -> Types.any)
+          | _ -> Types.any)
+      | Some _ -> Types.any (* cyclic: cut with Any *)
+      | None ->
+          if n.any_of <> [] then
+            Types.union (List.map (of_schema_in ~definitions ~seen) n.any_of)
+          else if n.one_of <> [] then
+            Types.union (List.map (of_schema_in ~definitions ~seen) n.one_of)
+          else if n.all_of <> [] then
+            (* approximate a conjunction by its first conjunct *)
+            of_schema_in ~definitions ~seen (List.hd n.all_of)
+          else
+            match n.types with
+            | None -> infer_untyped ~definitions ~seen n
+            | Some ts ->
+                Types.union (List.map (of_schema_typed ~definitions ~seen n) ts))
+
+and infer_untyped ~definitions ~seen n =
+  let open Jsonschema.Schema in
+  if n.properties <> [] || n.required <> [] then
+    of_schema_typed ~definitions ~seen n `Object
+  else if n.items <> None then of_schema_typed ~definitions ~seen n `Array
+  else if n.minimum <> None || n.maximum <> None || n.multiple_of <> None then
+    Types.num
+  else if n.pattern <> None || n.min_length <> None || n.max_length <> None then
+    Types.str
+  else
+    match (n.const, n.enum) with
+    | Some c, _ -> Types.of_value c
+    | None, Some vs -> Types.union (List.map Types.of_value vs)
+    | None, None -> Types.any
+
+and of_schema_typed ~definitions ~seen n t =
+  let open Jsonschema.Schema in
+  match t with
+  | `Null -> Types.null
+  | `Boolean -> Types.bool
+  | `Integer -> Types.int
+  | `Number -> Types.num
+  | `String -> Types.str
+  | `Array ->
+      let elem =
+        match n.items with
+        | Some (Items_one s) -> of_schema_in ~definitions ~seen s
+        | Some (Items_many ss) ->
+            Types.union (List.map (of_schema_in ~definitions ~seen) ss)
+        | None -> Types.any
+      in
+      Types.arr elem
+  | `Object ->
+      if n.properties = [] && n.pattern_properties = [] && n.additional_properties = None
+      then
+        (* open object with no described fields: approximate as {} with
+           everything optional is wrong (closed); use Any-field record *)
+        Types.rec_
+          (List.map (fun r -> Types.field r Types.any) n.required)
+      else
+        let closed =
+          match n.additional_properties with
+          | Some (Bool_schema false) -> true
+          | _ -> false
+        in
+        ignore closed;
+        Types.rec_
+          (List.map
+             (fun (k, s) ->
+               Types.field
+                 ~optional:(not (List.mem k n.required))
+                 k
+                 (of_schema_in ~definitions ~seen s))
+             n.properties)
+
+let of_schema (s : Jsonschema.Schema.t) =
+  let definitions =
+    match s with Jsonschema.Schema.Schema n -> n.Jsonschema.Schema.definitions | _ -> []
+  in
+  of_schema_in ~definitions ~seen:[] s
+
+let of_schema_json j =
+  match Jsonschema.Parse.of_json j with
+  | Ok s -> Ok (of_schema s)
+  | Error e -> Error (Jsonschema.Parse.string_of_error e)

@@ -1,0 +1,18 @@
+(** Bridging the type algebra and JSON Schema.
+
+    [to_schema] targets the union-free-friendly fragment: records become
+    [type: object] with [properties]/[required]/[additionalProperties:
+    false], arrays [type: array] + [items], unions [anyOf]. [of_schema]
+    abstracts a schema back into a type, over-approximating keywords the
+    algebra cannot express (bounds, patterns, enums collapse to their base
+    type). *)
+
+val to_schema : Types.t -> Jsonschema.Schema.t
+val to_schema_json : Types.t -> Json.Value.t
+
+val of_schema : Jsonschema.Schema.t -> Types.t
+(** Over-approximation: every value accepted by the schema inhabits the
+    returned type (the converse need not hold). [$ref]s resolve through
+    [definitions] when local, otherwise become [Any]. *)
+
+val of_schema_json : Json.Value.t -> (Types.t, string) result

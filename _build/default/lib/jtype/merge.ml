@@ -1,0 +1,97 @@
+type equiv = Kind | Label
+
+let equiv_to_string = function Kind -> "kind" | Label -> "label"
+
+(* Merge the field lists of two records that have been deemed equivalent.
+   Both lists are sorted by name (Types invariant). A field present on only
+   one side becomes optional. *)
+let rec merge_fields ~equiv xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] ->
+      List.map (fun f -> { f with Types.optional = true }) rest
+  | (x :: xs' as xl), (y :: ys' as yl) ->
+      let c = String.compare x.Types.fname y.Types.fname in
+      if c = 0 then
+        Types.field ~optional:(x.Types.optional || y.Types.optional) x.Types.fname
+          (merge_canonical ~equiv x.Types.ftype y.Types.ftype)
+        :: merge_fields ~equiv xs' ys'
+      else if c < 0 then { x with Types.optional = true } :: merge_fields ~equiv xs' yl
+      else { y with Types.optional = true } :: merge_fields ~equiv xl ys'
+
+(* Two record types are label-equivalent when they declare the same field
+   names (optionality ignored: an optional field still names a label). *)
+and same_labels xs ys =
+  List.length xs = List.length ys
+  && List.for_all2 (fun x y -> String.equal x.Types.fname y.Types.fname) xs ys
+
+(* Try to fuse two non-union, non-Bot branches; None when the equivalence
+   keeps them as distinct union branches. *)
+and fuse ~equiv (a : Types.t) (b : Types.t) : Types.t option =
+  match (a, b) with
+  | Types.Any, _ | _, Types.Any -> Some Types.any
+  | Types.Null, Types.Null -> Some Types.null
+  | Types.Bool, Types.Bool -> Some Types.bool
+  | Types.Int, Types.Int -> Some Types.int
+  | Types.Str, Types.Str -> Some Types.str
+  | (Types.Num | Types.Int), (Types.Num | Types.Int) -> Some Types.num
+  | Types.Arr x, Types.Arr y -> Some (Types.arr (merge_canonical ~equiv x y))
+  | Types.Rec xs, Types.Rec ys -> (
+      match equiv with
+      | Kind -> Some (Types.rec_ (merge_fields ~equiv xs ys))
+      | Label ->
+          if same_labels xs ys then Some (Types.rec_ (merge_fields ~equiv xs ys))
+          else None)
+  | _ -> None
+
+(* Insert a branch into an accumulated list of pairwise-unfusable branches. *)
+and insert ~equiv branch acc =
+  let rec go seen = function
+    | [] -> List.rev (branch :: seen)
+    | candidate :: rest -> (
+        match fuse ~equiv candidate branch with
+        | Some fused ->
+            (* fusing may enable further fusions (e.g. Int then Num) *)
+            insert ~equiv fused (List.rev_append seen rest)
+        | None -> go (candidate :: seen) rest)
+  in
+  go [] acc
+
+(* Merge two types whose subterms are already simplified under [equiv]
+   ("canonical"). [fuse] merges subtrees with [merge_canonical], so by
+   induction the output is canonical — this is what keeps a fold over a
+   collection linear instead of re-traversing the accumulator each step. *)
+and merge_canonical ~equiv a b =
+  let branches t = match t with Types.Union ts -> ts | Types.Bot -> [] | t -> [ t ] in
+  Types.union
+    (List.fold_left (fun acc t -> insert ~equiv t acc) [] (branches a @ branches b))
+
+(* Simplify the subterms of a single branch. *)
+and push_down ~equiv (t : Types.t) : Types.t =
+  match t with
+  | Types.Bot | Types.Null | Types.Bool | Types.Int | Types.Num | Types.Str
+  | Types.Any ->
+      t
+  | Types.Arr x -> Types.arr (simplify ~equiv x)
+  | Types.Rec fields ->
+      Types.rec_
+        (List.map
+           (fun f -> { f with Types.ftype = simplify ~equiv f.Types.ftype })
+           fields)
+  | Types.Union ts -> Types.union (List.map (push_down ~equiv) ts)
+
+and simplify ~equiv t =
+  match t with
+  | Types.Union ts ->
+      let ts = List.map (push_down ~equiv) ts in
+      Types.union (List.fold_left (fun acc t -> insert ~equiv t acc) [] ts)
+  | t -> push_down ~equiv t
+
+and merge ~equiv a b =
+  merge_canonical ~equiv (simplify ~equiv a) (simplify ~equiv b)
+
+let merge_all ~equiv = function
+  | [] -> Types.bot
+  | t :: ts ->
+      List.fold_left
+        (fun acc t -> merge_canonical ~equiv acc (simplify ~equiv t))
+        (simplify ~equiv t) ts

@@ -1,0 +1,33 @@
+(** The fusion operator ⊕ of parametric schema inference.
+
+    Merging is parameterized by an equivalence on types that decides which
+    union branches collapse (Baazizi et al., VLDBJ'19):
+
+    - {b Kind equivalence} ([K]): any two types of the same kind fuse. All
+      record types collapse into one record whose fields are merged
+      field-wise (a field missing on one side becomes optional); all array
+      types collapse element-wise. Produces maximally concise, least precise
+      types.
+    - {b Label equivalence} ([L]): two record types fuse only when they have
+      exactly the same set of (mandatory and optional) field names;
+      otherwise both stay as separate union branches. Captures field
+      correlations that kind equivalence loses.
+
+    Both parameters yield an associative, commutative, idempotent merge —
+    the property that makes map/reduce inference deterministic regardless of
+    partitioning (exercised by experiment E3). *)
+
+type equiv = Kind | Label
+
+val equiv_to_string : equiv -> string
+
+val merge : equiv:equiv -> Types.t -> Types.t -> Types.t
+(** Fuse two types. *)
+
+val merge_all : equiv:equiv -> Types.t list -> Types.t
+(** Left fold of {!merge} over the list ([Bot] for the empty list). *)
+
+val simplify : equiv:equiv -> Types.t -> Types.t
+(** Re-canonicalize a type bottom-up, collapsing union branches that the
+    equivalence identifies. [merge] outputs are already simplified; use this
+    on types built by other means (e.g. {!Types.of_value} unions). *)

@@ -1,0 +1,16 @@
+(** Rendering inferred types as Swift [Codable] declarations.
+
+    Mirrors how Swift models JSON: records become [struct]s conforming to
+    [Codable], optional fields become [T?], arrays are [[T]], and union
+    types — which Swift lacks — become [enum]s with associated values (the
+    standard community encoding). [Null] in a union folds into Swift
+    optionality instead of an enum case. *)
+
+val type_expr : Types.t -> string
+(** Inline Swift type for non-record, non-union types (records/unions need
+    declarations and render as their would-be names). *)
+
+val declaration : name:string -> Types.t -> string
+(** Full declaration block: nested records become nested structs; unions
+    become enums with one case per branch plus a [Codable] implementation
+    that tries each branch in turn. *)

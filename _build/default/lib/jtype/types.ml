@@ -1,0 +1,168 @@
+type t =
+  | Bot
+  | Null
+  | Bool
+  | Int
+  | Num
+  | Str
+  | Arr of t
+  | Rec of field list
+  | Union of t list
+  | Any
+
+and field = { fname : string; optional : bool; ftype : t }
+
+let bot = Bot
+let null = Null
+let bool = Bool
+let int = Int
+let num = Num
+let str = Str
+let any = Any
+let arr t = Arr t
+let field ?(optional = false) fname ftype = { fname; optional; ftype }
+
+let rec_ fields =
+  let sorted = List.sort (fun a b -> String.compare a.fname b.fname) fields in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a.fname b.fname then
+          invalid_arg (Printf.sprintf "Jtype.rec_: duplicate field %S" a.fname)
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  Rec sorted
+
+let rank = function
+  | Bot -> 0
+  | Null -> 1
+  | Bool -> 2
+  | Int -> 3
+  | Num -> 4
+  | Str -> 5
+  | Arr _ -> 6
+  | Rec _ -> 7
+  | Union _ -> 8
+  | Any -> 9
+
+let rec compare a b =
+  match (a, b) with
+  | Arr x, Arr y -> compare x y
+  | Rec xs, Rec ys -> compare_fields xs ys
+  | Union xs, Union ys -> compare_list xs ys
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs' ys'
+
+and compare_fields xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = String.compare x.fname y.fname in
+      if c <> 0 then c
+      else
+        let c = Bool.compare x.optional y.optional in
+        if c <> 0 then c
+        else
+          let c = compare x.ftype y.ftype in
+          if c <> 0 then c else compare_fields xs' ys'
+
+let equal a b = compare a b = 0
+
+let union ts =
+  let rec flatten acc = function
+    | [] -> acc
+    | Union us :: rest -> flatten (flatten acc us) rest
+    | Bot :: rest -> flatten acc rest
+    | t :: rest -> flatten (t :: acc) rest
+  in
+  let flat = flatten [] ts in
+  if List.exists (fun t -> t = Any) flat then Any
+  else
+    let sorted = List.sort_uniq compare flat in
+    match sorted with
+    | [] -> Bot
+    | [ t ] -> t
+    | ts -> Union ts
+
+let rec of_value (v : Json.Value.t) : t =
+  match v with
+  | Json.Value.Null -> Null
+  | Json.Value.Bool _ -> Bool
+  | Json.Value.Int _ -> Int
+  | Json.Value.Float _ -> Num
+  | Json.Value.String _ -> Str
+  | Json.Value.Array vs -> Arr (union (List.map of_value vs))
+  | Json.Value.Object fields ->
+      (* last-wins on duplicate keys, matching the parser default *)
+      let seen = Hashtbl.create 8 in
+      let uniq =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.rev fields)
+      in
+      rec_ (List.map (fun (k, x) -> field k (of_value x)) uniq)
+
+let rec size = function
+  | Bot | Null | Bool | Int | Num | Str | Any -> 1
+  | Arr t -> 1 + size t
+  | Rec fields -> 1 + List.fold_left (fun n f -> n + size f.ftype) 0 fields
+  | Union ts -> 1 + List.fold_left (fun n t -> n + size t) 0 ts
+
+let rec depth = function
+  | Bot | Null | Bool | Int | Num | Str | Any -> 1
+  | Arr t -> 1 + depth t
+  | Rec fields -> 1 + List.fold_left (fun n f -> max n (depth f.ftype)) 0 fields
+  | Union ts -> List.fold_left (fun n t -> max n (depth t)) 1 ts
+
+let kind_of = function
+  | Bot -> "bottom"
+  | Null -> "null"
+  | Bool -> "boolean"
+  | Int -> "integer"
+  | Num -> "number"
+  | Str -> "string"
+  | Arr _ -> "array"
+  | Rec _ -> "record"
+  | Union _ -> "union"
+  | Any -> "any"
+
+let rec to_string t =
+  match t with
+  | Bot -> "Bot"
+  | Null -> "Null"
+  | Bool -> "Bool"
+  | Int -> "Int"
+  | Num -> "Num"
+  | Str -> "Str"
+  | Any -> "Any"
+  | Arr Bot -> "[]"
+  | Arr t -> "[" ^ to_string t ^ "]"
+  | Rec fields ->
+      let f { fname; optional; ftype } =
+        Printf.sprintf "%s%s: %s" fname (if optional then "?" else "") (to_string ftype)
+      in
+      "{" ^ String.concat ", " (List.map f fields) ^ "}"
+  | Union ts -> String.concat " + " (List.map to_string_atom ts)
+
+and to_string_atom t =
+  match t with
+  | Union _ -> "(" ^ to_string t ^ ")"
+  | _ -> to_string t
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,72 @@
+(** The structural type algebra for JSON values.
+
+    This is the type language of the parametric schema-inference line of
+    work (Baazizi et al., EDBT'17/VLDBJ'19) and — not coincidentally — the
+    fragment shared by TypeScript and Swift that the tutorial highlights:
+    records with optional fields, homogeneous arrays, and union types.
+
+    Types are kept in a canonical form maintained by the smart constructors:
+    record fields sorted by name, unions flattened / sorted / deduplicated
+    with [Bot] removed and [Any] absorbing. *)
+
+type t = private
+  | Bot  (** the empty type: no value has it; identity of union *)
+  | Null
+  | Bool
+  | Int
+  | Num  (** any number; [Int] is a subtype *)
+  | Str
+  | Arr of t  (** element type; [Arr Bot] is the type of the empty array *)
+  | Rec of field list  (** sorted by field name *)
+  | Union of t list  (** canonical: ≥2 branches, flat, sorted, duplicate-free *)
+  | Any  (** top *)
+
+and field = { fname : string; optional : bool; ftype : t }
+
+(** {1 Smart constructors} — the only way to build values of the type. *)
+
+val bot : t
+val null : t
+val bool : t
+val int : t
+val num : t
+val str : t
+val arr : t -> t
+val rec_ : field list -> t
+(** Sorts fields; duplicate names are an error. @raise Invalid_argument *)
+
+val field : ?optional:bool -> string -> t -> field
+val union : t list -> t
+(** Canonicalizing n-ary union: flattens nested unions, drops [Bot] and
+    syntactic duplicates, absorbs into [Any]. [union []] = [Bot],
+    [union [t]] = [t]. *)
+
+val any : t
+
+(** {1 Typing of values} *)
+
+val of_value : Json.Value.t -> t
+(** The typing judgment: the most precise type of a single value. Arrays
+    type as [arr (union (map of_value elements))]; all record fields are
+    required. *)
+
+(** {1 Structure} *)
+
+val compare : t -> t -> int
+(** Total syntactic order (used for the union canonical form). *)
+
+val equal : t -> t -> bool
+val size : t -> int
+(** Number of type nodes — the "schema size" measure of the experiments. *)
+
+val depth : t -> int
+val kind_of : t -> string
+(** Coarse constructor name, e.g. ["record"], used by kind-equivalence. *)
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Concrete syntax of the inference papers: [{a: Int, b?: Str} + Null],
+    [[Int + Str]], [⊥], [⊤]. *)
+
+val pp : Format.formatter -> t -> unit

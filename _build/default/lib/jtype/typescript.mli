@@ -1,0 +1,14 @@
+(** Rendering inferred types as TypeScript declarations.
+
+    Mirrors how TypeScript models JSON: records become interfaces with [?]
+    optional members, unions become union types, [Null] is [null], [Num] is
+    [number], arrays are [T[]]. Nested record types are lifted into named
+    interfaces so the output matches what a developer would write. *)
+
+val type_expr : Types.t -> string
+(** Inline type expression, e.g. ["{ a: number; b?: string } | null"]. *)
+
+val declaration : name:string -> Types.t -> string
+(** A full declaration block: the root becomes [interface <name>] when it is
+    a record (or [type <name> = ...] otherwise), and nested records are
+    lifted to auxiliary interfaces named [<name><Field>]. *)

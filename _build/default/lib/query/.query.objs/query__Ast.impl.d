@@ -1,0 +1,1 @@
+lib/query/ast.ml: Json List Printf String

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Ast Hashtbl Json List

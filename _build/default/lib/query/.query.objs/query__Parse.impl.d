@@ -1,0 +1,1 @@
+lib/query/parse.ml: Ast Json List Printf String

@@ -1,0 +1,1 @@
+lib/query/typing.ml: Ast Hashtbl Jtype List String Typecheck Types

@@ -1,0 +1,1 @@
+lib/query/typing.mli: Ast Jtype

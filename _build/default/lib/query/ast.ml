@@ -1,0 +1,74 @@
+type op =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Ctx
+  | Const of Json.Value.t
+  | Field of expr * string
+  | Index of expr * int
+  | Binop of op * expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Record of (string * expr) list
+  | List of expr list
+
+type agg = Count | Sum of expr | Avg of expr | Min of expr | Max of expr
+
+type stage =
+  | Filter of expr
+  | Transform of expr
+  | Expand of string option
+  | Group_by of expr * (string * agg) list
+  | Sort_by of expr * [ `Asc | `Desc ]
+  | Top of int
+
+type pipeline = stage list
+
+let op_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+let rec expr_to_string = function
+  | Ctx -> "$"
+  | Const v -> Json.Printer.to_string v
+  | Field (Ctx, f) -> "$." ^ f
+  | Field (e, f) -> expr_to_string e ^ "." ^ f
+  | Index (e, i) -> Printf.sprintf "%s[%d]" (expr_to_string e) i
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (op_to_string op) (expr_to_string b)
+  | Not e -> "not " ^ expr_to_string e
+  | Is_null e -> "isnull " ^ expr_to_string e
+  | Record fields ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, e) -> k ^ ": " ^ expr_to_string e) fields)
+      ^ "}"
+  | List es -> "[" ^ String.concat ", " (List.map expr_to_string es) ^ "]"
+
+let agg_to_string (name, agg) =
+  let body =
+    match agg with
+    | Count -> "count"
+    | Sum e -> "sum " ^ expr_to_string e
+    | Avg e -> "avg " ^ expr_to_string e
+    | Min e -> "min " ^ expr_to_string e
+    | Max e -> "max " ^ expr_to_string e
+  in
+  name ^ ": " ^ body
+
+let stage_to_string = function
+  | Filter e -> "filter " ^ expr_to_string e
+  | Transform e -> "transform " ^ expr_to_string e
+  | Expand None -> "expand"
+  | Expand (Some f) -> "expand " ^ f
+  | Group_by (key, aggs) ->
+      Printf.sprintf "group by %s into {%s}" (expr_to_string key)
+        (String.concat ", " (List.map agg_to_string aggs))
+  | Sort_by (e, `Asc) -> "sort by " ^ expr_to_string e
+  | Sort_by (e, `Desc) -> "sort by " ^ expr_to_string e ^ " desc"
+  | Top n -> "top " ^ string_of_int n
+
+let to_string pipeline = String.concat " | " (List.map stage_to_string pipeline)

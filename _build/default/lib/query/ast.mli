@@ -1,0 +1,48 @@
+(** A Jaql-style query pipeline over JSON collections.
+
+    Jaql (Beyer et al., VLDB'11) is the tutorial's example of a system that
+    "exploits schema information for inferring the output schema of a
+    query". This module defines the query algebra; {!Eval} executes it and
+    {!Typing} infers output schemas from input schemas — the static/dynamic
+    agreement is property-tested.
+
+    Semantics follow Jaql's permissive style: accessing a missing field or
+    a field of a non-record yields [null]; arithmetic on non-numbers yields
+    [null]; comparison with [null] is [false]. *)
+
+type op =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Ctx  (** [$] — the current document *)
+  | Const of Json.Value.t
+  | Field of expr * string  (** [e.f] *)
+  | Index of expr * int     (** [e[i]] *)
+  | Binop of op * expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Record of (string * expr) list  (** record constructor *)
+  | List of expr list               (** array constructor *)
+
+type agg = Count | Sum of expr | Avg of expr | Min of expr | Max of expr
+
+type stage =
+  | Filter of expr  (** keep documents where the expression is [true] *)
+  | Transform of expr  (** replace each document by the expression's value *)
+  | Expand of string option
+      (** unnest: [Expand None] flattens array documents; [Expand (Some f)]
+          emits one output per element of field [f] *)
+  | Group_by of expr * (string * agg) list
+      (** one output record per key: [{key: k, <name>: <agg>, ...}] *)
+  | Sort_by of expr * [ `Asc | `Desc ]
+  | Top of int
+
+type pipeline = stage list
+
+val expr_to_string : expr -> string
+val stage_to_string : stage -> string
+val to_string : pipeline -> string
+(** Concrete syntax, e.g.
+    ["filter $.age > 18 | transform {name: $.name} | top 10"]. *)

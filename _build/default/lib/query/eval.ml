@@ -1,0 +1,136 @@
+open Json.Value
+
+let number_of = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
+let arith op a b =
+  (* integer arithmetic stays integer (wrapping), as the static typing
+     promises; everything else goes through floats *)
+  match (op, a, b) with
+  | Ast.Add, Int x, Int y -> Int (x + y)
+  | Ast.Sub, Int x, Int y -> Int (x - y)
+  | Ast.Mul, Int x, Int y -> Int (x * y)
+  | _ -> (
+      match (number_of a, number_of b) with
+      | Some x, Some y -> (
+          match op with
+          | Ast.Add -> Float (x +. y)
+          | Ast.Sub -> Float (x -. y)
+          | Ast.Mul -> Float (x *. y)
+          | Ast.Div -> if y = 0.0 then Null else Float (x /. y)
+          | _ -> Null)
+      | _ -> Null)
+
+let compare_values op a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Bool false
+  | _ ->
+      let c = Json.Value.compare a b in
+      Bool
+        (match op with
+         | Ast.Eq -> c = 0
+         | Ast.Ne -> c <> 0
+         | Ast.Lt -> c < 0
+         | Ast.Le -> c <= 0
+         | Ast.Gt -> c > 0
+         | Ast.Ge -> c >= 0
+         | _ -> false)
+
+let truthy = function Bool b -> b | _ -> false
+
+let rec eval_expr doc (e : Ast.expr) : t =
+  match e with
+  | Ast.Ctx -> doc
+  | Ast.Const v -> v
+  | Ast.Field (e, f) -> (
+      match member f (eval_expr doc e) with Some v -> v | None -> Null)
+  | Ast.Index (e, i) -> (
+      match index i (eval_expr doc e) with Some v -> v | None -> Null)
+  | Ast.Not e -> Bool (not (truthy (eval_expr doc e)))
+  | Ast.Is_null e -> Bool (eval_expr doc e = Null)
+  | Ast.Record fields -> Object (List.map (fun (k, e) -> (k, eval_expr doc e)) fields)
+  | Ast.List es -> Array (List.map (eval_expr doc) es)
+  | Ast.Binop (op, ea, eb) -> (
+      let a = eval_expr doc ea in
+      match op with
+      | Ast.And -> if truthy a then Bool (truthy (eval_expr doc eb)) else Bool false
+      | Ast.Or -> if truthy a then Bool true else Bool (truthy (eval_expr doc eb))
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> arith op a (eval_expr doc eb)
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          compare_values op a (eval_expr doc eb))
+
+let eval_agg docs (agg : Ast.agg) : t =
+  let numbers e =
+    List.filter_map (fun d -> number_of (eval_expr d e)) docs
+  in
+  match agg with
+  | Ast.Count -> Int (List.length docs)
+  | Ast.Sum e ->
+      (* non-numeric values are skipped; an all-integer (or empty) operand
+         column sums to an integer, matching the static typing *)
+      let vals = List.map (fun d -> eval_expr d e) docs in
+      if List.for_all (function Int _ | Null -> true | _ -> false) vals then
+        Int (List.fold_left (fun acc v -> match v with Int n -> acc + n | _ -> acc) 0 vals)
+      else
+        Float
+          (List.fold_left
+             (fun acc v -> match number_of v with Some x -> acc +. x | None -> acc)
+             0.0 vals)
+  | Ast.Avg e -> (
+      match numbers e with
+      | [] -> Null
+      | xs -> Float (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)))
+  | Ast.Min e -> (
+      match List.map (fun d -> eval_expr d e) docs with
+      | [] -> Null
+      | vs -> (
+          match List.filter (fun v -> v <> Null) vs with
+          | [] -> Null
+          | vs -> List.fold_left (fun a b -> if Json.Value.compare b a < 0 then b else a) (List.hd vs) vs))
+  | Ast.Max e -> (
+      match List.filter (fun v -> v <> Null) (List.map (fun d -> eval_expr d e) docs) with
+      | [] -> Null
+      | vs -> List.fold_left (fun a b -> if Json.Value.compare b a > 0 then b else a) (List.hd vs) vs)
+
+let run_stage docs (stage : Ast.stage) : t list =
+  match stage with
+  | Ast.Filter e -> List.filter (fun d -> truthy (eval_expr d e)) docs
+  | Ast.Transform e -> List.map (fun d -> eval_expr d e) docs
+  | Ast.Expand None ->
+      List.concat_map (function Array vs -> vs | _ -> []) docs
+  | Ast.Expand (Some f) ->
+      List.concat_map
+        (fun d -> match member f d with Some (Array vs) -> vs | _ -> [])
+        docs
+  | Ast.Group_by (key, aggs) ->
+      let groups = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun d ->
+          let k = eval_expr d key in
+          let repr = Json.Printer.to_string (Json.Value.sort_keys k) in
+          match Hashtbl.find_opt groups repr with
+          | Some (k0, ds) -> Hashtbl.replace groups repr (k0, d :: ds)
+          | None ->
+              Hashtbl.add groups repr (k, [ d ]);
+              order := repr :: !order)
+        docs;
+      List.rev_map
+        (fun repr ->
+          let k, ds = Hashtbl.find groups repr in
+          let ds = List.rev ds in
+          Object
+            (("key", k) :: List.map (fun (name, agg) -> (name, eval_agg ds agg)) aggs))
+        !order
+  | Ast.Sort_by (e, dir) ->
+      let keyed = List.map (fun d -> (eval_expr d e, d)) docs in
+      let cmp (a, _) (b, _) =
+        let c = Json.Value.compare a b in
+        match dir with `Asc -> c | `Desc -> -c
+      in
+      List.map snd (List.stable_sort cmp keyed)
+  | Ast.Top n -> List.filteri (fun i _ -> i < n) docs
+
+let run pipeline docs = List.fold_left run_stage docs pipeline

@@ -1,0 +1,11 @@
+(** Dynamic semantics of the query pipeline.
+
+    Total: queries never raise on data — missing fields, type mismatches
+    and division by zero all produce [null] (Jaql's behaviour), so the
+    output schema inference in {!Typing} must and does account for
+    nullability. *)
+
+val eval_expr : Json.Value.t -> Ast.expr -> Json.Value.t
+(** Evaluate an expression with [$] bound to the document. *)
+
+val run : Ast.pipeline -> Json.Value.t list -> Json.Value.t list

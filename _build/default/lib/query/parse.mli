@@ -1,0 +1,22 @@
+(** Concrete syntax for query pipelines.
+
+    {v
+    pipeline := stage ('|' stage)*
+    stage    := 'filter' expr
+              | 'transform' expr
+              | 'expand' [ident]
+              | 'group' 'by' expr 'into' '{' ident ':' agg (',' ...)* '}'
+              | 'sort' 'by' expr ['desc']
+              | 'top' INT
+    agg      := 'count' | ('sum'|'avg'|'min'|'max') expr
+    expr     := usual precedence: or < and < comparison < +- < */ < unary
+                ('not', 'isnull') < postfix ('.' field, '[i]')
+    atoms    := '$' | JSON scalar literals | '(' expr ')'
+              | '{' ident ':' expr, ... '}' | '[' expr, ... ']'
+    v}
+
+    [Ast.to_string] output parses back to the same pipeline. *)
+
+val pipeline : string -> (Ast.pipeline, string) result
+val pipeline_exn : string -> Ast.pipeline
+val expr : string -> (Ast.expr, string) result

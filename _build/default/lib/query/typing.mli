@@ -1,0 +1,17 @@
+(** Static output-schema inference for query pipelines.
+
+    Given the type of the input collection's documents, computes a type
+    that every output document is guaranteed to inhabit — the Jaql
+    capability the tutorial highlights. The inference is a sound
+    over-approximation: permissive dynamic semantics (missing field →
+    [null], bad arithmetic → [null]) shows up as explicit [Null] branches
+    in the result. Soundness is property-tested against {!Eval} on random
+    pipelines. *)
+
+val type_expr : Jtype.Types.t -> Ast.expr -> Jtype.Types.t
+(** Type of the expression's value when [$] has the given type. *)
+
+val type_pipeline : Jtype.Types.t -> Ast.pipeline -> Jtype.Types.t
+(** Type of the output documents when input documents have the given
+    type. [Bot] means the stage provably emits nothing (e.g. [expand] of a
+    never-array field). *)

@@ -1,0 +1,1 @@
+lib/translate/avro.ml: Buffer Char Int64 Json Jtype List Printf String

@@ -1,0 +1,1 @@
+lib/translate/avro.mli: Buffer Json Jtype

@@ -1,0 +1,1 @@
+lib/translate/columnar.ml: Array Avro Buffer Char Inference Int64 Json List Option Printf String

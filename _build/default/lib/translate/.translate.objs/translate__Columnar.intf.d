@@ -1,0 +1,1 @@
+lib/translate/columnar.mli: Inference Json

@@ -1,0 +1,1 @@
+lib/translate/csv_export.ml: Buffer Inference Json List String

@@ -1,0 +1,1 @@
+lib/translate/csv_export.mli: Inference Json

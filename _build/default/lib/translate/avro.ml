@@ -1,0 +1,401 @@
+type schema =
+  | Null
+  | Boolean
+  | Long
+  | Double
+  | String
+  | Record of string * (string * schema) list
+  | Array of schema
+  | Union of schema list
+  | Anything
+
+let rec of_jtype ~name (t : Jtype.Types.t) : schema =
+  match t with
+  | Jtype.Types.Bot | Jtype.Types.Null -> Null
+  | Jtype.Types.Bool -> Boolean
+  | Jtype.Types.Int -> Long
+  | Jtype.Types.Num -> Double
+  | Jtype.Types.Str -> String
+  | Jtype.Types.Any -> Anything
+  | Jtype.Types.Arr elem -> Array (of_jtype ~name:(name ^ "_item") elem)
+  | Jtype.Types.Rec fields ->
+      Record
+        ( name,
+          List.map
+            (fun f ->
+              let sub = of_jtype ~name:(name ^ "_" ^ f.Jtype.Types.fname) f.Jtype.Types.ftype in
+              let sub =
+                if f.Jtype.Types.optional then
+                  match sub with
+                  | Union branches when List.mem Null branches -> sub
+                  | Union branches -> Union (Null :: branches)
+                  | other -> Union [ Null; other ]
+                else sub
+              in
+              (f.Jtype.Types.fname, sub))
+            fields )
+  | Jtype.Types.Union ts ->
+      let branches = List.mapi (fun i t -> of_jtype ~name:(Printf.sprintf "%s_u%d" name i) t) ts in
+      (* Avro unions may not contain two branches of the same unnamed kind;
+         collapse duplicates *)
+      let dedup =
+        List.fold_left
+          (fun acc b -> if List.exists (same_branch_kind b) acc then acc else b :: acc)
+          [] branches
+      in
+      Union (List.rev dedup)
+
+and same_branch_kind a b =
+  match (a, b) with
+  | Null, Null | Boolean, Boolean | Long, Long | Double, Double | String, String
+  | Array _, Array _ | Anything, Anything ->
+      true
+  | Record (n1, _), Record (n2, _) -> String.equal n1 n2
+  | _ -> false
+
+let rec schema_to_json (s : schema) : Json.Value.t =
+  match s with
+  | Null -> Json.Value.String "null"
+  | Boolean -> Json.Value.String "boolean"
+  | Long -> Json.Value.String "long"
+  | Double -> Json.Value.String "double"
+  | String -> Json.Value.String "string"
+  | Anything -> Json.Value.String "bytes"
+  | Array elem ->
+      Json.Value.Object
+        [ ("type", Json.Value.String "array"); ("items", schema_to_json elem) ]
+  | Union branches -> Json.Value.Array (List.map schema_to_json branches)
+  | Record (name, fields) ->
+      Json.Value.Object
+        [ ("type", Json.Value.String "record");
+          ("name", Json.Value.String name);
+          ("fields",
+           Json.Value.Array
+             (List.map
+                (fun (fname, fs) ->
+                  Json.Value.Object
+                    [ ("name", Json.Value.String fname); ("type", schema_to_json fs) ])
+                fields)) ]
+
+(* --- varints ------------------------------------------------------------ *)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let write_varint buf n =
+  (* n is a zigzagged (bit-pattern) quantity; lsr makes the loop total even
+     if the top bit is set *)
+  let rec go n =
+    let b = n land 0x7f in
+    let rest = n lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr b)
+    else begin
+      Buffer.add_char buf (Char.chr (b lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let read_varint s pos =
+  let n = String.length s in
+  let rec go pos shift acc =
+    if pos >= n then Error "truncated varint"
+    else
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+(* --- encoding ------------------------------------------------------------ *)
+
+exception Enc_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Enc_error m)) fmt
+
+let write_long buf n = write_varint buf (zigzag n)
+
+let write_double buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let write_string buf s =
+  write_long buf (String.length s);
+  Buffer.add_string buf s
+
+(* does a value fit a schema branch? used for union tagging *)
+let rec matches (s : schema) (v : Json.Value.t) =
+  match (s, v) with
+  | Null, Json.Value.Null -> true
+  | Boolean, Json.Value.Bool _ -> true
+  | Long, Json.Value.Int _ -> true
+  | Double, (Json.Value.Int _ | Json.Value.Float _) -> true
+  | String, Json.Value.String _ -> true
+  | Array _, Json.Value.Array _ -> true
+  | Record (_, fields), Json.Value.Object obj ->
+      List.for_all
+        (fun (fname, fs) ->
+          match List.assoc_opt fname obj with
+          | Some x -> matches fs x
+          | None -> (match fs with Union bs -> List.mem Null bs | _ -> false))
+        fields
+      && List.for_all (fun (k, _) -> List.mem_assoc k fields) obj
+  | Union branches, _ -> List.exists (fun b -> matches b v) branches
+  | Anything, _ -> true
+  | _ -> false
+
+let rec write buf (s : schema) (v : Json.Value.t) =
+  match (s, v) with
+  | Null, Json.Value.Null -> ()
+  | Boolean, Json.Value.Bool b -> Buffer.add_char buf (if b then '\001' else '\000')
+  | Long, Json.Value.Int n -> write_long buf n
+  | Double, Json.Value.Int n -> write_double buf (float_of_int n)
+  | Double, Json.Value.Float f -> write_double buf f
+  | String, Json.Value.String s -> write_string buf s
+  | Anything, v -> write_string buf (Json.Printer.to_string v)
+  | Array elem, Json.Value.Array vs ->
+      (* one block then the 0 terminator, as Avro writers commonly do *)
+      if vs <> [] then begin
+        write_long buf (List.length vs);
+        List.iter (write buf elem) vs
+      end;
+      write_long buf 0
+  | Record (_, fields), Json.Value.Object obj ->
+      List.iter
+        (fun (fname, fs) ->
+          match List.assoc_opt fname obj with
+          | Some x -> write buf fs x
+          | None ->
+              (* absent optional: encode as the null branch *)
+              (match fs with
+               | Union branches -> (
+                   match List.mapi (fun i b -> (i, b)) branches
+                         |> List.find_opt (fun (_, b) -> b = Null)
+                   with
+                   | Some (i, _) -> write_long buf i
+                   | None -> fail "missing field %S has no null branch" fname)
+               | _ -> fail "missing required field %S" fname))
+        fields
+  | Union branches, v -> (
+      let indexed = List.mapi (fun i b -> (i, b)) branches in
+      match List.find_opt (fun (_, b) -> matches b v) indexed with
+      | Some (i, b) ->
+          write_long buf i;
+          write buf b v
+      | None -> fail "no union branch matches %s" (Json.Printer.to_string v))
+  | _ ->
+      fail "schema/value mismatch: %s vs %s"
+        (Json.Printer.to_string (schema_to_json s))
+        (Json.Printer.to_string v)
+
+let encode s v =
+  let buf = Buffer.create 256 in
+  match write buf s v with
+  | () -> Ok (Buffer.contents buf)
+  | exception Enc_error m -> Error m
+
+(* --- decoding ------------------------------------------------------------ *)
+
+exception Dec_error of string
+
+let dfail fmt = Printf.ksprintf (fun m -> raise (Dec_error m)) fmt
+
+let read_long s pos =
+  match read_varint s pos with
+  | Ok (n, pos) -> (unzigzag n, pos)
+  | Error m -> dfail "%s" m
+
+let read_double s pos =
+  if pos + 8 > String.length s then dfail "truncated double";
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  (Int64.float_of_bits !bits, pos + 8)
+
+let read_string s pos =
+  let len, pos = read_long s pos in
+  if len < 0 || pos + len > String.length s then dfail "truncated string";
+  (String.sub s pos len, pos + len)
+
+let rec read (sch : schema) s pos : Json.Value.t * int =
+  match sch with
+  | Null -> (Json.Value.Null, pos)
+  | Boolean ->
+      if pos >= String.length s then dfail "truncated boolean";
+      (Json.Value.Bool (s.[pos] <> '\000'), pos + 1)
+  | Long ->
+      let n, pos = read_long s pos in
+      (Json.Value.Int n, pos)
+  | Double ->
+      let f, pos = read_double s pos in
+      (Json.Value.Float f, pos)
+  | String ->
+      let str, pos = read_string s pos in
+      (Json.Value.String str, pos)
+  | Anything -> (
+      let str, pos = read_string s pos in
+      match Json.Parser.parse str with
+      | Ok v -> (v, pos)
+      | Error e -> dfail "bad embedded JSON: %s" (Json.Parser.string_of_error e))
+  | Array elem ->
+      let rec blocks acc pos =
+        let count, pos = read_long s pos in
+        if count = 0 then (List.rev acc, pos)
+        else begin
+          let acc = ref acc and pos = ref pos in
+          for _ = 1 to count do
+            let v, p = read elem s !pos in
+            acc := v :: !acc;
+            pos := p
+          done;
+          blocks !acc !pos
+        end
+      in
+      let vs, pos = blocks [] pos in
+      (Json.Value.Array vs, pos)
+  | Record (_, fields) ->
+      let obj = ref [] and p = ref pos in
+      List.iter
+        (fun (fname, fs) ->
+          let v, p' = read fs s !p in
+          obj := (fname, v) :: !obj;
+          p := p')
+        fields;
+      (Json.Value.Object (List.rev !obj), !p)
+  | Union branches ->
+      let i, pos = read_long s pos in
+      if i < 0 || i >= List.length branches then dfail "bad union tag %d" i;
+      read (List.nth branches i) s pos
+
+let decode sch s =
+  match read sch s 0 with
+  | v, _ -> Ok v
+  | exception Dec_error m -> Error m
+
+let encode_all sch vs =
+  let buf = Buffer.create 4096 in
+  write_long buf (List.length vs);
+  match List.iter (fun v -> write buf sch v) vs with
+  | () -> Ok (Buffer.contents buf)
+  | exception Enc_error m -> Error m
+
+let decode_all sch s =
+  match
+    let count, pos = read_long s 0 in
+    let acc = ref [] and p = ref pos in
+    for _ = 1 to count do
+      let v, p' = read sch s !p in
+      acc := v :: !acc;
+      p := p'
+    done;
+    List.rev !acc
+  with
+  | vs -> Ok vs
+  | exception Dec_error m -> Error m
+
+(* --- schema resolution ---------------------------------------------------- *)
+
+let admits_null = function
+  | Null -> true
+  | Union branches -> List.mem Null branches
+  | _ -> false
+
+let rec resolve_check ~writer ~reader =
+  match (writer, reader) with
+  | Null, Null | Boolean, Boolean | Long, Long | Double, Double | String, String
+  | Anything, Anything ->
+      Ok ()
+  | Long, Double -> Ok () (* numeric promotion *)
+  | Array w, Array r -> resolve_check ~writer:w ~reader:r
+  | Record (_, wf), Record (rname, rf) ->
+      let rec fields = function
+        | [] ->
+            (* reader-only fields must be defaultable (null-admitting) *)
+            let missing =
+              List.filter (fun (k, _) -> not (List.mem_assoc k wf)) rf
+            in
+            (match
+               List.find_opt (fun (_, rs) -> not (admits_null rs)) missing
+             with
+             | Some (k, _) ->
+                 Error
+                   (Printf.sprintf
+                      "reader field %S of record %S has no writer value and does not admit null"
+                      k rname)
+             | None -> Ok ())
+        | (k, ws) :: rest -> (
+            match List.assoc_opt k rf with
+            | None -> fields rest (* writer-only: skipped on read *)
+            | Some rs -> (
+                match resolve_check ~writer:ws ~reader:rs with
+                | Ok () -> fields rest
+                | Error _ as e -> e))
+      in
+      fields wf
+  | Union wb, _ ->
+      (* every writer branch must be readable *)
+      let rec all = function
+        | [] -> Ok ()
+        | b :: rest -> (
+            match resolve_check ~writer:b ~reader with
+            | Ok () -> all rest
+            | Error _ as e -> e)
+      in
+      all wb
+  | _, Union rb ->
+      if List.exists (fun b -> resolve_check ~writer ~reader:b = Ok ()) rb then Ok ()
+      else
+        Error
+          (Printf.sprintf "no reader union branch accepts writer type %s"
+             (Json.Printer.to_string (schema_to_json writer)))
+  | _ ->
+      Error
+        (Printf.sprintf "cannot resolve writer %s against reader %s"
+           (Json.Printer.to_string (schema_to_json writer))
+           (Json.Printer.to_string (schema_to_json reader)))
+
+let resolve ~writer ~reader = resolve_check ~writer ~reader
+
+(* Adapt a decoded writer value into the reader's shape. *)
+let rec adapt ~writer ~reader (v : Json.Value.t) : Json.Value.t =
+  match (writer, reader) with
+  | Long, Double -> (
+      match v with Json.Value.Int n -> Json.Value.Float (float_of_int n) | v -> v)
+  | Array w, Array r -> (
+      match v with
+      | Json.Value.Array vs -> Json.Value.Array (List.map (adapt ~writer:w ~reader:r) vs)
+      | v -> v)
+  | Record (_, wf), Record (_, rf) -> (
+      match v with
+      | Json.Value.Object obj ->
+          Json.Value.Object
+            (List.map
+               (fun (k, rs) ->
+                 match (List.assoc_opt k obj, List.assoc_opt k wf) with
+                 | Some x, Some ws -> (k, adapt ~writer:ws ~reader:rs x)
+                 | _ -> (k, Json.Value.Null))
+               rf)
+      | v -> v)
+  | Union wb, _ ->
+      (* the decoded value carries no tag anymore; adapt through the first
+         writer branch it matches *)
+      (match List.find_opt (fun b -> matches b v) wb with
+       | Some b -> adapt ~writer:b ~reader v
+       | None -> v)
+  | _, Union rb -> (
+      match List.find_opt (fun b -> resolve_check ~writer ~reader:b = Ok ()) rb with
+      | Some b -> adapt ~writer ~reader:b v
+      | None -> v)
+  | _ -> v
+
+let decode_resolved ~writer ~reader bytes =
+  match resolve ~writer ~reader with
+  | Error _ as e -> e
+  | Ok () -> (
+      match decode writer bytes with
+      | Error _ as e -> e
+      | Ok v -> Ok (adapt ~writer ~reader v))

@@ -1,0 +1,61 @@
+(** Schema-driven translation of JSON to an Avro-like binary row format.
+
+    Implements the Avro binary encoding (zigzag varints, length-prefixed
+    UTF-8, IEEE-754 little-endian doubles, block-encoded arrays, tagged
+    unions) against schemas derived from inferred {!Jtype.Types.t} — the
+    "schema-aware data translation" opportunity the tutorial closes with.
+    Unions map directly onto Avro unions, which is exactly why a
+    union-aware inference output is a good translation driver (E7). *)
+
+type schema =
+  | Null
+  | Boolean
+  | Long
+  | Double
+  | String
+  | Record of string * (string * schema) list
+  | Array of schema
+  | Union of schema list
+  | Anything  (** escape hatch: value stored as its JSON text *)
+
+val of_jtype : name:string -> Jtype.Types.t -> schema
+(** Optional record fields become [Union [Null; ...]] (the standard Avro
+    idiom); [Int]→[Long], [Num]→[Double], [Any]→[Anything]. *)
+
+val schema_to_json : schema -> Json.Value.t
+(** Avro schemas are themselves JSON. *)
+
+val encode : schema -> Json.Value.t -> (string, string) result
+val decode : schema -> string -> (Json.Value.t, string) result
+(** Inverse of {!encode}. Union-encoded optionals decode back to explicit
+    [null]s; record fields come back in schema order. *)
+
+val encode_all : schema -> Json.Value.t list -> (string, string) result
+(** Concatenated rows prefixed by a count (a minimal object-container). *)
+
+val decode_all : schema -> string -> (Json.Value.t list, string) result
+
+(** {1 Schema resolution} (Avro spec, "Schema Resolution")
+
+    The mechanism behind Avro's schema evolution story: data written with
+    one schema is read under another. Supported promotions and adaptations:
+    [Long]→[Double]; union re-tagging in both directions; record fields
+    matched by name with writer-only fields skipped and reader-only fields
+    defaulted to [null] when their reader type admits it. *)
+
+val resolve : writer:schema -> reader:schema -> (unit, string) result
+(** Check that every value written with [writer] can be read under
+    [reader]; [Error] explains the first incompatibility. *)
+
+val decode_resolved :
+  writer:schema -> reader:schema -> string -> (Json.Value.t, string) result
+(** Decode bytes produced by [encode writer] into the shape of [reader]
+    (fields reordered/defaulted/promoted as the spec prescribes). *)
+
+(** {1 Varint primitives} (exposed for tests) *)
+
+val zigzag : int -> int
+val unzigzag : int -> int
+val write_varint : Buffer.t -> int -> unit
+val read_varint : string -> int -> (int * int, string) result
+(** Value and next offset. *)

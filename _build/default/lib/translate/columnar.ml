@@ -1,0 +1,360 @@
+(* Column tree: mirrors the schema; every node stores one entry per value
+   occurrence at its nesting level (Dremel levels specialized to a fixed
+   schema: presence = definition, lengths = repetition). *)
+type node =
+  | Leaf of Json.Value.t option array
+  | Struct of bool array * (string * node) list
+  | Arr of bool array * int array * node  (* lengths: one entry per present row *)
+
+type table = { schema : Inference.Spark.field; rows : int; root : node }
+
+let row_count t = t.rows
+
+(* --- builders ------------------------------------------------------------- *)
+
+type builder =
+  | BLeaf of Json.Value.t option list ref
+  | BStruct of bool list ref * (string * builder) list
+  | BArr of bool list ref * int list ref * builder
+
+let rec make_builder (s : Inference.Spark.t) : builder =
+  match s with
+  | Inference.Spark.Null_type | Inference.Spark.Boolean | Inference.Spark.Long
+  | Inference.Spark.Double | Inference.Spark.String ->
+      BLeaf (ref [])
+  | Inference.Spark.Struct fields ->
+      BStruct (ref [], List.map (fun (k, f) -> (k, make_builder f.Inference.Spark.typ)) fields)
+  | Inference.Spark.Array elem ->
+      BArr (ref [], ref [], make_builder elem.Inference.Spark.typ)
+
+exception Shred_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Shred_error m)) fmt
+
+let rec add (f : Inference.Spark.field) (b : builder) (v : Json.Value.t option) =
+  match v with
+  | None | Some Json.Value.Null -> (
+      if not f.Inference.Spark.nullable && f.Inference.Spark.typ <> Inference.Spark.Null_type
+      then fail "null in non-nullable column";
+      match b with
+      | BLeaf cells -> cells := None :: !cells
+      | BStruct (presence, _) -> presence := false :: !presence
+      | BArr (presence, _, _) -> presence := false :: !presence)
+  | Some v -> (
+      match (f.Inference.Spark.typ, b, v) with
+      | Inference.Spark.Null_type, BLeaf cells, _ ->
+          (* only null fits; handled above, so this value is a conflict *)
+          ignore cells;
+          fail "non-null value in NULL column: %s" (Json.Printer.to_string v)
+      | Inference.Spark.Boolean, BLeaf cells, Json.Value.Bool _
+      | Inference.Spark.Long, BLeaf cells, Json.Value.Int _
+      | Inference.Spark.Double, BLeaf cells, (Json.Value.Int _ | Json.Value.Float _)
+      | Inference.Spark.String, BLeaf cells, Json.Value.String _ ->
+          cells := Some v :: !cells
+      | Inference.Spark.String, BLeaf cells, v ->
+          (* widened column: Spark renders the non-string value as its JSON
+             text — the fidelity loss the tutorial warns about *)
+          cells := Some (Json.Value.String (Json.Printer.to_string v)) :: !cells
+      | Inference.Spark.Struct fields, BStruct (presence, subs), Json.Value.Object obj ->
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k fields) then fail "undeclared field %S" k)
+            obj;
+          presence := true :: !presence;
+          List.iter
+            (fun (k, sub_builder) ->
+              let sub_field = List.assoc k fields in
+              add sub_field sub_builder (List.assoc_opt k obj))
+            subs
+      | Inference.Spark.Array elem, BArr (presence, lengths, sub), Json.Value.Array vs ->
+          presence := true :: !presence;
+          lengths := List.length vs :: !lengths;
+          List.iter (fun x -> add elem sub (Some x)) vs
+      | _ ->
+          fail "value %s does not fit column type %s" (Json.Printer.to_string v)
+            (Inference.Spark.to_ddl f.Inference.Spark.typ))
+
+let rec finalize (b : builder) : node =
+  match b with
+  | BLeaf cells -> Leaf (Array.of_list (List.rev !cells))
+  | BStruct (presence, subs) ->
+      Struct
+        ( Array.of_list (List.rev !presence),
+          List.map (fun (k, sub) -> (k, finalize sub)) subs )
+  | BArr (presence, lengths, sub) ->
+      Arr
+        ( Array.of_list (List.rev !presence),
+          Array.of_list (List.rev !lengths),
+          finalize sub )
+
+let shred ~schema values =
+  let b = make_builder schema.Inference.Spark.typ in
+  match List.iter (fun v -> add schema b (Some v)) values with
+  | () -> Ok { schema; rows = List.length values; root = finalize b }
+  | exception Shred_error m -> Error m
+
+(* --- assembly -------------------------------------------------------------- *)
+
+type cursor =
+  | CLeaf of Json.Value.t option array * int ref
+  | CStruct of bool array * int ref * (string * cursor) list
+  | CArr of bool array * int ref * int array * int ref * cursor
+
+let rec cursor_of = function
+  | Leaf cells -> CLeaf (cells, ref 0)
+  | Struct (presence, fields) ->
+      CStruct (presence, ref 0, List.map (fun (k, n) -> (k, cursor_of n)) fields)
+  | Arr (presence, lengths, elem) ->
+      CArr (presence, ref 0, lengths, ref 0, cursor_of elem)
+
+let rec next (c : cursor) : Json.Value.t =
+  match c with
+  | CLeaf (cells, i) ->
+      let v = cells.(!i) in
+      incr i;
+      (match v with Some v -> v | None -> Json.Value.Null)
+  | CStruct (presence, i, fields) ->
+      let present = presence.(!i) in
+      incr i;
+      if present then
+        Json.Value.Object (List.map (fun (k, sub) -> (k, next sub)) fields)
+      else Json.Value.Null
+  | CArr (presence, i, lengths, li, elem) ->
+      let present = presence.(!i) in
+      incr i;
+      if present then begin
+        let len = lengths.(!li) in
+        incr li;
+        Json.Value.Array (List.init len (fun _ -> next elem))
+      end
+      else Json.Value.Null
+
+let assemble t =
+  let c = cursor_of t.root in
+  List.init t.rows (fun _ -> next c)
+
+(* --- binary encoding -------------------------------------------------------- *)
+
+let write_bits buf bits =
+  Avro.write_varint buf (Array.length bits);
+  let byte = ref 0 and nbits = ref 0 in
+  Array.iter
+    (fun b ->
+      if b then byte := !byte lor (1 lsl !nbits);
+      incr nbits;
+      if !nbits = 8 then begin
+        Buffer.add_char buf (Char.chr !byte);
+        byte := 0;
+        nbits := 0
+      end)
+    bits;
+  if !nbits > 0 then Buffer.add_char buf (Char.chr !byte)
+
+let read_bits s pos =
+  match Avro.read_varint s pos with
+  | Error m -> Error m
+  | Ok (count, pos) ->
+      if count < 0 || count > 8 * String.length s then Error "corrupt bitmap count"
+      else
+      let nbytes = (count + 7) / 8 in
+      if pos + nbytes > String.length s then Error "truncated bitmap"
+      else
+        Ok
+          ( Array.init count (fun i ->
+                Char.code s.[pos + (i / 8)] land (1 lsl (i mod 8)) <> 0),
+            pos + nbytes )
+
+let write_leaf buf (typ : Inference.Spark.t) cells =
+  let presence = Array.map Option.is_some cells in
+  write_bits buf presence;
+  Array.iter
+    (fun cell ->
+      match (cell : Json.Value.t option) with
+      | None -> ()
+      | Some v -> (
+          match (typ, v) with
+          | Inference.Spark.Boolean, Json.Value.Bool b ->
+              Buffer.add_char buf (if b then '\001' else '\000')
+          | Inference.Spark.Long, Json.Value.Int n ->
+              Avro.write_varint buf (Avro.zigzag n)
+          | Inference.Spark.Double, Json.Value.Int n ->
+              Buffer.add_string buf
+                (let b = Buffer.create 8 in
+                 let bits = Int64.bits_of_float (float_of_int n) in
+                 for i = 0 to 7 do
+                   Buffer.add_char b
+                     (Char.chr
+                        (Int64.to_int
+                           (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+                 done;
+                 Buffer.contents b)
+          | Inference.Spark.Double, Json.Value.Float f ->
+              let bits = Int64.bits_of_float f in
+              for i = 0 to 7 do
+                Buffer.add_char buf
+                  (Char.chr
+                     (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+              done
+          | Inference.Spark.String, Json.Value.String s ->
+              Avro.write_varint buf (String.length s);
+              Buffer.add_string buf s
+          | Inference.Spark.Null_type, _ -> ()
+          | _ -> ()))
+    cells
+
+let rec write_node buf (typ : Inference.Spark.t) (n : node) =
+  match (typ, n) with
+  | (Inference.Spark.Null_type | Inference.Spark.Boolean | Inference.Spark.Long
+    | Inference.Spark.Double | Inference.Spark.String), Leaf cells ->
+      write_leaf buf typ cells
+  | Inference.Spark.Struct fields, Struct (presence, subs) ->
+      write_bits buf presence;
+      List.iter
+        (fun (k, sub) ->
+          let f = List.assoc k fields in
+          write_node buf f.Inference.Spark.typ sub)
+        subs
+  | Inference.Spark.Array elem, Arr (presence, lengths, sub) ->
+      write_bits buf presence;
+      Avro.write_varint buf (Array.length lengths);
+      Array.iter (fun l -> Avro.write_varint buf l) lengths;
+      write_node buf elem.Inference.Spark.typ sub
+  | _ -> invalid_arg "Columnar.write_node: schema/column mismatch"
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Avro.write_varint buf t.rows;
+  write_node buf t.schema.Inference.Spark.typ t.root;
+  Buffer.contents buf
+
+exception Dec of string
+
+let read_leaf s pos (typ : Inference.Spark.t) =
+  match read_bits s pos with
+  | Error m -> raise (Dec m)
+  | Ok (presence, pos) ->
+      let pos = ref pos in
+      let cells =
+        Array.map
+          (fun present ->
+            if not present then None
+            else
+              match typ with
+              | Inference.Spark.Boolean ->
+                  let b = s.[!pos] <> '\000' in
+                  incr pos;
+                  Some (Json.Value.Bool b)
+              | Inference.Spark.Long -> (
+                  match Avro.read_varint s !pos with
+                  | Ok (n, p) ->
+                      pos := p;
+                      Some (Json.Value.Int (Avro.unzigzag n))
+                  | Error m -> raise (Dec m))
+              | Inference.Spark.Double ->
+                  if !pos + 8 > String.length s then raise (Dec "truncated double");
+                  let bits = ref 0L in
+                  for i = 7 downto 0 do
+                    bits :=
+                      Int64.logor (Int64.shift_left !bits 8)
+                        (Int64.of_int (Char.code s.[!pos + i]))
+                  done;
+                  pos := !pos + 8;
+                  Some (Json.Value.Float (Int64.float_of_bits !bits))
+              | Inference.Spark.String -> (
+                  match Avro.read_varint s !pos with
+                  | Ok (len, p) ->
+                      if p + len > String.length s then raise (Dec "truncated string");
+                      pos := p + len;
+                      Some (Json.Value.String (String.sub s p len))
+                  | Error m -> raise (Dec m))
+              | Inference.Spark.Null_type -> Some Json.Value.Null
+              | _ -> raise (Dec "non-leaf type in leaf"))
+          presence
+      in
+      (Leaf cells, !pos)
+
+let rec read_node s pos (typ : Inference.Spark.t) =
+  match typ with
+  | Inference.Spark.Null_type | Inference.Spark.Boolean | Inference.Spark.Long
+  | Inference.Spark.Double | Inference.Spark.String ->
+      read_leaf s pos typ
+  | Inference.Spark.Struct fields -> (
+      match read_bits s pos with
+      | Error m -> raise (Dec m)
+      | Ok (presence, pos) ->
+          let pos = ref pos in
+          let subs =
+            List.map
+              (fun (k, f) ->
+                let n, p = read_node s !pos f.Inference.Spark.typ in
+                pos := p;
+                (k, n))
+              fields
+          in
+          (Struct (presence, subs), !pos))
+  | Inference.Spark.Array elem -> (
+      match read_bits s pos with
+      | Error m -> raise (Dec m)
+      | Ok (presence, pos) -> (
+          match Avro.read_varint s pos with
+          | Error m -> raise (Dec m)
+          | Ok (nlens, pos) ->
+              if nlens < 0 || nlens > String.length s then raise (Dec "corrupt length count");
+              let p = ref pos in
+              let lengths =
+                Array.init nlens (fun _ ->
+                    match Avro.read_varint s !p with
+                    | Ok (l, p') ->
+                        p := p';
+                        l
+                    | Error m -> raise (Dec m))
+              in
+              let sub, p' = read_node s !p elem.Inference.Spark.typ in
+              (Arr (presence, lengths, sub), p')))
+
+let decode ~schema s =
+  match
+    match Avro.read_varint s 0 with
+    | Error m -> raise (Dec m)
+    | Ok (rows, pos) ->
+        let root, _ = read_node s pos schema.Inference.Spark.typ in
+        { schema; rows; root }
+  with
+  | t -> Ok t
+  | exception Dec m -> Error m
+
+let byte_size t = String.length (encode t)
+
+let column_paths t =
+  let rec go path (typ : Inference.Spark.t) acc =
+    match typ with
+    | Inference.Spark.Struct fields ->
+        List.fold_left
+          (fun acc (k, f) ->
+            go (if path = "" then k else path ^ "." ^ k) f.Inference.Spark.typ acc)
+          acc fields
+    | Inference.Spark.Array elem -> go (path ^ "[]") elem.Inference.Spark.typ acc
+    | _ -> (if path = "" then "value" else path) :: acc
+  in
+  List.rev (go "" t.schema.Inference.Spark.typ [])
+
+let column_bytes t =
+  let out = ref [] in
+  let rec go path (typ : Inference.Spark.t) (n : node) =
+    match (typ, n) with
+    | Inference.Spark.Struct fields, Struct (_, subs) ->
+        List.iter
+          (fun (k, sub) ->
+            let f = List.assoc k fields in
+            go (if path = "" then k else path ^ "." ^ k) f.Inference.Spark.typ sub)
+          subs
+    | Inference.Spark.Array elem, Arr (_, _, sub) ->
+        go (path ^ "[]") elem.Inference.Spark.typ sub
+    | leaf_type, (Leaf _ as leaf) ->
+        let buf = Buffer.create 256 in
+        write_node buf leaf_type leaf;
+        out := ((if path = "" then "value" else path), Buffer.length buf) :: !out
+    | _ -> ()
+  in
+  go "" t.schema.Inference.Spark.typ t.root;
+  List.rev !out

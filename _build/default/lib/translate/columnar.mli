@@ -1,0 +1,40 @@
+(** Parquet-style columnar shredding of JSON collections.
+
+    Documents are shredded against a union-free schema (the Spark-style
+    schema of {!Inference.Spark} — Parquet, like Spark, has no union types)
+    into one typed column per leaf path. Nullability is a presence level on
+    each column (Dremel's definition levels, collapsed to one level per
+    nesting because the driving schema already fixes the structure);
+    repetition is an explicit length column per array node (an offsets
+    encoding, as in Arrow/Parquet V2).
+
+    Reassembly is lossy in exactly the way Spark is: an absent optional
+    field and an explicit [null] both come back as [null] — the tutorial's
+    point that translation fidelity is bounded by the schema language's
+    expressiveness. *)
+
+type table
+
+val shred :
+  schema:Inference.Spark.field -> Json.Value.t list -> (table, string) result
+(** Fails when a document does not conform to the schema (no silent
+    coercion: translate after validating, as the pipeline does). *)
+
+val assemble : table -> Json.Value.t list
+(** Rows in original order; optional-absent fields materialize as [null]. *)
+
+val row_count : table -> int
+val column_paths : table -> string list
+(** Dotted leaf paths, e.g. ["user.name"; "tags[]"]. *)
+
+val encode : table -> string
+(** Binary serialization: per-column contiguous data (varint longs,
+    LE doubles, length-prefixed strings, bit-packed booleans/presence). *)
+
+val decode : schema:Inference.Spark.field -> string -> (table, string) result
+val byte_size : table -> int
+(** [String.length (encode t)] without materializing twice. *)
+
+val column_bytes : table -> (string * int) list
+(** Per-leaf-column encoded sizes — the per-column scan cost a columnar
+    engine would pay (E7 reports these). *)

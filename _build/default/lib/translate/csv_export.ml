@@ -1,0 +1,37 @@
+let escape_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let cell_to_string (v : Json.Value.t) =
+  match v with
+  | Json.Value.Null -> ""
+  | Json.Value.Bool b -> string_of_bool b
+  | Json.Value.Int n -> string_of_int n
+  | Json.Value.Float f -> Json.Number.print_float f
+  | Json.Value.String s -> s
+  | Json.Value.Array _ | Json.Value.Object _ -> Json.Printer.to_string v
+
+let table_to_csv (t : Inference.Relational.table) =
+  let header =
+    String.concat "," (List.map escape_cell t.Inference.Relational.columns)
+  in
+  let lines =
+    List.map
+      (fun row -> String.concat "," (List.map (fun c -> escape_cell (cell_to_string c)) row))
+      t.Inference.Relational.rows
+  in
+  String.concat "\n" (header :: lines) ^ "\n"
+
+let result_to_csvs (r : Inference.Relational.result) =
+  List.map
+    (fun t -> (t.Inference.Relational.table_name, table_to_csv t))
+    r.Inference.Relational.tables

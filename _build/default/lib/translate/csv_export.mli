@@ -1,0 +1,14 @@
+(** CSV rendering of normalized relations (the final step of the
+    JSON → relational pipeline of {!Inference.Relational}). *)
+
+val escape_cell : string -> string
+(** RFC 4180 quoting. *)
+
+val cell_to_string : Json.Value.t -> string
+(** Scalars print bare ([null] as empty); containers as their JSON text. *)
+
+val table_to_csv : Inference.Relational.table -> string
+(** Header line + one line per row. *)
+
+val result_to_csvs : Inference.Relational.result -> (string * string) list
+(** [(table name, CSV text)] for every table of the normalization. *)

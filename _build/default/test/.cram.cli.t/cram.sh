@@ -1,0 +1,28 @@
+  $ jsontool generate -c orders -n 20 --seed 5 > orders.ndjson
+  $ wc -l < orders.ndjson
+  $ echo '{"b": 1, "a": [1, 2.5, "x"]}' | jsontool parse
+  $ echo '{"broken": ' | jsontool parse
+  $ jsontool infer -a parametric -e kind orders.ndjson
+  $ jsontool infer -a spark orders.ndjson
+  $ jsontool infer -a parametric -o typescript orders.ndjson
+  $ jsontool infer -a parametric -o jsonschema orders.ndjson > schema.json
+  $ jsontool validate -s schema.json orders.ndjson
+  $ echo '{"order_id": "not a number"}' | jsontool validate -s schema.json -
+  $ jsontool query --type 'filter $.quantity >= 5 | group by $.customer.customer_city into {n: count}' orders.ndjson | head -3
+  $ jsontool generate -c orders -n 200 --seed 5 | jsontool normalize - | head -1
+  $ jsontool generate -c tickets -n 100 --seed 2 2>/dev/null | jsontool profile - | head -2
+  $ cat > config.jsound <<'SCHEMA'
+  > {"endpoint": "anyURI", "timeout_ms": "integer", "?retries": "integer?"}
+  > SCHEMA
+  $ echo '{"endpoint": "https://x.io", "timeout_ms": 50}' | jsontool validate -l jsound -s config.jsound -
+  $ echo '{"endpoint": 12}' | jsontool validate -l jsound -s config.jsound -
+  $ cat > old.json <<'S'
+  > {"type": "object", "properties": {"id": {"type": "integer"}}, "required": ["id"], "additionalProperties": false}
+  > S
+  $ cat > new.json <<'S'
+  > {"type": "object", "properties": {"id": {"type": "integer"}, "tag": {"type": "string"}}, "required": ["id"], "additionalProperties": false}
+  > S
+  $ jsontool compat old.json new.json | head -1
+  $ jsontool generate -c orders -n 10 --seed 1 > mixed.ndjson
+  $ jsontool generate -c tickets -n 10 --seed 1 >> mixed.ndjson
+  $ jsontool discover --threshold 0.3 mixed.ndjson | grep -c 'cluster'

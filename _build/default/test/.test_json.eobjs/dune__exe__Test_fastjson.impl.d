@@ -1,0 +1,1 @@
+test/test_fastjson.ml: Alcotest Datagen Fastjson Json List Option Printf String

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Datagen Inference Json Jsonschema Jtype List Printf Re String

@@ -1,0 +1,1 @@
+test/test_joi.ml: Alcotest Hashtbl Joi Json Jsonschema List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_joi.mli:

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Float Hashtbl Json List Printf QCheck2 QCheck_alcotest String

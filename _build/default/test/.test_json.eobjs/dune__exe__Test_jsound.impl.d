@@ -1,0 +1,1 @@
+test/test_jsound.ml: Alcotest Fun Hashtbl Json Jsonschema Jsound Jtype List Printf QCheck2 QCheck_alcotest String

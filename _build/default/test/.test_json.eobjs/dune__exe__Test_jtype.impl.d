@@ -1,0 +1,1 @@
+test/test_jtype.ml: Alcotest Containment Counting Fun Hashtbl Interop Json Jsonschema Jtype List Merge QCheck2 QCheck_alcotest Re String Swift Typecheck Types Typescript

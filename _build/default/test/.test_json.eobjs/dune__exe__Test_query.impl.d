@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Datagen Json Jtype List Printf QCheck2 QCheck_alcotest Query

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Char Fastjson Hashtbl Inference Json Jsonschema Jsound Jtype List QCheck2 QCheck_alcotest Query String Translate

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Buffer Datagen Inference Json Jtype List Printf String Translate

@@ -1,0 +1,115 @@
+CLI end-to-end checks. The binary is the public jsontool executable.
+
+Generate a deterministic corpus:
+
+  $ jsontool generate -c orders -n 20 --seed 5 > orders.ndjson
+  $ wc -l < orders.ndjson
+  20
+
+Parse / re-print:
+
+  $ echo '{"b": 1, "a": [1, 2.5, "x"]}' | jsontool parse
+  {"b":1,"a":[1,2.5,"x"]}
+
+  $ echo '{"broken": ' | jsontool parse
+  jsontool: line 2, column 1: expected a value, got end of input
+  [1]
+
+Parametric inference (kind equivalence):
+
+  $ jsontool infer -a parametric -e kind orders.ndjson
+  {customer: {customer_city: Str, customer_id: Int, customer_name: Str}, order_date: Str, order_id: Int, product: {product_id: Int, product_name: Str, product_price: Num}, quantity: Int}
+
+Spark DDL output:
+
+  $ jsontool infer -a spark orders.ndjson
+  STRUCT<customer: STRUCT<customer_city: STRING, customer_id: BIGINT, customer_name: STRING>, order_date: STRING, order_id: BIGINT, product: STRUCT<product_id: BIGINT, product_name: STRING, product_price: DOUBLE>, quantity: BIGINT> NOT NULL
+
+TypeScript code generation:
+
+  $ jsontool infer -a parametric -o typescript orders.ndjson
+  interface RootCustomer {
+    customer_city: string;
+    customer_id: number;
+    customer_name: string;
+  }
+  
+  interface RootProduct {
+    product_id: number;
+    product_name: string;
+    product_price: number;
+  }
+  
+  interface Root {
+    customer: RootCustomer;
+    order_date: string;
+    order_id: number;
+    product: RootProduct;
+    quantity: number;
+  }
+
+Validation round trip: the inferred JSON Schema accepts its own corpus.
+
+  $ jsontool infer -a parametric -o jsonschema orders.ndjson > schema.json
+  $ jsontool validate -s schema.json orders.ndjson
+  20/20 documents valid
+
+...and rejects a corrupted document:
+
+  $ echo '{"order_id": "not a number"}' | jsontool validate -s schema.json -
+  document 0: instance # violates schema #/required: missing required property "customer"
+  document 0: instance # violates schema #/required: missing required property "order_date"
+  document 0: instance # violates schema #/required: missing required property "product"
+  document 0: instance # violates schema #/required: missing required property "quantity"
+  document 0: instance #/order_id violates schema #/properties/order_id/type: expected integer, got string
+  0/1 documents valid
+  [1]
+
+Queries with static output schemas:
+
+  $ jsontool query --type 'filter $.quantity >= 5 | group by $.customer.customer_city into {n: count}' orders.ndjson | head -3
+  input  type: {customer: {customer_city: Str, customer_id: Int, customer_name: Str}, order_date: Str, order_id: Int, product: {product_id: Int, product_name: Str, product_price: Num}, quantity: Int}
+  output type: {key: Str, n: Int}
+  {"key":"nantes","n":1}
+
+Normalization discovers the embedded dimensions:
+
+  $ jsontool generate -c orders -n 200 --seed 5 | jsontool normalize - | head -1
+  cells: 1800 -> 1105 (61.4% of original)
+
+Profiling explains ticket structure by channel:
+
+  $ jsontool generate -c tickets -n 100 --seed 2 2>/dev/null | jsontool profile - | head -2
+  structural variants: 4; training accuracy 1.000
+    channel = "phone" => {callback: *, channel: *, duration_s: *, opened_at: *, priority: *, ticket_id: *} (32/32)
+
+JSound validation through the CLI:
+
+  $ cat > config.jsound <<'SCHEMA'
+  > {"endpoint": "anyURI", "timeout_ms": "integer", "?retries": "integer?"}
+  > SCHEMA
+  $ echo '{"endpoint": "https://x.io", "timeout_ms": 50}' | jsontool validate -l jsound -s config.jsound -
+  1/1 documents valid
+  $ echo '{"endpoint": 12}' | jsontool validate -l jsound -s config.jsound -
+  document 0: at <root>: missing required field "timeout_ms"
+  document 0: at /endpoint: expected anyURI, got number
+  0/1 documents valid
+  [1]
+
+Schema evolution compatibility:
+
+  $ cat > old.json <<'S'
+  > {"type": "object", "properties": {"id": {"type": "integer"}}, "required": ["id"], "additionalProperties": false}
+  > S
+  $ cat > new.json <<'S'
+  > {"type": "object", "properties": {"id": {"type": "integer"}, "tag": {"type": "string"}}, "required": ["id"], "additionalProperties": false}
+  > S
+  $ jsontool compat old.json new.json | head -1
+  backward compatible: old instances remain valid
+
+Discovery on a mixed collection:
+
+  $ jsontool generate -c orders -n 10 --seed 1 > mixed.ndjson
+  $ jsontool generate -c tickets -n 10 --seed 1 >> mixed.ndjson
+  $ jsontool discover --threshold 0.3 mixed.ndjson | grep -c 'cluster'
+  2

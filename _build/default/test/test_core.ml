@@ -1,0 +1,104 @@
+(* Integration tests for the Core umbrella and the end-to-end Pipeline. *)
+
+open Core
+
+let parse = Json.Parser.parse_exn
+let value = Alcotest.testable Json.Printer.pp Json.Value.equal
+
+let docs =
+  List.map parse
+    [ {|{"id": 1, "name": "ann", "tags": ["a"]}|};
+      {|{"id": 2, "name": "bob"}|};
+      {|{"id": 3, "name": "cho", "tags": []}|} ]
+
+let test_infer_artifacts () =
+  let inferred = Pipeline.infer ~name:"User" docs in
+  Alcotest.(check string) "type"
+    "{id: Int, name: Str, tags?: [Str]}"
+    (Jtype.Types.to_string inferred.Pipeline.jtype);
+  (* schema artifact validates the corpus *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "schema accepts corpus" true
+        (Jsonschema.Validate.is_valid ~root:inferred.Pipeline.json_schema d))
+    docs;
+  (* codegen artifacts mention the fields *)
+  let has needle hay = Re.execp (Re.compile (Re.str needle)) hay in
+  Alcotest.(check bool) "ts" true (has "tags?: string[]" inferred.Pipeline.typescript);
+  Alcotest.(check bool) "swift" true (has "let tags: [String]?" inferred.Pipeline.swift);
+  (* counting totals *)
+  Alcotest.(check int) "counting total" 3 (Jtype.Counting.count inferred.Pipeline.counting)
+
+let test_infer_ndjson () =
+  let text = String.concat "\n" (List.map Json.Printer.to_string docs) in
+  match Pipeline.infer_ndjson text with
+  | Ok inferred ->
+      Alcotest.(check string) "same as batch"
+        (Jtype.Types.to_string (Pipeline.infer docs).Pipeline.jtype)
+        (Jtype.Types.to_string inferred.Pipeline.jtype)
+  | Error m -> Alcotest.fail m
+
+let test_validate_collection () =
+  let root = (Pipeline.infer docs).Pipeline.json_schema in
+  (match Pipeline.validate_collection ~root docs with
+   | Ok 3 -> ()
+   | Ok n -> Alcotest.fail (Printf.sprintf "expected 3 valid, got %d" n)
+   | Error _ -> Alcotest.fail "corpus must validate");
+  match Pipeline.validate_collection ~root (docs @ [ parse {|{"id": "four"}|} ]) with
+  | Ok _ -> Alcotest.fail "corrupted doc must fail"
+  | Error [ (3, _ :: _) ] -> ()
+  | Error failures ->
+      Alcotest.fail (Printf.sprintf "expected failure at index 3, got %d failures" (List.length failures))
+
+let test_profile_report () =
+  let report = Pipeline.profile docs in
+  Alcotest.(check (option value)) "documents" (Some (Json.Value.Int 3))
+    (Json.Value.member "documents" report);
+  Alcotest.(check bool) "has inferred type" true
+    (Json.Value.has_member "inferred_type" report);
+  Alcotest.(check bool) "has field stats" true
+    (Json.Value.has_member "field_statistics" report);
+  (* the report itself is valid JSON all the way down (printable) *)
+  match Json.Parser.parse (Json.Printer.to_string report) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+let test_translate_pipeline () =
+  let st = Datagen.rng ~seed:13 in
+  let tweets = Datagen.tweets st 100 in
+  match Pipeline.translate tweets with
+  | Error m -> Alcotest.fail m
+  | Ok tr ->
+      Alcotest.(check bool) "avro smaller than json" true
+        (String.length tr.Pipeline.avro_bytes < tr.Pipeline.json_bytes);
+      Alcotest.(check bool) "columnar smaller than json" true
+        (String.length tr.Pipeline.columnar_bytes < tr.Pipeline.json_bytes);
+      (* the avro schema is a record *)
+      Alcotest.(check (option value)) "avro schema kind"
+        (Some (Json.Value.String "record"))
+        (Json.Value.member "type" tr.Pipeline.avro_schema)
+
+let test_umbrella_exposes_everything () =
+  (* every component is reachable through Core *)
+  ignore (Json.Parser.parse "1");
+  ignore (Jsonschema.Parse.of_string "true");
+  ignore Joi.string;
+  ignore (Jsound.parse_string {|"item"|});
+  ignore Jtype.Types.any;
+  ignore (Inference.Skeleton.build []);
+  ignore (Fastjson.Fadjs.create ());
+  ignore (Translate.Avro.zigzag 1);
+  ignore (Datagen.rng ~seed:1);
+  ignore (Query.Parse.pipeline "top 1");
+  Alcotest.(check pass) "all modules linked" () ()
+
+let () =
+  Alcotest.run "core"
+    [ ("pipeline",
+       [ Alcotest.test_case "infer artifacts" `Quick test_infer_artifacts;
+         Alcotest.test_case "infer ndjson" `Quick test_infer_ndjson;
+         Alcotest.test_case "validate collection" `Quick test_validate_collection;
+         Alcotest.test_case "profile report" `Quick test_profile_report;
+         Alcotest.test_case "translate" `Quick test_translate_pipeline ]);
+      ("umbrella", [ Alcotest.test_case "exposure" `Quick test_umbrella_exposes_everything ]);
+    ]

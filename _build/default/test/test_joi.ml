@@ -1,0 +1,303 @@
+(* Tests for the Joi combinator DSL: base types, refinements, presence,
+   defaults, co-occurrence/mutual-exclusion relations, value-dependent
+   types, describe, and JSON Schema compilation. *)
+
+let parse = Json.Parser.parse_exn
+
+let check_ok ?(name = "valid") schema src =
+  match Joi.validate schema (parse src) with
+  | Ok _ -> ()
+  | Error es ->
+      Alcotest.fail
+        (Printf.sprintf "%s: %s unexpectedly rejected: %s" name src
+           (String.concat "; " (List.map Joi.string_of_error es)))
+
+let check_err ?(name = "invalid") schema src =
+  match Joi.validate schema (parse src) with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%s: %s unexpectedly accepted" name src)
+  | Error _ -> ()
+
+let test_base_types () =
+  check_ok Joi.string {|"s"|};
+  check_err Joi.string "1";
+  check_ok Joi.number "1.5";
+  check_ok Joi.number "2";
+  check_err Joi.number {|"1"|};
+  check_ok Joi.integer "2";
+  check_err Joi.integer "2.5";
+  check_ok Joi.boolean "true";
+  check_err Joi.boolean "null";
+  check_ok Joi.null "null";
+  check_ok Joi.any {|{"free": "form"}|};
+  check_ok Joi.array "[1,2]";
+  check_err Joi.array "{}"
+
+let test_string_rules () =
+  let s = Joi.(string |> min 2 |> max 5) in
+  check_ok s {|"abc"|};
+  check_err s {|"a"|};
+  check_err s {|"abcdef"|};
+  check_ok Joi.(string |> length 3) {|"abc"|};
+  check_err Joi.(string |> length 3) {|"ab"|};
+  check_ok Joi.(string |> pattern "^[a-z]+$") {|"abc"|};
+  check_err Joi.(string |> pattern "^[a-z]+$") {|"aBc"|};
+  check_ok Joi.(string |> email) {|"bob@example.com"|};
+  check_err Joi.(string |> email) {|"bob"|};
+  check_ok Joi.(string |> uri) {|"https://x.org"|};
+  check_err Joi.(string |> uri) {|"not a uri"|};
+  check_ok Joi.(string |> lowercase) {|"abc"|};
+  check_err Joi.(string |> lowercase) {|"Abc"|};
+  check_ok Joi.(string |> alphanum) {|"a1B2"|};
+  check_err Joi.(string |> alphanum) {|"a b"|};
+  Alcotest.check_raises "bad regex"
+    (Invalid_argument "Joi.pattern: invalid regex \"[\"") (fun () ->
+      ignore (Joi.pattern "[" Joi.string))
+
+let test_number_rules () =
+  check_ok Joi.(number |> min 2 |> max 5) "3";
+  check_err Joi.(number |> min 2) "1";
+  check_err Joi.(number |> max 5) "6";
+  check_ok Joi.(number |> greater 0.0) "0.1";
+  check_err Joi.(number |> greater 0.0) "0";
+  check_ok Joi.(number |> less 1.0) "0.9";
+  check_ok Joi.(number |> positive) "3";
+  check_err Joi.(number |> positive) "-3";
+  check_ok Joi.(number |> negative) "-3";
+  check_ok Joi.(number |> multiple 3) "9";
+  check_err Joi.(number |> multiple 3) "10"
+
+let test_array_rules () =
+  let s = Joi.(array |> items (Joi.integer) |> min 1 |> max 3) in
+  check_ok s "[1,2]";
+  check_err s "[]";
+  check_err s "[1,2,3,4]";
+  check_err s {|[1,"x"]|};
+  check_ok Joi.(array |> unique) "[1,2,3]";
+  check_err Joi.(array |> unique) "[1,2,1]"
+
+let test_valid_invalid () =
+  let s = Joi.(string |> valid [ Json.Value.String "a"; Json.Value.String "b" ]) in
+  check_ok s {|"a"|};
+  check_err s {|"c"|};
+  let s2 = Joi.(any |> invalid [ Json.Value.Null ]) in
+  check_ok s2 "1";
+  check_err s2 "null"
+
+let test_object_presence () =
+  let s =
+    Joi.object_
+      [ ("id", Joi.(integer |> required));
+        ("name", Joi.string);
+        ("secret", Joi.(any |> forbidden)) ]
+  in
+  check_ok s {|{"id": 1, "name": "x"}|};
+  check_ok s {|{"id": 1}|};
+  check_err ~name:"missing required" s {|{"name": "x"}|};
+  check_err ~name:"forbidden present" s {|{"id": 1, "secret": 2}|};
+  check_err ~name:"unknown key" s {|{"id": 1, "extra": 2}|};
+  check_ok Joi.(object_ [ ("id", Joi.integer) ] |> unknown true) {|{"id": 1, "extra": 2}|}
+
+let test_defaults_inserted () =
+  let s =
+    Joi.object_
+      [ ("id", Joi.(integer |> required));
+        ("role", Joi.(string |> default (Json.Value.String "user"))) ]
+  in
+  match Joi.validate s (parse {|{"id": 7}|}) with
+  | Ok v ->
+      Alcotest.(check string) "default inserted"
+        {|{"id":7,"role":"user"}|}
+        (Json.Printer.to_string v)
+  | Error _ -> Alcotest.fail "should validate"
+
+let test_relations_and () =
+  let s = Joi.(object_ [ ("a", Joi.any); ("b", Joi.any) ] |> and_ [ "a"; "b" ]) in
+  check_ok s {|{"a": 1, "b": 2}|};
+  check_ok s "{}";
+  check_err s {|{"a": 1}|}
+
+let test_relations_or_xor_nand () =
+  let base = Joi.object_ [ ("a", Joi.any); ("b", Joi.any) ] in
+  let s_or = Joi.or_ [ "a"; "b" ] base in
+  check_ok s_or {|{"a": 1}|};
+  check_ok s_or {|{"a": 1, "b": 2}|};
+  check_err s_or "{}";
+  let s_xor = Joi.xor [ "a"; "b" ] base in
+  check_ok s_xor {|{"a": 1}|};
+  check_err s_xor {|{"a": 1, "b": 2}|};
+  check_err s_xor "{}";
+  let s_nand = Joi.nand [ "a"; "b" ] base in
+  check_ok s_nand {|{"a": 1}|};
+  check_ok s_nand "{}";
+  check_err s_nand {|{"a": 1, "b": 2}|}
+
+let test_relations_with_without () =
+  let base =
+    Joi.object_ [ ("card", Joi.any); ("addr", Joi.any); ("cash", Joi.any) ]
+  in
+  let s = Joi.(base |> with_ "card" [ "addr" ] |> without "cash" [ "card" ]) in
+  check_ok s {|{"card": 1, "addr": "x"}|};
+  check_err ~name:"card without addr" s {|{"card": 1}|};
+  check_ok s {|{"cash": 1}|};
+  check_err ~name:"cash conflicts card" s {|{"cash": 1, "card": 2, "addr": "x"}|}
+
+let test_when_value_dependent () =
+  (* the canonical Joi example: payment method selects the required fields *)
+  let s =
+    Joi.object_
+      [ ("method", Joi.(string |> required));
+        ("details",
+         Joi.(
+           object_ [ ("number", Joi.any); ("iban", Joi.any) ]
+           |> required
+           |> when_ ~ref_:"method"
+                ~is:(Joi.(any |> valid [ Json.Value.String "card" ]))
+                ~then_:(Joi.object_ [ ("number", Joi.(string |> required)); ("iban", Joi.any) ] |> Joi.unknown true)
+                ~otherwise:(Joi.object_ [ ("iban", Joi.(string |> required)); ("number", Joi.any) ] |> Joi.unknown true))) ]
+  in
+  check_ok s {|{"method": "card", "details": {"number": "4111"}}|};
+  check_err ~name:"card needs number" s {|{"method": "card", "details": {"iban": "DE1"}}|};
+  check_ok s {|{"method": "sepa", "details": {"iban": "DE1"}}|};
+  check_err ~name:"sepa needs iban" s {|{"method": "sepa", "details": {"number": "4111"}}|}
+
+let test_alternatives () =
+  let s = Joi.alternatives [ Joi.integer; Joi.(string |> min 1) ] in
+  check_ok s "3";
+  check_ok s {|"x"|};
+  check_err s "3.5";
+  check_err s {|""|};
+  check_err s "null"
+
+let test_error_paths () =
+  let s = Joi.object_ [ ("xs", Joi.(array |> items Joi.integer)) ] in
+  match Joi.validate s (parse {|{"xs": [1, "bad"]}|}) with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error [ e ] ->
+      Alcotest.(check string) "path" "/xs/1" (Json.Pointer.to_string e.Joi.path)
+  | Error es -> Alcotest.fail (Printf.sprintf "expected 1 error, got %d" (List.length es))
+
+let test_describe () =
+  let s =
+    Joi.(object_ [ ("id", Joi.integer |> Joi.required) ] |> xor [ "a"; "b" ])
+  in
+  let d = Joi.describe s in
+  Alcotest.(check (option string)) "type" (Some "object")
+    Json.Value.(to_string (member_exn "type" d));
+  Alcotest.(check bool) "keys present" true (Json.Value.has_member "keys" d);
+  Alcotest.(check bool) "dependencies present" true
+    (Json.Value.has_member "dependencies" d)
+
+let test_to_json_schema () =
+  let s =
+    Joi.object_
+      [ ("id", Joi.(integer |> required |> min 0));
+        ("email", Joi.(string |> email));
+        ("tags", Joi.(array |> items Joi.string |> unique)) ]
+  in
+  let root = Jsonschema.Print.to_json (Joi.to_json_schema s) in
+  let ok src = Jsonschema.Validate.is_valid ~root (parse src) in
+  Alcotest.(check bool) "accepts valid" true
+    (ok {|{"id": 1, "email": "a@b.co", "tags": ["x"]}|});
+  Alcotest.(check bool) "rejects missing id" false (ok {|{"email": "a@b.co"}|});
+  Alcotest.(check bool) "rejects negative id" false (ok {|{"id": -1}|});
+  Alcotest.(check bool) "rejects dup tags" false (ok {|{"id": 1, "tags": ["x","x"]}|});
+  Alcotest.(check bool) "rejects unknown key" false (ok {|{"id": 1, "zz": 0}|})
+
+let test_joi_agrees_with_compiled_schema () =
+  (* behavioural agreement between the DSL and its JSON Schema compilation
+     on the expressible fragment *)
+  let s =
+    Joi.object_
+      [ ("a", Joi.(integer |> required |> min 0 |> max 10));
+        ("b", Joi.(string |> min 1 |> max 4)) ]
+  in
+  let root = Jsonschema.Print.to_json (Joi.to_json_schema s) in
+  let cases =
+    [ {|{"a": 5}|}; {|{"a": 5, "b": "xy"}|}; {|{"a": -1}|}; {|{"a": 11}|};
+      {|{"b": "xy"}|}; {|{"a": 5, "b": ""}|}; {|{"a": 5, "b": "tooooolong"}|};
+      {|{"a": 5, "c": 1}|}; {|[]|}; {|{"a": "5"}|} ]
+  in
+  List.iter
+    (fun src ->
+      let j = Joi.is_valid s (parse src) in
+      let d = Jsonschema.Validate.is_valid ~root (parse src) in
+      Alcotest.(check bool) (Printf.sprintf "agree on %s" src) j d)
+    cases
+
+
+(* property: Joi and its JSON Schema compilation agree on random instances
+   of a fixed expressible contract *)
+let gen_instance =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-20) 20);
+        map (fun f -> Json.Value.Float f) (float_range (-20.) 20.);
+        map (fun s -> Json.Value.String s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 6)) ]
+  in
+  let field = oneofl [ "a"; "b"; "c"; "zz" ] in
+  map
+    (fun fields ->
+      let seen = Hashtbl.create 4 in
+      Json.Value.Object
+        (List.filter
+           (fun (k, _) -> if Hashtbl.mem seen k then false else (Hashtbl.add seen k (); true))
+           fields))
+    (list_size (int_range 0 4) (pair field scalar))
+
+let prop_joi_schema_agreement =
+  let contract =
+    Joi.object_
+      [ ("a", Joi.(integer |> required |> min 0 |> max 10));
+        ("b", Joi.(string |> min 1 |> max 4));
+        ("c", Joi.boolean) ]
+  in
+  let root = Jsonschema.Print.to_json (Joi.to_json_schema contract) in
+  QCheck2.Test.make ~name:"joi = compiled JSON Schema on the fragment" ~count:500
+    gen_instance (fun v ->
+      Joi.is_valid contract v = Jsonschema.Validate.is_valid ~root v)
+
+let prop_joi_defaults_idempotent =
+  let contract =
+    Joi.object_
+      [ ("a", Joi.(integer |> required));
+        ("r", Joi.(string |> default (Json.Value.String "d"))) ]
+  in
+  QCheck2.Test.make ~name:"validate is idempotent (defaults settle)" ~count:300
+    gen_instance (fun v ->
+      match Joi.validate contract v with
+      | Error _ -> true
+      | Ok v1 -> (
+          match Joi.validate contract v1 with
+          | Ok v2 -> Json.Value.equal v1 v2
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "joi"
+    [ ("base",
+       [ Alcotest.test_case "types" `Quick test_base_types;
+         Alcotest.test_case "string rules" `Quick test_string_rules;
+         Alcotest.test_case "number rules" `Quick test_number_rules;
+         Alcotest.test_case "array rules" `Quick test_array_rules;
+         Alcotest.test_case "valid/invalid sets" `Quick test_valid_invalid ]);
+      ("objects",
+       [ Alcotest.test_case "presence" `Quick test_object_presence;
+         Alcotest.test_case "defaults" `Quick test_defaults_inserted;
+         Alcotest.test_case "and" `Quick test_relations_and;
+         Alcotest.test_case "or/xor/nand" `Quick test_relations_or_xor_nand;
+         Alcotest.test_case "with/without" `Quick test_relations_with_without ]);
+      ("value-dependent",
+       [ Alcotest.test_case "when" `Quick test_when_value_dependent;
+         Alcotest.test_case "alternatives" `Quick test_alternatives ]);
+      ("reporting",
+       [ Alcotest.test_case "error paths" `Quick test_error_paths;
+         Alcotest.test_case "describe" `Quick test_describe ]);
+      ("compilation",
+       [ Alcotest.test_case "to JSON Schema" `Quick test_to_json_schema;
+         Alcotest.test_case "behavioural agreement" `Quick test_joi_agrees_with_compiled_schema ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_joi_schema_agreement; prop_joi_defaults_idempotent ]);
+    ]

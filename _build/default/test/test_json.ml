@@ -1,0 +1,443 @@
+(* Tests for the JSON substrate: values, numbers, lexer, parser, printer,
+   pointers, paths, streaming. *)
+
+let value : Json.Value.t Alcotest.testable =
+  Alcotest.testable Json.Printer.pp Json.Value.equal_strict
+
+let value_loose : Json.Value.t Alcotest.testable =
+  Alcotest.testable Json.Printer.pp Json.Value.equal
+
+let parse = Json.Parser.parse_exn
+let print = Json.Printer.to_string
+
+let check_roundtrip name src =
+  Alcotest.(check string) name src (print (parse src))
+
+(* --- Value ----------------------------------------------------------- *)
+
+let test_accessors () =
+  let v = parse {|{"a": 1, "b": [true, null], "c": "x", "d": 2.5}|} in
+  Alcotest.(check (option int)) "int" (Some 1) Json.Value.(to_int (member_exn "a" v));
+  Alcotest.(check (option string)) "string" (Some "x") Json.Value.(to_string (member_exn "c" v));
+  Alcotest.(check (option (float 0.))) "float" (Some 2.5) Json.Value.(to_float (member_exn "d" v));
+  Alcotest.(check (option (float 0.))) "int as float" (Some 1.0) Json.Value.(to_float (member_exn "a" v));
+  Alcotest.(check bool) "has_member" true (Json.Value.has_member "b" v);
+  Alcotest.(check bool) "missing" false (Json.Value.has_member "z" v);
+  Alcotest.(check (option value)) "index" (Some Json.Value.Null)
+    Json.Value.(index 1 (member_exn "b" v));
+  Alcotest.(check (option value)) "negative index" (Some (Json.Value.Bool true))
+    Json.Value.(index (-2) (member_exn "b" v));
+  Alcotest.check_raises "type error" (Json.Value.Type_error "expected integer, got string")
+    (fun () -> ignore (Json.Value.to_int_exn (Json.Value.String "hi")))
+
+let test_equal_unordered () =
+  let a = parse {|{"x": 1, "y": {"p": [1,2], "q": null}}|} in
+  let b = parse {|{"y": {"q": null, "p": [1,2]}, "x": 1}|} in
+  Alcotest.(check bool) "unordered equal" true (Json.Value.equal a b);
+  Alcotest.(check bool) "strict differs" false (Json.Value.equal_strict a b);
+  Alcotest.(check bool) "int/float equal" true
+    (Json.Value.equal (Json.Value.Int 3) (Json.Value.Float 3.0));
+  Alcotest.(check bool) "int/float strict" false
+    (Json.Value.equal_strict (Json.Value.Int 3) (Json.Value.Float 3.0));
+  Alcotest.(check bool) "array order matters" false
+    (Json.Value.equal (parse "[1,2]") (parse "[2,1]"))
+
+let test_structure_ops () =
+  let v = parse {|{"a": {"b": [1, {"c": 2}]}, "d": 3}|} in
+  Alcotest.(check int) "size" 7 (Json.Value.size v);
+  Alcotest.(check int) "depth" 5 (Json.Value.depth v);
+  Alcotest.(check (list (list string))) "paths"
+    [ [ "a"; "b"; "[]" ]; [ "a"; "b"; "[]"; "c" ]; [ "d" ] ]
+    (Json.Value.paths v);
+  let doubled =
+    Json.Value.map_values
+      (function Json.Value.Int n -> Json.Value.Int (2 * n) | x -> x)
+      v
+  in
+  Alcotest.check value "map_values" (parse {|{"a": {"b": [2, {"c": 4}]}, "d": 6}|}) doubled;
+  let count_strings =
+    Json.Value.fold
+      (fun n x -> match x with Json.Value.String _ -> n + 1 | _ -> n)
+      0
+      (parse {|["a", {"k": "b"}, 1]|})
+  in
+  (* "k" is a key, not a value: only "a" and "b" count *)
+  Alcotest.(check int) "fold" 2 count_strings
+
+(* --- Number ---------------------------------------------------------- *)
+
+let test_number_grammar () =
+  let ok s = Alcotest.(check bool) s true (Json.Number.is_valid_literal s) in
+  let bad s = Alcotest.(check bool) s false (Json.Number.is_valid_literal s) in
+  List.iter ok [ "0"; "-0"; "1"; "-1"; "10.5"; "0.5"; "1e3"; "1E+3"; "1.5e-3"; "123456789" ];
+  List.iter bad [ ""; "+1"; ".5"; "5."; "01"; "0x1"; "1e"; "1e+"; "--1"; "NaN"; "Infinity"; "1 " ]
+
+let test_number_int_vs_float () =
+  (match Json.Number.parse "42" with
+   | Ok (Json.Number.Int_lit 42) -> ()
+   | _ -> Alcotest.fail "42 should be Int_lit");
+  (match Json.Number.parse "42.0" with
+   | Ok (Json.Number.Float_lit f) -> Alcotest.(check (float 0.)) "42.0" 42.0 f
+   | _ -> Alcotest.fail "42.0 should be Float_lit");
+  (match Json.Number.parse "1e2" with
+   | Ok (Json.Number.Float_lit f) -> Alcotest.(check (float 0.)) "1e2" 100.0 f
+   | _ -> Alcotest.fail "1e2 should be Float_lit");
+  (* huge integer literals degrade to float *)
+  match Json.Number.parse "123456789012345678901234567890" with
+  | Ok (Json.Number.Float_lit _) -> ()
+  | _ -> Alcotest.fail "overflowing integer should degrade to float"
+
+let test_float_printing () =
+  let check f expected =
+    Alcotest.(check string) (string_of_float f) expected (Json.Number.print_float f)
+  in
+  check 1.5 "1.5";
+  check 0.1 "0.1";
+  check 100.0 "100.0";
+  check (-2.5e-3) "-0.0025";
+  Alcotest.(check bool) "roundtrip pi" true
+    (float_of_string (Json.Number.print_float Float.pi) = Float.pi);
+  Alcotest.check_raises "nan" (Invalid_argument "Json.Number.print_float: not representable in JSON")
+    (fun () -> ignore (Json.Number.print_float Float.nan))
+
+(* --- Parser ---------------------------------------------------------- *)
+
+let test_parse_scalars () =
+  Alcotest.check value "null" Json.Value.Null (parse "null");
+  Alcotest.check value "true" (Json.Value.Bool true) (parse "true");
+  Alcotest.check value "false" (Json.Value.Bool false) (parse " false ");
+  Alcotest.check value "int" (Json.Value.Int (-17)) (parse "-17");
+  Alcotest.check value "float" (Json.Value.Float 2.5) (parse "2.5");
+  Alcotest.check value "string" (Json.Value.String "hi") (parse {|"hi"|})
+
+let test_parse_escapes () =
+  Alcotest.check value "escapes"
+    (Json.Value.String "a\"b\\c/d\be\012f\ng\rh\ti")
+    (parse {|"a\"b\\c\/d\be\ff\ng\rh\ti"|});
+  Alcotest.check value "unicode bmp" (Json.Value.String "\xe2\x82\xac") (parse {|"€"|});
+  Alcotest.check value "surrogate pair" (Json.Value.String "\xf0\x9d\x84\x9e")
+    (parse {|"𝄞"|});
+  Alcotest.check value "nul escape" (Json.Value.String "\x00") (parse {|"\u0000"|})
+
+let expect_error src =
+  match Json.Parser.parse src with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" src)
+  | Error _ -> ()
+
+let test_parse_errors () =
+  List.iter expect_error
+    [ ""; "{"; "}"; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "{a: 1}"; "[1 2]";
+      {|"unterminated|}; "tru"; "nul"; "01"; "1.2.3"; {|{"a":1,}|};
+      {|"bad \x escape"|}; {|"unpaired \uD834 surrogate"|}; "[1] extra";
+      "\"ctrl \x01 char\"" ]
+
+let test_parse_error_position () =
+  match Json.Parser.parse "{\n  \"a\": 12,\n  \"b\": tru\n}" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error e ->
+      Alcotest.(check int) "line" 3 e.Json.Parser.position.Json.Lexer.line;
+      Alcotest.(check int) "column" 8 e.Json.Parser.position.Json.Lexer.column
+
+let test_dup_keys () =
+  let src = {|{"a": 1, "b": 2, "a": 3}|} in
+  let with_policy p =
+    Json.Parser.parse ~options:{ Json.Parser.default_options with Json.Parser.dup_keys = p } src
+  in
+  (match with_policy Json.Parser.Keep_last with
+   | Ok v -> Alcotest.check value "keep_last" (parse {|{"a": 3, "b": 2}|}) v
+   | Error _ -> Alcotest.fail "keep_last");
+  (match with_policy Json.Parser.Keep_first with
+   | Ok v -> Alcotest.check value "keep_first" (parse {|{"a": 1, "b": 2}|}) v
+   | Error _ -> Alcotest.fail "keep_first");
+  (match with_policy Json.Parser.Keep_all with
+   | Ok (Json.Value.Object fields) ->
+       Alcotest.(check int) "keep_all" 3 (List.length fields)
+   | _ -> Alcotest.fail "keep_all");
+  match with_policy Json.Parser.Reject with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reject should error"
+
+let test_max_depth () =
+  let deep = String.concat "" (List.init 40 (fun _ -> "[")) in
+  let deep = deep ^ "1" ^ String.concat "" (List.init 40 (fun _ -> "]")) in
+  let options = { Json.Parser.default_options with Json.Parser.max_depth = 10 } in
+  (match Json.Parser.parse ~options deep with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "should exceed max depth");
+  match Json.Parser.parse deep with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+let test_parse_many () =
+  match Json.Parser.parse_many "{\"a\":1}\n{\"a\":2}\n[3]" with
+  | Ok vs -> Alcotest.(check int) "three docs" 3 (List.length vs)
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+let test_parse_substring () =
+  let src = "   {\"a\": [1,2]} trailing" in
+  match Json.Parser.parse_substring src ~pos:0 with
+  | Ok (v, stop) ->
+      Alcotest.check value "value" (parse {|{"a":[1,2]}|}) v;
+      Alcotest.(check int) "stop offset" 15 stop
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+(* --- Printer --------------------------------------------------------- *)
+
+let test_print_roundtrips () =
+  List.iter (check_roundtrip "roundtrip")
+    [ "null"; "true"; "[1,2,3]"; {|{"a":1,"b":[null,false],"c":{"d":"e"}}|};
+      {|"quote\"backslash\\newline\n"|}; "[-1,0.5,100.0]"; "[]"; "{}" ]
+
+let test_pretty_print () =
+  let v = parse {|{"a": [1, 2], "b": {}}|} in
+  Alcotest.(check string) "pretty"
+    "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}"
+    (Json.Printer.to_string_pretty v)
+
+let test_escape_string () =
+  Alcotest.(check string) "escape" "\"a\\\"b\\u0001\"" (Json.Printer.escape_string "a\"b\x01")
+
+(* --- Pointer --------------------------------------------------------- *)
+
+let test_pointer_parse () =
+  let check_pp s = Alcotest.(check string) s s Json.Pointer.(to_string (parse_exn s)) in
+  List.iter check_pp [ ""; "/a"; "/a/0/b"; "/a~0b/c~1d"; "/" ];
+  match Json.Pointer.parse "no-slash" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must reject pointer without leading /"
+
+let test_pointer_get () =
+  let doc = parse {|{"foo": ["bar", "baz"], "": 0, "a/b": 1, "m~n": 8, "k\"l": 6}|} in
+  let get s = Json.Pointer.(get (parse_exn s) doc) in
+  Alcotest.(check (option value)) "root" (Some doc) (get "");
+  Alcotest.(check (option value)) "/foo/0" (Some (Json.Value.String "bar")) (get "/foo/0");
+  Alcotest.(check (option value)) "/foo/1" (Some (Json.Value.String "baz")) (get "/foo/1");
+  Alcotest.(check (option value)) "/foo/2" None (get "/foo/2");
+  Alcotest.(check (option value)) "empty key" (Some (Json.Value.Int 0)) (get "/");
+  Alcotest.(check (option value)) "escaped slash" (Some (Json.Value.Int 1)) (get "/a~1b");
+  Alcotest.(check (option value)) "escaped tilde" (Some (Json.Value.Int 8)) (get "/m~0n");
+  Alcotest.(check (option value)) "quote in key" (Some (Json.Value.Int 6)) (get {|/k"l|})
+
+let test_pointer_numeric_member () =
+  let doc = parse {|{"0": "zero"}|} in
+  Alcotest.(check (option value)) "numeric token on object"
+    (Some (Json.Value.String "zero"))
+    Json.Pointer.(get (parse_exn "/0") doc)
+
+let test_pointer_set () =
+  let doc = parse {|{"a": [1, 2], "b": 0}|} in
+  let set p r =
+    match Json.Pointer.set (Json.Pointer.parse_exn p) r doc with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.check value "replace member" (parse {|{"a":[1,2],"b":9}|})
+    (set "/b" (Json.Value.Int 9));
+  Alcotest.check value "replace element" (parse {|{"a":[1,9],"b":0}|})
+    (set "/a/1" (Json.Value.Int 9));
+  Alcotest.check value "append via length" (parse {|{"a":[1,2,9],"b":0}|})
+    (set "/a/2" (Json.Value.Int 9));
+  Alcotest.check value "append via -" (parse {|{"a":[1,2,9],"b":0}|})
+    (set "/a/-" (Json.Value.Int 9));
+  Alcotest.check value "add member" (parse {|{"a":[1,2],"b":0,"c":9}|})
+    (set "/c" (Json.Value.Int 9));
+  match Json.Pointer.set (Json.Pointer.parse_exn "/a/7") (Json.Value.Int 9) doc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out of bounds set should fail"
+
+(* --- JSONPath -------------------------------------------------------- *)
+
+let test_jsonpath () =
+  let doc =
+    parse
+      {|{"store": {"book": [{"title": "A", "price": 1},
+                            {"title": "B", "price": 2}],
+                   "bicycle": {"price": 3}}}|}
+  in
+  let eval s = Json.Jsonpath.(eval (parse_exn s) doc) in
+  Alcotest.(check (list value)) "field chain"
+    [ Json.Value.String "A" ]
+    (eval "$.store.book[0].title");
+  Alcotest.(check (list value)) "wildcard"
+    [ Json.Value.Int 1; Json.Value.Int 2 ]
+    (eval "$.store.book[*].price");
+  Alcotest.(check (list value)) "descend"
+    [ Json.Value.Int 1; Json.Value.Int 2; Json.Value.Int 3 ]
+    (eval "$..price");
+  Alcotest.(check (list value)) "quoted" [ Json.Value.Int 3 ]
+    (eval "$.store['bicycle'].price");
+  Alcotest.(check (list string)) "first_fields" [ "store" ]
+    (Json.Jsonpath.first_fields (Json.Jsonpath.parse_exn "$.store.book"));
+  Alcotest.(check string) "print"
+    "$.store.book[0][*]..price"
+    Json.Jsonpath.(to_string (parse_exn "$.store.book[0][*]..price"))
+
+(* --- Stream ---------------------------------------------------------- *)
+
+let event = Alcotest.testable Json.Stream.pp_event Json.Stream.event_equal
+
+let drain src =
+  let r = Json.Stream.reader src in
+  let rec go acc =
+    match Json.Stream.read r with
+    | Ok None -> List.rev acc
+    | Ok (Some ev) -> go (ev :: acc)
+    | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+  in
+  go []
+
+let test_stream_events () =
+  let open Json.Stream in
+  Alcotest.(check (list event)) "object events"
+    [ Start_object; Field_name "a"; Scalar (Json.Value.Int 1); Field_name "b";
+      Start_array; Scalar (Json.Value.Bool true); End_array; End_object ]
+    (drain {|{"a": 1, "b": [true]}|});
+  Alcotest.(check (list event)) "scalar root" [ Scalar Json.Value.Null ] (drain "null");
+  Alcotest.(check (list event)) "empty containers"
+    [ Start_array; Start_object; End_object; Start_array; End_array; End_array ]
+    (drain "[{} , []]")
+
+let test_stream_errors () =
+  let bad src =
+    let r = Json.Stream.reader src in
+    let rec go () =
+      match Json.Stream.read r with
+      | Ok None -> Alcotest.fail (Printf.sprintf "%S should fail" src)
+      | Ok (Some _) -> go ()
+      | Error _ -> ()
+    in
+    go ()
+  in
+  List.iter bad [ "[1,]"; "{\"a\"}"; "{\"a\":1,}"; "[1 2]"; "{1:2}" ]
+
+let test_stream_value_roundtrip () =
+  let check src =
+    let v = parse src in
+    match Json.Stream.value_of_events (Json.Stream.events_of_value v) with
+    | Ok v' -> Alcotest.check value src v v'
+    | Error msg -> Alcotest.fail msg
+  in
+  List.iter check
+    [ "null"; "[1,[2,[3]]]"; {|{"a":{"b":{"c":[]}},"d":[{"e":1}]}|}; "{}"; {|"s"|} ]
+
+let test_stream_reader_matches_tree () =
+  let src = {|{"a": [1, {"b": null}], "c": "x"}|} in
+  match Json.Stream.value_of_events (drain src) with
+  | Ok v -> Alcotest.check value "reader == tree parser" (parse src) v
+  | Error msg -> Alcotest.fail msg
+
+let test_fold_documents () =
+  let src = "{\"n\":1}\n{\"n\":2}  {\"n\":3}\n" in
+  match
+    Json.Stream.fold_documents src ~init:0 ~f:(fun acc v ->
+        acc + Json.Value.(to_int_exn (member_exn "n" v)))
+  with
+  | Ok total -> Alcotest.(check int) "sum over documents" 6 total
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+(* --- Properties ------------------------------------------------------ *)
+
+let gen_value : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-1000000) 1000000);
+        map (fun f -> Json.Value.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Json.Value.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [ (3, scalar);
+            (1, map (fun vs -> Json.Value.Array vs) (list_size (int_range 0 4) (self (n / 2))));
+            (1,
+             map
+               (fun fields ->
+                 (* distinct keys: duplicate keys break print/parse roundtrip *)
+                 let seen = Hashtbl.create 8 in
+                 Json.Value.Object
+                   (List.filter
+                      (fun (k, _) ->
+                        if Hashtbl.mem seen k then false
+                        else (Hashtbl.add seen k (); true))
+                      fields))
+               (list_size (int_range 0 4) (pair key (self (n / 2)))));
+          ])
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print |> parse = id" ~count:500 gen_value (fun v ->
+      Json.Value.equal_strict v (parse (print v)))
+
+let prop_pretty_parse_roundtrip =
+  QCheck2.Test.make ~name:"pretty |> parse = id" ~count:200 gen_value (fun v ->
+      Json.Value.equal_strict v (parse (Json.Printer.to_string_pretty v)))
+
+let prop_events_roundtrip =
+  QCheck2.Test.make ~name:"events |> rebuild = id" ~count:500 gen_value (fun v ->
+      match Json.Stream.value_of_events (Json.Stream.events_of_value v) with
+      | Ok v' -> Json.Value.equal_strict v v'
+      | Error _ -> false)
+
+let prop_sort_keys_idempotent =
+  QCheck2.Test.make ~name:"sort_keys idempotent" ~count:300 gen_value (fun v ->
+      let s = Json.Value.sort_keys v in
+      Json.Value.equal_strict s (Json.Value.sort_keys s))
+
+let prop_equal_reflexive_compare_total =
+  QCheck2.Test.make ~name:"equal reflexive; compare antisym" ~count:300
+    (QCheck2.Gen.pair gen_value gen_value) (fun (a, b) ->
+      Json.Value.equal a a
+      && Json.Value.compare a b = -Json.Value.compare b a)
+
+let prop_paths_count_bounded =
+  QCheck2.Test.make ~name:"paths <= size" ~count:300 gen_value (fun v ->
+      List.length (Json.Value.paths v) <= Json.Value.size v)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "json"
+    [ ("value",
+       [ Alcotest.test_case "accessors" `Quick test_accessors;
+         Alcotest.test_case "unordered equality" `Quick test_equal_unordered;
+         Alcotest.test_case "structure ops" `Quick test_structure_ops ]);
+      ("number",
+       [ Alcotest.test_case "grammar" `Quick test_number_grammar;
+         Alcotest.test_case "int vs float" `Quick test_number_int_vs_float;
+         Alcotest.test_case "float printing" `Quick test_float_printing ]);
+      ("parser",
+       [ Alcotest.test_case "scalars" `Quick test_parse_scalars;
+         Alcotest.test_case "escapes" `Quick test_parse_escapes;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "error position" `Quick test_parse_error_position;
+         Alcotest.test_case "duplicate keys" `Quick test_dup_keys;
+         Alcotest.test_case "max depth" `Quick test_max_depth;
+         Alcotest.test_case "parse_many" `Quick test_parse_many;
+         Alcotest.test_case "parse_substring" `Quick test_parse_substring ]);
+      ("printer",
+       [ Alcotest.test_case "roundtrips" `Quick test_print_roundtrips;
+         Alcotest.test_case "pretty" `Quick test_pretty_print;
+         Alcotest.test_case "escape_string" `Quick test_escape_string ]);
+      ("pointer",
+       [ Alcotest.test_case "parse/print" `Quick test_pointer_parse;
+         Alcotest.test_case "get (RFC 6901 examples)" `Quick test_pointer_get;
+         Alcotest.test_case "numeric member" `Quick test_pointer_numeric_member;
+         Alcotest.test_case "set" `Quick test_pointer_set ]);
+      ("jsonpath", [ Alcotest.test_case "eval" `Quick test_jsonpath ]);
+      ("stream",
+       [ Alcotest.test_case "events" `Quick test_stream_events;
+         Alcotest.test_case "errors" `Quick test_stream_errors;
+         Alcotest.test_case "value<->events" `Quick test_stream_value_roundtrip;
+         Alcotest.test_case "reader matches tree" `Quick test_stream_reader_matches_tree;
+         Alcotest.test_case "fold_documents" `Quick test_fold_documents ]);
+      ("properties",
+       q [ prop_print_parse_roundtrip; prop_pretty_parse_roundtrip;
+           prop_events_roundtrip; prop_sort_keys_idempotent;
+           prop_equal_reflexive_compare_total; prop_paths_count_bounded ]);
+    ]
+
+let _ = value_loose

@@ -1,0 +1,225 @@
+(* Tests for the JSound compact schema language. *)
+
+let parse = Json.Parser.parse_exn
+
+let schema src =
+  match Jsound.parse_string src with
+  | Ok s -> s
+  | Error msg -> Alcotest.fail ("schema parse: " ^ msg)
+
+let check_ok s src =
+  match Jsound.validate s (parse src) with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.fail
+        (Printf.sprintf "%s rejected: %s" src
+           (String.concat "; " (List.map Jsound.string_of_error es)))
+
+let check_err s src =
+  if Jsound.is_valid s (parse src) then
+    Alcotest.fail (Printf.sprintf "%s unexpectedly accepted" src)
+
+let test_atomic () =
+  check_ok (schema {|"string"|}) {|"x"|};
+  check_err (schema {|"string"|}) "1";
+  check_ok (schema {|"integer"|}) "3";
+  check_ok (schema {|"integer"|}) "3.0";
+  check_err (schema {|"integer"|}) "3.5";
+  check_ok (schema {|"decimal"|}) "3.5";
+  check_ok (schema {|"double"|}) "3.5";
+  check_ok (schema {|"boolean"|}) "false";
+  check_ok (schema {|"null"|}) "null";
+  check_err (schema {|"null"|}) "0";
+  check_ok (schema {|"item"|}) {|{"anything": []}|};
+  check_ok (schema {|"date"|}) {|"2021-12-31"|};
+  check_err (schema {|"date"|}) {|"2021-13-01"|};
+  check_ok (schema {|"dateTime"|}) {|"2021-12-31T10:00:00Z"|};
+  check_ok (schema {|"anyURI"|}) {|"https://a.io/x"|};
+  check_err (schema {|"anyURI"|}) {|"::"|}
+
+let test_nullable_suffix () =
+  let s = schema {|"integer?"|} in
+  check_ok s "3";
+  check_ok s "null";
+  check_err s {|"3"|};
+  check_err (schema {|"integer"|}) "null"
+
+let test_unknown_designator () =
+  match Jsound.parse_string {|"quaternion"|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown designator must be rejected"
+
+let test_object_schema () =
+  let s = schema {|{"name": "string", "?nick": "string", "age": "integer?"}|} in
+  check_ok s {|{"name": "a", "age": 3}|};
+  check_ok s {|{"name": "a", "age": null, "nick": "n"}|};
+  check_err s {|{"age": 3}|};                (* missing required name *)
+  check_err s {|{"name": "a", "age": 3, "x": 1}|};  (* undeclared field *)
+  check_err s {|{"name": 1, "age": 3}|}
+
+let test_array_schema () =
+  let s = schema {|[{"v": "integer"}]|} in
+  check_ok s {|[{"v": 1}, {"v": 2}]|};
+  check_ok s "[]";
+  check_err s {|[{"v": "x"}]|};
+  check_err s {|{"v": 1}|};
+  match Jsound.parse_string {|["integer", "string"]|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "multi-element array schema must be rejected"
+
+let test_key_uniqueness () =
+  let s = schema {|{"@id": "integer", "v": "string"}|} in
+  let docs srcs = List.map parse srcs in
+  (match Jsound.validate_collection s (docs [ {|{"id": 1, "v": "a"}|}; {|{"id": 2, "v": "b"}|} ]) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "unique keys should pass");
+  match Jsound.validate_collection s (docs [ {|{"id": 1, "v": "a"}|}; {|{"id": 1, "v": "b"}|} ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate keys should fail"
+
+let test_roundtrip () =
+  let srcs =
+    [ {|"integer?"|}; {|{"name":"string","?nick":"string"}|}; {|[{"@id":"integer"}]|} ]
+  in
+  List.iter
+    (fun src ->
+      let s = schema src in
+      let j = Jsound.to_json s in
+      Alcotest.(check bool) ("roundtrip " ^ src) true
+        (Json.Value.equal (parse src) j))
+    srcs
+
+let test_to_json_schema () =
+  let s = schema {|{"name": "string", "?age": "integer?", "when": "date"}|} in
+  let root = Jsonschema.Print.to_json (Jsound.to_json_schema s) in
+  let config =
+    { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = true }
+  in
+  let ok src = Jsonschema.Validate.is_valid ~config ~root (parse src) in
+  Alcotest.(check bool) "valid accepted" true
+    (ok {|{"name": "a", "age": null, "when": "2020-01-01"}|});
+  Alcotest.(check bool) "missing name rejected" false (ok {|{"when": "2020-01-01"}|});
+  Alcotest.(check bool) "bad date rejected" false
+    (ok {|{"name": "a", "when": "2020-13-01"}|});
+  Alcotest.(check bool) "extra field rejected" false
+    (ok {|{"name": "a", "when": "2020-01-01", "z": 1}|})
+
+let test_to_jtype () =
+  let s = schema {|{"name": "string", "?age": "integer?", "tags": ["string"]}|} in
+  let t = Jsound.to_jtype s in
+  Alcotest.(check string) "jtype"
+    "{age?: Null + Int, name: Str, tags: [Str]}"
+    (Jtype.Types.to_string t)
+
+let test_agreement_with_jsonschema () =
+  (* JSound validation and its JSON Schema compilation agree (formats
+     asserted) on a battery of instances *)
+  let s = schema {|{"@id": "integer", "name": "string", "?bio": "string?", "xs": ["decimal"]}|} in
+  let root = Jsonschema.Print.to_json (Jsound.to_json_schema s) in
+  let config =
+    { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = true }
+  in
+  let cases =
+    [ {|{"id": 1, "name": "a", "xs": [1, 2.5]}|};
+      {|{"id": 1, "name": "a", "bio": null, "xs": []}|};
+      {|{"id": 1, "name": "a", "bio": "b", "xs": [1]}|};
+      {|{"id": "x", "name": "a", "xs": []}|};
+      {|{"name": "a", "xs": []}|};
+      {|{"id": 1, "name": "a", "xs": ["s"]}|};
+      {|{"id": 1, "name": "a", "xs": [], "zz": 0}|};
+      {|[1]|} ]
+  in
+  List.iter
+    (fun src ->
+      let a = Jsound.is_valid s (parse src) in
+      let b = Jsonschema.Validate.is_valid ~config ~root (parse src) in
+      Alcotest.(check bool) (Printf.sprintf "agree on %s" src) a b)
+    cases
+
+
+(* property: schema JSON <-> AST roundtrip over random fragment schemas *)
+let gen_jsound_schema : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let atomic =
+    map
+      (fun (t, n) -> Json.Value.String (t ^ if n then "?" else ""))
+      (pair
+         (oneofl [ "string"; "integer"; "decimal"; "boolean"; "null"; "item"; "date" ])
+         bool)
+  in
+  let key =
+    map2
+      (fun prefix name -> prefix ^ name)
+      (oneofl [ ""; "?"; "@" ])
+      (string_size ~gen:(char_range 'a' 'f') (int_range 1 4))
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then atomic
+      else
+        oneof
+          [ atomic;
+            map (fun s -> Json.Value.Array [ s ]) (self (n / 2));
+            map
+              (fun fields ->
+                let seen = Hashtbl.create 4 in
+                Json.Value.Object
+                  (List.filter
+                     (fun (k, _) ->
+                       let bare =
+                         if String.length k > 0 && (k.[0] = '?' || k.[0] = '@') then
+                           String.sub k 1 (String.length k - 1)
+                         else k
+                       in
+                       if Hashtbl.mem seen bare then false
+                       else (Hashtbl.add seen bare (); true))
+                     fields))
+              (list_size (int_range 0 4) (pair key (self (n / 2)))) ])
+
+let prop_jsound_roundtrip =
+  QCheck2.Test.make ~name:"jsound to_json . parse = id" ~count:500 gen_jsound_schema
+    (fun j ->
+      match Jsound.parse j with
+      | Ok s -> Json.Value.equal (Jsound.to_json s) j
+      | Error _ -> QCheck2.assume_fail ())
+
+let prop_jsound_agrees_with_jsonschema =
+  QCheck2.Test.make ~name:"jsound = compiled JSON Schema (formats asserted)" ~count:200
+    gen_jsound_schema (fun j ->
+      match Jsound.parse j with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok s ->
+          let root = Jsonschema.Print.to_json (Jsound.to_json_schema s) in
+          let config =
+            { Jsonschema.Validate.default_config with
+              Jsonschema.Validate.assert_formats = true }
+          in
+          (* sample instances via the JSON Schema generator; both validators
+             must agree on them *)
+          let st = Jsonschema.Generate.rng ~seed:11 in
+          List.for_all
+            (fun _ ->
+              match Jsonschema.Generate.generate_valid st ~root with
+              | Some v ->
+                  Jsound.is_valid s v = Jsonschema.Validate.is_valid ~config ~root v
+              | None -> true)
+            (List.init 10 Fun.id))
+
+let () =
+  Alcotest.run "jsound"
+    [ ("atomic",
+       [ Alcotest.test_case "designators" `Quick test_atomic;
+         Alcotest.test_case "nullable suffix" `Quick test_nullable_suffix;
+         Alcotest.test_case "unknown designator" `Quick test_unknown_designator ]);
+      ("structures",
+       [ Alcotest.test_case "objects" `Quick test_object_schema;
+         Alcotest.test_case "arrays" `Quick test_array_schema;
+         Alcotest.test_case "key uniqueness" `Quick test_key_uniqueness ]);
+      ("conversion",
+       [ Alcotest.test_case "json roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "to JSON Schema" `Quick test_to_json_schema;
+         Alcotest.test_case "to jtype" `Quick test_to_jtype;
+         Alcotest.test_case "agreement" `Quick test_agreement_with_jsonschema ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_jsound_roundtrip; prop_jsound_agrees_with_jsonschema ]);
+    ]

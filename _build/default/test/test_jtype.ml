@@ -1,0 +1,603 @@
+(* Tests for the type algebra: typing, canonical forms, kind-/label-
+   parametric merging, membership, subtyping, printers, counting types. *)
+
+open Jtype
+
+let parse = Json.Parser.parse_exn
+let ty = Alcotest.testable Types.pp Types.equal
+let value' = Alcotest.testable Json.Printer.pp Json.Value.equal
+let of_src src = Types.of_value (parse src)
+let infer ~equiv srcs = Merge.merge_all ~equiv (List.map of_src srcs)
+
+(* --- typing of single values ----------------------------------------- *)
+
+let test_of_value () =
+  Alcotest.check ty "null" Types.null (of_src "null");
+  Alcotest.check ty "bool" Types.bool (of_src "true");
+  Alcotest.check ty "int" Types.int (of_src "42");
+  Alcotest.check ty "num" Types.num (of_src "4.5");
+  Alcotest.check ty "str" Types.str (of_src {|"x"|});
+  Alcotest.check ty "empty array" (Types.arr Types.bot) (of_src "[]");
+  Alcotest.check ty "homog array" (Types.arr Types.int) (of_src "[1,2,3]");
+  Alcotest.check ty "mixed array"
+    (Types.arr (Types.union [ Types.int; Types.str ]))
+    (of_src {|[1, "x", 2]|});
+  Alcotest.check ty "record"
+    (Types.rec_ [ Types.field "a" Types.int; Types.field "b" Types.str ])
+    (of_src {|{"b": "x", "a": 1}|})
+
+let test_union_canonical () =
+  (* flattening, dedup, Bot identity, Any absorption, singleton collapse *)
+  Alcotest.check ty "flatten"
+    (Types.union [ Types.int; Types.str; Types.null ])
+    (Types.union [ Types.union [ Types.int; Types.str ]; Types.null ]);
+  Alcotest.check ty "dedup" Types.int (Types.union [ Types.int; Types.int ]);
+  Alcotest.check ty "bot identity" Types.str (Types.union [ Types.bot; Types.str ]);
+  Alcotest.check ty "any absorbs" Types.any (Types.union [ Types.int; Types.any ]);
+  Alcotest.check ty "empty union" Types.bot (Types.union []);
+  Alcotest.check ty "order irrelevant"
+    (Types.union [ Types.int; Types.str ])
+    (Types.union [ Types.str; Types.int ])
+
+let test_rec_constructor () =
+  Alcotest.check_raises "duplicate fields rejected"
+    (Invalid_argument "Jtype.rec_: duplicate field \"a\"") (fun () ->
+      ignore (Types.rec_ [ Types.field "a" Types.int; Types.field "a" Types.str ]))
+
+(* --- merge: kind equivalence ------------------------------------------ *)
+
+let test_merge_kind_scalars () =
+  let m = Merge.merge ~equiv:Merge.Kind in
+  Alcotest.check ty "int+int" Types.int (m Types.int Types.int);
+  Alcotest.check ty "int+num" Types.num (m Types.int Types.num);
+  Alcotest.check ty "int+str" (Types.union [ Types.int; Types.str ]) (m Types.int Types.str);
+  Alcotest.check ty "null+bool" (Types.union [ Types.null; Types.bool ])
+    (m Types.null Types.bool);
+  Alcotest.check ty "any absorbs" Types.any (m Types.any Types.int)
+
+let test_merge_kind_records () =
+  (* the motivating example: optional fields appear *)
+  let t = infer ~equiv:Merge.Kind [ {|{"a": 1, "b": "x"}|}; {|{"a": 2, "c": true}|} ] in
+  Alcotest.check ty "fieldwise merge"
+    (Types.rec_
+       [ Types.field "a" Types.int;
+         Types.field ~optional:true "b" Types.str;
+         Types.field ~optional:true "c" Types.bool ])
+    t;
+  (* field type conflicts become unions inside the field *)
+  let t2 = infer ~equiv:Merge.Kind [ {|{"a": 1}|}; {|{"a": "x"}|} ] in
+  Alcotest.check ty "field type union"
+    (Types.rec_ [ Types.field "a" (Types.union [ Types.int; Types.str ]) ])
+    t2
+
+let test_merge_kind_arrays () =
+  let t = infer ~equiv:Merge.Kind [ "[1,2]"; {|["a"]|}; "[]" ] in
+  Alcotest.check ty "arrays fuse elementwise"
+    (Types.arr (Types.union [ Types.int; Types.str ]))
+    t
+
+let test_merge_kind_nested () =
+  let t =
+    infer ~equiv:Merge.Kind
+      [ {|{"user": {"name": "ann", "age": 3}}|};
+        {|{"user": {"name": "bob", "email": "e"}}|} ]
+  in
+  Alcotest.check ty "nested records"
+    (Types.rec_
+       [ Types.field "user"
+           (Types.rec_
+              [ Types.field ~optional:true "age" Types.int;
+                Types.field ~optional:true "email" Types.str;
+                Types.field "name" Types.str ]) ])
+    t
+
+(* --- merge: label equivalence ----------------------------------------- *)
+
+let test_merge_label_keeps_correlation () =
+  (* records with different label sets stay separate *)
+  let docs = [ {|{"a": 1, "b": "x"}|}; {|{"a": 2, "c": true}|} ] in
+  let t = infer ~equiv:Merge.Label docs in
+  Alcotest.check ty "two branches"
+    (Types.union
+       [ Types.rec_ [ Types.field "a" Types.int; Types.field "b" Types.str ];
+         Types.rec_ [ Types.field "a" Types.int; Types.field "c" Types.bool ] ])
+    t;
+  (* same labels fuse *)
+  let t2 = infer ~equiv:Merge.Label [ {|{"a": 1}|}; {|{"a": "x"}|} ] in
+  Alcotest.check ty "same labels fuse"
+    (Types.rec_ [ Types.field "a" (Types.union [ Types.int; Types.str ]) ])
+    t2
+
+let test_label_more_precise_than_kind () =
+  (* the correlation example: b occurs exactly when kind = "b" *)
+  let docs =
+    [ {|{"kind": "a", "a_payload": 1}|}; {|{"kind": "b", "b_payload": "x"}|} ]
+  in
+  let k = infer ~equiv:Merge.Kind docs in
+  let l = infer ~equiv:Merge.Label docs in
+  (* kind-merged type accepts a mixed object that label-merged rejects *)
+  let confused = parse {|{"kind": "a", "a_payload": 1, "b_payload": "x"}|} in
+  Alcotest.(check bool) "kind accepts confusion" true (Typecheck.member confused k);
+  Alcotest.(check bool) "label rejects confusion" false (Typecheck.member confused l);
+  (* both accept the original documents *)
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) "kind ok" true (Typecheck.member (parse src) k);
+      Alcotest.(check bool) "label ok" true (Typecheck.member (parse src) l))
+    docs;
+  Alcotest.(check bool) "label <= kind" true (Typecheck.subtype l k)
+
+(* --- membership / subtyping ------------------------------------------- *)
+
+let test_member () =
+  let t =
+    Types.rec_
+      [ Types.field "id" Types.int;
+        Types.field ~optional:true "tags" (Types.arr Types.str) ]
+  in
+  Alcotest.(check bool) "full" true (Typecheck.member (parse {|{"id": 1, "tags": ["a"]}|}) t);
+  Alcotest.(check bool) "optional absent" true (Typecheck.member (parse {|{"id": 1}|}) t);
+  Alcotest.(check bool) "missing required" false (Typecheck.member (parse {|{"tags": []}|}) t);
+  Alcotest.(check bool) "wrong field type" false
+    (Typecheck.member (parse {|{"id": "x"}|}) t);
+  Alcotest.(check bool) "closed record" false
+    (Typecheck.member (parse {|{"id": 1, "extra": 2}|}) t);
+  Alcotest.(check bool) "int member of num" true (Typecheck.member (parse "1") Types.num);
+  Alcotest.(check bool) "float not member of int" false
+    (Typecheck.member (parse "1.5") Types.int);
+  Alcotest.(check bool) "anything member of any" true
+    (Typecheck.member (parse {|[{"x": [1]}]|}) Types.any);
+  Alcotest.(check bool) "nothing member of bot" false
+    (Typecheck.member (parse "null") Types.bot)
+
+let test_check_mismatch_location () =
+  let t = Types.rec_ [ Types.field "a" (Types.arr Types.int) ] in
+  match Typecheck.check (parse {|{"a": [1, "x"]}|}) t with
+  | Ok () -> Alcotest.fail "should mismatch"
+  | Error m ->
+      Alcotest.(check string) "pointer" "/a/1" (Json.Pointer.to_string m.Typecheck.at)
+
+let test_subtype () =
+  let sub = Typecheck.subtype in
+  Alcotest.(check bool) "bot <= int" true (sub Types.bot Types.int);
+  Alcotest.(check bool) "int <= any" true (sub Types.int Types.any);
+  Alcotest.(check bool) "int <= num" true (sub Types.int Types.num);
+  Alcotest.(check bool) "num !<= int" false (sub Types.num Types.int);
+  Alcotest.(check bool) "int <= int+str" true
+    (sub Types.int (Types.union [ Types.int; Types.str ]));
+  Alcotest.(check bool) "int+str !<= int" false
+    (sub (Types.union [ Types.int; Types.str ]) Types.int);
+  Alcotest.(check bool) "arr covariant" true
+    (sub (Types.arr Types.int) (Types.arr Types.num));
+  (* mandatory field is a subtype of optional field *)
+  Alcotest.(check bool) "mandatory <= optional" true
+    (sub
+       (Types.rec_ [ Types.field "a" Types.int ])
+       (Types.rec_ [ Types.field ~optional:true "a" Types.int ]));
+  Alcotest.(check bool) "optional !<= mandatory" false
+    (sub
+       (Types.rec_ [ Types.field ~optional:true "a" Types.int ])
+       (Types.rec_ [ Types.field "a" Types.int ]));
+  (* closed records: extra fields are not allowed by the supertype *)
+  Alcotest.(check bool) "wider record !<= narrower" false
+    (sub
+       (Types.rec_ [ Types.field "a" Types.int; Types.field "b" Types.str ])
+       (Types.rec_ [ Types.field "a" Types.int ]));
+  Alcotest.(check bool) "narrower <= with-optional" true
+    (sub
+       (Types.rec_ [ Types.field "a" Types.int ])
+       (Types.rec_ [ Types.field "a" Types.int; Types.field ~optional:true "b" Types.str ]))
+
+(* --- printers ---------------------------------------------------------- *)
+
+let test_paper_syntax () =
+  let t = infer ~equiv:Merge.Kind [ {|{"a": 1, "b": "x"}|}; {|{"a": 2}|}; "null" ] in
+  Alcotest.(check string) "paper syntax" "Null + {a: Int, b?: Str}" (Types.to_string t)
+
+let test_typescript () =
+  let t =
+    Types.rec_
+      [ Types.field "id" Types.int;
+        Types.field ~optional:true "name" Types.str;
+        Types.field "tags" (Types.arr (Types.union [ Types.int; Types.str ])) ]
+  in
+  Alcotest.(check string) "inline"
+    "{ id: number; name?: string; tags: (number | string)[] }"
+    (Typescript.type_expr t);
+  let decl = Typescript.declaration ~name:"tweet" t in
+  Alcotest.(check bool) "interface emitted" true
+    (String.length decl > 0
+    &&
+    let re = Re.compile (Re.str "interface Tweet {") in
+    Re.execp re decl);
+  (* non-identifier keys are quoted *)
+  Alcotest.(check string) "quoted key"
+    {|{ "strange-key": number }|}
+    (Typescript.type_expr (Types.rec_ [ Types.field "strange-key" Types.int ]))
+
+let test_typescript_nested_lifting () =
+  let t =
+    Types.rec_
+      [ Types.field "user" (Types.rec_ [ Types.field "name" Types.str ]) ]
+  in
+  let decl = Typescript.declaration ~name:"post" t in
+  let has s = Re.execp (Re.compile (Re.str s)) decl in
+  Alcotest.(check bool) "nested interface" true (has "interface PostUser {");
+  Alcotest.(check bool) "reference to it" true (has "user: PostUser;")
+
+let test_swift () =
+  let t =
+    Types.rec_
+      [ Types.field "id" Types.int;
+        Types.field ~optional:true "bio" Types.str ]
+  in
+  let decl = Swift.declaration ~name:"user" t in
+  let has s = Re.execp (Re.compile (Re.str s)) decl in
+  Alcotest.(check bool) "struct" true (has "struct User: Codable {");
+  Alcotest.(check bool) "field" true (has "let id: Int");
+  Alcotest.(check bool) "optional" true (has "let bio: String?")
+
+let test_swift_union_enum () =
+  let t = Types.union [ Types.int; Types.str ] in
+  let decl = Swift.declaration ~name:"value" t in
+  let has s = Re.execp (Re.compile (Re.str s)) decl in
+  Alcotest.(check bool) "enum" true (has "enum Value: Codable {");
+  Alcotest.(check bool) "int case" true (has "case int(Int)");
+  Alcotest.(check bool) "string case" true (has "case string(String)");
+  Alcotest.(check bool) "decoder" true (has "init(from decoder: Decoder)");
+  (* null + T folds into optionality *)
+  let t2 = Types.union [ Types.null; Types.str ] in
+  Alcotest.(check string) "nullable alias" "typealias Nick = String?"
+    (Swift.declaration ~name:"nick" t2)
+
+(* --- interop ----------------------------------------------------------- *)
+
+let test_to_schema () =
+  let t =
+    Types.rec_
+      [ Types.field "id" Types.int; Types.field ~optional:true "name" Types.str ]
+  in
+  let root = Interop.to_schema_json t in
+  Alcotest.(check bool) "accepts member" true
+    (Jsonschema.Validate.is_valid ~root (parse {|{"id": 1, "name": "x"}|}));
+  Alcotest.(check bool) "optional omitted ok" true
+    (Jsonschema.Validate.is_valid ~root (parse {|{"id": 1}|}));
+  Alcotest.(check bool) "rejects missing" false
+    (Jsonschema.Validate.is_valid ~root (parse {|{"name": "x"}|}));
+  Alcotest.(check bool) "rejects extra (closed)" false
+    (Jsonschema.Validate.is_valid ~root (parse {|{"id": 1, "zzz": 0}|}))
+
+let test_of_schema () =
+  let s =
+    Jsonschema.Parse.of_string_exn
+      {|{"type": "object",
+         "properties": {"id": {"type": "integer"},
+                        "vals": {"type": "array", "items": {"type": "number"}}},
+         "required": ["id"]}|}
+  in
+  Alcotest.check ty "roundtrip structure"
+    (Types.rec_
+       [ Types.field "id" Types.int;
+         Types.field ~optional:true "vals" (Types.arr Types.num) ])
+    (Interop.of_schema s)
+
+let test_schema_type_galois () =
+  (* to_schema then of_schema loses nothing on the algebra's fragment *)
+  let types =
+    [ Types.int;
+      Types.arr Types.str;
+      Types.union [ Types.null; Types.bool ];
+      Types.rec_ [ Types.field "a" Types.int; Types.field ~optional:true "b" Types.str ] ]
+  in
+  List.iter
+    (fun t -> Alcotest.check ty "of_schema (to_schema t) = t" t
+        (Interop.of_schema (Interop.to_schema t)))
+    types
+
+(* --- counting types ---------------------------------------------------- *)
+
+let test_counting_basic () =
+  let docs = [ {|{"a": 1, "b": "x"}|}; {|{"a": 2}|}; {|{"a": 3, "b": "y"}|} ] in
+  let c = Counting.infer ~equiv:Merge.Kind (List.map parse docs) in
+  Alcotest.(check int) "count" 3 (Counting.count c);
+  Alcotest.(check string) "printed"
+    "{a(3): Int(3), b(2): Str(2)}(3)"
+    (Counting.to_string c);
+  (match Counting.field_probability c [ "b" ] with
+   | Some p -> Alcotest.(check (float 1e-9)) "P(b)" (2.0 /. 3.0) p
+   | None -> Alcotest.fail "b should occur");
+  Alcotest.(check (option (float 1e-9))) "P(zzz)" None
+    (Counting.field_probability c [ "zzz" ])
+
+let test_counting_erase () =
+  let docs = [ {|{"a": 1, "b": "x"}|}; {|{"a": 2}|} ] in
+  let vs = List.map parse docs in
+  let erased = Counting.erase (Counting.infer ~equiv:Merge.Kind vs) in
+  let plain = Merge.merge_all ~equiv:Merge.Kind (List.map Types.of_value vs) in
+  Alcotest.check ty "erase commutes with plain inference" plain erased
+
+let test_counting_nested_probability () =
+  let docs =
+    [ {|{"user": {"name": "a", "verified": true}}|};
+      {|{"user": {"name": "b"}}|};
+      {|{"user": {"name": "c"}}|};
+      {|{"user": {"name": "d", "verified": false}}|} ]
+  in
+  let c = Counting.infer ~equiv:Merge.Kind (List.map parse docs) in
+  match Counting.field_probability c [ "user"; "verified" ] with
+  | Some p -> Alcotest.(check (float 1e-9)) "P(user.verified)" 0.5 p
+  | None -> Alcotest.fail "path should occur"
+
+
+let test_counting_to_json () =
+  let docs = [ {|{"a": 1}|}; {|{"a": 2, "b": "x"}|} ] in
+  let c = Counting.infer ~equiv:Merge.Kind (List.map parse docs) in
+  let j = Counting.to_json c in
+  Alcotest.(check (option value')) "kind" (Some (Json.Value.String "record"))
+    (Json.Value.member "kind" j);
+  Alcotest.(check (option value')) "count" (Some (Json.Value.Int 2))
+    (Json.Value.member "count" j);
+  match Json.Pointer.get (Json.Pointer.parse_exn "/fields/b/occurs") j with
+  | Some (Json.Value.Int 1) -> ()
+  | other ->
+      Alcotest.fail
+        ("b occurs: "
+        ^ match other with Some v -> Json.Printer.to_string v | None -> "missing")
+
+(* --- properties -------------------------------------------------------- *)
+
+let gen_value = QCheck2.Gen.(
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-100) 100);
+        map (fun f -> Json.Value.Float f) (float_range (-100.) 100.);
+        map (fun s -> Json.Value.String s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 3));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'd') (return 1) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [ (3, scalar);
+            (1, map (fun vs -> Json.Value.Array vs) (list_size (int_range 0 3) (self (n / 2))));
+            (1,
+             map
+               (fun fields ->
+                 let seen = Hashtbl.create 4 in
+                 Json.Value.Object
+                   (List.filter
+                      (fun (k, _) ->
+                        if Hashtbl.mem seen k then false
+                        else (Hashtbl.add seen k (); true))
+                      fields))
+               (list_size (int_range 0 3) (pair key (self (n / 2)))));
+          ]))
+
+let gen_equiv = QCheck2.Gen.oneofl [ Merge.Kind; Merge.Label ]
+
+let prop_sound =
+  (* soundness of inference: every input value inhabits the merged type *)
+  QCheck2.Test.make ~name:"inference is sound" ~count:300
+    QCheck2.Gen.(pair gen_equiv (list_size (int_range 1 8) gen_value))
+    (fun (equiv, vs) ->
+      let t = Merge.merge_all ~equiv (List.map Types.of_value vs) in
+      List.for_all (fun v -> Typecheck.member v t) vs)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge commutative" ~count:300
+    QCheck2.Gen.(triple gen_equiv gen_value gen_value)
+    (fun (equiv, a, b) ->
+      let ta = Types.of_value a and tb = Types.of_value b in
+      Types.equal (Merge.merge ~equiv ta tb) (Merge.merge ~equiv tb ta))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge associative" ~count:300
+    QCheck2.Gen.(pair gen_equiv (triple gen_value gen_value gen_value))
+    (fun (equiv, (a, b, c)) ->
+      let ta = Types.of_value a and tb = Types.of_value b and tc = Types.of_value c in
+      Types.equal
+        (Merge.merge ~equiv (Merge.merge ~equiv ta tb) tc)
+        (Merge.merge ~equiv ta (Merge.merge ~equiv tb tc)))
+
+let prop_merge_idempotent =
+  QCheck2.Test.make ~name:"merge idempotent" ~count:300
+    QCheck2.Gen.(pair gen_equiv gen_value)
+    (fun (equiv, v) ->
+      let t = Types.of_value v in
+      Types.equal (Merge.merge ~equiv t t) (Merge.simplify ~equiv t))
+
+let prop_merge_upper_bound =
+  QCheck2.Test.make ~name:"merge is an upper bound" ~count:300
+    QCheck2.Gen.(pair gen_equiv (pair gen_value gen_value))
+    (fun (equiv, (a, b)) ->
+      let ta = Types.of_value a and tb = Types.of_value b in
+      let m = Merge.merge ~equiv ta tb in
+      Typecheck.member a m && Typecheck.member b m)
+
+let prop_subtype_sound_on_members =
+  QCheck2.Test.make ~name:"subtype respects membership" ~count:300
+    QCheck2.Gen.(triple gen_value gen_value gen_value)
+    (fun (v, a, b) ->
+      let ta = Types.of_value a in
+      let tb = Merge.merge ~equiv:Merge.Kind ta (Types.of_value b) in
+      (* ta <= tb by construction...if subtype says so, members must agree *)
+      (not (Typecheck.subtype ta tb))
+      || (not (Typecheck.member v ta))
+      || Typecheck.member v tb)
+
+let prop_counting_erase_coherent =
+  QCheck2.Test.make ~name:"counting erase = plain inference" ~count:200
+    QCheck2.Gen.(pair gen_equiv (list_size (int_range 1 6) gen_value))
+    (fun (equiv, vs) ->
+      Types.equal
+        (Counting.erase (Counting.infer ~equiv vs))
+        (Merge.merge_all ~equiv (List.map Types.of_value vs)))
+
+let prop_counting_total =
+  QCheck2.Test.make ~name:"counting count = #values" ~count:200
+    QCheck2.Gen.(pair gen_equiv (list_size (int_range 0 10) gen_value))
+    (fun (equiv, vs) ->
+      Counting.count (Counting.merge_all ~equiv (List.map (Counting.of_value ~equiv) vs))
+      = List.length vs)
+
+let prop_to_schema_sound =
+  QCheck2.Test.make ~name:"to_schema accepts the values" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 6) gen_value)
+    (fun vs ->
+      let t = Merge.merge_all ~equiv:Merge.Kind (List.map Types.of_value vs) in
+      let root = Interop.to_schema_json t in
+      List.for_all (fun v -> Jsonschema.Validate.is_valid ~root v) vs)
+
+
+(* --- containment ------------------------------------------------------- *)
+
+let test_containment_included () =
+  let s = Json.Parser.parse_exn in
+  let check a b = Containment.check (s a) (s b) in
+  (match check {|{"type": "integer"}|} {|{"type": "number"}|} with
+   | Containment.Included -> ()
+   | v -> Alcotest.fail ("int <= num: " ^ Containment.verdict_to_string v));
+  (match check {|{"type": "integer"}|} {|{"anyOf": [{"type": "integer"}, {"type": "string"}]}|} with
+   | Containment.Included -> ()
+   | v -> Alcotest.fail ("int <= int|str: " ^ Containment.verdict_to_string v));
+  (* a record with a mandatory field is included in one where it is optional *)
+  match
+    check
+      {|{"type": "object", "properties": {"a": {"type": "integer"}},
+         "required": ["a"], "additionalProperties": false}|}
+      {|{"type": "object", "properties": {"a": {"type": "integer"}},
+         "additionalProperties": false}|}
+  with
+  | Containment.Included -> ()
+  | v -> Alcotest.fail ("record width: " ^ Containment.verdict_to_string v)
+
+let test_containment_refuted () =
+  let s = Json.Parser.parse_exn in
+  (match Containment.check (s {|{"type": "number"}|}) (s {|{"type": "integer"}|}) with
+   | Containment.Not_included cex ->
+       (* the counterexample really does separate the schemas *)
+       Alcotest.(check bool) "cex valid for sub" true
+         (Jsonschema.Validate.is_valid ~root:(s {|{"type": "number"}|}) cex);
+       Alcotest.(check bool) "cex invalid for super" false
+         (Jsonschema.Validate.is_valid ~root:(s {|{"type": "integer"}|}) cex)
+   | v -> Alcotest.fail ("num !<= int: " ^ Containment.verdict_to_string v));
+  (* refutation works outside the structural fragment too *)
+  match
+    Containment.check
+      (s {|{"type": "integer", "minimum": 0, "maximum": 100}|})
+      (s {|{"type": "integer", "minimum": 50}|})
+  with
+  | Containment.Not_included _ -> ()
+  | v -> Alcotest.fail ("bounds: " ^ Containment.verdict_to_string v)
+
+let test_containment_unknown_outside_fragment () =
+  let s = Json.Parser.parse_exn in
+  (* true containment but with keywords outside the fragment: Unknown, not
+     a wrong answer *)
+  match
+    Containment.check
+      (s {|{"type": "integer", "minimum": 5}|})
+      (s {|{"type": "integer", "minimum": 0}|})
+  with
+  | Containment.Unknown | Containment.Included -> ()
+  | Containment.Not_included cex ->
+      Alcotest.fail
+        ("must not produce a false counterexample: " ^ Json.Printer.to_string cex)
+
+let test_containment_equivalent () =
+  let s = Json.Parser.parse_exn in
+  match
+    Containment.equivalent
+      (s {|{"anyOf": [{"type": "integer"}, {"type": "string"}]}|})
+      (s {|{"anyOf": [{"type": "string"}, {"type": "integer"}]}|})
+  with
+  | Containment.Included -> ()
+  | v -> Alcotest.fail ("union order: " ^ Containment.verdict_to_string v)
+
+let test_satisfiable () =
+  let s = Json.Parser.parse_exn in
+  (match Containment.satisfiable (s {|{"type": "integer", "minimum": 3, "maximum": 5}|}) with
+   | Containment.Satisfiable w ->
+       Alcotest.(check bool) "witness valid" true
+         (Jsonschema.Validate.is_valid
+            ~root:(s {|{"type": "integer", "minimum": 3, "maximum": 5}|}) w)
+   | Containment.Maybe_unsatisfiable -> Alcotest.fail "should find a witness");
+  match Containment.satisfiable (s "false") with
+  | Containment.Maybe_unsatisfiable -> ()
+  | Containment.Satisfiable _ -> Alcotest.fail "false has no instances"
+
+(* property: check never returns a wrong Included on the fragment, tested
+   by sampling sub instances and validating against super *)
+let prop_containment_included_is_sound =
+  QCheck2.Test.make ~name:"Included implies instance-level inclusion" ~count:60
+    QCheck2.Gen.(pair (list_size (int_range 1 5) gen_value) (list_size (int_range 1 5) gen_value))
+    (fun (va, vb) ->
+      (* build two fragment schemas from inferred types *)
+      let ta = Merge.merge_all ~equiv:Merge.Kind (List.map Types.of_value va) in
+      let tb = Merge.merge_all ~equiv:Merge.Kind (List.map Types.of_value (va @ vb)) in
+      let sa = Interop.to_schema_json ta and sb = Interop.to_schema_json tb in
+      match Containment.check ~samples:30 sa sb with
+      | Containment.Included ->
+          (* every sampled instance of sa must satisfy sb *)
+          let st = Jsonschema.Generate.rng ~seed:7 in
+          List.for_all
+            (fun _ ->
+              match Jsonschema.Generate.generate_valid st ~root:sa with
+              | Some v -> Jsonschema.Validate.is_valid ~root:sb v
+              | None -> true)
+            (List.init 20 Fun.id)
+      | Containment.Not_included cex ->
+          Jsonschema.Validate.is_valid ~root:sa cex
+          && not (Jsonschema.Validate.is_valid ~root:sb cex)
+      | Containment.Unknown -> true)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "jtype"
+    [ ("typing",
+       [ Alcotest.test_case "of_value" `Quick test_of_value;
+         Alcotest.test_case "union canonical form" `Quick test_union_canonical;
+         Alcotest.test_case "rec_ validation" `Quick test_rec_constructor ]);
+      ("merge-kind",
+       [ Alcotest.test_case "scalars" `Quick test_merge_kind_scalars;
+         Alcotest.test_case "records" `Quick test_merge_kind_records;
+         Alcotest.test_case "arrays" `Quick test_merge_kind_arrays;
+         Alcotest.test_case "nested" `Quick test_merge_kind_nested ]);
+      ("merge-label",
+       [ Alcotest.test_case "correlation kept" `Quick test_merge_label_keeps_correlation;
+         Alcotest.test_case "precision vs kind" `Quick test_label_more_precise_than_kind ]);
+      ("typecheck",
+       [ Alcotest.test_case "member" `Quick test_member;
+         Alcotest.test_case "mismatch location" `Quick test_check_mismatch_location;
+         Alcotest.test_case "subtype" `Quick test_subtype ]);
+      ("printers",
+       [ Alcotest.test_case "paper syntax" `Quick test_paper_syntax;
+         Alcotest.test_case "typescript" `Quick test_typescript;
+         Alcotest.test_case "typescript lifting" `Quick test_typescript_nested_lifting;
+         Alcotest.test_case "swift struct" `Quick test_swift;
+         Alcotest.test_case "swift union enum" `Quick test_swift_union_enum ]);
+      ("interop",
+       [ Alcotest.test_case "to_schema" `Quick test_to_schema;
+         Alcotest.test_case "of_schema" `Quick test_of_schema;
+         Alcotest.test_case "galois roundtrip" `Quick test_schema_type_galois ]);
+      ("containment",
+       [ Alcotest.test_case "included" `Quick test_containment_included;
+         Alcotest.test_case "refuted" `Quick test_containment_refuted;
+         Alcotest.test_case "unknown outside fragment" `Quick test_containment_unknown_outside_fragment;
+         Alcotest.test_case "equivalence" `Quick test_containment_equivalent;
+         Alcotest.test_case "satisfiability" `Quick test_satisfiable ]);
+      ("counting",
+       [ Alcotest.test_case "basics" `Quick test_counting_basic;
+         Alcotest.test_case "erase" `Quick test_counting_erase;
+         Alcotest.test_case "nested probability" `Quick test_counting_nested_probability;
+         Alcotest.test_case "to_json" `Quick test_counting_to_json ]);
+      ("properties",
+       q [ prop_sound; prop_merge_commutative; prop_merge_associative;
+           prop_merge_idempotent; prop_merge_upper_bound;
+           prop_subtype_sound_on_members; prop_counting_erase_coherent;
+           prop_counting_total; prop_to_schema_sound;
+           prop_containment_included_is_sound ]);
+    ]

