@@ -26,10 +26,17 @@ let read_input = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> read_file path
 
-let load_documents path =
-  match Json.Stream.fold_documents (read_input path) ~init:[] ~f:(fun acc v -> v :: acc) with
-  | Ok rev -> Ok (List.rev rev)
-  | Error e -> Error (Json.Parser.string_of_error e)
+(* All raw text enters through the resilient layer; the classic subcommands
+   use its strict (fail-fast) mode, [ingest] uses full quarantine. The depth
+   bound travels in the budget — [Resilient] derives its parser options from
+   the budget, so an [options.max_depth] alone would be overwritten. *)
+let load_documents ?options ?max_depth path =
+  let budget =
+    match max_depth with
+    | None -> Resilient.unbounded_budget
+    | Some max_depth -> { Resilient.unbounded_budget with Resilient.max_depth }
+  in
+  Resilient.parse_ndjson_strict ~budget ?options (read_input path)
 
 let or_die = function
   | Ok x -> x
@@ -42,12 +49,31 @@ open Cmdliner
 let input_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Input file (NDJSON or concatenated JSON); - for stdin.")
 
+(* shared parser-option flags: the knobs real deployments disagree on sit
+   beside the resource-budget flags of [ingest] *)
+
+let dup_keys_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("first", Json.Parser.Keep_first); ("last", Json.Parser.Keep_last);
+             ("reject", Json.Parser.Reject); ("all", Json.Parser.Keep_all) ])
+        Json.Parser.Keep_last
+    & info [ "dup-keys" ] ~docv:"POLICY"
+        ~doc:"Duplicate object keys: first, last (default), reject, or all.")
+
+let max_depth_arg ~default =
+  Arg.(value & opt int default
+       & info [ "max-depth" ] ~docv:"N" ~doc:"Maximum nesting depth per document.")
+
 (* --- parse ----------------------------------------------------------- *)
 
 let parse_cmd =
   let pretty = Arg.(value & flag & info [ "pretty"; "p" ] ~doc:"Pretty-print output.") in
-  let run pretty file =
-    let docs = or_die (load_documents file) in
+  let run pretty dup_keys max_depth file =
+    let options = { Json.Parser.default_options with dup_keys } in
+    let docs = or_die (load_documents ~options ~max_depth file) in
     List.iter
       (fun v ->
         print_endline
@@ -55,7 +81,88 @@ let parse_cmd =
       docs
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and re-print JSON documents.")
-    Term.(const run $ pretty $ input_arg)
+    Term.(const run $ pretty $ dup_keys_arg
+          $ max_depth_arg ~default:Json.Parser.default_options.Json.Parser.max_depth
+          $ input_arg)
+
+(* --- ingest ----------------------------------------------------------- *)
+
+let ingest_cmd =
+  let opt_cap names doc =
+    Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
+  in
+  let max_bytes = opt_cap [ "max-bytes" ] "Byte budget per document (default 8388608)." in
+  let max_nodes = opt_cap [ "max-nodes" ] "Node budget per document (default 1000000)." in
+  let max_string = opt_cap [ "max-string" ] "Byte budget per string literal (default 1048576)." in
+  let max_docs = opt_cap [ "max-docs" ] "Stop after this many ingested documents." in
+  let quarantine =
+    Arg.(value & opt string ""
+         & info [ "quarantine" ] ~docv:"OUT"
+             ~doc:"Write dead-letter records (one JSON object per line) here.")
+  in
+  let chaos =
+    Arg.(value & opt (some int) None
+         & info [ "chaos" ] ~docv:"SEED"
+             ~doc:"Corrupt the input first with seeded fault injection (see --chaos-rate).")
+  in
+  let chaos_rate =
+    Arg.(value & opt float 0.2
+         & info [ "chaos-rate" ] ~docv:"P" ~doc:"Fraction of lines to fault (default 0.2).")
+  in
+  let run max_depth max_bytes max_nodes max_string max_docs dup_keys quarantine
+      chaos chaos_rate file =
+    let text = read_input file in
+    let text, faults =
+      match chaos with
+      | None -> (text, None)
+      | Some seed -> (
+          let o = Chaos.corrupt ~seed ~rate:chaos_rate text in
+          (o.Chaos.text, Some o))
+    in
+    let d = Resilient.default_budget in
+    let cap v dflt = match v with Some _ -> v | None -> dflt in
+    let budget =
+      { Resilient.max_doc_bytes = cap max_bytes d.Resilient.max_doc_bytes;
+        max_nodes = cap max_nodes d.Resilient.max_nodes;
+        max_string_bytes = cap max_string d.Resilient.max_string_bytes;
+        max_depth;
+        max_docs = cap max_docs d.Resilient.max_docs }
+    in
+    let options = { Json.Parser.default_options with dup_keys } in
+    let r = Resilient.ingest ~budget ~options text in
+    (if quarantine <> "" then begin
+       let oc = open_out quarantine in
+       List.iter
+         (fun dl ->
+           output_string oc (Json.Printer.to_string (Resilient.dead_letter_to_json dl));
+           output_char oc '\n')
+         r.Resilient.dead;
+       close_out oc
+     end);
+    let report_fields =
+      match r.Resilient.report |> Resilient.report_to_json with
+      | Json.Value.Object fields -> (
+          match faults with
+          | None -> fields
+          | Some o ->
+              fields
+              @ [ ("chaos_faults", Json.Value.Int (List.length o.Chaos.injected));
+                  ("chaos_corrupting", Json.Value.Int o.Chaos.corrupting);
+                  ("chaos_oversized", Json.Value.Int o.Chaos.oversized);
+                  ("chaos_duplicated", Json.Value.Int o.Chaos.duplicated) ])
+      | _ -> assert false
+    in
+    print_endline (Json.Printer.to_string (Json.Value.Object report_fields));
+    if quarantine <> "" then
+      Printf.eprintf "wrote %d dead letters to %s\n"
+        (List.length r.Resilient.dead) quarantine
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Resilient NDJSON ingestion: budgets, quarantine, fault injection.")
+    Term.(const run $ max_depth_arg ~default:Resilient.default_budget.Resilient.max_depth
+          $ max_bytes $ max_nodes $ max_string $ max_docs $ dup_keys_arg
+          $ quarantine $ chaos $ chaos_rate $ input_arg)
 
 (* --- validate -------------------------------------------------------- *)
 
@@ -360,6 +467,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; validate_cmd; infer_cmd; stats_cmd; translate_cmd;
-            generate_cmd; query_cmd; discover_cmd; profile_cmd; compat_cmd;
-            normalize_cmd ]))
+          [ parse_cmd; ingest_cmd; validate_cmd; infer_cmd; stats_cmd;
+            translate_cmd; generate_cmd; query_cmd; discover_cmd; profile_cmd;
+            compat_cmd; normalize_cmd ]))

@@ -1,1 +1,1 @@
-lib/core/core.ml: Datagen Fastjson Inference Joi Json Jsonschema Jsound Jtype Pipeline Query Translate
+lib/core/core.ml: Chaos Datagen Fastjson Inference Joi Json Jsonschema Jsound Jtype Pipeline Query Resilient Translate

@@ -1,0 +1,1 @@
+lib/core/chaos.ml: Buffer Bytes Char Json List Printf Random Result String

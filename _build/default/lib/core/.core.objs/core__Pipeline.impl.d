@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Datagen Fun Inference Json Jsonschema Jtype List String Translate
+lib/core/pipeline.ml: Datagen Fun Inference Json Jsonschema Jtype List Resilient String Translate

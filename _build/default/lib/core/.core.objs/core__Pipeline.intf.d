@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Json Jsonschema Jtype
+lib/core/pipeline.mli: Json Jsonschema Jtype Resilient

@@ -1,0 +1,1 @@
+lib/core/resilient.ml: Fastjson Json List Printf String

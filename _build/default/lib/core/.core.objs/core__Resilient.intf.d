@@ -1,0 +1,1 @@
+lib/core/resilient.mli: Fastjson Json

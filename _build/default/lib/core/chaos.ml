@@ -1,0 +1,102 @@
+type fault = Truncate | Bit_flip | Duplicate_line | Oversize
+
+let fault_name = function
+  | Truncate -> "truncate"
+  | Bit_flip -> "bit-flip"
+  | Duplicate_line -> "duplicate-line"
+  | Oversize -> "oversize"
+
+let all_faults = [ Truncate; Bit_flip; Duplicate_line; Oversize ]
+
+type injected = { line : int; fault : fault }
+
+type outcome = {
+  text : string;
+  injected : injected list;
+  corrupting : int;
+  oversized : int;
+  duplicated : int;
+}
+
+(* A prefix after which no suffix forms valid JSON: '{' must be followed by a
+   field name or '}', and ',' is neither — the parse error lands on the
+   second byte, *inside* the faulted line. Prepending it to every corrupting
+   fault guarantees (a) the line quarantines and (b) a stream ingester's
+   error recovery never runs past the line's own newline (a bare truncation
+   like ["[1,"] is a valid JSON *prefix*, so the parser would otherwise
+   continue into — and ruin — the next, healthy record). That containment is
+   what lets tests assert [quarantined = corrupting] exactly. *)
+let poison = "{,"
+
+let is_valid_json line = Result.is_ok (Json.Parser.parse line)
+
+let truncate st line =
+  let n = String.length line in
+  if n <= 1 then line
+  else String.sub line 0 (1 + Random.State.int st (n - 1))
+
+let bit_flip st line =
+  let n = String.length line in
+  if n = 0 then line
+  else begin
+    let b = Bytes.of_string line in
+    let i = Random.State.int st n in
+    let bit = Random.State.int st 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    (* newlines would silently split the record in two and desynchronize
+       fault accounting; remap them *)
+    let c = Bytes.get b i in
+    if c = '\n' || c = '\r' then Bytes.set b i '#';
+    Bytes.to_string b
+  end
+
+(* Wrap the record in an envelope padded past any reasonable byte budget;
+   the result is *valid* JSON that a budgeted ingester must kill. *)
+let oversize ~pad line =
+  let payload = if is_valid_json line then line else "null" in
+  Printf.sprintf {|{"chaos_pad":"%s","doc":%s}|} (String.make pad 'x') payload
+
+let corrupt ?(faults = all_faults) ?(pad = 65536) ~seed ~rate text =
+  let st = Random.State.make [| seed |] in
+  let faults = if faults = [] then all_faults else faults in
+  let pick () = List.nth faults (Random.State.int st (List.length faults)) in
+  let buf = Buffer.create (String.length text) in
+  let injected = ref [] in
+  let corrupting = ref 0 in
+  let oversized = ref 0 in
+  let duplicated = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  let emit line = Buffer.add_string buf line; Buffer.add_char buf '\n' in
+  List.iteri
+    (fun i line ->
+      if String.trim line = "" then ()
+      else if Random.State.float st 1.0 >= rate then emit line
+      else begin
+        let fault = pick () in
+        injected := { line = i + 1; fault } :: !injected;
+        match fault with
+        | Duplicate_line ->
+            incr duplicated;
+            emit line;
+            emit line
+        | Oversize ->
+            incr oversized;
+            emit (oversize ~pad line)
+        | Truncate | Bit_flip ->
+            incr corrupting;
+            let corrupted =
+              match fault with
+              | Truncate -> truncate st line
+              | _ -> bit_flip st line
+            in
+            (* poison unconditionally: a flip inside a string payload can
+               leave the line parseable, and a truncation can leave a valid
+               JSON *prefix* whose parse error would land on the next line *)
+            emit (poison ^ corrupted)
+      end)
+    lines;
+  { text = Buffer.contents buf;
+    injected = List.rev !injected;
+    corrupting = !corrupting;
+    oversized = !oversized;
+    duplicated = !duplicated }

@@ -1,0 +1,51 @@
+(** Deterministic fault injection for NDJSON inputs.
+
+    The robustness tests and the [bench] robustness scenario need corpora
+    with a *known* number of faults of a *known* kind, reproducible from a
+    seed. [corrupt] walks an NDJSON text line by line and, at the given
+    rate, injects one of four faults the tutorial's "massive and messy"
+    discussion calls out:
+
+    - {e truncation} — the line is cut mid-document (a crashed producer);
+    - {e bit flips} — one bit of one byte is flipped (storage/transport
+      corruption);
+    - {e duplicate lines} — the record is emitted twice (at-least-once
+      delivery);
+    - {e oversized documents} — the record is wrapped in a padded envelope
+      that stays valid JSON but blows any per-document byte budget.
+
+    Faults in the first two classes carry a poison prefix that makes the
+    line unparseable with the error {e contained inside the line} (a flip
+    inside a string payload may leave the line valid; a truncation may leave
+    a valid JSON prefix that would drag the parser into the next record), so
+    [corrupting] is exactly the number of records a quarantining ingester
+    must reject — tests assert equality, not inequality. *)
+
+type fault = Truncate | Bit_flip | Duplicate_line | Oversize
+
+val fault_name : fault -> string
+val all_faults : fault list
+
+type injected = { line : int; fault : fault }
+(** 1-based input line the fault was applied to. *)
+
+type outcome = {
+  text : string;            (** the corrupted NDJSON *)
+  injected : injected list; (** every fault, in input order *)
+  corrupting : int;  (** faults guaranteed to defeat the parser *)
+  oversized : int;   (** valid-but-huge records (budget kills) *)
+  duplicated : int;  (** records emitted twice (still valid) *)
+}
+
+val corrupt :
+  ?faults:fault list ->
+  ?pad:int ->
+  seed:int ->
+  rate:float ->
+  string ->
+  outcome
+(** [corrupt ~seed ~rate text] injects a fault into roughly [rate] of the
+    non-blank lines, drawing faults uniformly from [faults] (default
+    {!all_faults}) with a PRNG seeded by [seed] — same seed, same input,
+    same outcome. [pad] (default 65536) is the envelope size used by
+    [Oversize]; pick it above the ingestion byte budget under test. *)

@@ -12,3 +12,5 @@ module Translate = Translate
 module Datagen = Datagen
 module Query = Query
 module Pipeline = Pipeline
+module Resilient = Resilient
+module Chaos = Chaos

@@ -21,23 +21,43 @@ let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") values =
   build_inferred ~name t c
 
 let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
-  match
-    Json.Stream.fold_documents text ~init:[] ~f:(fun acc v -> v :: acc)
-  with
-  | Error e -> Error (Json.Parser.string_of_error e)
-  | Ok rev_docs -> Ok (infer ~equiv ~name (List.rev rev_docs))
+  match Resilient.parse_ndjson_strict text with
+  | Error msg -> Error msg
+  | Ok docs -> Ok (infer ~equiv ~name docs)
 
-let validate_collection ~root values =
+let infer_ndjson_resilient ?equiv ?name ?budget text =
+  let r = Resilient.ingest ?budget text in
+  let inferred =
+    match r.Resilient.docs with
+    | [] -> None
+    | docs -> Some (infer ?equiv ?name docs)
+  in
+  (inferred, r)
+
+let validate_collection ?config ~root values =
   let failures =
     List.mapi
       (fun i v ->
-        match Jsonschema.Validate.validate ~root v with
+        match Jsonschema.Validate.validate ?config ~root v with
         | Ok () -> None
         | Error es -> Some (i, es))
       values
     |> List.filter_map Fun.id
   in
   if failures = [] then Ok (List.length values) else Error failures
+
+let validate_ndjson ?config ?budget ~root text =
+  let r = Resilient.ingest ?budget text in
+  let failures =
+    List.mapi
+      (fun i v ->
+        match Jsonschema.Validate.validate ?config ~root v with
+        | Ok () -> None
+        | Error es -> Some (i, es))
+      r.Resilient.docs
+    |> List.filter_map Fun.id
+  in
+  (r, failures)
 
 let profile values =
   let t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind values in
@@ -89,3 +109,9 @@ let translate ?(equiv = Jtype.Merge.Kind) values =
               columnar_bytes = Translate.Columnar.encode table;
               json_bytes = String.length (Datagen.to_ndjson values);
             })
+
+let translate_ndjson ?equiv ?budget text =
+  let r = Resilient.ingest ?budget text in
+  match r.Resilient.docs with
+  | [] -> (None, r)
+  | docs -> (Some (translate ?equiv docs), r)

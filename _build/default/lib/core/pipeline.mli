@@ -18,14 +18,32 @@ val infer :
 
 val infer_ndjson :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> string -> (inferred, string) result
+(** Parses through {!Resilient.parse_ndjson_strict}: fail-fast on the first
+    bad document, with global line/column in the error. *)
+
+val infer_ndjson_resilient :
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
+  string -> inferred option * Resilient.ingest
+(** Guarded variant: corrupted or over-budget documents are quarantined
+    (see the returned {!Resilient.ingest}) and inference runs on the
+    survivors; [None] when nothing survived. Never raises. *)
 
 (** {1 Validation pipeline} *)
 
 val validate_collection :
+  ?config:Jsonschema.Validate.config ->
   root:Json.Value.t -> Json.Value.t list ->
   (int, (int * Jsonschema.Validate.error list) list) result
 (** Validate every document against a JSON Schema document; [Ok n] = all [n]
     valid, otherwise the failing indices with their errors. *)
+
+val validate_ndjson :
+  ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
+  root:Json.Value.t -> string ->
+  Resilient.ingest * (int * Jsonschema.Validate.error list) list
+(** Guarded validation from raw text: unparseable documents are quarantined
+    in the ingest report, surviving documents are validated (indices are
+    into [ingest.docs]). Never raises. *)
 
 (** {1 Dataset profiling} *)
 
@@ -46,3 +64,9 @@ type translated = {
 val translate :
   ?equiv:Jtype.Merge.equiv -> Json.Value.t list -> (translated, string) result
 (** Infer, derive Avro + Spark schemas, encode both ways. *)
+
+val translate_ndjson :
+  ?equiv:Jtype.Merge.equiv -> ?budget:Resilient.budget -> string ->
+  (translated, string) result option * Resilient.ingest
+(** Guarded translation from raw text: ingest under the budget, then
+    {!translate} the survivors ([None] when nothing survived). *)

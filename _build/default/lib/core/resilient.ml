@@ -1,0 +1,234 @@
+type budget = {
+  max_doc_bytes : int option;
+  max_nodes : int option;
+  max_string_bytes : int option;
+  max_depth : int;
+  max_docs : int option;
+}
+
+let default_budget =
+  { max_doc_bytes = Some (8 * 1024 * 1024);
+    max_nodes = Some 1_000_000;
+    max_string_bytes = Some (1024 * 1024);
+    max_depth = 256;
+    max_docs = None }
+
+let unbounded_budget =
+  { max_doc_bytes = None;
+    max_nodes = None;
+    max_string_bytes = None;
+    max_depth = Json.Parser.default_options.Json.Parser.max_depth;
+    max_docs = None }
+
+let parser_options ?(base = Json.Parser.default_options) b =
+  { base with
+    Json.Parser.max_depth = b.max_depth;
+    max_doc_bytes = b.max_doc_bytes;
+    max_nodes = b.max_nodes;
+    max_string_bytes = b.max_string_bytes }
+
+type dead_letter = {
+  line : int;
+  byte_offset : int;
+  error : string;
+  kind : Json.Parser.error_kind;
+  raw_prefix : string;
+}
+
+type report = {
+  ok : int;
+  quarantined : int;
+  budget_killed : int;
+  truncated : bool;
+}
+
+let empty_report = { ok = 0; quarantined = 0; budget_killed = 0; truncated = false }
+
+type ingest = {
+  docs : Json.Value.t list;
+  dead : dead_letter list;
+  report : report;
+}
+
+let prefix_len = 80
+
+let raw_prefix src ~lo ~hi =
+  let hi = min hi (lo + prefix_len) in
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c)
+    (String.sub src lo (max 0 (hi - lo)))
+
+(* Global (whole-input) line/column for an error reported relative to a
+   document that starts on [start_line]. *)
+let global_error ~start_line (e : Json.Parser.error) =
+  Printf.sprintf "line %d, column %d: %s"
+    (start_line + e.Json.Parser.position.Json.Lexer.line - 1)
+    e.Json.Parser.position.Json.Lexer.column e.Json.Parser.message
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let ingest ?(budget = default_budget) ?options src =
+  let options =
+    { (parser_options ?base:options budget) with Json.Parser.allow_trailing = true }
+  in
+  let n = String.length src in
+  (* incremental global line counter: newlines are counted exactly once *)
+  let line = ref 1 in
+  let counted = ref 0 in
+  let advance_to off =
+    let off = min off n in
+    for i = !counted to off - 1 do
+      if src.[i] = '\n' then incr line
+    done;
+    counted := max !counted off
+  in
+  let rec skip_ws pos = if pos < n && is_ws src.[pos] then skip_ws (pos + 1) else pos in
+  let docs = ref [] and dead = ref [] in
+  let ok = ref 0 and quarantined = ref 0 and budget_killed = ref 0 in
+  let truncated = ref false in
+  let add_dead ~start ~stop ~error ~kind =
+    (match kind with
+     | Json.Parser.Budget_exceeded _ -> incr budget_killed
+     | Json.Parser.Syntax -> incr quarantined);
+    dead :=
+      { line = !line;
+        byte_offset = start;
+        error;
+        kind;
+        raw_prefix = raw_prefix src ~lo:start ~hi:stop }
+      :: !dead
+  in
+  let rec go pos =
+    let pos = skip_ws pos in
+    advance_to pos;
+    if pos >= n then ()
+    else
+      match budget.max_docs with
+      | Some cap when !ok >= cap ->
+          (* the document-count budget: one dead letter for the cut, the
+             rest of the input is not scanned *)
+          truncated := true;
+          add_dead ~start:pos ~stop:n
+            ~error:
+              (Printf.sprintf "line %d: document budget of %d reached; remaining input dropped"
+                 !line cap)
+            ~kind:(Json.Parser.Budget_exceeded Json.Parser.Documents_exceeded)
+      | _ -> (
+          match Json.Parser.parse_substring ~options src ~pos with
+          | Ok (v, next_pos) ->
+              incr ok;
+              docs := v :: !docs;
+              advance_to next_pos;
+              go next_pos
+          | Error e ->
+              (* quarantine the span and resume at the next line boundary —
+                 per-document containment for NDJSON, line-level containment
+                 for concatenated JSON *)
+              let err_off = max pos (min e.Json.Parser.position.Json.Lexer.offset n) in
+              let resume =
+                match String.index_from_opt src err_off '\n' with
+                | Some i -> i + 1
+                | None -> n
+              in
+              add_dead ~start:pos ~stop:resume
+                ~error:(global_error ~start_line:!line e)
+                ~kind:e.Json.Parser.kind;
+              advance_to resume;
+              go resume)
+  in
+  go 0;
+  { docs = List.rev !docs;
+    dead = List.rev !dead;
+    report =
+      { ok = !ok;
+        quarantined = !quarantined;
+        budget_killed = !budget_killed;
+        truncated = !truncated } }
+
+let parse_ndjson_strict ?(budget = unbounded_budget) ?options src =
+  let r = ingest ~budget ?options src in
+  match r.dead with
+  | [] -> Ok r.docs
+  | d :: _ -> Error d.error
+
+(* --- fast-path projection with degradation --------------------------- *)
+
+type projected = {
+  rows : (string * Json.Value.t) list list;
+  proj_dead : dead_letter list;
+  proj_report : report;
+  mison : Fastjson.Mison.stats;
+}
+
+let project ?(budget = default_budget) ~fields src =
+  let options = parser_options budget in
+  let t = Fastjson.Mison.create { Fastjson.Mison.fields } in
+  let rows = ref [] and dead = ref [] in
+  let ok = ref 0 and quarantined = ref 0 and budget_killed = ref 0 in
+  let truncated = ref false in
+  let n = String.length src in
+  let rec go lineno pos =
+    if pos < n then begin
+      let stop =
+        match String.index_from_opt src pos '\n' with Some i -> i | None -> n
+      in
+      let line_str = String.sub src pos (stop - pos) in
+      (if String.trim line_str <> "" then
+         match budget.max_docs with
+         | Some cap when !ok >= cap -> truncated := true
+         | _ -> (
+             match Fastjson.Mison.parse_line ~options t line_str with
+             | Ok row ->
+                 incr ok;
+                 rows := row :: !rows
+             | Error msg ->
+                 (* classify by re-parsing: the fast path reports plain
+                    strings, but the report distinguishes budget kills *)
+                 let kind =
+                   match Json.Parser.parse ~options line_str with
+                   | Error e -> e.Json.Parser.kind
+                   | Ok _ -> Json.Parser.Syntax
+                 in
+                 (match kind with
+                  | Json.Parser.Budget_exceeded _ -> incr budget_killed
+                  | Json.Parser.Syntax -> incr quarantined);
+                 dead :=
+                   { line = lineno;
+                     byte_offset = pos;
+                     error = msg;
+                     kind;
+                     raw_prefix = raw_prefix src ~lo:pos ~hi:stop }
+                   :: !dead));
+      go (lineno + 1) (stop + 1)
+    end
+  in
+  go 1 0;
+  { rows = List.rev !rows;
+    proj_dead = List.rev !dead;
+    proj_report =
+      { ok = !ok;
+        quarantined = !quarantined;
+        budget_killed = !budget_killed;
+        truncated = !truncated };
+    mison = Fastjson.Mison.stats t }
+
+(* --- reports as JSON --------------------------------------------------- *)
+
+let report_to_json r =
+  Json.Value.Object
+    [ ("ok", Json.Value.Int r.ok);
+      ("quarantined", Json.Value.Int r.quarantined);
+      ("budget_killed", Json.Value.Int r.budget_killed);
+      ("truncated", Json.Value.Bool r.truncated) ]
+
+let dead_letter_to_json d =
+  let kind_str =
+    match d.kind with
+    | Json.Parser.Syntax -> "syntax"
+    | Json.Parser.Budget_exceeded v -> "budget:" ^ Json.Parser.violation_name v
+  in
+  Json.Value.Object
+    [ ("line", Json.Value.Int d.line);
+      ("byte_offset", Json.Value.Int d.byte_offset);
+      ("kind", Json.Value.String kind_str);
+      ("error", Json.Value.String d.error);
+      ("raw_prefix", Json.Value.String d.raw_prefix) ]

@@ -1,0 +1,98 @@
+(** Guarded NDJSON ingestion: resource budgets, per-document quarantine,
+    and fast-path degradation.
+
+    Production JSON pipelines meet "massive and messy" data: one corrupted
+    line, one pathologically deep document, or one multi-gigabyte record
+    must not abort a batch or blow the stack. This layer is the single
+    entry point the pipelines ({!Pipeline}) and the CLI route raw text
+    through. It
+
+    - enforces {e resource budgets} (bytes/doc, nodes/doc, string length,
+      nesting depth, document count) via the typed
+      {!Json.Parser.error_kind} machinery — budget violations are values,
+      never exceptions;
+    - {e quarantines} failing documents as dead letters instead of
+      erroring, resuming at the next line boundary, and returns an
+      {!report} alongside the surviving documents;
+    - {e degrades} the Mison fast path per record to the full parser
+      (see {!Fastjson.Mison.parse_line}), counting fallbacks instead of
+      failing the batch. *)
+
+type budget = {
+  max_doc_bytes : int option;    (** byte span one document may occupy *)
+  max_nodes : int option;        (** JSON nodes per document *)
+  max_string_bytes : int option; (** unescaped length of one string *)
+  max_depth : int;               (** nesting depth *)
+  max_docs : int option;         (** documents ingested per batch *)
+}
+
+val default_budget : budget
+(** Generous production defaults: 8 MiB/doc, 1M nodes, 1 MiB strings,
+    depth 256, unlimited documents. *)
+
+val unbounded_budget : budget
+(** No caps beyond the parser's stock depth limit — the pre-resilient
+    behaviour, used by the strict compatibility path. *)
+
+val parser_options : ?base:Json.Parser.options -> budget -> Json.Parser.options
+(** Lower a budget onto parser options ([base] defaults to
+    {!Json.Parser.default_options}; [max_docs] is enforced here, not by the
+    parser). *)
+
+type dead_letter = {
+  line : int;         (** 1-based line the document started on *)
+  byte_offset : int;  (** offset of the document's first byte *)
+  error : string;     (** human-readable, with global line/column *)
+  kind : Json.Parser.error_kind;  (** syntax fault vs. which budget *)
+  raw_prefix : string;  (** first bytes of the offending span, for triage *)
+}
+
+type report = {
+  ok : int;            (** documents ingested *)
+  quarantined : int;   (** syntax faults turned into dead letters *)
+  budget_killed : int; (** budget violations turned into dead letters *)
+  truncated : bool;    (** the [max_docs] cap cut ingestion short *)
+}
+
+val empty_report : report
+
+type ingest = {
+  docs : Json.Value.t list;
+  dead : dead_letter list;
+  report : report;
+}
+
+val ingest : ?budget:budget -> ?options:Json.Parser.options -> string -> ingest
+(** Total: never raises, never errors. Parses an NDJSON / concatenated-JSON
+    text document by document under [budget]; a failing document becomes a
+    {!dead_letter} and scanning resumes after the next newline. [options]
+    supplies non-budget knobs (duplicate-key policy, ...); its budget fields
+    are overridden by [budget]. *)
+
+val parse_ndjson_strict :
+  ?budget:budget -> ?options:Json.Parser.options -> string ->
+  (Json.Value.t list, string) result
+(** Fail-fast compatibility mode for the classic pipeline entry points:
+    same scanning as {!ingest} (default budget {!unbounded_budget}) but the
+    first dead letter aborts with its error. *)
+
+(** {1 Fast-path projection with degradation} *)
+
+type projected = {
+  rows : (string * Json.Value.t) list list;  (** one row per surviving line *)
+  proj_dead : dead_letter list;
+  proj_report : report;
+  mison : Fastjson.Mison.stats;
+      (** includes [full_parse_fallbacks] — records rescued by the full
+          parser after a fast-path failure *)
+}
+
+val project : ?budget:budget -> fields:string list -> string -> projected
+(** Mison projection over NDJSON with quarantine: each line goes through
+    {!Fastjson.Mison.parse_line} (fast path, then full-parser fallback);
+    lines failing both paths are quarantined, never raised. *)
+
+(** {1 Reports as JSON} *)
+
+val report_to_json : report -> Json.Value.t
+val dead_letter_to_json : dead_letter -> Json.Value.t

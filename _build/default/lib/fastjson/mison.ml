@@ -4,6 +4,7 @@ type stats = {
   records : int;
   speculative_hits : int;
   fallback_scans : int;
+  full_parse_fallbacks : int;
 }
 
 type t = {
@@ -13,6 +14,7 @@ type t = {
   mutable records : int;
   mutable speculative_hits : int;
   mutable fallback_scans : int;
+  mutable full_parse_fallbacks : int;
 }
 
 let create (p : projection) =
@@ -28,12 +30,14 @@ let create (p : projection) =
     predicted = Hashtbl.create 8;
     records = 0;
     speculative_hits = 0;
-    fallback_scans = 0 }
+    fallback_scans = 0;
+    full_parse_fallbacks = 0 }
 
 let stats t =
   { records = t.records;
     speculative_hits = t.speculative_hits;
-    fallback_scans = t.fallback_scans }
+    fallback_scans = t.fallback_scans;
+    full_parse_fallbacks = t.full_parse_fallbacks }
 
 let parse_value_at src pos =
   let pos = Rawscan.skip_ws src pos in
@@ -149,6 +153,71 @@ let parse_string t src =
   let idx = Structural_index.build ~max_level:t.depth src in
   parse_record t idx ~lo:0 ~hi:(String.length src)
 
+(* Degradation path: project the wanted fields out of a fully-parsed tree.
+   Used when the structural-index fast path fails (or cannot be trusted) on
+   one record, so a single bad record degrades instead of erroring the
+   batch. *)
+let project_of_tree t v =
+  let lookup_path v segments =
+    let rec go v = function
+      | [] -> Some v
+      | seg :: rest -> (
+          match v with
+          | Json.Value.Object fields -> (
+              match List.assoc_opt seg fields with
+              | Some x -> go x rest
+              | None -> None)
+          | _ -> None)
+    in
+    go v segments
+  in
+  let nested, plain =
+    Hashtbl.fold
+      (fun f () (n, p) ->
+        if String.contains f '.' then (f :: n, p) else (n, f :: p))
+      t.wanted ([], [])
+  in
+  let nested_results =
+    List.filter_map
+      (fun path ->
+        match lookup_path v (String.split_on_char '.' path) with
+        | Some x -> Some (path, x)
+        | None -> None)
+      nested
+  in
+  let plain_results =
+    match v with
+    | Json.Value.Object fields -> List.filter (fun (k, _) -> List.mem k plain) fields
+    | _ -> []
+  in
+  nested_results @ plain_results
+
+let parse_line ?options t src =
+  let fast = parse_string t src in
+  let n_wanted = Hashtbl.length t.wanted in
+  let trustworthy =
+    (* A record containing backslashes may carry escaped field names, which
+       the raw colon scanner compares in their escaped form and therefore
+       misses; only a full parse can decide. Complete projections are safe
+       either way. *)
+    match fast with
+    | Ok fields -> List.length fields = n_wanted || not (String.contains src '\\')
+    | Error _ -> false
+  in
+  if trustworthy then fast
+  else
+    match Json.Parser.parse ?options src with
+    | Ok v ->
+        t.full_parse_fallbacks <- t.full_parse_fallbacks + 1;
+        Ok (project_of_tree t v)
+    | Error e -> (
+        match fast with
+        | Ok _ as ok ->
+            (* the raw scan succeeded and only skipped over whatever the
+               full parser rejects — keep the fast-path projection *)
+            ok
+        | Error _ -> Error (Json.Parser.string_of_error e))
+
 let project_ndjson_with_stats p text =
   let t = create p in
   let lines =
@@ -157,7 +226,7 @@ let project_ndjson_with_stats p text =
   let rec go acc = function
     | [] -> Ok (List.rev acc, stats t)
     | line :: rest -> (
-        match parse_string t line with
+        match parse_line t line with
         | Ok fields -> go (fields :: acc) rest
         | Error _ as e -> (match e with Error msg -> Error msg | _ -> assert false))
   in

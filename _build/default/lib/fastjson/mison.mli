@@ -24,6 +24,9 @@ type stats = {
   records : int;
   speculative_hits : int;  (** fields found at their predicted ordinal *)
   fallback_scans : int;    (** records needing a full colon scan *)
+  full_parse_fallbacks : int;
+      (** records the fast path gave up on and handed to {!Json.Parser}
+          (degradation policy — see {!parse_line}) *)
 }
 
 type t
@@ -40,11 +43,24 @@ val parse_record :
 val parse_string : t -> string -> ((string * Json.Value.t) list, string) result
 (** Convenience: index one standalone JSON object and project it. *)
 
+val parse_line :
+  ?options:Json.Parser.options ->
+  t -> string -> ((string * Json.Value.t) list, string) result
+(** {!parse_string} with the per-record degradation policy: when the
+    structural-index fast path errors, or returns an incomplete projection
+    on a record that contains backslashes (escaped field names are invisible
+    to the raw colon scanner), the record is re-parsed with the full
+    {!Json.Parser} (under [options], so ingestion budgets still apply) and
+    projected from the tree. Each such rescue is counted in
+    [stats.full_parse_fallbacks]; [Error] only when both paths fail. *)
+
 val project_ndjson :
   projection -> string -> ((string * Json.Value.t) list list, string) result
 (** Project every line of an NDJSON text with a fresh speculative parser;
     lines share the learned positions, which is where the speedup comes
-    from. *)
+    from. Individual records degrade per {!parse_line}; the whole batch
+    errors only when a record fails both the fast path and the full
+    parser. *)
 
 val project_ndjson_with_stats :
   projection -> string -> ((string * Json.Value.t) list list * stats, string) result

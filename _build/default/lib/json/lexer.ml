@@ -16,6 +16,7 @@ type token =
   | Eof
 
 exception Lex_error of position * string
+exception Limit_error of position * string
 
 type t = {
   src : string;
@@ -24,10 +25,12 @@ type t = {
   mutable bol : int; (* offset of the beginning of the current line *)
   mutable lookahead : (token * position) option;
   buf : Buffer.t; (* scratch for string unescaping *)
+  max_string_bytes : int option;
 }
 
-let create ?(pos = 0) src =
-  { src; pos; line = 1; bol = pos; lookahead = None; buf = Buffer.create 64 }
+let create ?(pos = 0) ?max_string_bytes src =
+  { src; pos; line = 1; bol = pos; lookahead = None; buf = Buffer.create 64;
+    max_string_bytes }
 
 let position_at lx off = { offset = off; line = lx.line; column = off - lx.bol + 1 }
 let position lx = position_at lx lx.pos
@@ -116,7 +119,17 @@ let read_string lx =
   let start = lx.pos in
   lx.pos <- lx.pos + 1; (* opening quote *)
   Buffer.clear lx.buf;
+  let check_budget () =
+    match lx.max_string_bytes with
+    | Some limit when Buffer.length lx.buf > limit ->
+        raise
+          (Limit_error
+             ( position_at lx start,
+               Printf.sprintf "string literal exceeds %d bytes" limit ))
+    | _ -> ()
+  in
   let rec go () =
+    check_budget ();
     if lx.pos >= n then error lx start "unterminated string"
     else
       match lx.src.[lx.pos] with

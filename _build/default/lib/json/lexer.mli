@@ -23,12 +23,19 @@ type token =
 
 exception Lex_error of position * string
 
+exception Limit_error of position * string
+(** A lexical resource budget (currently the string-length cap) was hit.
+    Distinct from {!Lex_error} so callers can classify the failure as a
+    budget kill rather than a syntax error. *)
+
 type t
 (** Lexer state over an in-memory document. *)
 
-(** [create ?pos src] lexes [src] starting at byte offset [pos]
-    (default 0; line/column numbers are counted from that point). *)
-val create : ?pos:int -> string -> t
+(** [create ?pos ?max_string_bytes src] lexes [src] starting at byte offset
+    [pos] (default 0; line/column numbers are counted from that point).
+    [max_string_bytes] caps the unescaped length of any one string literal;
+    exceeding it raises {!Limit_error}. *)
+val create : ?pos:int -> ?max_string_bytes:int -> string -> t
 val next : t -> token * position
 (** Next token and the position where it starts.
     @raise Lex_error on malformed input. *)

@@ -35,6 +35,16 @@ let scan s =
   if !ok && !pos = n && n > 0 then Ok (!has_frac, !has_exp) else Error ()
 
 let parse s =
+  (* [float_of_string] accepts a wider grammar than JSON (hex floats,
+     underscores, "nan") and raises [Failure] on anything else, so it must
+     only ever see literals [scan] accepted — and even then we go through
+     the [_opt] variant so a discrepancy surfaces as [Error], never as an
+     exception out of the lexer. *)
+  let float_lit s =
+    match float_of_string_opt s with
+    | Some f -> Ok (Float_lit f)
+    | None -> Error (Printf.sprintf "unrepresentable number literal %S" s)
+  in
   match scan s with
   | Error () -> Error (Printf.sprintf "invalid number literal %S" s)
   | Ok (has_frac, has_exp) ->
@@ -44,8 +54,8 @@ let parse s =
         | None ->
             (* Magnitude exceeds the native int: degrade to float, as every
                JSON implementation with bounded integers does. *)
-            Ok (Float_lit (float_of_string s))
-      else Ok (Float_lit (float_of_string s))
+            float_lit s
+      else float_lit s
 
 let is_valid_literal s = Result.is_ok (scan s)
 

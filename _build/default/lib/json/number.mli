@@ -12,7 +12,8 @@ type parsed =
 
 val parse : string -> (parsed, string) result
 (** Parse a complete JSON number literal. Rejects leading zeros, bare [.5],
-    [5.], [+5], hex, [NaN], [Infinity] — exactly the RFC grammar. *)
+    [5.], [+5], hex, [NaN], [Infinity] — exactly the RFC grammar. Total:
+    malformed or unrepresentable literals return [Error], never raise. *)
 
 val is_valid_literal : string -> bool
 

@@ -4,19 +4,48 @@ type options = {
   dup_keys : dup_policy;
   max_depth : int;
   allow_trailing : bool;
+  max_doc_bytes : int option;
+  max_nodes : int option;
+  max_string_bytes : int option;
 }
 
-let default_options = { dup_keys = Keep_last; max_depth = 512; allow_trailing = false }
+let default_options =
+  { dup_keys = Keep_last;
+    max_depth = 512;
+    allow_trailing = false;
+    max_doc_bytes = None;
+    max_nodes = None;
+    max_string_bytes = None }
 
-type error = { position : Lexer.position; message : string }
+type budget_violation =
+  | Depth_exceeded
+  | Bytes_exceeded
+  | Nodes_exceeded
+  | String_exceeded
+  | Documents_exceeded
+
+type error_kind = Syntax | Budget_exceeded of budget_violation
+
+type error = { position : Lexer.position; message : string; kind : error_kind }
 
 exception Parse_error of error
 
-let string_of_error { position; message } =
+let violation_name = function
+  | Depth_exceeded -> "max-depth"
+  | Bytes_exceeded -> "max-bytes"
+  | Nodes_exceeded -> "max-nodes"
+  | String_exceeded -> "max-string"
+  | Documents_exceeded -> "max-docs"
+
+let is_budget_error e =
+  match e.kind with Budget_exceeded _ -> true | Syntax -> false
+
+let string_of_error { position; message; _ } =
   Printf.sprintf "line %d, column %d: %s" position.Lexer.line position.Lexer.column
     message
 
-let fail position message = raise (Parse_error { position; message })
+let fail ?(kind = Syntax) position message =
+  raise (Parse_error { position; message; kind })
 
 let apply_dup_policy policy fields_rev last_pos =
   (* [fields_rev] is in reverse document order. *)
@@ -58,10 +87,32 @@ let apply_dup_policy policy fields_rev last_pos =
         fields
 
 let parse_value options lx =
+  (* resource accounting: nodes and bytes are counted per document, so the
+     caller resets them simply by calling [parse_value] again *)
+  let nodes = ref 0 in
+  let start_offset = (Lexer.position lx).Lexer.offset in
+  let spend_node pos =
+    incr nodes;
+    match options.max_nodes with
+    | Some limit when !nodes > limit ->
+        fail ~kind:(Budget_exceeded Nodes_exceeded) pos
+          (Printf.sprintf "document exceeds %d nodes" limit)
+    | _ -> ()
+  in
+  let check_bytes pos =
+    match options.max_doc_bytes with
+    | Some limit when pos.Lexer.offset - start_offset > limit ->
+        fail ~kind:(Budget_exceeded Bytes_exceeded) pos
+          (Printf.sprintf "document exceeds %d bytes" limit)
+    | _ -> ()
+  in
   let rec value depth =
     if depth > options.max_depth then
-      fail (Lexer.position lx) "maximum nesting depth exceeded";
+      fail ~kind:(Budget_exceeded Depth_exceeded) (Lexer.position lx)
+        "maximum nesting depth exceeded";
     let tok, pos = Lexer.next lx in
+    spend_node pos;
+    check_bytes pos;
     match tok with
     | Lexer.Null_tok -> Value.Null
     | Lexer.True -> Value.Bool true
@@ -115,17 +166,27 @@ let parse_value options lx =
         let fields_rev, close_pos = fields [] in
         Value.Object (apply_dup_policy options.dup_keys fields_rev close_pos)
   in
-  value 0
+  let v = value 0 in
+  check_bytes (Lexer.position lx);
+  v
 
 let run lx f =
   try Ok (f ()) with
   | Parse_error e -> Error e
-  | Lexer.Lex_error (position, message) -> Error { position; message }
+  | Lexer.Lex_error (position, message) -> Error { position; message; kind = Syntax }
+  | Lexer.Limit_error (position, message) ->
+      Error { position; message; kind = Budget_exceeded String_exceeded }
   | Stack_overflow ->
-      Error { position = Lexer.position lx; message = "nesting too deep (stack overflow)" }
+      Error
+        { position = Lexer.position lx;
+          message = "nesting too deep (stack overflow)";
+          kind = Budget_exceeded Depth_exceeded }
+
+let lexer_of ?pos options src =
+  Lexer.create ?pos ?max_string_bytes:options.max_string_bytes src
 
 let parse ?(options = default_options) src =
-  let lx = Lexer.create src in
+  let lx = lexer_of options src in
   run lx (fun () ->
       let v = parse_value options lx in
       if not options.allow_trailing then begin
@@ -142,7 +203,7 @@ let parse_exn ?options src =
   | Error e -> failwith (string_of_error e)
 
 let parse_many ?(options = default_options) src =
-  let lx = Lexer.create src in
+  let lx = lexer_of options src in
   run lx (fun () ->
       let rec go acc =
         match Lexer.peek lx with
@@ -152,7 +213,7 @@ let parse_many ?(options = default_options) src =
       go [])
 
 let parse_substring ?(options = default_options) src ~pos =
-  let lx = Lexer.create ~pos src in
+  let lx = lexer_of ~pos options src in
   run lx (fun () ->
       let v = parse_value options lx in
       (v, (Lexer.position lx).Lexer.offset))

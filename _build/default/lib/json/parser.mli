@@ -15,12 +15,38 @@ type options = {
   dup_keys : dup_policy;
   max_depth : int;        (** nesting limit to bound stack use *)
   allow_trailing : bool;  (** permit trailing input after the value *)
+  max_doc_bytes : int option;
+      (** cap on the byte span one document may occupy *)
+  max_nodes : int option;
+      (** cap on the number of JSON nodes (scalars + containers) per doc *)
+  max_string_bytes : int option;
+      (** cap on the unescaped length of any one string literal *)
 }
 
 val default_options : options
-(** [Keep_last], depth 512, no trailing input. *)
+(** [Keep_last], depth 512, no trailing input, no byte/node/string budgets. *)
 
-type error = { position : Lexer.position; message : string }
+(** Which resource budget a document blew. [Documents_exceeded] is never
+    produced by the parser itself — it is the document-count cap enforced by
+    the ingestion layer ({!Core.Resilient}), declared here so every budget
+    failure shares one type. *)
+type budget_violation =
+  | Depth_exceeded
+  | Bytes_exceeded
+  | Nodes_exceeded
+  | String_exceeded
+  | Documents_exceeded
+
+type error_kind =
+  | Syntax                                (** malformed JSON *)
+  | Budget_exceeded of budget_violation   (** well-formed but over a cap *)
+
+type error = { position : Lexer.position; message : string; kind : error_kind }
+
+val violation_name : budget_violation -> string
+(** Short flag-style name ("max-depth", "max-bytes", ...) for reports. *)
+
+val is_budget_error : error -> bool
 
 val string_of_error : error -> string
 

@@ -43,7 +43,8 @@ let reader src = { lx = Lexer.create src; stack = []; started = false; finished 
 
 exception Err of Parser.error
 
-let fail pos message = raise (Err { Parser.position = pos; message })
+let fail pos message =
+  raise (Err { Parser.position = pos; message; kind = Parser.Syntax })
 
 let scalar_of_token tok =
   match tok with
@@ -160,7 +161,13 @@ let read r =
   else
     try Ok (Some (read_event r)) with
     | Err e -> Error e
-    | Lexer.Lex_error (position, message) -> Error { Parser.position; message }
+    | Lexer.Lex_error (position, message) ->
+        Error { Parser.position; message; kind = Parser.Syntax }
+    | Lexer.Limit_error (position, message) ->
+        Error
+          { Parser.position;
+            message;
+            kind = Parser.Budget_exceeded Parser.String_exceeded }
 
 let events_of_value v =
   let rec go v acc =

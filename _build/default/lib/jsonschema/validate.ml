@@ -1,9 +1,11 @@
 type config = {
   assert_formats : bool;
   max_ref_expansions : int;
+  max_depth : int;
 }
 
-let default_config = { assert_formats = false; max_ref_expansions = 64 }
+let default_config =
+  { assert_formats = false; max_ref_expansions = 64; max_depth = 4096 }
 
 type error = {
   instance_at : Json.Pointer.t;
@@ -142,15 +144,32 @@ let utf8_length s =
 (* --- validation ------------------------------------------------------- *)
 
 (* Validation returns the list of errors (empty = valid). [fuel] bounds
-   consecutive $ref expansions that do not consume instance input. *)
-let rec check ctx ~fuel ~schema_at ~at (s : Schema.t) (v : Json.Value.t) : error list =
-  match s with
-  | Schema.Bool_schema true -> []
-  | Schema.Bool_schema false ->
-      [ { instance_at = at; schema_at; message = "schema is false" } ]
-  | Schema.Schema n -> check_node ctx ~fuel ~schema_at ~at n v
+   consecutive $ref expansions that do not consume instance input; [depth]
+   bounds the total recursion (instance nesting x schema nesting), so
+   adversarially deep instances validated against recursive schemas yield a
+   normal validation error instead of [Stack_overflow]. *)
+let rec check ctx ~fuel ~depth ~schema_at ~at (s : Schema.t) (v : Json.Value.t) :
+    error list =
+  if depth > ctx.config.max_depth then
+    [ { instance_at = at;
+        schema_at;
+        message =
+          Printf.sprintf
+            "maximum validation depth %d exceeded (deeply nested instance or recursive schema)"
+            ctx.config.max_depth } ]
+  else
+    match s with
+    | Schema.Bool_schema true -> []
+    | Schema.Bool_schema false ->
+        [ { instance_at = at; schema_at; message = "schema is false" } ]
+    | Schema.Schema n -> check_node ctx ~fuel ~depth ~schema_at ~at n v
 
-and check_node ctx ~fuel ~schema_at ~at n v =
+and check_node ctx ~fuel ~depth ~schema_at ~at n v =
+  (* every nested application descends one level; existing call sites below
+     pick the increment up through this shadowing wrapper *)
+  let check ctx ~fuel ~schema_at ~at s v =
+    check ctx ~fuel ~depth:(depth + 1) ~schema_at ~at s v
+  in
   let err sk message = { instance_at = at; schema_at = kp schema_at sk; message } in
   let errors = ref [] in
   let add e = errors := e :: !errors in
@@ -427,21 +446,36 @@ and check_node ctx ~fuel ~schema_at ~at n v =
 
 let make_ctx config root = { config; root; cache = Hashtbl.create 16 }
 
+(* The public API must be total on arbitrary (schema, instance) pairs:
+   [Invalid_ref] is normally caught at its single raise-site consumer above,
+   but this belt-and-suspenders wrapper guarantees neither it nor a residual
+   [Stack_overflow] can escape as an exception. *)
+let run_check ctx ~config s instance =
+  match
+    check ctx ~fuel:config.max_ref_expansions ~depth:0 ~schema_at:[] ~at:[] s
+      instance
+  with
+  | [] -> Ok ()
+  | es -> Error es
+  | exception Invalid_ref (p, msg) ->
+      Error [ { instance_at = []; schema_at = p; message = msg } ]
+  | exception Stack_overflow ->
+      Error
+        [ { instance_at = [];
+            schema_at = [];
+            message = "validation overflowed the stack (schema too deep)" } ]
+
 let validate ?(config = default_config) ~root instance =
   match Parse.of_json root with
   | Error e ->
       Error
         [ { instance_at = []; schema_at = e.Parse.at; message = e.Parse.message } ]
-  | Ok s -> (
+  | Ok s ->
       let ctx = make_ctx config root in
-      match check ctx ~fuel:config.max_ref_expansions ~schema_at:[] ~at:[] s instance with
-      | [] -> Ok ()
-      | es -> Error es)
+      run_check ctx ~config s instance
 
 let validate_schema ?(config = default_config) s instance =
   let ctx = make_ctx config (Print.to_json s) in
-  match check ctx ~fuel:config.max_ref_expansions ~schema_at:[] ~at:[] s instance with
-  | [] -> Ok ()
-  | es -> Error es
+  run_check ctx ~config s instance
 
 let is_valid ?config ~root instance = Result.is_ok (validate ?config ~root instance)

@@ -13,6 +13,10 @@ type config = {
       (** treat [format] as an assertion (default: annotation only) *)
   max_ref_expansions : int;
       (** $ref expansions allowed without consuming instance input *)
+  max_depth : int;
+      (** total recursion bound (instance nesting × schema nesting); deeper
+          derivations yield a normal validation error, never
+          [Stack_overflow] (default 4096) *)
 }
 
 val default_config : config

@@ -2,6 +2,17 @@
   $ wc -l < orders.ndjson
   $ echo '{"b": 1, "a": [1, 2.5, "x"]}' | jsontool parse
   $ echo '{"broken": ' | jsontool parse
+  $ echo '{"a": 1, "a": 2}' | jsontool parse --dup-keys first
+  $ echo '{"a": 1, "a": 2}' | jsontool parse --dup-keys reject
+  $ echo '[[[[1]]]]' | jsontool parse --max-depth 2
+  $ printf '{"a": 1}\n{broken\n{"a": [1, 2]}\n' > messy.ndjson
+  $ jsontool ingest --quarantine dead.ndjson messy.ndjson
+  $ cat dead.ndjson
+  $ echo '[[[[1]]]]' | jsontool ingest --max-depth 3 -
+  $ jsontool ingest --max-docs 1 messy.ndjson
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest -
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 -
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 -
   $ jsontool infer -a parametric -e kind orders.ndjson
   $ jsontool infer -a spark orders.ndjson
   $ jsontool infer -a parametric -o typescript orders.ndjson

@@ -1,1 +1,1 @@
-test/test_core.ml: Alcotest Core Datagen Fastjson Inference Joi Json Jsonschema Jsound Jtype List Pipeline Printf Query Re String Translate
+test/test_core.ml: Alcotest Core Datagen Fastjson Inference Joi Json Jsonschema Jsound Jtype List Pipeline Printf Query Re Resilient String Translate

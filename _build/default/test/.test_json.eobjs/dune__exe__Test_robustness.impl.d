@@ -1,1 +1,1 @@
-test/test_robustness.ml: Alcotest Char Fastjson Hashtbl Inference Json Jsonschema Jsound Jtype List QCheck2 QCheck_alcotest Query String Translate
+test/test_robustness.ml: Alcotest Char Core Datagen Fastjson Hashtbl Inference Json Jsonschema Jsound Jtype List Option Printf QCheck2 QCheck_alcotest Query Random String Sys Translate

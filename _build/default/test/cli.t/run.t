@@ -15,6 +15,46 @@ Parse / re-print:
   jsontool: line 2, column 1: expected a value, got end of input
   [1]
 
+Duplicate-key policy and nesting-depth bound are CLI knobs:
+
+  $ echo '{"a": 1, "a": 2}' | jsontool parse --dup-keys first
+  {"a":1}
+  $ echo '{"a": 1, "a": 2}' | jsontool parse --dup-keys reject
+  jsontool: line 1, column 16: duplicate key "a"
+  [1]
+  $ echo '[[[[1]]]]' | jsontool parse --max-depth 2
+  jsontool: line 1, column 5: maximum nesting depth exceeded
+  [1]
+
+Resilient ingestion: bad documents are quarantined, not fatal.
+
+  $ printf '{"a": 1}\n{broken\n{"a": [1, 2]}\n' > messy.ndjson
+  $ jsontool ingest --quarantine dead.ndjson messy.ndjson
+  {"ok":2,"quarantined":1,"budget_killed":0,"truncated":false}
+  wrote 1 dead letters to dead.ndjson
+  $ cat dead.ndjson
+  {"line":2,"byte_offset":9,"kind":"syntax","error":"line 2, column 2: unexpected character 'b'","raw_prefix":"{broken "}
+
+Resource budgets kill documents with typed errors instead of exceptions:
+
+  $ echo '[[[[1]]]]' | jsontool ingest --max-depth 3 -
+  {"ok":0,"quarantined":0,"budget_killed":1,"truncated":false}
+  $ jsontool ingest --max-docs 1 messy.ndjson
+  {"ok":1,"quarantined":0,"budget_killed":1,"truncated":true}
+
+Seeded fault injection: the report accounts for every fault, and the
+corrupting ones match the quarantine count exactly.
+
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest -
+  {"ok":50,"quarantined":0,"budget_killed":0,"truncated":false}
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 -
+  {"ok":46,"quarantined":5,"budget_killed":0,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
+
+With a document byte budget, the oversized faults become budget kills:
+
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 -
+  {"ok":42,"quarantined":5,"budget_killed":4,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
+
 Parametric inference (kind equivalence):
 
   $ jsontool infer -a parametric -e kind orders.ndjson

@@ -78,6 +78,34 @@ let test_translate_pipeline () =
         (Some (Json.Value.String "record"))
         (Json.Value.member "type" tr.Pipeline.avro_schema)
 
+let test_resilient_pipelines () =
+  let text = "{\"a\": 1}\n{oops\n{\"a\": 2}\n" in
+  (* inference runs on the survivors, the wreck is quarantined *)
+  let inferred, r = Pipeline.infer_ndjson_resilient text in
+  Alcotest.(check int) "ok" 2 r.Resilient.report.Resilient.ok;
+  Alcotest.(check int) "quarantined" 1 r.Resilient.report.Resilient.quarantined;
+  (match inferred with
+   | Some inf ->
+       Alcotest.(check bool) "a typed" true
+         (Jtype.Types.size inf.Pipeline.jtype > 0)
+   | None -> Alcotest.fail "two documents survived; inference must run");
+  (* nothing survives -> None, not an exception *)
+  (match Pipeline.infer_ndjson_resilient "{nope\n" with
+   | None, r0 -> Alcotest.(check int) "all dead" 1 r0.Resilient.report.Resilient.quarantined
+   | Some _, _ -> Alcotest.fail "no survivors expected");
+  (* guarded validation indexes failures into the survivor list *)
+  let root = Json.Parser.parse_exn {|{"type": "object", "required": ["a"]}|} in
+  let rv, failures = Pipeline.validate_ndjson ~root "{\"a\": 1}\n{oops\n{\"b\": 2}\n" in
+  Alcotest.(check int) "validated survivors" 2 rv.Resilient.report.Resilient.ok;
+  Alcotest.(check (list int)) "failing survivor indices" [ 1 ] (List.map fst failures);
+  (* guarded translation *)
+  match Pipeline.translate_ndjson text with
+  | Some (Ok tr), rt ->
+      Alcotest.(check int) "translate survivors" 2 rt.Resilient.report.Resilient.ok;
+      Alcotest.(check bool) "bytes produced" true (String.length tr.Pipeline.avro_bytes > 0)
+  | Some (Error m), _ -> Alcotest.fail ("translate: " ^ m)
+  | None, _ -> Alcotest.fail "translation had survivors"
+
 let test_umbrella_exposes_everything () =
   (* every component is reachable through Core *)
   ignore (Json.Parser.parse "1");
@@ -99,6 +127,7 @@ let () =
          Alcotest.test_case "infer ndjson" `Quick test_infer_ndjson;
          Alcotest.test_case "validate collection" `Quick test_validate_collection;
          Alcotest.test_case "profile report" `Quick test_profile_report;
-         Alcotest.test_case "translate" `Quick test_translate_pipeline ]);
+         Alcotest.test_case "translate" `Quick test_translate_pipeline;
+         Alcotest.test_case "resilient variants" `Quick test_resilient_pipelines ]);
       ("umbrella", [ Alcotest.test_case "exposure" `Quick test_umbrella_exposes_everything ]);
     ]

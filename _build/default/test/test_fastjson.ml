@@ -186,6 +186,50 @@ let test_nested_projection_agrees () =
             (List.assoc_opt "user.screen_name" fields))
     docs
 
+let test_fallback_rescues_escaped_keys () =
+  (* a key written a denotes the name a after unescaping, but the raw
+     colon scanner compares the escaped byte form and silently misses the
+     field; the degradation policy must detect the incomplete projection and
+     rescue the record with the full parser *)
+  let lines =
+    [ {|{"a": 1, "b": "x"}|};
+      {|{"\u0061": 2, "b": "y"}|};
+      {|{"a": 3, "b": "z"}|} ]
+  in
+  let t = Fastjson.Mison.create { Fastjson.Mison.fields = [ "a" ] } in
+  List.iteri
+    (fun i line ->
+      let expected =
+        match Json.Value.member "a" (Json.Parser.parse_exn line) with
+        | Some v -> [ ("a", v) ]
+        | None -> []
+      in
+      match Fastjson.Mison.parse_line t line with
+      | Error m -> Alcotest.fail m
+      | Ok row ->
+          Alcotest.check value
+            (Printf.sprintf "line %d matches full parse" (i + 1))
+            (Json.Value.Object expected) (Json.Value.Object row))
+    lines;
+  let s = Fastjson.Mison.stats t in
+  Alcotest.(check int) "exactly the escaped record fell back" 1
+    s.Fastjson.Mison.full_parse_fallbacks;
+  Alcotest.(check int) "all records counted" 3 s.Fastjson.Mison.records
+
+let test_fallback_respects_budget () =
+  (* the rescue path runs under the caller's parser options, so ingestion
+     budgets still bound the full re-parse: when the budget kills the rescue
+     of an escaped-key record, the fast path's (empty) projection stands
+     rather than becoming a hard failure; both paths failing is an error *)
+  let t = Fastjson.Mison.create { Fastjson.Mison.fields = [ "a" ] } in
+  let options = { Json.Parser.default_options with Json.Parser.max_nodes = Some 2 } in
+  (match Fastjson.Mison.parse_line ~options t {|{"\u0061": [1, 2, 3]}|} with
+   | Ok row -> Alcotest.(check int) "fast-path projection kept" 0 (List.length row)
+   | Error m -> Alcotest.failf "degradation should not hard-fail: %s" m);
+  match Fastjson.Mison.parse_line ~options t {|{"a": oops}|} with
+  | Ok _ -> Alcotest.fail "malformed record should fail both paths"
+  | Error _ -> ()
+
 (* --- fadjs ---------------------------------------------------------------- *)
 
 let test_fadjs_lazy_and_deopt () =
@@ -269,7 +313,9 @@ let () =
          Alcotest.test_case "agrees with parser" `Quick test_projection_agrees_with_parser;
          Alcotest.test_case "speculation learns" `Quick test_speculation_learns;
          Alcotest.test_case "nested projection" `Quick test_nested_projection;
-         Alcotest.test_case "nested agrees with parser" `Quick test_nested_projection_agrees ]);
+         Alcotest.test_case "nested agrees with parser" `Quick test_nested_projection_agrees;
+         Alcotest.test_case "fallback rescues escaped keys" `Quick test_fallback_rescues_escaped_keys;
+         Alcotest.test_case "fallback respects budget" `Quick test_fallback_respects_budget ]);
       ("fadjs",
        [ Alcotest.test_case "lazy + deopt" `Quick test_fadjs_lazy_and_deopt;
          Alcotest.test_case "matches parser" `Quick test_fadjs_matches_parser;

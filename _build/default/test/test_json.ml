@@ -87,6 +87,27 @@ let test_number_int_vs_float () =
   | Ok (Json.Number.Float_lit _) -> ()
   | _ -> Alcotest.fail "overflowing integer should degrade to float"
 
+let test_number_parse_never_raises () =
+  (* [parse] must return [Error] on every malformed literal — in particular
+     the float conversion can never raise, whatever the grammar check let
+     through *)
+  List.iter
+    (fun s ->
+      match Json.Number.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "-"; "+"; "+1"; "1e"; "1e+"; "1E-"; "0x10"; "1_000"; "01"; ".5";
+      "5."; "--1"; "1.2.3"; "NaN"; "Infinity"; "-Infinity"; "nan"; "inf";
+      "1 "; " 1"; "1,5"; "e5"; "0b101"; "\xff"; "1\x00" ];
+  (* extreme but well-formed literals stay total: overflow to [infinity] or
+     underflow to [0.] rather than raising *)
+  List.iter
+    (fun s ->
+      match Json.Number.parse s with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%S should parse: %s" s m)
+    [ "1e999999"; "-1e999999"; "1e-999999"; "9e400"; "0.0000000001e-400" ]
+
 let test_float_printing () =
   let check f expected =
     Alcotest.(check string) (string_of_float f) expected (Json.Number.print_float f)
@@ -167,6 +188,66 @@ let test_max_depth () =
   match Json.Parser.parse deep with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+let expect_budget ~violation options src =
+  match Json.Parser.parse ~options src with
+  | Ok _ -> Alcotest.failf "%S should be budget-killed" src
+  | Error e -> (
+      match e.Json.Parser.kind with
+      | Json.Parser.Budget_exceeded v ->
+          Alcotest.(check string) src violation (Json.Parser.violation_name v)
+      | Json.Parser.Syntax ->
+          Alcotest.failf "%S: expected a budget error, got syntax: %s" src
+            e.Json.Parser.message)
+
+let test_budgets () =
+  let opts = Json.Parser.default_options in
+  (* bytes: the whole document counts, not just the parsed prefix *)
+  expect_budget ~violation:"max-bytes"
+    { opts with Json.Parser.max_doc_bytes = Some 10 }
+    {|{"key": [1, 2, 3, 4]}|};
+  (* nodes: every value (scalars included) spends one node *)
+  expect_budget ~violation:"max-nodes"
+    { opts with Json.Parser.max_nodes = Some 4 }
+    "[1, 2, 3, 4, 5]";
+  (* string literal budget, enforced mid-lex so a huge string never
+     materializes *)
+  expect_budget ~violation:"max-string"
+    { opts with Json.Parser.max_string_bytes = Some 8 }
+    (Printf.sprintf {|"%s"|} (String.make 64 'x'));
+  (* depth overflow is typed, not a plain syntax error *)
+  expect_budget ~violation:"max-depth"
+    { opts with Json.Parser.max_depth = 3 }
+    "[[[[[1]]]]]";
+  (* budget errors are recognizable without string matching *)
+  (match Json.Parser.parse ~options:{ opts with Json.Parser.max_nodes = Some 1 } "[1]" with
+   | Error e -> Alcotest.(check bool) "is_budget_error" true (Json.Parser.is_budget_error e)
+   | Ok _ -> Alcotest.fail "should be killed");
+  (match Json.Parser.parse "tru" with
+   | Error e -> Alcotest.(check bool) "syntax is not budget" false (Json.Parser.is_budget_error e)
+   | Ok _ -> Alcotest.fail "should be a syntax error");
+  (* documents under budget are unaffected *)
+  match
+    Json.Parser.parse
+      ~options:
+        { opts with
+          Json.Parser.max_doc_bytes = Some 1024;
+          max_nodes = Some 100;
+          max_string_bytes = Some 100 }
+      {|{"a": [1, "two", null]}|}
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Json.Parser.string_of_error e)
+
+let test_budget_unlimited_by_default () =
+  (* the defaults impose no byte/node/string budget: a large flat document
+     parses fine *)
+  let big =
+    "[" ^ String.concat "," (List.init 20000 string_of_int) ^ "]"
+  in
+  match Json.Parser.parse big with
+  | Ok (Json.Value.Array vs) -> Alcotest.(check int) "all elements" 20000 (List.length vs)
+  | _ -> Alcotest.fail "default options must not impose budgets"
 
 let test_parse_many () =
   match Json.Parser.parse_many "{\"a\":1}\n{\"a\":2}\n[3]" with
@@ -408,6 +489,7 @@ let () =
       ("number",
        [ Alcotest.test_case "grammar" `Quick test_number_grammar;
          Alcotest.test_case "int vs float" `Quick test_number_int_vs_float;
+         Alcotest.test_case "parse never raises" `Quick test_number_parse_never_raises;
          Alcotest.test_case "float printing" `Quick test_float_printing ]);
       ("parser",
        [ Alcotest.test_case "scalars" `Quick test_parse_scalars;
@@ -416,6 +498,8 @@ let () =
          Alcotest.test_case "error position" `Quick test_parse_error_position;
          Alcotest.test_case "duplicate keys" `Quick test_dup_keys;
          Alcotest.test_case "max depth" `Quick test_max_depth;
+         Alcotest.test_case "budgets" `Quick test_budgets;
+         Alcotest.test_case "budgets off by default" `Quick test_budget_unlimited_by_default;
          Alcotest.test_case "parse_many" `Quick test_parse_many;
          Alcotest.test_case "parse_substring" `Quick test_parse_substring ]);
       ("printer",

@@ -1,5 +1,19 @@
 (* Failure-injection / fuzz tests: every component must fail *cleanly*
-   (Error results, never exceptions or hangs) on corrupted input. *)
+   (Error results, never exceptions or hangs) on corrupted input.
+
+   The whole suite is deterministic under plain [dune runtest]: properties
+   run from a fixed seed (echoed below, overridable with QCHECK_SEED), and
+   FUZZ_COUNT=<n> rescales every property's case count for longer runs. *)
+
+let fuzz_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 20250806
+
+let count base =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> base
 
 let gen_value : Json.Value.t QCheck2.Gen.t =
   let open QCheck2.Gen in
@@ -33,10 +47,9 @@ let gen_value : Json.Value.t QCheck2.Gen.t =
           ])
 
 (* corrupt a valid JSON text: mutate / delete / insert random bytes *)
-let gen_corrupted : string QCheck2.Gen.t =
+let gen_corruption_of (gen_src : string QCheck2.Gen.t) : string QCheck2.Gen.t =
   let open QCheck2.Gen in
-  let* v = gen_value in
-  let src = Json.Printer.to_string v in
+  let* src = gen_src in
   let* n_edits = int_range 1 4 in
   let* edits =
     list_size (return n_edits)
@@ -58,13 +71,16 @@ let gen_corrupted : string QCheck2.Gen.t =
                String.sub s 0 pos ^ String.make 1 c ^ String.sub s pos (String.length s - pos))
        src edits)
 
+let gen_corrupted : string QCheck2.Gen.t =
+  gen_corruption_of (QCheck2.Gen.map Json.Printer.to_string gen_value)
+
 let prop_parser_total =
-  QCheck2.Test.make ~name:"parser never raises on corrupted input" ~count:1000
+  QCheck2.Test.make ~name:"parser never raises on corrupted input" ~count:(count 1000)
     gen_corrupted (fun src ->
       match Json.Parser.parse src with Ok _ | Error _ -> true)
 
 let prop_stream_total =
-  QCheck2.Test.make ~name:"stream reader never raises" ~count:1000 gen_corrupted
+  QCheck2.Test.make ~name:"stream reader never raises" ~count:(count 1000) gen_corrupted
     (fun src ->
       let r = Json.Stream.reader src in
       let rec drain n =
@@ -78,24 +94,24 @@ let prop_stream_total =
       drain 0)
 
 let prop_parse_many_total =
-  QCheck2.Test.make ~name:"parse_many never raises" ~count:500 gen_corrupted
+  QCheck2.Test.make ~name:"parse_many never raises" ~count:(count 500) gen_corrupted
     (fun src -> match Json.Parser.parse_many src with Ok _ | Error _ -> true)
 
 let prop_index_never_raises =
-  QCheck2.Test.make ~name:"structural index never raises" ~count:500 gen_corrupted
+  QCheck2.Test.make ~name:"structural index never raises" ~count:(count 500) gen_corrupted
     (fun src ->
       let idx = Fastjson.Structural_index.build src in
       ignore (Fastjson.Structural_index.colons idx ~level:1 ~lo:0 ~hi:(String.length src));
       true)
 
 let prop_mison_total =
-  QCheck2.Test.make ~name:"mison projection never raises" ~count:500 gen_corrupted
+  QCheck2.Test.make ~name:"mison projection never raises" ~count:(count 500) gen_corrupted
     (fun src ->
       let t = Fastjson.Mison.create { Fastjson.Mison.fields = [ "a"; "id" ] } in
       match Fastjson.Mison.parse_string t src with Ok _ | Error _ -> true)
 
 let prop_fadjs_total =
-  QCheck2.Test.make ~name:"fadjs decode never raises" ~count:500 gen_corrupted
+  QCheck2.Test.make ~name:"fadjs decode never raises" ~count:(count 500) gen_corrupted
     (fun src ->
       let d = Fastjson.Fadjs.create () in
       match Fastjson.Fadjs.decode d src with
@@ -106,16 +122,16 @@ let prop_fadjs_total =
       | Error _ -> true)
 
 let prop_schema_parse_total =
-  QCheck2.Test.make ~name:"schema parser never raises on arbitrary JSON" ~count:500
+  QCheck2.Test.make ~name:"schema parser never raises on arbitrary JSON" ~count:(count 500)
     gen_value (fun v ->
       match Jsonschema.Parse.of_json v with Ok _ | Error _ -> true)
 
 let prop_jsound_parse_total =
-  QCheck2.Test.make ~name:"jsound parser never raises on arbitrary JSON" ~count:500
+  QCheck2.Test.make ~name:"jsound parser never raises on arbitrary JSON" ~count:(count 500)
     gen_value (fun v -> match Jsound.parse v with Ok _ | Error _ -> true)
 
 let prop_pointer_total =
-  QCheck2.Test.make ~name:"pointer parse/get never raises" ~count:500
+  QCheck2.Test.make ~name:"pointer parse/get never raises" ~count:(count 500)
     QCheck2.Gen.(pair (string_size ~gen:printable (int_range 0 15)) gen_value)
     (fun (s, v) ->
       match Json.Pointer.parse s with
@@ -125,12 +141,12 @@ let prop_pointer_total =
       | Error _ -> true)
 
 let prop_query_parse_total =
-  QCheck2.Test.make ~name:"query parser never raises" ~count:500
+  QCheck2.Test.make ~name:"query parser never raises" ~count:(count 500)
     QCheck2.Gen.(string_size ~gen:printable (int_range 0 40))
     (fun src -> match Query.Parse.pipeline src with Ok _ | Error _ -> true)
 
 let prop_avro_decode_total =
-  QCheck2.Test.make ~name:"avro decode never raises on garbage" ~count:500
+  QCheck2.Test.make ~name:"avro decode never raises on garbage" ~count:(count 500)
     QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
     (fun bytes ->
       let schema =
@@ -143,7 +159,7 @@ let prop_avro_decode_total =
       match Translate.Avro.decode schema bytes with Ok _ | Error _ -> true)
 
 let prop_columnar_decode_total =
-  QCheck2.Test.make ~name:"columnar decode never raises on garbage" ~count:500
+  QCheck2.Test.make ~name:"columnar decode never raises on garbage" ~count:(count 500)
     QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
     (fun bytes ->
       let schema = Inference.Spark.infer [ Json.Parser.parse_exn {|{"a": 1, "xs": ["s"]}|} ] in
@@ -153,18 +169,256 @@ let prop_columnar_decode_total =
    validator is total on (schema, instance) pairs drawn independently *)
 let prop_validate_total =
   QCheck2.Test.make ~name:"validator total on arbitrary schema/instance pairs"
-    ~count:500
+    ~count:(count 500)
     QCheck2.Gen.(pair gen_value gen_value)
     (fun (schema, instance) ->
       match Jsonschema.Validate.validate ~root:schema instance with
       | Ok () | Error _ -> true)
 
+(* --- schema-vocabulary fuzz ------------------------------------------- *)
+
+(* Schema-shaped JSON (rather than arbitrary values): real keywords with
+   plausible and malformed operands, plus [$ref]s pointing at targets that
+   may or may not exist. Exercises [Invalid_ref] containment and keyword
+   operand validation in the same sweep. *)
+let gen_schema : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Json.Value in
+  let type_name =
+    oneofl [ "null"; "boolean"; "integer"; "number"; "string"; "array"; "object"; "bogus" ]
+  in
+  let ref_target =
+    oneofl
+      [ "#"; "#/definitions/a"; "#/definitions/missing"; "#/properties/a";
+        "#/nope/3"; "not-a-pointer"; "#/definitions/a/~2"; "#/" ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'c') (int_range 1 2) in
+  sized @@ fix (fun self n ->
+      let sub = self (n / 2) in
+      let leaf =
+        oneof
+          [ map (fun t -> Object [ ("type", String t) ]) type_name;
+            map (fun r -> Object [ ("$ref", String r) ]) ref_target;
+            map (fun k -> Object [ ("required", Array [ String k ]) ]) key;
+            map (fun i -> Object [ ("minimum", Int i) ]) (int_range (-5) 5);
+            map (fun i -> Object [ ("minLength", Int i) ]) (int_range (-2) 5);
+            map
+              (fun vs -> Object [ ("enum", Array vs) ])
+              (list_size (int_range 0 3) (map (fun i -> Int i) (int_range 0 9)));
+            (* malformed operands: keywords whose value has the wrong shape *)
+            return (Object [ ("properties", Array [ Int 1 ]) ]);
+            return (Object [ ("items", String "not a schema") ]);
+            return (Object [ ("required", Int 3) ]);
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (1,
+             map2
+               (fun k s ->
+                 Object [ ("properties", Object [ (k, s) ]); ("required", Array [ String k ]) ])
+               key sub);
+            (1, map (fun s -> Object [ ("items", s) ]) sub);
+            (1, map (fun ss -> Object [ ("anyOf", Array ss) ]) (list_size (int_range 1 3) sub));
+            (1, map (fun ss -> Object [ ("allOf", Array ss) ]) (list_size (int_range 1 3) sub));
+            (1,
+             map2
+               (fun k s ->
+                 Object
+                   [ ("definitions", Object [ (k, s) ]);
+                     ("$ref", String ("#/definitions/" ^ k)) ])
+               key sub);
+          ])
+
+let prop_validate_schema_vocab =
+  QCheck2.Test.make
+    ~name:"validator total on schema-vocabulary roots (incl. bogus $refs)"
+    ~count:(count 500)
+    QCheck2.Gen.(pair gen_schema gen_value)
+    (fun (schema, instance) ->
+      match Jsonschema.Validate.validate ~root:schema instance with
+      | Ok () | Error _ -> true)
+
+let prop_corrupted_schema_total =
+  (* corrupt the *text* of a schema document; whatever still parses as JSON
+     must flow through schema parsing and validation without an exception *)
+  QCheck2.Test.make ~name:"corrupted schema text never raises" ~count:(count 500)
+    QCheck2.Gen.(pair (gen_corruption_of (map Json.Printer.to_string gen_schema)) gen_value)
+    (fun (text, instance) ->
+      match Json.Parser.parse text with
+      | Error _ -> true
+      | Ok root -> (
+          (match Jsonschema.Parse.of_json root with Ok _ | Error _ -> ());
+          match Jsonschema.Validate.validate ~root instance with
+          | Ok () | Error _ -> true))
+
+(* --- resilient ingestion fuzz ------------------------------------------ *)
+
+let gen_corrupted_ndjson : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map (String.concat "\n") (list_size (int_range 0 6) gen_corrupted)
+
+let prop_resilient_ingest_total =
+  QCheck2.Test.make ~name:"resilient ingest total + accounting consistent"
+    ~count:(count 500) gen_corrupted_ndjson
+    (fun text ->
+      let r = Core.Resilient.ingest text in
+      List.length r.Core.Resilient.docs = r.Core.Resilient.report.Core.Resilient.ok
+      && List.length r.Core.Resilient.dead
+         = r.Core.Resilient.report.Core.Resilient.quarantined
+           + r.Core.Resilient.report.Core.Resilient.budget_killed)
+
+let prop_resilient_project_total =
+  QCheck2.Test.make ~name:"resilient mison projection total" ~count:(count 500)
+    gen_corrupted_ndjson
+    (fun text ->
+      let p = Core.Resilient.project ~fields:[ "a"; "id" ] text in
+      List.length p.Core.Resilient.rows
+      = p.Core.Resilient.proj_report.Core.Resilient.ok)
+
+let prop_mison_parse_line_total =
+  QCheck2.Test.make ~name:"mison parse_line (degradation path) never raises"
+    ~count:(count 500) gen_corrupted
+    (fun src ->
+      let t = Fastjson.Mison.create { Fastjson.Mison.fields = [ "a"; "id" ] } in
+      match Fastjson.Mison.parse_line t src with Ok _ | Error _ -> true)
+
+(* --- chaos: injected-fault accounting ---------------------------------- *)
+
+let sample_ndjson n =
+  let st = Datagen.rng ~seed:97 in
+  Datagen.to_ndjson (Datagen.tweets st n)
+
+let test_chaos_accounting () =
+  let n = 200 in
+  let text = sample_ndjson n in
+  let o = Core.Chaos.corrupt ~seed:42 ~rate:0.3 text in
+  Alcotest.(check bool) "some faults injected" true (o.Core.Chaos.injected <> []);
+  Alcotest.(check int) "fault kinds sum up"
+    (List.length o.Core.Chaos.injected)
+    (o.Core.Chaos.corrupting + o.Core.Chaos.oversized + o.Core.Chaos.duplicated);
+  (* under the default budget the oversize pad (64 KiB) fits, so exactly the
+     corrupting faults quarantine and nothing is budget-killed *)
+  let r = Core.Resilient.ingest o.Core.Chaos.text in
+  Alcotest.(check int) "quarantined = corrupting faults" o.Core.Chaos.corrupting
+    r.Core.Resilient.report.Core.Resilient.quarantined;
+  Alcotest.(check int) "no budget kills" 0
+    r.Core.Resilient.report.Core.Resilient.budget_killed;
+  Alcotest.(check int) "survivors"
+    (n - o.Core.Chaos.corrupting + o.Core.Chaos.duplicated)
+    r.Core.Resilient.report.Core.Resilient.ok;
+  (* a 16 KiB document budget turns every oversized record into a typed
+     budget kill without disturbing the quarantine count *)
+  let budget =
+    { Core.Resilient.default_budget with Core.Resilient.max_doc_bytes = Some 16384 }
+  in
+  let rb = Core.Resilient.ingest ~budget o.Core.Chaos.text in
+  Alcotest.(check int) "budget-killed = oversized faults" o.Core.Chaos.oversized
+    rb.Core.Resilient.report.Core.Resilient.budget_killed;
+  Alcotest.(check int) "quarantine count unchanged" o.Core.Chaos.corrupting
+    rb.Core.Resilient.report.Core.Resilient.quarantined
+
+let test_chaos_deterministic () =
+  let text = sample_ndjson 50 in
+  let o1 = Core.Chaos.corrupt ~seed:7 ~rate:0.25 text in
+  let o2 = Core.Chaos.corrupt ~seed:7 ~rate:0.25 text in
+  Alcotest.(check string) "same seed, same corruption" o1.Core.Chaos.text o2.Core.Chaos.text;
+  Alcotest.(check int) "same fault count"
+    (List.length o1.Core.Chaos.injected) (List.length o2.Core.Chaos.injected)
+
+let test_chaos_mison_projection () =
+  (* the fast path projects without validating the whole record, so
+     corruption that doesn't touch a projected field degrades to an empty or
+     partial row instead of quarantining (the strict ingester above is the
+     one that must reject every corrupting fault) — but it still must
+     account for every line and never reject a healthy one *)
+  let n = 100 in
+  let text = sample_ndjson n in
+  let o = Core.Chaos.corrupt ~seed:11 ~rate:0.3 text in
+  let p = Core.Resilient.project ~fields:[ "id"; "lang" ] o.Core.Chaos.text in
+  let r = p.Core.Resilient.proj_report in
+  Alcotest.(check int) "every line is a row or a dead letter"
+    (n + o.Core.Chaos.duplicated)
+    (List.length p.Core.Resilient.rows + List.length p.Core.Resilient.proj_dead);
+  Alcotest.(check int) "rows = ok" r.Core.Resilient.ok (List.length p.Core.Resilient.rows);
+  Alcotest.(check bool) "healthy lines never quarantined" true
+    (r.Core.Resilient.quarantined + r.Core.Resilient.budget_killed
+     <= o.Core.Chaos.corrupting)
+
+(* --- validator recursion guard ----------------------------------------- *)
+
+let test_deep_instance_guard () =
+  (* a recursive schema applied to an instance nested past [max_depth] must
+     produce a normal validation error, never [Stack_overflow] *)
+  let schema =
+    Json.Value.Object
+      [ ("items", Json.Value.Object [ ("$ref", Json.Value.String "#") ]) ]
+  in
+  let deep =
+    let v = ref (Json.Value.Int 1) in
+    for _ = 1 to 6000 do v := Json.Value.Array [ !v ] done;
+    !v
+  in
+  match Jsonschema.Validate.validate ~root:schema deep with
+  | Ok () -> Alcotest.fail "deep instance should exceed the depth bound"
+  | Error errs ->
+      Alcotest.(check bool) "mentions the depth bound" true
+        (List.exists
+           (fun e ->
+             let m = e.Jsonschema.Validate.message in
+             let needle = "maximum validation depth" in
+             let rec has i =
+               i + String.length needle <= String.length m
+               && (String.sub m i (String.length needle) = needle || has (i + 1))
+             in
+             has 0)
+           errs)
+
+let test_deep_schema_guard () =
+  (* depth can also come from the schema side (allOf consumes no instance
+     input); the same bound applies *)
+  let rec deep_schema n =
+    if n = 0 then Json.Value.Object [ ("type", Json.Value.String "integer") ]
+    else Json.Value.Object [ ("allOf", Json.Value.Array [ deep_schema (n - 1) ]) ]
+  in
+  match Jsonschema.Validate.validate ~root:(deep_schema 6000) (Json.Value.Int 1) with
+  | Ok () | Error _ -> Alcotest.(check pass) "no exception escaped" () ()
+
+let test_invalid_ref_contained () =
+  List.iter
+    (fun target ->
+      let schema = Json.Value.Object [ ("$ref", Json.Value.String target) ] in
+      match Jsonschema.Validate.validate ~root:schema (Json.Value.Int 1) with
+      | Ok () -> Alcotest.failf "bogus ref %s should not validate" target
+      | Error _ -> ())
+    [ "#/definitions/missing"; "not-a-pointer"; "#/a/b/c" ]
+
 let () =
-  let q = List.map QCheck_alcotest.to_alcotest in
+  Printf.printf "fuzz seed %d (QCHECK_SEED overrides; FUZZ_COUNT scales case counts)\n%!"
+    fuzz_seed;
+  let q =
+    List.map (fun t ->
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| fuzz_seed |]) t)
+  in
   Alcotest.run "robustness"
     [ ("fuzz",
        q [ prop_parser_total; prop_stream_total; prop_parse_many_total;
            prop_index_never_raises; prop_mison_total; prop_fadjs_total;
            prop_schema_parse_total; prop_jsound_parse_total; prop_pointer_total;
            prop_query_parse_total; prop_avro_decode_total;
-           prop_columnar_decode_total; prop_validate_total ]) ]
+           prop_columnar_decode_total; prop_validate_total ]);
+      ("schema-fuzz", q [ prop_validate_schema_vocab; prop_corrupted_schema_total ]);
+      ("resilient-fuzz",
+       q [ prop_resilient_ingest_total; prop_resilient_project_total;
+           prop_mison_parse_line_total ]);
+      ("chaos",
+       [ Alcotest.test_case "fault accounting" `Quick test_chaos_accounting;
+         Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
+         Alcotest.test_case "mison fast path" `Quick test_chaos_mison_projection ]);
+      ("validator-guards",
+       [ Alcotest.test_case "deep instance" `Quick test_deep_instance_guard;
+         Alcotest.test_case "deep schema" `Quick test_deep_schema_guard;
+         Alcotest.test_case "invalid $ref contained" `Quick test_invalid_ref_contained ]);
+    ]
