@@ -30,13 +30,13 @@ let read_input = function
    use its strict (fail-fast) mode, [ingest] uses full quarantine. The depth
    bound travels in the budget — [Resilient] derives its parser options from
    the budget, so an [options.max_depth] alone would be overwritten. *)
-let load_documents ?options ?max_depth path =
+let load_documents ?options ?max_depth ?(jobs = 1) path =
   let budget =
     match max_depth with
     | None -> Resilient.unbounded_budget
     | Some max_depth -> { Resilient.unbounded_budget with Resilient.max_depth }
   in
-  Resilient.parse_ndjson_strict ~budget ?options (read_input path)
+  Parallel.parse_ndjson_strict ~budget ?options ~jobs (read_input path)
 
 let or_die = function
   | Ok x -> x
@@ -66,6 +66,12 @@ let dup_keys_arg =
 let max_depth_arg ~default =
   Arg.(value & opt int default
        & info [ "max-depth" ] ~docv:"N" ~doc:"Maximum nesting depth per document.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Shard the work across $(docv) domains (default 1, sequential). \
+                 Output is byte-identical for every job count.")
 
 (* --- parse ----------------------------------------------------------- *)
 
@@ -110,7 +116,7 @@ let ingest_cmd =
          & info [ "chaos-rate" ] ~docv:"P" ~doc:"Fraction of lines to fault (default 0.2).")
   in
   let run max_depth max_bytes max_nodes max_string max_docs dup_keys quarantine
-      chaos chaos_rate file =
+      chaos chaos_rate jobs file =
     let text = read_input file in
     let text, faults =
       match chaos with
@@ -129,7 +135,7 @@ let ingest_cmd =
         max_docs = cap max_docs d.Resilient.max_docs }
     in
     let options = { Json.Parser.default_options with dup_keys } in
-    let r = Resilient.ingest ~budget ~options text in
+    let r = Parallel.ingest ~budget ~options ~jobs text in
     (if quarantine <> "" then begin
        let oc = open_out quarantine in
        List.iter
@@ -162,7 +168,7 @@ let ingest_cmd =
        ~doc:"Resilient NDJSON ingestion: budgets, quarantine, fault injection.")
     Term.(const run $ max_depth_arg ~default:Resilient.default_budget.Resilient.max_depth
           $ max_bytes $ max_nodes $ max_string $ max_docs $ dup_keys_arg
-          $ quarantine $ chaos $ chaos_rate $ input_arg)
+          $ quarantine $ chaos $ chaos_rate $ jobs_arg $ input_arg)
 
 (* --- validate -------------------------------------------------------- *)
 
@@ -175,8 +181,8 @@ let validate_cmd =
          & info [ "language"; "l" ] ~doc:"Schema language: jsonschema or jsound.")
   in
   let formats = Arg.(value & flag & info [ "assert-formats" ] ~doc:"Treat format as an assertion.") in
-  let run language formats schema_file file =
-    let docs = or_die (load_documents file) in
+  let run language formats jobs schema_file file =
+    let docs = or_die (load_documents ~jobs file) in
     let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
     let failures = ref 0 in
     (match language with
@@ -184,17 +190,16 @@ let validate_cmd =
          let config =
            { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = formats }
          in
-         List.iteri
-           (fun i v ->
-             match Jsonschema.Validate.validate ~config ~root:schema_json v with
-             | Ok () -> ()
-             | Error es ->
-                 incr failures;
-                 List.iter
-                   (fun e ->
-                     Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
-                   es)
-           docs
+         (* shard-parallel over document batches; failures come back in
+            input order, so the printout matches the sequential one *)
+         List.iter
+           (fun (i, es) ->
+             incr failures;
+             List.iter
+               (fun e ->
+                 Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
+               es)
+           (Parallel.validate ~config ~jobs ~root:schema_json docs)
      | `Jsound ->
          let schema = or_die (Jsound.parse schema_json) in
          List.iteri
@@ -211,7 +216,7 @@ let validate_cmd =
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
-    Term.(const run $ language $ formats $ schema_file $ input_arg)
+    Term.(const run $ language $ formats $ jobs_arg $ schema_file $ input_arg)
 
 (* --- infer ----------------------------------------------------------- *)
 
@@ -232,11 +237,11 @@ let infer_cmd =
                        ("typescript", `Ts); ("swift", `Swift) ]) `Type
          & info [ "output"; "o" ] ~doc:"Output form for parametric inference.")
   in
-  let run approach equiv output file =
-    let docs = or_die (load_documents file) in
+  let run approach equiv output jobs file =
+    let docs = or_die (load_documents ~jobs file) in
     match approach with
     | `Parametric -> (
-        let inferred = Pipeline.infer ~equiv docs in
+        let inferred = Pipeline.infer ~equiv ~jobs docs in
         match output with
         | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
         | `Counting -> print_endline (Jtype.Counting.to_string inferred.Pipeline.counting)
@@ -260,7 +265,7 @@ let infer_cmd =
         Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped
   in
   Cmd.v (Cmd.info "infer" ~doc:"Infer a schema from a collection.")
-    Term.(const run $ approach $ equiv $ output $ input_arg)
+    Term.(const run $ approach $ equiv $ output $ jobs_arg $ input_arg)
 
 (* --- stats ----------------------------------------------------------- *)
 

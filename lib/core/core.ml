@@ -13,4 +13,5 @@ module Datagen = Datagen
 module Query = Query
 module Pipeline = Pipeline
 module Resilient = Resilient
+module Parallel = Parallel
 module Chaos = Chaos

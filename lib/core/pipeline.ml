@@ -15,9 +15,9 @@ let build_inferred ~name t c =
     swift = Jtype.Swift.declaration ~name t;
   }
 
-let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") values =
-  let t = Inference.Parametric.infer ~equiv values in
-  let c = Inference.Parametric.infer_counting ~equiv values in
+let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") ?(jobs = 1) values =
+  let t = Parallel.infer_type ~equiv ~jobs values in
+  let c = Parallel.infer_counting ~equiv ~jobs values in
   build_inferred ~name t c
 
 let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
@@ -25,38 +25,22 @@ let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
   | Error msg -> Error msg
   | Ok docs -> Ok (infer ~equiv ~name docs)
 
-let infer_ndjson_resilient ?equiv ?name ?budget text =
-  let r = Resilient.ingest ?budget text in
+let infer_ndjson_resilient ?equiv ?name ?budget ?(jobs = 1) text =
+  let r = Parallel.ingest ?budget ~jobs text in
   let inferred =
     match r.Resilient.docs with
     | [] -> None
-    | docs -> Some (infer ?equiv ?name docs)
+    | docs -> Some (infer ?equiv ?name ~jobs docs)
   in
   (inferred, r)
 
-let validate_collection ?config ~root values =
-  let failures =
-    List.mapi
-      (fun i v ->
-        match Jsonschema.Validate.validate ?config ~root v with
-        | Ok () -> None
-        | Error es -> Some (i, es))
-      values
-    |> List.filter_map Fun.id
-  in
+let validate_collection ?config ?(jobs = 1) ~root values =
+  let failures = Parallel.validate ?config ~jobs ~root values in
   if failures = [] then Ok (List.length values) else Error failures
 
-let validate_ndjson ?config ?budget ~root text =
-  let r = Resilient.ingest ?budget text in
-  let failures =
-    List.mapi
-      (fun i v ->
-        match Jsonschema.Validate.validate ?config ~root v with
-        | Ok () -> None
-        | Error es -> Some (i, es))
-      r.Resilient.docs
-    |> List.filter_map Fun.id
-  in
+let validate_ndjson ?config ?budget ?(jobs = 1) ~root text =
+  let r = Parallel.ingest ?budget ~jobs text in
+  let failures = Parallel.validate ?config ~jobs ~root r.Resilient.docs in
   (r, failures)
 
 let profile values =

@@ -12,9 +12,12 @@ type inferred = {
 }
 
 val infer :
-  ?equiv:Jtype.Merge.equiv -> ?name:string -> Json.Value.t list -> inferred
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> ?jobs:int ->
+  Json.Value.t list -> inferred
 (** One call from collection to every schema artifact (default equivalence
-    [Kind], default root declaration name ["Root"]). *)
+    [Kind], default root declaration name ["Root"]). [jobs > 1] runs the
+    inference map/reduce shard-parallel ({!Parallel}); the result is
+    identical for any job count. *)
 
 val infer_ndjson :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> string -> (inferred, string) result
@@ -23,27 +26,31 @@ val infer_ndjson :
 
 val infer_ndjson_resilient :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
-  string -> inferred option * Resilient.ingest
+  ?jobs:int -> string -> inferred option * Resilient.ingest
 (** Guarded variant: corrupted or over-budget documents are quarantined
     (see the returned {!Resilient.ingest}) and inference runs on the
-    survivors; [None] when nothing survived. Never raises. *)
+    survivors; [None] when nothing survived. Never raises. [jobs > 1]
+    shards ingestion and inference over a domain pool ({!Parallel}) with
+    byte-identical results. *)
 
 (** {1 Validation pipeline} *)
 
 val validate_collection :
-  ?config:Jsonschema.Validate.config ->
+  ?config:Jsonschema.Validate.config -> ?jobs:int ->
   root:Json.Value.t -> Json.Value.t list ->
   (int, (int * Jsonschema.Validate.error list) list) result
 (** Validate every document against a JSON Schema document; [Ok n] = all [n]
-    valid, otherwise the failing indices with their errors. *)
+    valid, otherwise the failing indices with their errors. [jobs > 1]
+    validates document batches shard-parallel. *)
 
 val validate_ndjson :
   ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
-  root:Json.Value.t -> string ->
+  ?jobs:int -> root:Json.Value.t -> string ->
   Resilient.ingest * (int * Jsonschema.Validate.error list) list
 (** Guarded validation from raw text: unparseable documents are quarantined
     in the ingest report, surviving documents are validated (indices are
-    into [ingest.docs]). Never raises. *)
+    into [ingest.docs]). Never raises. [jobs > 1] shards both ingestion and
+    validation over a domain pool. *)
 
 (** {1 Dataset profiling} *)
 

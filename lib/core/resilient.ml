@@ -66,13 +66,16 @@ let global_error ~start_line (e : Json.Parser.error) =
 
 let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
-let ingest ?(budget = default_budget) ?options src =
+let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset = 0)
+    src =
   let options =
     { (parser_options ?base:options budget) with Json.Parser.allow_trailing = true }
   in
   let n = String.length src in
-  (* incremental global line counter: newlines are counted exactly once *)
-  let line = ref 1 in
+  (* incremental global line counter: newlines are counted exactly once.
+     [first_line]/[base_offset] let a shard of a larger input report
+     line numbers and byte offsets in the coordinates of the whole input. *)
+  let line = ref first_line in
   let counted = ref 0 in
   let advance_to off =
     let off = min off n in
@@ -91,7 +94,7 @@ let ingest ?(budget = default_budget) ?options src =
      | Json.Parser.Syntax -> incr quarantined);
     dead :=
       { line = !line;
-        byte_offset = start;
+        byte_offset = base_offset + start;
         error;
         kind;
         raw_prefix = raw_prefix src ~lo:start ~hi:stop }

@@ -62,12 +62,17 @@ type ingest = {
   report : report;
 }
 
-val ingest : ?budget:budget -> ?options:Json.Parser.options -> string -> ingest
+val ingest :
+  ?budget:budget -> ?options:Json.Parser.options ->
+  ?first_line:int -> ?base_offset:int -> string -> ingest
 (** Total: never raises, never errors. Parses an NDJSON / concatenated-JSON
     text document by document under [budget]; a failing document becomes a
     {!dead_letter} and scanning resumes after the next newline. [options]
     supplies non-budget knobs (duplicate-key policy, ...); its budget fields
-    are overridden by [budget]. *)
+    are overridden by [budget]. [first_line] (default 1) and [base_offset]
+    (default 0) shift reported line numbers and byte offsets — used by
+    {!Parallel} so a shard of a larger input produces dead letters in the
+    coordinates of the whole input. *)
 
 val parse_ndjson_strict :
   ?budget:budget -> ?options:Json.Parser.options -> string ->

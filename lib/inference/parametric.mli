@@ -8,7 +8,9 @@
     tree shape; {!infer_partitioned} evaluates it as a balanced tree over
     partitions, which is exactly the shape a distributed runtime (the
     papers use Spark) produces. Experiment E3 checks shape-independence and
-    measures the merge-tree speedup. *)
+    measures the merge-tree speedup; [Core.Parallel] evaluates the same
+    shard/reduce shape on a pool of OCaml 5 domains (experiment E14), with
+    results identical to the sequential fold for any shard count. *)
 
 val infer : equiv:Jtype.Merge.equiv -> Json.Value.t list -> Jtype.Types.t
 (** Sequential fold. *)

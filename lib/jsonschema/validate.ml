@@ -20,21 +20,75 @@ let string_of_error e =
 
 (* --- formats ---------------------------------------------------------- *)
 
-let re_exec re s = Re.execp (Re.compile (Re.whole_string re)) s
+(* Format regexes are compiled, anchored, exactly once at module init:
+   format checks run per string validated, and Re compilation costs orders
+   of magnitude more than execution. *)
+let whole src = Re.compile (Re.whole_string (Re.Pcre.re src))
 
-let date_re = Re.Pcre.re {|\d{4}-\d{2}-\d{2}|}
-let time_re = Re.Pcre.re {|\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
-let datetime_re = Re.Pcre.re {|\d{4}-\d{2}-\d{2}[Tt]\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
-let email_re = Re.Pcre.re {re|[A-Za-z0-9.!#$%&'*+/=?^_`{|}~-]+@[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)+|re}
-let hostname_re = Re.Pcre.re {|[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*|}
-let ipv4_re = Re.Pcre.re {|((25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)|}
-let ipv6_re = Re.Pcre.re {|[0-9A-Fa-f:.]{2,45}|}
-let uri_re = Re.Pcre.re {|[A-Za-z][A-Za-z0-9+.-]*:[^\s]*|}
-let uuid_re = Re.Pcre.re {|[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}|}
+let date_re = whole {|\d{4}-\d{2}-\d{2}|}
+let time_re = whole {|\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
+let datetime_re = whole {|\d{4}-\d{2}-\d{2}[Tt]\d{2}:\d{2}:\d{2}(\.\d+)?(Z|z|[+-]\d{2}:\d{2})|}
+let email_re = whole {re|[A-Za-z0-9.!#$%&'*+/=?^_`{|}~-]+@[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)+|re}
+let hostname_re = whole {|[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*|}
+let ipv4_re = whole {|((25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)|}
+let uri_re = whole {|[A-Za-z][A-Za-z0-9+.-]*:[^\s]*|}
+let uuid_re = whole {|[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}|}
+
+(* RFC 4291 §2.2 textual form: 8 groups of 1-4 hex digits separated by
+   [:], at most one [::] standing for one or more zero groups, optionally
+   a dotted-quad IPv4 tail standing for the final two groups. A character
+   class like [[0-9A-Fa-f:.]{2,45}] accepts garbage (":::::", "...."). *)
+let is_hex_group g =
+  let n = String.length g in
+  n >= 1 && n <= 4
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+       g
+
+let check_ipv6 s =
+  (* non-empty colon-separated groups; [] for the empty side of a "::" *)
+  let groups part =
+    if part = "" then Some []
+    else
+      let gs = String.split_on_char ':' part in
+      if List.exists (String.equal "") gs then None else Some gs
+  in
+  (* hex groups counted as 1, a final IPv4 tail (when allowed) as 2 *)
+  let count ~v4_tail gs =
+    let rec go acc = function
+      | [] -> Some acc
+      | [ last ] when v4_tail && String.contains last '.' ->
+          if Re.execp ipv4_re last then Some (acc + 2) else None
+      | g :: rest -> if is_hex_group g then go (acc + 1) rest else None
+    in
+    go 0 gs
+  in
+  let double_colon =
+    let n = String.length s in
+    let rec find i = if i + 1 >= n then None else if s.[i] = ':' && s.[i + 1] = ':' then Some i else find (i + 1) in
+    find 0
+  in
+  match double_colon with
+  | None -> (
+      match groups s with
+      | None -> false
+      | Some gs -> count ~v4_tail:true gs = Some 8)
+  | Some i -> (
+      let left = String.sub s 0 i in
+      let right = String.sub s (i + 2) (String.length s - i - 2) in
+      (* a second "::" (or a stray ":") surfaces as an empty group *)
+      match (groups left, groups right) with
+      | Some lg, Some rg -> (
+          (* the IPv4 tail must be the final 32 bits of the address *)
+          match (count ~v4_tail:false lg, count ~v4_tail:true rg) with
+          | Some nl, Some nr -> nl + nr <= 7
+          | _ -> false)
+      | _ -> false)
 
 let check_date s =
   (* calendar-valid, not just shaped like a date *)
-  re_exec date_re s
+  Re.execp date_re s
   &&
   let year = int_of_string (String.sub s 0 4) in
   let month = int_of_string (String.sub s 5 2) in
@@ -52,15 +106,15 @@ let check_date s =
 let check_format name s =
   match name with
   | "date-time" ->
-      Some (re_exec datetime_re s && check_date (String.sub s 0 (min 10 (String.length s))))
+      Some (Re.execp datetime_re s && check_date (String.sub s 0 (min 10 (String.length s))))
   | "date" -> Some (check_date s)
-  | "time" -> Some (re_exec time_re s)
-  | "email" -> Some (re_exec email_re s)
-  | "hostname" -> Some (String.length s <= 253 && re_exec hostname_re s)
-  | "ipv4" -> Some (re_exec ipv4_re s)
-  | "ipv6" -> Some (String.contains s ':' && re_exec ipv6_re s)
-  | "uri" -> Some (re_exec uri_re s)
-  | "uuid" -> Some (re_exec uuid_re s)
+  | "time" -> Some (Re.execp time_re s)
+  | "email" -> Some (Re.execp email_re s)
+  | "hostname" -> Some (String.length s <= 253 && Re.execp hostname_re s)
+  | "ipv4" -> Some (Re.execp ipv4_re s)
+  | "ipv6" -> Some (check_ipv6 s)
+  | "uri" -> Some (Re.execp uri_re s)
+  | "uuid" -> Some (Re.execp uuid_re s)
   | "json-pointer" -> Some (Result.is_ok (Json.Pointer.parse s))
   | "regex" -> Some (match Re.Pcre.re s with _ -> true | exception _ -> false)
   | _ -> None
@@ -123,6 +177,16 @@ let multiple_of_ok f m =
   (* float-tolerant divisibility *)
   let q = f /. m in
   Float.abs (q -. Float.round q) <= 1e-9 *. Float.abs q +. 1e-12
+
+let multiple_of_value_ok v m =
+  match v with
+  | Json.Value.Int n
+    when Float.is_integer m && m <> 0.0 && Float.abs m <= 4.0e18 ->
+      (* exact path: routing a 63-bit Int through float division judges it
+         on a lossy approximation (9007199254740993 "divides" by 2) *)
+      n mod int_of_float m = 0
+  | _ -> (
+      match number_of v with Some f -> multiple_of_ok f m | None -> true)
 
 (* UTF-8 code point count; JSON Schema string lengths are in characters. *)
 let utf8_length s =
@@ -232,7 +296,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        bound "exclusiveMaximum" (fun f l -> f < l) "expected < %g, got %g"
          n.Schema.exclusive_maximum;
        (match n.Schema.multiple_of with
-        | Some m when not (multiple_of_ok f m) ->
+        | Some m when not (multiple_of_value_ok v m) ->
             add (err "multipleOf" (Printf.sprintf "%g is not a multiple of %g" f m))
         | _ -> ()));
   (* string *)

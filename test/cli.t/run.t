@@ -55,6 +55,23 @@ With a document byte budget, the oversized faults become budget kills:
   $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 -
   {"ok":42,"quarantined":5,"budget_killed":4,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
 
+Sharded parallel execution is byte-identical to sequential — same report,
+same dead letters in the same order, same inferred type:
+
+  $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 --jobs 4 -
+  {"ok":42,"quarantined":5,"budget_killed":4,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
+  $ jsontool generate -c orders -n 200 --seed 5 > par.ndjson
+  $ jsontool ingest --quarantine dead1.ndjson par.ndjson > report1.json
+  wrote 0 dead letters to dead1.ndjson
+  $ jsontool ingest --quarantine dead4.ndjson --jobs 4 par.ndjson > report4.json
+  wrote 0 dead letters to dead4.ndjson
+  $ cmp report1.json report4.json && cmp dead1.ndjson dead4.ndjson && echo identical
+  identical
+  $ jsontool infer --jobs 1 par.ndjson > infer1.txt
+  $ jsontool infer --jobs 4 par.ndjson > infer4.txt
+  $ cmp infer1.txt infer4.txt && echo identical
+  identical
+
 Parametric inference (kind equivalence):
 
   $ jsontool infer -a parametric -e kind orders.ndjson

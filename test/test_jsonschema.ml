@@ -226,6 +226,66 @@ let test_formats () =
   (* formats are annotations by default *)
   check_valid {|{"format": "date"}|} {|"2021-02-30"|}
 
+let test_format_ipv6 () =
+  let config = { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = true } in
+  let ok s = check_valid ~config {|{"format": "ipv6"}|} (Printf.sprintf "%S" s) in
+  let bad s = check_invalid ~config {|{"format": "ipv6"}|} (Printf.sprintf "%S" s) in
+  ok "::";
+  ok "::1";
+  ok "1:2:3:4:5:6:7:8";
+  ok "2001:db8::8:800:200c:417a";
+  ok "fe80::";
+  ok "64:ff9b::192.0.2.33";
+  ok "::ffff:192.168.0.1";
+  ok "1:2:3:4:5:6:192.0.2.1";
+  (* the old character-class regex accepted all of these *)
+  bad ":::::";
+  bad "....";
+  bad ":";
+  bad "1:2:3:4:5:6:7";            (* too few groups, no :: *)
+  bad "1:2:3:4:5:6:7:8:9";        (* too many groups *)
+  bad "1:2:3:4:5:6:7:8::";        (* :: must compress at least one group *)
+  bad "1::2::3";                  (* at most one :: *)
+  bad "12345::";                  (* group longer than 4 digits *)
+  bad "g::1";                     (* non-hex digit *)
+  bad ":1:2:3:4:5:6:7:8";         (* stray leading colon *)
+  bad "192.168.0.1";              (* bare IPv4 is not an IPv6 *)
+  bad "1.2.3.4::";                (* IPv4 tail must be final *)
+  bad "1:2:3:4:5:6:7:1.2.3.4";    (* 7 + tail = 9 groups *)
+  bad "::1.2.3.456"               (* invalid dotted quad *)
+
+let test_multiple_of_exact () =
+  (* Int values take an exact integer path: the float quotient of a large
+     odd Int by 2 rounds to an even mantissa and used to pass *)
+  check_invalid {|{"multipleOf": 2}|} "9007199254740993";
+  check_valid {|{"multipleOf": 2}|} "9007199254740992";
+  check_invalid {|{"multipleOf": 3}|} "4611686018427387902";
+  check_valid {|{"multipleOf": 2}|} "4611686018427387902";
+  check_valid {|{"multipleOf": 7}|} "-49";
+  check_invalid {|{"multipleOf": 7}|} "-50";
+  (* integral divisor over a float value keeps the tolerant path *)
+  check_valid {|{"multipleOf": 2}|} "8.0";
+  check_invalid {|{"multipleOf": 2}|} "7.5";
+  (* fractional divisors are unaffected *)
+  check_valid {|{"multipleOf": 0.5}|} "3";
+  check_invalid {|{"multipleOf": 0.4}|} "3"
+
+let test_unanchored_patterns () =
+  (* pattern and patternProperties are substring searches unless anchored *)
+  check_valid {|{"pattern": "b+"}|} {|"abbc"|};
+  check_invalid {|{"pattern": "b+"}|} {|"acd"|};
+  check_valid {|{"pattern": "^b+"}|} {|"bbc"|};
+  check_invalid {|{"pattern": "^b+$"}|} {|"abbc"|};
+  check_invalid {|{"patternProperties": {"oo": {"type": "integer"}}}|} {|{"foo!": "s"}|};
+  check_valid {|{"patternProperties": {"oo": {"type": "integer"}}}|} {|{"foo!": 1, "bar": "s"}|};
+  (* an unanchored key pattern also shields matches from additionalProperties *)
+  check_valid
+    {|{"patternProperties": {"oo": {}}, "additionalProperties": false}|}
+    {|{"foo": 1}|};
+  check_invalid
+    {|{"patternProperties": {"oo": {}}, "additionalProperties": false}|}
+    {|{"bar": 1}|}
+
 
 let test_contains_counts () =
   check_valid {|{"contains": {"type": "integer"}, "minContains": 2}|} {|[1, "x", 2]|};
@@ -403,7 +463,10 @@ let () =
          Alcotest.test_case "if/then/else" `Quick test_if_then_else;
          Alcotest.test_case "min/maxContains (2019-09)" `Quick test_contains_counts;
          Alcotest.test_case "dependent keywords (2019-09)" `Quick test_dependent_keywords;
-         Alcotest.test_case "$defs alias" `Quick test_defs_alias ]);
+         Alcotest.test_case "$defs alias" `Quick test_defs_alias;
+         Alcotest.test_case "ipv6 format" `Quick test_format_ipv6;
+         Alcotest.test_case "multipleOf exact ints" `Quick test_multiple_of_exact;
+         Alcotest.test_case "unanchored patterns" `Quick test_unanchored_patterns ]);
       ("refs",
        [ Alcotest.test_case "definitions" `Quick test_ref;
          Alcotest.test_case "recursive" `Quick test_recursive_ref;

@@ -1,0 +1,202 @@
+(* Tests for Core.Parallel: the sharded execution engine must be
+   byte-identical to the sequential path — same documents, same dead
+   letters (order included), same reports, same inferred types — for any
+   job count, on clean and chaos-corrupted input alike. *)
+
+open Core
+
+let dead_to_string d = Json.Printer.to_string (Resilient.dead_letter_to_json d)
+let report_to_string r = Json.Printer.to_string (Resilient.report_to_json r)
+
+let ingest_fingerprint (r : Resilient.ingest) =
+  String.concat "\n"
+    (report_to_string r.Resilient.report
+     :: List.map dead_to_string r.Resilient.dead
+    @ List.map Json.Printer.to_string r.Resilient.docs)
+
+(* a messy corpus: seeded tweets run through the chaos harness *)
+let messy_text =
+  let st = Datagen.rng ~seed:77 in
+  let text = Datagen.to_ndjson (Datagen.tweets st 400) in
+  (Chaos.corrupt ~seed:770 ~rate:0.15 text).Chaos.text
+
+let clean_text =
+  let st = Datagen.rng ~seed:78 in
+  Datagen.to_ndjson (Datagen.events st ~fields:12 500)
+
+(* --- pool primitives --------------------------------------------------- *)
+
+let test_run_order_and_results () =
+  let thunks = List.init 37 (fun i () -> i * i) in
+  Alcotest.(check (list int)) "order preserved (jobs=4)"
+    (List.init 37 (fun i -> i * i))
+    (Parallel.run ~jobs:4 thunks);
+  Alcotest.(check (list int)) "jobs > tasks" [ 1; 2 ]
+    (Parallel.run ~jobs:16 [ (fun () -> 1); (fun () -> 2) ]);
+  Alcotest.(check (list int)) "empty" [] (Parallel.run ~jobs:4 [])
+
+let test_run_propagates_exceptions () =
+  match Parallel.run ~jobs:3 (List.init 8 (fun i () -> if i = 5 then failwith "boom" else i)) with
+  | _ -> Alcotest.fail "exception must escape"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+let test_shards_cover_input () =
+  List.iter
+    (fun jobs ->
+      let ss = Parallel.shards ~jobs messy_text in
+      Alcotest.(check bool) "at most jobs shards" true (List.length ss <= jobs);
+      (* exact cover, in order *)
+      let rec walk off line = function
+        | [] -> Alcotest.(check int) "covers all bytes" (String.length messy_text) off
+        | s :: rest ->
+            Alcotest.(check int) "contiguous" off s.Parallel.s_off;
+            Alcotest.(check int) "line number" line s.Parallel.s_line;
+            let nl = ref 0 in
+            String.iter (fun c -> if c = '\n' then incr nl)
+              (String.sub messy_text s.Parallel.s_off s.Parallel.s_len);
+            (* every cut sits just after a newline *)
+            (if rest <> [] then
+               Alcotest.(check char) "cut after newline" '\n'
+                 messy_text.[s.Parallel.s_off + s.Parallel.s_len - 1]);
+            walk (s.Parallel.s_off + s.Parallel.s_len) (line + !nl) rest
+      in
+      walk 0 1 ss)
+    [ 1; 2; 3; 4; 8; 100 ]
+
+(* --- sharded ingestion ------------------------------------------------- *)
+
+let test_ingest_identical () =
+  let reference = Resilient.ingest messy_text in
+  Alcotest.(check bool) "corpus actually has dead letters" true
+    (reference.Resilient.dead <> []);
+  List.iter
+    (fun jobs ->
+      let r = Parallel.ingest ~jobs messy_text in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d byte-identical" jobs)
+        (ingest_fingerprint reference) (ingest_fingerprint r))
+    [ 1; 2; 4; 8 ]
+
+let test_ingest_budget_identical () =
+  let budget =
+    { Resilient.default_budget with Resilient.max_doc_bytes = Some 512 }
+  in
+  let reference = Resilient.ingest ~budget messy_text in
+  let r = Parallel.ingest ~budget ~jobs:4 messy_text in
+  Alcotest.(check string) "budget kills identical"
+    (ingest_fingerprint reference) (ingest_fingerprint r)
+
+let test_ingest_max_docs_sequential_fallback () =
+  (* the global document cap is order-dependent: parallel must defer *)
+  let budget = { Resilient.default_budget with Resilient.max_docs = Some 5 } in
+  let reference = Resilient.ingest ~budget clean_text in
+  let r = Parallel.ingest ~budget ~jobs:4 clean_text in
+  Alcotest.(check string) "truncation identical"
+    (ingest_fingerprint reference) (ingest_fingerprint r);
+  Alcotest.(check bool) "truncated" true r.Resilient.report.Resilient.truncated
+
+let test_strict_first_error () =
+  let reference = Resilient.parse_ndjson_strict messy_text in
+  List.iter
+    (fun jobs ->
+      match (reference, Parallel.parse_ndjson_strict ~jobs messy_text) with
+      | Error a, Error b ->
+          Alcotest.(check string) (Printf.sprintf "jobs=%d same error" jobs) a b
+      | Ok _, _ | _, Ok _ -> Alcotest.fail "corrupted corpus must error")
+    [ 1; 4 ]
+
+(* --- sharded inference ------------------------------------------------- *)
+
+let test_infer_identical () =
+  let docs = (Resilient.ingest messy_text).Resilient.docs in
+  let reference = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind docs in
+  let ref_counting = Inference.Parametric.infer_counting ~equiv:Jtype.Merge.Kind docs in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun equiv ->
+          let seq = Inference.Parametric.infer ~equiv docs in
+          Alcotest.(check string)
+            (Printf.sprintf "type jobs=%d" jobs)
+            (Jtype.Types.to_string seq)
+            (Jtype.Types.to_string (Parallel.infer_type ~equiv ~jobs docs)))
+        [ Jtype.Merge.Kind; Jtype.Merge.Label ];
+      Alcotest.(check string)
+        (Printf.sprintf "counting jobs=%d" jobs)
+        (Jtype.Counting.to_string ref_counting)
+        (Jtype.Counting.to_string
+           (Parallel.infer_counting ~equiv:Jtype.Merge.Kind ~jobs docs)))
+    [ 2; 4; 8 ];
+  ignore reference
+
+let test_pipeline_resilient_jobs () =
+  let seq_inf, seq_r = Pipeline.infer_ndjson_resilient messy_text in
+  let par_inf, par_r = Pipeline.infer_ndjson_resilient ~jobs:4 messy_text in
+  Alcotest.(check string) "ingest identical"
+    (ingest_fingerprint seq_r) (ingest_fingerprint par_r);
+  match (seq_inf, par_inf) with
+  | Some a, Some b ->
+      Alcotest.(check string) "jtype" (Jtype.Types.to_string a.Pipeline.jtype)
+        (Jtype.Types.to_string b.Pipeline.jtype);
+      Alcotest.(check string) "counting"
+        (Jtype.Counting.to_string a.Pipeline.counting)
+        (Jtype.Counting.to_string b.Pipeline.counting);
+      Alcotest.(check string) "json schema"
+        (Json.Printer.to_string a.Pipeline.json_schema)
+        (Json.Printer.to_string b.Pipeline.json_schema);
+      Alcotest.(check string) "typescript" a.Pipeline.typescript b.Pipeline.typescript;
+      Alcotest.(check string) "swift" a.Pipeline.swift b.Pipeline.swift
+  | _ -> Alcotest.fail "both paths must infer"
+
+(* --- sharded validation ------------------------------------------------ *)
+
+let test_validate_identical () =
+  let docs = (Resilient.ingest clean_text).Resilient.docs in
+  let root =
+    Json.Parser.parse_exn
+      {|{"type": "object", "required": ["f0"],
+         "properties": {"f0": {"type": "integer", "multipleOf": 3}}}|}
+  in
+  let render failures =
+    String.concat "\n"
+      (List.map
+         (fun (i, es) ->
+           String.concat "\n"
+             (List.map
+                (fun e -> Printf.sprintf "%d: %s" i (Jsonschema.Validate.string_of_error e))
+                es))
+         failures)
+  in
+  let reference = Parallel.validate ~root docs in
+  Alcotest.(check bool) "some failures exist" true (reference <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d failures identical" jobs)
+        (render reference)
+        (render (Parallel.validate ~jobs ~root docs)))
+    [ 2; 4; 8 ];
+  (* guarded text entry point *)
+  let seq_r, seq_f = Pipeline.validate_ndjson ~root clean_text in
+  let par_r, par_f = Pipeline.validate_ndjson ~jobs:4 ~root clean_text in
+  Alcotest.(check string) "ndjson ingest identical"
+    (ingest_fingerprint seq_r) (ingest_fingerprint par_r);
+  Alcotest.(check string) "ndjson failures identical" (render seq_f) (render par_f)
+
+let () =
+  Alcotest.run "parallel"
+    [ ("pool",
+       [ Alcotest.test_case "run order/results" `Quick test_run_order_and_results;
+         Alcotest.test_case "exceptions" `Quick test_run_propagates_exceptions;
+         Alcotest.test_case "shards cover input" `Quick test_shards_cover_input ]);
+      ("ingest",
+       [ Alcotest.test_case "chaos corpus identical" `Quick test_ingest_identical;
+         Alcotest.test_case "budget kills identical" `Quick test_ingest_budget_identical;
+         Alcotest.test_case "max_docs fallback" `Quick test_ingest_max_docs_sequential_fallback;
+         Alcotest.test_case "strict first error" `Quick test_strict_first_error ]);
+      ("inference",
+       [ Alcotest.test_case "types identical" `Quick test_infer_identical;
+         Alcotest.test_case "pipeline resilient" `Quick test_pipeline_resilient_jobs ]);
+      ("validation",
+       [ Alcotest.test_case "failures identical" `Quick test_validate_identical ]);
+    ]
