@@ -30,13 +30,13 @@ let read_input = function
    use its strict (fail-fast) mode, [ingest] uses full quarantine. The depth
    bound travels in the budget — [Resilient] derives its parser options from
    the budget, so an [options.max_depth] alone would be overwritten. *)
-let load_documents ?options ?max_depth ?(jobs = 1) path =
+let load_documents ?options ?max_depth ?(jobs = 1) ?telemetry path =
   let budget =
     match max_depth with
     | None -> Resilient.unbounded_budget
     | Some max_depth -> { Resilient.unbounded_budget with Resilient.max_depth }
   in
-  Parallel.parse_ndjson_strict ~budget ?options ~jobs (read_input path)
+  Parallel.parse_ndjson_strict ~budget ?options ~jobs ?telemetry (read_input path)
 
 let or_die = function
   | Ok x -> x
@@ -73,23 +73,49 @@ let jobs_arg =
            ~doc:"Shard the work across $(docv) domains (default 1, sequential). \
                  Output is byte-identical for every job count.")
 
+(* observability flags: both create a recording sink; the report goes to
+   stderr so stdout stays exactly the command's normal output *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print a telemetry table (counters, histograms, spans) to stderr.")
+
+let stats_json_arg =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Print telemetry as one JSON object on stderr (machine form).")
+
+let make_sink ~stats ~stats_json =
+  if stats || stats_json then Telemetry.create () else Telemetry.nop
+
+let emit_stats ~stats ~stats_json sink =
+  if Telemetry.is_recording sink then begin
+    let snap = Telemetry.snapshot sink in
+    if stats_json then
+      prerr_endline (Json.Printer.to_string (Telemetry_report.to_json snap));
+    if stats then prerr_string (Telemetry_report.to_table snap)
+  end
+
 (* --- parse ----------------------------------------------------------- *)
 
 let parse_cmd =
   let pretty = Arg.(value & flag & info [ "pretty"; "p" ] ~doc:"Pretty-print output.") in
-  let run pretty dup_keys max_depth file =
+  let run pretty dup_keys max_depth stats stats_json file =
     let options = { Json.Parser.default_options with dup_keys } in
-    let docs = or_die (load_documents ~options ~max_depth file) in
+    let sink = make_sink ~stats ~stats_json in
+    let docs = or_die (load_documents ~options ~max_depth ~telemetry:sink file) in
     List.iter
       (fun v ->
         print_endline
           (if pretty then Json.Printer.to_string_pretty v else Json.Printer.to_string v))
-      docs
+      docs;
+    emit_stats ~stats ~stats_json sink
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and re-print JSON documents.")
     Term.(const run $ pretty $ dup_keys_arg
           $ max_depth_arg ~default:Json.Parser.default_options.Json.Parser.max_depth
-          $ input_arg)
+          $ stats_arg $ stats_json_arg $ input_arg)
 
 (* --- ingest ----------------------------------------------------------- *)
 
@@ -116,7 +142,8 @@ let ingest_cmd =
          & info [ "chaos-rate" ] ~docv:"P" ~doc:"Fraction of lines to fault (default 0.2).")
   in
   let run max_depth max_bytes max_nodes max_string max_docs dup_keys quarantine
-      chaos chaos_rate jobs file =
+      chaos chaos_rate jobs stats stats_json file =
+    let sink = make_sink ~stats ~stats_json in
     let text = read_input file in
     let text, faults =
       match chaos with
@@ -135,7 +162,7 @@ let ingest_cmd =
         max_docs = cap max_docs d.Resilient.max_docs }
     in
     let options = { Json.Parser.default_options with dup_keys } in
-    let r = Parallel.ingest ~budget ~options ~jobs text in
+    let r = Parallel.ingest ~budget ~options ~jobs ~telemetry:sink text in
     (if quarantine <> "" then begin
        let oc = open_out quarantine in
        List.iter
@@ -159,6 +186,7 @@ let ingest_cmd =
       | _ -> assert false
     in
     print_endline (Json.Printer.to_string (Json.Value.Object report_fields));
+    emit_stats ~stats ~stats_json sink;
     if quarantine <> "" then
       Printf.eprintf "wrote %d dead letters to %s\n"
         (List.length r.Resilient.dead) quarantine
@@ -168,7 +196,8 @@ let ingest_cmd =
        ~doc:"Resilient NDJSON ingestion: budgets, quarantine, fault injection.")
     Term.(const run $ max_depth_arg ~default:Resilient.default_budget.Resilient.max_depth
           $ max_bytes $ max_nodes $ max_string $ max_docs $ dup_keys_arg
-          $ quarantine $ chaos $ chaos_rate $ jobs_arg $ input_arg)
+          $ quarantine $ chaos $ chaos_rate $ jobs_arg $ stats_arg $ stats_json_arg
+          $ input_arg)
 
 (* --- validate -------------------------------------------------------- *)
 
@@ -181,14 +210,17 @@ let validate_cmd =
          & info [ "language"; "l" ] ~doc:"Schema language: jsonschema or jsound.")
   in
   let formats = Arg.(value & flag & info [ "assert-formats" ] ~doc:"Treat format as an assertion.") in
-  let run language formats jobs schema_file file =
-    let docs = or_die (load_documents ~jobs file) in
+  let run language formats jobs stats stats_json schema_file file =
+    let sink = make_sink ~stats ~stats_json in
+    let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
     let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
     let failures = ref 0 in
     (match language with
      | `Jsonschema ->
          let config =
-           { Jsonschema.Validate.default_config with Jsonschema.Validate.assert_formats = formats }
+           { Jsonschema.Validate.default_config with
+             Jsonschema.Validate.assert_formats = formats;
+             telemetry = sink }
          in
          (* shard-parallel over document batches; failures come back in
             input order, so the printout matches the sequential one *)
@@ -199,7 +231,7 @@ let validate_cmd =
                (fun e ->
                  Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
                es)
-           (Parallel.validate ~config ~jobs ~root:schema_json docs)
+           (Parallel.validate ~config ~jobs ~telemetry:sink ~root:schema_json docs)
      | `Jsound ->
          let schema = or_die (Jsound.parse schema_json) in
          List.iteri
@@ -213,10 +245,12 @@ let validate_cmd =
                    es)
            docs);
     Printf.printf "%d/%d documents valid\n" (List.length docs - !failures) (List.length docs);
+    emit_stats ~stats ~stats_json sink;
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
-    Term.(const run $ language $ formats $ jobs_arg $ schema_file $ input_arg)
+    Term.(const run $ language $ formats $ jobs_arg $ stats_arg $ stats_json_arg
+          $ schema_file $ input_arg)
 
 (* --- infer ----------------------------------------------------------- *)
 
@@ -237,11 +271,12 @@ let infer_cmd =
                        ("typescript", `Ts); ("swift", `Swift) ]) `Type
          & info [ "output"; "o" ] ~doc:"Output form for parametric inference.")
   in
-  let run approach equiv output jobs file =
-    let docs = or_die (load_documents ~jobs file) in
-    match approach with
+  let run approach equiv output jobs stats stats_json file =
+    let sink = make_sink ~stats ~stats_json in
+    let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
+    (match approach with
     | `Parametric -> (
-        let inferred = Pipeline.infer ~equiv ~jobs docs in
+        let inferred = Pipeline.infer ~equiv ~jobs ~telemetry:sink docs in
         match output with
         | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
         | `Counting -> print_endline (Jtype.Counting.to_string inferred.Pipeline.counting)
@@ -262,10 +297,12 @@ let infer_cmd =
           (fun (s, n) ->
             Printf.printf "%6d  %s\n" n (Inference.Skeleton.structure_to_string s))
           sk.Inference.Skeleton.groups;
-        Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped
+        Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped);
+    emit_stats ~stats ~stats_json sink
   in
   Cmd.v (Cmd.info "infer" ~doc:"Infer a schema from a collection.")
-    Term.(const run $ approach $ equiv $ output $ jobs_arg $ input_arg)
+    Term.(const run $ approach $ equiv $ output $ jobs_arg $ stats_arg
+          $ stats_json_arg $ input_arg)
 
 (* --- stats ----------------------------------------------------------- *)
 

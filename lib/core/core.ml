@@ -15,3 +15,5 @@ module Pipeline = Pipeline
 module Resilient = Resilient
 module Parallel = Parallel
 module Chaos = Chaos
+module Telemetry = Telemetry
+module Telemetry_report = Telemetry_report

@@ -21,13 +21,20 @@ module Pool = struct
     not_full : Condition.t;
     mutable closed : bool;
     mutable workers : unit Domain.t list;
+    tele : Telemetry.sink;
   }
 
   let rec worker t =
     Mutex.lock t.mutex;
+    (* time spent with nothing to do: the starvation signal for shard
+       imbalance. Measured around the wait loop, so a worker that never
+       blocks contributes near-zero samples. *)
+    let idle_from = if Telemetry.is_recording t.tele then Telemetry.now () else 0.0 in
     while Queue.is_empty t.queue && not t.closed do
       Condition.wait t.not_empty t.mutex
     done;
+    if Telemetry.is_recording t.tele then
+      Telemetry.observe t.tele "pool.idle_s" (Telemetry.now () -. idle_from);
     if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed & drained *)
     else begin
       let task = Queue.pop t.queue in
@@ -37,7 +44,7 @@ module Pool = struct
       worker t
     end
 
-  let create ~workers ~capacity =
+  let create ?(telemetry = Telemetry.nop) ~workers ~capacity () =
     let t =
       { queue = Queue.create ();
         capacity = max 1 capacity;
@@ -45,12 +52,23 @@ module Pool = struct
         not_empty = Condition.create ();
         not_full = Condition.create ();
         closed = false;
-        workers = [] }
+        workers = [];
+        tele = telemetry }
     in
     t.workers <- List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker t));
     t
 
   let submit t task =
+    let task =
+      if Telemetry.is_recording t.tele then begin
+        let enqueued = Telemetry.now () in
+        fun () ->
+          Telemetry.observe t.tele "pool.queue_wait_s"
+            (Telemetry.now () -. enqueued);
+          task ()
+      end
+      else task
+    in
     Mutex.lock t.mutex;
     while Queue.length t.queue >= t.capacity do
       Condition.wait t.not_full t.mutex
@@ -69,7 +87,7 @@ module Pool = struct
     t.workers <- []
 end
 
-let run ~jobs thunks =
+let run ?(telemetry = Telemetry.nop) ~jobs thunks =
   match thunks with
   | [] -> []
   | [ f ] -> [ f () ]
@@ -78,7 +96,9 @@ let run ~jobs thunks =
       let thunks = Array.of_list thunks in
       let n = Array.length thunks in
       let results = Array.make n None in
-      let pool = Pool.create ~workers:(min jobs n) ~capacity:(2 * jobs) in
+      let pool =
+        Pool.create ~telemetry ~workers:(min jobs n) ~capacity:(2 * jobs) ()
+      in
       (* exceptions are carried back to the caller, never lost in a domain *)
       Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
           Array.iteri
@@ -142,42 +162,48 @@ let merge_reports (a : Resilient.report) (b : Resilient.report) =
   { Resilient.ok = a.Resilient.ok + b.Resilient.ok;
     quarantined = a.Resilient.quarantined + b.Resilient.quarantined;
     budget_killed = a.Resilient.budget_killed + b.Resilient.budget_killed;
+    budget_causes =
+      Resilient.merge_causes a.Resilient.budget_causes b.Resilient.budget_causes;
     truncated = a.Resilient.truncated || b.Resilient.truncated }
 
 let dead_order (a : Resilient.dead_letter) (b : Resilient.dead_letter) =
   compare a.Resilient.byte_offset b.Resilient.byte_offset
 
-let ingest ?(budget = Resilient.default_budget) ?options ?(jobs = 1) src =
+let ingest ?(budget = Resilient.default_budget) ?options ?(jobs = 1)
+    ?(telemetry = Telemetry.nop) src =
   (* the document-count budget is a global, order-dependent cap: shards
      cannot apply it independently, so it routes through the sequential
      scanner to keep the cut deterministic *)
   if jobs <= 1 || budget.Resilient.max_docs <> None then
-    Resilient.ingest ~budget ?options src
+    Resilient.ingest ~budget ?options ~telemetry src
   else
     match shards ~jobs src with
-    | ([] | [ _ ]) -> Resilient.ingest ~budget ?options src
+    | ([] | [ _ ]) -> Resilient.ingest ~budget ?options ~telemetry src
     | ss ->
+        Telemetry.count telemetry "parallel.shards" (List.length ss);
         let parts =
-          run ~jobs
+          run ~telemetry ~jobs
             (List.map
                (fun sh () ->
-                 Resilient.ingest ~budget ?options ~first_line:sh.s_line
-                   ~base_offset:sh.s_off
-                   (String.sub src sh.s_off sh.s_len))
+                 Telemetry.span telemetry "ingest.shard" (fun () ->
+                     Resilient.ingest ~budget ?options ~first_line:sh.s_line
+                       ~base_offset:sh.s_off ~telemetry
+                       (String.sub src sh.s_off sh.s_len)))
                ss)
         in
-        { Resilient.docs = List.concat_map (fun p -> p.Resilient.docs) parts;
-          dead =
-            List.stable_sort dead_order
-              (List.concat_map (fun p -> p.Resilient.dead) parts);
-          report =
-            List.fold_left
-              (fun acc p -> merge_reports acc p.Resilient.report)
-              Resilient.empty_report parts }
+        Telemetry.span telemetry "ingest.merge" (fun () ->
+            { Resilient.docs = List.concat_map (fun p -> p.Resilient.docs) parts;
+              dead =
+                List.stable_sort dead_order
+                  (List.concat_map (fun p -> p.Resilient.dead) parts);
+              report =
+                List.fold_left
+                  (fun acc p -> merge_reports acc p.Resilient.report)
+                  Resilient.empty_report parts })
 
 let parse_ndjson_strict ?(budget = Resilient.unbounded_budget) ?options ?(jobs = 1)
-    src =
-  let r = ingest ~budget ?options ~jobs src in
+    ?telemetry src =
+  let r = ingest ~budget ?options ~jobs ?telemetry src in
   match r.Resilient.dead with
   | [] -> Ok r.Resilient.docs
   | d :: _ -> Error d.Resilient.error
@@ -201,25 +227,51 @@ let chunked ~jobs xs =
     go 0 [] [] 0 xs
   end
 
-let infer_type ~equiv ?(jobs = 1) docs =
-  if jobs <= 1 then Inference.Parametric.infer ~equiv docs
-  else
-    run ~jobs
-      (List.map
-         (fun (_, chunk) () -> Inference.Parametric.infer ~equiv chunk)
-         (chunked ~jobs docs))
-    |> Jtype.Merge.merge_all ~equiv
+let infer_type ~equiv ?(jobs = 1) ?(telemetry = Telemetry.nop) docs =
+  if jobs <= 1 then Inference.Parametric.infer ~telemetry ~equiv docs
+  else begin
+    let chunks = chunked ~jobs docs in
+    Telemetry.count telemetry "parallel.merge_fanin" (List.length chunks);
+    let partials =
+      run ~telemetry ~jobs
+        (List.map
+           (fun (_, chunk) () ->
+             (* per-shard metrics stay out of the sink (chunk boundaries are
+                a [jobs] artifact); the shard span is the useful signal *)
+             Telemetry.span telemetry "infer.shard" (fun () ->
+                 Inference.Parametric.infer ~equiv chunk))
+           chunks)
+    in
+    let t =
+      Telemetry.span telemetry "infer.merge" (fun () ->
+          Jtype.Merge.merge_all ~equiv partials)
+    in
+    if Telemetry.is_recording telemetry then begin
+      Telemetry.count telemetry "infer.merge_ops" (max 0 (List.length docs - 1));
+      Telemetry.observe telemetry "infer.union_width"
+        (float_of_int (Inference.Parametric.union_width t))
+    end;
+    t
+  end
 
-let infer_counting ~equiv ?(jobs = 1) docs =
-  if jobs <= 1 then Inference.Parametric.infer_counting ~equiv docs
-  else
-    run ~jobs
+let infer_counting ~equiv ?(jobs = 1) ?(telemetry = Telemetry.nop) docs =
+  if jobs <= 1 then Inference.Parametric.infer_counting ~telemetry ~equiv docs
+  else begin
+    let chunks = chunked ~jobs docs in
+    Telemetry.count telemetry "parallel.merge_fanin" (List.length chunks);
+    run ~telemetry ~jobs
       (List.map
-         (fun (_, chunk) () -> Jtype.Counting.infer ~equiv chunk)
-         (chunked ~jobs docs))
-    |> Jtype.Counting.merge_all ~equiv
+         (fun (_, chunk) () ->
+           Telemetry.span telemetry "infer.shard" (fun () ->
+               Jtype.Counting.infer ~equiv chunk))
+         chunks)
+    |> fun partials ->
+    Telemetry.count telemetry "infer.merge_ops" (max 0 (List.length docs - 1));
+    Telemetry.span telemetry "infer.merge" (fun () ->
+        Jtype.Counting.merge_all ~equiv partials)
+  end
 
-let validate ?config ?(jobs = 1) ~root docs =
+let validate ?config ?(jobs = 1) ?(telemetry = Telemetry.nop) ~root docs =
   let validate_chunk (start, chunk) =
     List.mapi
       (fun i v ->
@@ -231,5 +283,6 @@ let validate ?config ?(jobs = 1) ~root docs =
   in
   if jobs <= 1 then validate_chunk (0, docs)
   else
-    run ~jobs (List.map (fun chunk () -> validate_chunk chunk) (chunked ~jobs docs))
+    run ~telemetry ~jobs
+      (List.map (fun chunk () -> validate_chunk chunk) (chunked ~jobs docs))
     |> List.concat

@@ -23,12 +23,14 @@ val default_jobs : unit -> int
 
 (** {1 Pool primitives} *)
 
-val run : jobs:int -> (unit -> 'a) list -> 'a list
+val run : ?telemetry:Telemetry.sink -> jobs:int -> (unit -> 'a) list -> 'a list
 (** Execute the thunks on a pool of [min jobs n] domains with a bounded
     ([2 * jobs]) work queue; results are returned in submission order. An
     exception in any thunk is re-raised in the caller after the pool is
     drained and joined. [jobs <= 1] (or a single thunk) runs in the calling
-    domain. *)
+    domain. [telemetry] (default {!Telemetry.nop}) receives the pool's
+    health histograms: [pool.queue_wait_s] (enqueue-to-start latency per
+    task) and [pool.idle_s] (per-dequeue worker starvation time). *)
 
 type shard = {
   s_off : int;   (** byte offset of the shard in the whole input *)
@@ -45,29 +47,37 @@ val shards : jobs:int -> string -> shard list
 
 val ingest :
   ?budget:Resilient.budget -> ?options:Json.Parser.options -> ?jobs:int ->
-  string -> Resilient.ingest
+  ?telemetry:Telemetry.sink -> string -> Resilient.ingest
 (** Shard-parallel {!Resilient.ingest}: same documents, dead letters and
     report as the sequential scan, in the same order. A [max_docs] budget
-    is a global order-dependent cap and forces the sequential path. *)
+    is a global order-dependent cap and forces the sequential path.
+    [telemetry] adds, on top of {!Resilient.ingest}'s counters, the
+    [parallel.shards] counter and [ingest.shard] / [ingest.merge] spans
+    (plus the pool histograms of {!run}). *)
 
 val parse_ndjson_strict :
   ?budget:Resilient.budget -> ?options:Json.Parser.options -> ?jobs:int ->
-  string -> (Json.Value.t list, string) result
+  ?telemetry:Telemetry.sink -> string -> (Json.Value.t list, string) result
 (** Fail-fast wrapper over {!ingest}: the globally-first dead letter (by
     byte offset) aborts with its error — the same error the sequential
     {!Resilient.parse_ndjson_strict} reports. *)
 
 val infer_type :
-  equiv:Jtype.Merge.equiv -> ?jobs:int -> Json.Value.t list -> Jtype.Types.t
+  equiv:Jtype.Merge.equiv -> ?jobs:int -> ?telemetry:Telemetry.sink ->
+  Json.Value.t list -> Jtype.Types.t
 (** Chunk the collection, infer per chunk on the pool, reduce with
-    {!Jtype.Merge.merge_all}. Identical result for any [jobs]. *)
+    {!Jtype.Merge.merge_all}. Identical result for any [jobs]. [telemetry]
+    records [parallel.merge_fanin], [infer.merge_ops],
+    [infer.union_width], and the [infer.shard] / [infer.merge] spans. *)
 
 val infer_counting :
-  equiv:Jtype.Merge.equiv -> ?jobs:int -> Json.Value.t list -> Jtype.Counting.t
+  equiv:Jtype.Merge.equiv -> ?jobs:int -> ?telemetry:Telemetry.sink ->
+  Json.Value.t list -> Jtype.Counting.t
 (** Counting variant; counts add pointwise under the merge. *)
 
 val validate :
-  ?config:Jsonschema.Validate.config -> ?jobs:int -> root:Json.Value.t ->
+  ?config:Jsonschema.Validate.config -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> root:Json.Value.t ->
   Json.Value.t list -> (int * Jsonschema.Validate.error list) list
 (** Shard-parallel validation of a document batch against one schema:
     failing indices (into the input list) with their errors, in input

@@ -15,9 +15,10 @@ let build_inferred ~name t c =
     swift = Jtype.Swift.declaration ~name t;
   }
 
-let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") ?(jobs = 1) values =
-  let t = Parallel.infer_type ~equiv ~jobs values in
-  let c = Parallel.infer_counting ~equiv ~jobs values in
+let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") ?(jobs = 1)
+    ?(telemetry = Telemetry.nop) values =
+  let t = Parallel.infer_type ~equiv ~jobs ~telemetry values in
+  let c = Parallel.infer_counting ~equiv ~jobs ~telemetry values in
   build_inferred ~name t c
 
 let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
@@ -25,22 +26,24 @@ let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
   | Error msg -> Error msg
   | Ok docs -> Ok (infer ~equiv ~name docs)
 
-let infer_ndjson_resilient ?equiv ?name ?budget ?(jobs = 1) text =
-  let r = Parallel.ingest ?budget ~jobs text in
+let infer_ndjson_resilient ?equiv ?name ?budget ?(jobs = 1) ?telemetry text =
+  let r = Parallel.ingest ?budget ~jobs ?telemetry text in
   let inferred =
     match r.Resilient.docs with
     | [] -> None
-    | docs -> Some (infer ?equiv ?name ~jobs docs)
+    | docs -> Some (infer ?equiv ?name ~jobs ?telemetry docs)
   in
   (inferred, r)
 
-let validate_collection ?config ?(jobs = 1) ~root values =
-  let failures = Parallel.validate ?config ~jobs ~root values in
+let validate_collection ?config ?(jobs = 1) ?telemetry ~root values =
+  let failures = Parallel.validate ?config ~jobs ?telemetry ~root values in
   if failures = [] then Ok (List.length values) else Error failures
 
-let validate_ndjson ?config ?budget ?(jobs = 1) ~root text =
-  let r = Parallel.ingest ?budget ~jobs text in
-  let failures = Parallel.validate ?config ~jobs ~root r.Resilient.docs in
+let validate_ndjson ?config ?budget ?(jobs = 1) ?telemetry ~root text =
+  let r = Parallel.ingest ?budget ~jobs ?telemetry text in
+  let failures =
+    Parallel.validate ?config ~jobs ?telemetry ~root r.Resilient.docs
+  in
   (r, failures)
 
 let profile values =

@@ -13,11 +13,12 @@ type inferred = {
 
 val infer :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> ?jobs:int ->
-  Json.Value.t list -> inferred
+  ?telemetry:Telemetry.sink -> Json.Value.t list -> inferred
 (** One call from collection to every schema artifact (default equivalence
     [Kind], default root declaration name ["Root"]). [jobs > 1] runs the
     inference map/reduce shard-parallel ({!Parallel}); the result is
-    identical for any job count. *)
+    identical for any job count. [telemetry] (default {!Telemetry.nop})
+    observes without changing any output — see {!Telemetry}. *)
 
 val infer_ndjson :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> string -> (inferred, string) result
@@ -26,7 +27,8 @@ val infer_ndjson :
 
 val infer_ndjson_resilient :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
-  ?jobs:int -> string -> inferred option * Resilient.ingest
+  ?jobs:int -> ?telemetry:Telemetry.sink ->
+  string -> inferred option * Resilient.ingest
 (** Guarded variant: corrupted or over-budget documents are quarantined
     (see the returned {!Resilient.ingest}) and inference runs on the
     survivors; [None] when nothing survived. Never raises. [jobs > 1]
@@ -37,7 +39,7 @@ val infer_ndjson_resilient :
 
 val validate_collection :
   ?config:Jsonschema.Validate.config -> ?jobs:int ->
-  root:Json.Value.t -> Json.Value.t list ->
+  ?telemetry:Telemetry.sink -> root:Json.Value.t -> Json.Value.t list ->
   (int, (int * Jsonschema.Validate.error list) list) result
 (** Validate every document against a JSON Schema document; [Ok n] = all [n]
     valid, otherwise the failing indices with their errors. [jobs > 1]
@@ -45,7 +47,7 @@ val validate_collection :
 
 val validate_ndjson :
   ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
-  ?jobs:int -> root:Json.Value.t -> string ->
+  ?jobs:int -> ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
   Resilient.ingest * (int * Jsonschema.Validate.error list) list
 (** Guarded validation from raw text: unparseable documents are quarantined
     in the ingest report, surviving documents are validated (indices are

@@ -39,10 +39,39 @@ type report = {
   ok : int;
   quarantined : int;
   budget_killed : int;
+  budget_causes : (Json.Parser.budget_violation * int) list;
   truncated : bool;
 }
 
-let empty_report = { ok = 0; quarantined = 0; budget_killed = 0; truncated = false }
+let empty_report =
+  { ok = 0; quarantined = 0; budget_killed = 0; budget_causes = []; truncated = false }
+
+(* deterministic order for reports and merges: by flag-style name *)
+let sort_causes causes =
+  List.sort
+    (fun (a, _) (b, _) ->
+      String.compare (Json.Parser.violation_name a) (Json.Parser.violation_name b))
+    causes
+
+let add_cause causes v =
+  let rec go = function
+    | [] -> [ (v, 1) ]
+    | (v', n) :: rest when v' = v -> (v', n + 1) :: rest
+    | c :: rest -> c :: go rest
+  in
+  go causes
+
+let merge_causes a b =
+  sort_causes
+    (List.fold_left
+       (fun acc (v, n) ->
+         let rec bump = function
+           | [] -> [ (v, n) ]
+           | (v', m) :: rest when v' = v -> (v', m + n) :: rest
+           | c :: rest -> c :: bump rest
+         in
+         bump acc)
+       a b)
 
 type ingest = {
   docs : Json.Value.t list;
@@ -67,7 +96,7 @@ let global_error ~start_line (e : Json.Parser.error) =
 let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
 let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset = 0)
-    src =
+    ?(telemetry = Telemetry.nop) src =
   let options =
     { (parser_options ?base:options budget) with Json.Parser.allow_trailing = true }
   in
@@ -87,11 +116,18 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
   let rec skip_ws pos = if pos < n && is_ws src.[pos] then skip_ws (pos + 1) else pos in
   let docs = ref [] and dead = ref [] in
   let ok = ref 0 and quarantined = ref 0 and budget_killed = ref 0 in
+  let causes = ref [] in
   let truncated = ref false in
   let add_dead ~start ~stop ~error ~kind =
     (match kind with
-     | Json.Parser.Budget_exceeded _ -> incr budget_killed
-     | Json.Parser.Syntax -> incr quarantined);
+     | Json.Parser.Budget_exceeded v ->
+         incr budget_killed;
+         causes := add_cause !causes v;
+         Telemetry.count telemetry
+           ("ingest.budget." ^ Json.Parser.violation_name v) 1
+     | Json.Parser.Syntax ->
+         incr quarantined;
+         Telemetry.count telemetry "ingest.docs_quarantined" 1);
     dead :=
       { line = !line;
         byte_offset = base_offset + start;
@@ -116,9 +152,10 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
                  !line cap)
             ~kind:(Json.Parser.Budget_exceeded Json.Parser.Documents_exceeded)
       | _ -> (
-          match Json.Parser.parse_substring ~options src ~pos with
+          match Json.Parser.parse_substring ~options ~telemetry src ~pos with
           | Ok (v, next_pos) ->
               incr ok;
+              Telemetry.count telemetry "ingest.docs_ok" 1;
               docs := v :: !docs;
               advance_to next_pos;
               go next_pos
@@ -145,6 +182,7 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
       { ok = !ok;
         quarantined = !quarantined;
         budget_killed = !budget_killed;
+        budget_causes = sort_causes !causes;
         truncated = !truncated } }
 
 let parse_ndjson_strict ?(budget = unbounded_budget) ?options src =
@@ -162,11 +200,12 @@ type projected = {
   mison : Fastjson.Mison.stats;
 }
 
-let project ?(budget = default_budget) ~fields src =
+let project ?(budget = default_budget) ?(telemetry = Telemetry.nop) ~fields src =
   let options = parser_options budget in
-  let t = Fastjson.Mison.create { Fastjson.Mison.fields } in
+  let t = Fastjson.Mison.create ~telemetry { Fastjson.Mison.fields } in
   let rows = ref [] and dead = ref [] in
   let ok = ref 0 and quarantined = ref 0 and budget_killed = ref 0 in
+  let causes = ref [] in
   let truncated = ref false in
   let n = String.length src in
   let rec go lineno pos =
@@ -182,6 +221,7 @@ let project ?(budget = default_budget) ~fields src =
              match Fastjson.Mison.parse_line ~options t line_str with
              | Ok row ->
                  incr ok;
+                 Telemetry.count telemetry "ingest.docs_ok" 1;
                  rows := row :: !rows
              | Error msg ->
                  (* classify by re-parsing: the fast path reports plain
@@ -192,8 +232,14 @@ let project ?(budget = default_budget) ~fields src =
                    | Ok _ -> Json.Parser.Syntax
                  in
                  (match kind with
-                  | Json.Parser.Budget_exceeded _ -> incr budget_killed
-                  | Json.Parser.Syntax -> incr quarantined);
+                  | Json.Parser.Budget_exceeded v ->
+                      incr budget_killed;
+                      causes := add_cause !causes v;
+                      Telemetry.count telemetry
+                        ("ingest.budget." ^ Json.Parser.violation_name v) 1
+                  | Json.Parser.Syntax ->
+                      incr quarantined;
+                      Telemetry.count telemetry "ingest.docs_quarantined" 1);
                  dead :=
                    { line = lineno;
                      byte_offset = pos;
@@ -211,17 +257,33 @@ let project ?(budget = default_budget) ~fields src =
       { ok = !ok;
         quarantined = !quarantined;
         budget_killed = !budget_killed;
+        budget_causes = sort_causes !causes;
         truncated = !truncated };
     mison = Fastjson.Mison.stats t }
 
 (* --- reports as JSON --------------------------------------------------- *)
 
 let report_to_json r =
-  Json.Value.Object
+  let base =
     [ ("ok", Json.Value.Int r.ok);
       ("quarantined", Json.Value.Int r.quarantined);
-      ("budget_killed", Json.Value.Int r.budget_killed);
-      ("truncated", Json.Value.Bool r.truncated) ]
+      ("budget_killed", Json.Value.Int r.budget_killed) ]
+  in
+  (* the cause breakdown is keyed by flag-style name and omitted when there
+     were no budget kills, so the common report shape is unchanged *)
+  let by_cause =
+    match r.budget_causes with
+    | [] -> []
+    | causes ->
+        [ ( "budget_by_cause",
+            Json.Value.Object
+              (List.map
+                 (fun (v, n) ->
+                   (Json.Parser.violation_name v, Json.Value.Int n))
+                 causes) ) ]
+  in
+  Json.Value.Object
+    (base @ by_cause @ [ ("truncated", Json.Value.Bool r.truncated) ])
 
 let dead_letter_to_json d =
   let kind_str =

@@ -51,10 +51,21 @@ type report = {
   ok : int;            (** documents ingested *)
   quarantined : int;   (** syntax faults turned into dead letters *)
   budget_killed : int; (** budget violations turned into dead letters *)
+  budget_causes : (Json.Parser.budget_violation * int) list;
+      (** [budget_killed] broken down by which cap was blown, sorted by
+          {!Json.Parser.violation_name} — a depth bomb and an oversized
+          document are different operational problems, so the aggregate
+          alone is not actionable *)
   truncated : bool;    (** the [max_docs] cap cut ingestion short *)
 }
 
 val empty_report : report
+
+val merge_causes :
+  (Json.Parser.budget_violation * int) list ->
+  (Json.Parser.budget_violation * int) list ->
+  (Json.Parser.budget_violation * int) list
+(** Sum two cause breakdowns (used when merging shard reports). *)
 
 type ingest = {
   docs : Json.Value.t list;
@@ -64,7 +75,8 @@ type ingest = {
 
 val ingest :
   ?budget:budget -> ?options:Json.Parser.options ->
-  ?first_line:int -> ?base_offset:int -> string -> ingest
+  ?first_line:int -> ?base_offset:int -> ?telemetry:Telemetry.sink ->
+  string -> ingest
 (** Total: never raises, never errors. Parses an NDJSON / concatenated-JSON
     text document by document under [budget]; a failing document becomes a
     {!dead_letter} and scanning resumes after the next newline. [options]
@@ -72,7 +84,10 @@ val ingest :
     are overridden by [budget]. [first_line] (default 1) and [base_offset]
     (default 0) shift reported line numbers and byte offsets — used by
     {!Parallel} so a shard of a larger input produces dead letters in the
-    coordinates of the whole input. *)
+    coordinates of the whole input. [telemetry] (default {!Telemetry.nop})
+    receives [ingest.docs_ok], [ingest.docs_quarantined],
+    [ingest.budget.<cap>] counters plus the underlying parser's [parse.*]
+    metrics. *)
 
 val parse_ndjson_strict :
   ?budget:budget -> ?options:Json.Parser.options -> string ->
@@ -92,10 +107,14 @@ type projected = {
           parser after a fast-path failure *)
 }
 
-val project : ?budget:budget -> fields:string list -> string -> projected
+val project :
+  ?budget:budget -> ?telemetry:Telemetry.sink -> fields:string list ->
+  string -> projected
 (** Mison projection over NDJSON with quarantine: each line goes through
     {!Fastjson.Mison.parse_line} (fast path, then full-parser fallback);
-    lines failing both paths are quarantined, never raised. *)
+    lines failing both paths are quarantined, never raised. [telemetry]
+    receives the ingest counters above plus {!Fastjson.Mison}'s
+    pruned-vs-materialized accounting. *)
 
 (** {1 Reports as JSON} *)
 

@@ -1,0 +1,283 @@
+(* Metrics registry: per-domain shards, merged on read.
+
+   A recording sink holds a mutex-protected table of shards keyed by domain
+   id. The mutex guards only shard lookup/creation and snapshot merging;
+   within a shard every mutation is done by the owning domain alone, so the
+   hot path after the first touch is a hashtable hit plus a field update.
+   OCaml's per-location no-tearing guarantee makes a concurrent snapshot
+   memory-safe (it may observe a mid-update shard, which the pipelines
+   avoid by snapshotting after their pools are joined). *)
+
+let now () = Unix.gettimeofday ()
+
+(* --- log-scale histogram ------------------------------------------------ *)
+
+module Histogram = struct
+  (* quarter-powers-of-two buckets over [1e-9, 1e12]:
+     index = floor (log2 v * 4) + bias, clamped. *)
+  let sub = 4.0
+  let bias = 120 (* covers 2^-30 = ~1e-9 *)
+  let nbuckets = 281 (* up to 2^40 = ~1e12 *)
+
+  type t = {
+    mutable n : int;
+    mutable total : float;
+    mutable mn : float;
+    mutable mx : float;
+    buckets : int array;
+  }
+
+  let create () =
+    { n = 0; total = 0.0; mn = infinity; mx = neg_infinity;
+      buckets = Array.make nbuckets 0 }
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let i = int_of_float (Float.floor (Float.log2 v *. sub)) + bias in
+      if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+  (* geometric midpoint of a bucket *)
+  let representative i = Float.exp2 ((float_of_int (i - bias) +. 0.5) /. sub)
+
+  let observe h v =
+    if Float.is_finite v then begin
+      h.n <- h.n + 1;
+      h.total <- h.total +. v;
+      if v < h.mn then h.mn <- v;
+      if v > h.mx then h.mx <- v;
+      let i = bucket_of v in
+      h.buckets.(i) <- h.buckets.(i) + 1
+    end
+
+  let count h = h.n
+  let sum h = h.total
+
+  let percentile h q =
+    if h.n = 0 then None
+    else begin
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
+      let rec walk i cum =
+        if i >= nbuckets then h.mx
+        else
+          let cum = cum + h.buckets.(i) in
+          if cum >= rank then Float.min h.mx (Float.max h.mn (representative i))
+          else walk (i + 1) cum
+      in
+      Some (walk 0 0)
+    end
+
+  let merge_into ~dst src =
+    dst.n <- dst.n + src.n;
+    dst.total <- dst.total +. src.total;
+    if src.mn < dst.mn then dst.mn <- src.mn;
+    if src.mx > dst.mx then dst.mx <- src.mx;
+    Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets
+end
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+let summarize h =
+  let p q = Option.value ~default:0.0 (Histogram.percentile h q) in
+  { h_count = Histogram.count h;
+    h_sum = Histogram.sum h;
+    h_min = (if Histogram.count h = 0 then 0.0 else h.Histogram.mn);
+    h_max = (if Histogram.count h = 0 then 0.0 else h.Histogram.mx);
+    h_p50 = p 0.5;
+    h_p90 = p 0.9;
+    h_p99 = p 0.99 }
+
+(* --- shards ------------------------------------------------------------- *)
+
+type span_cell = { mutable calls : int; mutable total_s : float; mutable max_s : float }
+
+type shard = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+  span_cells : (string, span_cell) Hashtbl.t;
+  mutable span_stack : string list; (* paths of open spans, innermost first *)
+}
+
+let new_shard () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 16;
+    span_cells = Hashtbl.create 16;
+    span_stack = [] }
+
+type registry = {
+  mutex : Mutex.t;
+  shards : (int, shard) Hashtbl.t; (* domain id -> shard *)
+}
+
+type sink = Nop | Rec of registry
+
+let nop = Nop
+let create () = Rec { mutex = Mutex.create (); shards = Hashtbl.create 8 }
+let is_recording = function Nop -> false | Rec _ -> true
+
+let shard r =
+  let id = (Domain.self () :> int) in
+  Mutex.lock r.mutex;
+  let sh =
+    match Hashtbl.find_opt r.shards id with
+    | Some sh -> sh
+    | None ->
+        let sh = new_shard () in
+        Hashtbl.add r.shards id sh;
+        sh
+  in
+  Mutex.unlock r.mutex;
+  sh
+
+let count sink name n =
+  match sink with
+  | Nop -> ()
+  | Rec r ->
+      if n > 0 then begin
+        let sh = shard r in
+        match Hashtbl.find_opt sh.counters name with
+        | Some c -> c := !c + n
+        | None -> Hashtbl.add sh.counters name (ref n)
+      end
+
+let gauge_max sink name v =
+  match sink with
+  | Nop -> ()
+  | Rec r -> (
+      let sh = shard r in
+      match Hashtbl.find_opt sh.gauges name with
+      | Some g -> if v > !g then g := v
+      | None -> Hashtbl.add sh.gauges name (ref v))
+
+let observe sink name v =
+  match sink with
+  | Nop -> ()
+  | Rec r -> (
+      let sh = shard r in
+      match Hashtbl.find_opt sh.hists name with
+      | Some h -> Histogram.observe h v
+      | None ->
+          let h = Histogram.create () in
+          Histogram.observe h v;
+          Hashtbl.add sh.hists name h)
+
+let record_span sh path dt =
+  match Hashtbl.find_opt sh.span_cells path with
+  | Some c ->
+      c.calls <- c.calls + 1;
+      c.total_s <- c.total_s +. dt;
+      if dt > c.max_s then c.max_s <- dt
+  | None -> Hashtbl.add sh.span_cells path { calls = 1; total_s = dt; max_s = dt }
+
+let span sink name f =
+  match sink with
+  | Nop -> f ()
+  | Rec r ->
+      let sh = shard r in
+      let path =
+        match sh.span_stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+      in
+      sh.span_stack <- path :: sh.span_stack;
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = now () -. t0 in
+          (match sh.span_stack with
+           | _ :: rest -> sh.span_stack <- rest
+           | [] -> ());
+          record_span sh path dt)
+        f
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+type span_summary = {
+  sp_path : string;
+  sp_calls : int;
+  sp_total_s : float;
+  sp_max_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+  spans : span_summary list;
+}
+
+let empty_snapshot = { counters = []; gauges = []; histograms = []; spans = [] }
+
+let sorted_bindings tbl fold =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (fold tbl)
+
+let snapshot = function
+  | Nop -> empty_snapshot
+  | Rec r ->
+      Mutex.lock r.mutex;
+      let counters = Hashtbl.create 16 in
+      let gauges = Hashtbl.create 8 in
+      let hists = Hashtbl.create 16 in
+      let spans = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ (sh : shard) ->
+          Hashtbl.iter
+            (fun name c ->
+              match Hashtbl.find_opt counters name with
+              | Some acc -> acc := !acc + !c
+              | None -> Hashtbl.add counters name (ref !c))
+            sh.counters;
+          Hashtbl.iter
+            (fun name g ->
+              match Hashtbl.find_opt gauges name with
+              | Some acc -> if !g > !acc then acc := !g
+              | None -> Hashtbl.add gauges name (ref !g))
+            sh.gauges;
+          Hashtbl.iter
+            (fun name h ->
+              match Hashtbl.find_opt hists name with
+              | Some acc -> Histogram.merge_into ~dst:acc h
+              | None ->
+                  let acc = Histogram.create () in
+                  Histogram.merge_into ~dst:acc h;
+                  Hashtbl.add hists name acc)
+            sh.hists;
+          Hashtbl.iter
+            (fun path c ->
+              match Hashtbl.find_opt spans path with
+              | Some acc ->
+                  acc.calls <- acc.calls + c.calls;
+                  acc.total_s <- acc.total_s +. c.total_s;
+                  if c.max_s > acc.max_s then acc.max_s <- c.max_s
+              | None ->
+                  Hashtbl.add spans path
+                    { calls = c.calls; total_s = c.total_s; max_s = c.max_s })
+            sh.span_cells)
+        r.shards;
+      Mutex.unlock r.mutex;
+      { counters =
+          sorted_bindings counters (fun t ->
+              Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []);
+        gauges =
+          sorted_bindings gauges (fun t ->
+              Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []);
+        histograms =
+          sorted_bindings hists (fun t ->
+              Hashtbl.fold (fun k h acc -> (k, summarize h) :: acc) t []);
+        spans =
+          List.map
+            (fun (path, c) ->
+              { sp_path = path;
+                sp_calls = c.calls;
+                sp_total_s = c.total_s;
+                sp_max_s = c.max_s })
+            (sorted_bindings spans (fun t ->
+                 Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])) }

@@ -1,0 +1,116 @@
+(** Zero-dependency metrics registry and span tracer for the pipelines.
+
+    The tutorial's quantitative claims (Mison prunes what the query does
+    not touch, sharding scales, budgets contain damage) are only credible
+    when the pipelines report what they actually did. This module is the
+    substrate: monotonic counters, max-gauges, log-scale histograms with
+    p50/p90/p99, and lightweight wall-clock span tracing with parent/child
+    nesting.
+
+    Design constraints, in order:
+
+    - {b cheap when disabled}: every operation takes a {!sink}; the {!nop}
+      sink reduces each call to one branch, so instrumentation can live on
+      hot paths unconditionally;
+    - {b domain-safe when enabled}: a recording sink keeps one shard per
+      domain (matching the {!Parallel} pool) so worker domains never
+      contend on a write; shards are merged when a {!snapshot} is taken;
+    - {b deterministic pipelines}: recording must never change a
+      pipeline's output, only observe it (tested in [test_telemetry]).
+
+    Timing uses [Unix.gettimeofday]; no other dependency. Snapshots taken
+    while other domains are still writing are weakly consistent — the
+    pipelines snapshot after their pools are joined. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+  (** Log-scale histogram: buckets at quarter powers of two, covering
+      [1e-9 .. 1e12] (latencies in seconds through sizes in bytes), with
+      exact count / sum / min / max kept alongside. *)
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  (** Record a sample. Non-finite samples are dropped; values at or below
+      zero land in the underflow bucket (and still count). *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val percentile : t -> float -> float option
+  (** [percentile h q] with [0 <= q <= 1]: [None] on an empty histogram,
+      otherwise the geometric midpoint of the bucket holding the rank
+      [ceil (q * count)] sample, clamped to the exact [min, max] — so a
+      one-sample histogram reports that sample exactly for every [q]. *)
+
+  val merge_into : dst:t -> t -> unit
+end
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+val now : unit -> float
+(** [Unix.gettimeofday] — exposed so instrumented code can time intervals
+    that do not fit the {!span} shape (queue waits, idle loops) without
+    depending on [unix] itself. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val nop : sink
+(** The disabled sink: every operation is a single pattern-match and
+    return. [snapshot nop] is empty. *)
+
+val create : unit -> sink
+(** A recording sink with per-domain shards. *)
+
+val is_recording : sink -> bool
+
+val count : sink -> string -> int -> unit
+(** Add to a monotonic counter (negative increments are ignored). *)
+
+val gauge_max : sink -> string -> float -> unit
+(** Raise a high-water-mark gauge ("max validation depth reached");
+    shards merge by max. *)
+
+val observe : sink -> string -> float -> unit
+(** Record a histogram sample (a latency in seconds, a size in bytes). *)
+
+val span : sink -> string -> (unit -> 'a) -> 'a
+(** [span sink name f] times [f ()] with [Unix.gettimeofday] and records
+    the duration under the {e path} of the span: nested spans extend their
+    parent's path with ["/"], so [span s "infer" (fun () -> span s "merge"
+    ...)] records under ["infer"] and ["infer/merge"]. Aggregated per path
+    (call count, total and max seconds); re-raises whatever [f] raises,
+    still closing the span. Nesting is tracked per domain. *)
+
+(** {1 Snapshots} *)
+
+type span_summary = {
+  sp_path : string;   (** "/"-joined ancestry, e.g. ["infer/merge"] *)
+  sp_calls : int;
+  sp_total_s : float;
+  sp_max_s : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;              (** sorted by name *)
+  gauges : (string * float) list;              (** sorted by name *)
+  histograms : (string * histogram_summary) list;  (** sorted by name *)
+  spans : span_summary list;                   (** sorted by path *)
+}
+
+val snapshot : sink -> snapshot
+(** Merge every domain shard into one view: counters and histogram cells
+    sum, gauges take the max, spans aggregate per path. *)
+
+val empty_snapshot : snapshot

@@ -1,0 +1,94 @@
+(* Render a Telemetry.snapshot for humans (--stats) and machines
+   (--stats-json). Key order is sorted-by-name in both forms so the stats
+   schema is stable and golden tests can pin it. *)
+
+let hist_to_json (h : Telemetry.histogram_summary) =
+  Json.Value.Object
+    [ ("count", Json.Value.Int h.Telemetry.h_count);
+      ("sum", Json.Value.Float h.Telemetry.h_sum);
+      ("min", Json.Value.Float h.Telemetry.h_min);
+      ("max", Json.Value.Float h.Telemetry.h_max);
+      ("p50", Json.Value.Float h.Telemetry.h_p50);
+      ("p90", Json.Value.Float h.Telemetry.h_p90);
+      ("p99", Json.Value.Float h.Telemetry.h_p99) ]
+
+let span_to_json (s : Telemetry.span_summary) =
+  Json.Value.Object
+    [ ("calls", Json.Value.Int s.Telemetry.sp_calls);
+      ("total_s", Json.Value.Float s.Telemetry.sp_total_s);
+      ("max_s", Json.Value.Float s.Telemetry.sp_max_s) ]
+
+let to_json (s : Telemetry.snapshot) =
+  Json.Value.Object
+    [ ("counters",
+       Json.Value.Object
+         (List.map (fun (k, v) -> (k, Json.Value.Int v)) s.Telemetry.counters));
+      ("gauges",
+       Json.Value.Object
+         (List.map (fun (k, v) -> (k, Json.Value.Float v)) s.Telemetry.gauges));
+      ("histograms",
+       Json.Value.Object
+         (List.map (fun (k, h) -> (k, hist_to_json h)) s.Telemetry.histograms));
+      ("spans",
+       Json.Value.Object
+         (List.map
+            (fun sp -> (sp.Telemetry.sp_path, span_to_json sp))
+            s.Telemetry.spans)) ]
+
+(* seconds with a unit a human can read at a glance *)
+let pp_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
+let pp_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let to_table (s : Telemetry.snapshot) =
+  let b = Buffer.create 1024 in
+  let section title = Buffer.add_string b (Printf.sprintf "-- %s --\n" title) in
+  if s.Telemetry.counters <> [] then begin
+    section "counters";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%-42s %12d\n" k v))
+      s.Telemetry.counters
+  end;
+  if s.Telemetry.gauges <> [] then begin
+    section "gauges";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b (Printf.sprintf "%-42s %12s\n" k (pp_value v)))
+      s.Telemetry.gauges
+  end;
+  if s.Telemetry.histograms <> [] then begin
+    section "histograms";
+    Buffer.add_string b
+      (Printf.sprintf "%-42s %8s %10s %10s %10s %10s\n" "" "count" "p50" "p90"
+         "p99" "max");
+    List.iter
+      (fun (k, h) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-42s %8d %10s %10s %10s %10s\n" k
+             h.Telemetry.h_count
+             (pp_value h.Telemetry.h_p50)
+             (pp_value h.Telemetry.h_p90)
+             (pp_value h.Telemetry.h_p99)
+             (pp_value h.Telemetry.h_max)))
+      s.Telemetry.histograms
+  end;
+  if s.Telemetry.spans <> [] then begin
+    section "spans";
+    Buffer.add_string b
+      (Printf.sprintf "%-42s %8s %10s %10s\n" "" "calls" "total" "max");
+    List.iter
+      (fun sp ->
+        Buffer.add_string b
+          (Printf.sprintf "%-42s %8d %10s %10s\n" sp.Telemetry.sp_path
+             sp.Telemetry.sp_calls
+             (pp_seconds sp.Telemetry.sp_total_s)
+             (pp_seconds sp.Telemetry.sp_max_s)))
+      s.Telemetry.spans
+  end;
+  Buffer.contents b

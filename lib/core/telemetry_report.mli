@@ -1,0 +1,13 @@
+(** Rendering {!Telemetry.snapshot}s: the machine form behind the CLI's
+    [--stats-json] and the human table behind [--stats].
+
+    Both forms list every section (counters, gauges, histograms, spans)
+    sorted by metric name, so the key set for a given workload is stable —
+    the golden cram test pins it with values masked. *)
+
+val to_json : Telemetry.snapshot -> Json.Value.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name: {count, sum,
+    min, max, p50, p90, p99}}, "spans": {path: {calls, total_s, max_s}}}] *)
+
+val to_table : Telemetry.snapshot -> string
+(** Aligned sections for a terminal; durations scaled to s/ms/us. *)

@@ -11,13 +11,16 @@ type t = {
   wanted : (string, unit) Hashtbl.t;
   depth : int; (* deepest projected path *)
   predicted : (string, int) Hashtbl.t; (* field -> colon ordinal *)
+  tele : Telemetry.sink;
+  mutable touched : int; (* bytes materialized by the last parse_record *)
+  mutable last_colons : int; (* level-1 colons seen by the last parse_record *)
   mutable records : int;
   mutable speculative_hits : int;
   mutable fallback_scans : int;
   mutable full_parse_fallbacks : int;
 }
 
-let create (p : projection) =
+let create ?(telemetry = Telemetry.nop) (p : projection) =
   let wanted = Hashtbl.create 8 in
   List.iter (fun f -> Hashtbl.replace wanted f ()) p.fields;
   let depth =
@@ -28,6 +31,9 @@ let create (p : projection) =
   { wanted;
     depth;
     predicted = Hashtbl.create 8;
+    tele = telemetry;
+    touched = 0;
+    last_colons = 0;
     records = 0;
     speculative_hits = 0;
     fallback_scans = 0;
@@ -39,10 +45,12 @@ let stats t =
     fallback_scans = t.fallback_scans;
     full_parse_fallbacks = t.full_parse_fallbacks }
 
+(* returns the value and the bytes consumed parsing it, for the
+   pruned-vs-materialized accounting *)
 let parse_value_at src pos =
   let pos = Rawscan.skip_ws src pos in
   match Json.Parser.parse_substring src ~pos with
-  | Ok (v, _) -> Ok v
+  | Ok (v, stop) -> Ok (v, stop - pos)
   | Error e -> Error (Json.Parser.string_of_error e)
 
 (* name of the field owning the colon at offset c *)
@@ -79,6 +87,10 @@ let rec locate idx ~level ~lo ~hi segments =
 
 let parse_record t idx ~lo ~hi =
   let src = Structural_index.source idx in
+  (* pruned-vs-materialized accounting: [touched] sums the byte spans this
+     record actually handed to the full parser; everything else in [lo,hi)
+     was pruned (skipped by the colon index) *)
+  t.touched <- 0;
   (* dotted paths go through the leveled locator; plain names through the
      speculative ordinal machinery below *)
   let nested =
@@ -93,7 +105,9 @@ let parse_record t idx ~lo ~hi =
         match locate idx ~level:1 ~lo ~hi segments with
         | Some value_pos -> (
             match parse_value_at src value_pos with
-            | Ok v -> Some (path, v)
+            | Ok (v, used) ->
+                t.touched <- t.touched + used;
+                Some (path, v)
             | Error _ -> None)
         | None -> None)
       nested
@@ -101,6 +115,7 @@ let parse_record t idx ~lo ~hi =
   let colon_list = Structural_index.colons idx ~level:1 ~lo ~hi in
   let colon_arr = Array.of_list colon_list in
   let n_colons = Array.length colon_arr in
+  t.last_colons <- n_colons;
   let n_wanted = Hashtbl.length t.wanted - List.length nested in
   t.records <- t.records + 1;
   let results = ref [] in
@@ -108,7 +123,8 @@ let parse_record t idx ~lo ~hi =
   let exception Fail of string in
   let take field c =
     match parse_value_at src (c + 1) with
-    | Ok v ->
+    | Ok (v, used) ->
+        t.touched <- t.touched + used;
         Hashtbl.replace found field ();
         results := (field, v) :: !results
     | Error msg -> raise (Fail msg)
@@ -149,9 +165,42 @@ let parse_record t idx ~lo ~hi =
   | () -> Ok (nested_results @ List.rev !results)
   | exception Fail msg -> Error msg
 
-let parse_string t src =
-  let idx = Structural_index.build ~max_level:t.depth src in
+(* fast path without accounting emission: [parse_line] decides how the
+   record is finally charged (fast projection vs full-parse rescue) *)
+let parse_string_raw t src =
+  let idx =
+    Telemetry.span t.tele "mison.index_build" (fun () ->
+        Structural_index.build ~max_level:t.depth src)
+  in
   parse_record t idx ~lo:0 ~hi:(String.length src)
+
+(* Emit one record's byte accounting. [materialized] is clamped into
+   [0, input_bytes] so the invariant [bytes_pruned + bytes_materialized <=
+   mison.input_bytes] holds even for overlapping projections (a dotted path
+   inside another projected field parses the same bytes twice). *)
+let emit_record t ~input_bytes ~materialized =
+  if Telemetry.is_recording t.tele then begin
+    let materialized = min (max 0 materialized) input_bytes in
+    Telemetry.count t.tele "mison.records" 1;
+    Telemetry.count t.tele "mison.input_bytes" input_bytes;
+    Telemetry.count t.tele "mison.bytes_materialized" materialized;
+    Telemetry.count t.tele "mison.bytes_pruned" (input_bytes - materialized)
+  end
+
+let emit_fields t ~n_found ~n_colons =
+  if Telemetry.is_recording t.tele then begin
+    Telemetry.count t.tele "mison.fields_materialized" n_found;
+    Telemetry.count t.tele "mison.fields_pruned" (max 0 (n_colons - n_found))
+  end
+
+let parse_string t src =
+  let r = parse_string_raw t src in
+  (match r with
+   | Ok fields ->
+       emit_record t ~input_bytes:(String.length src) ~materialized:t.touched;
+       emit_fields t ~n_found:(List.length fields) ~n_colons:t.last_colons
+   | Error _ -> ());
+  r
 
 (* Degradation path: project the wanted fields out of a fully-parsed tree.
    Used when the structural-index fast path fails (or cannot be trusted) on
@@ -193,7 +242,14 @@ let project_of_tree t v =
   nested_results @ plain_results
 
 let parse_line ?options t src =
-  let fast = parse_string t src in
+  let fast = parse_string_raw t src in
+  (* [parse_record] resets [t.touched]; capture it before any fallback full
+     parse so the fast-path accounting survives the rescue attempt *)
+  let fast_touched = t.touched and fast_colons = t.last_colons in
+  let emit_fast fields =
+    emit_record t ~input_bytes:(String.length src) ~materialized:fast_touched;
+    emit_fields t ~n_found:(List.length fields) ~n_colons:fast_colons
+  in
   let n_wanted = Hashtbl.length t.wanted in
   let trustworthy =
     (* A record containing backslashes may carry escaped field names, which
@@ -204,22 +260,35 @@ let parse_line ?options t src =
     | Ok fields -> List.length fields = n_wanted || not (String.contains src '\\')
     | Error _ -> false
   in
-  if trustworthy then fast
+  if trustworthy then begin
+    (match fast with Ok fields -> emit_fast fields | Error _ -> ());
+    fast
+  end
   else
-    match Json.Parser.parse ?options src with
+    match Json.Parser.parse ?options ~telemetry:t.tele src with
     | Ok v ->
         t.full_parse_fallbacks <- t.full_parse_fallbacks + 1;
-        Ok (project_of_tree t v)
+        Telemetry.count t.tele "mison.full_parse_fallbacks" 1;
+        let fields = project_of_tree t v in
+        (* the rescue materializes the whole record: nothing was pruned *)
+        emit_record t ~input_bytes:(String.length src)
+          ~materialized:(String.length src);
+        emit_fields t ~n_found:(List.length fields)
+          ~n_colons:(List.length fields);
+        Ok fields
     | Error e -> (
         match fast with
-        | Ok _ as ok ->
+        | Ok fields ->
             (* the raw scan succeeded and only skipped over whatever the
                full parser rejects — keep the fast-path projection *)
-            ok
-        | Error _ -> Error (Json.Parser.string_of_error e))
+            emit_fast fields;
+            fast
+        | Error _ ->
+            Telemetry.count t.tele "mison.errors" 1;
+            Error (Json.Parser.string_of_error e))
 
-let project_ndjson_with_stats p text =
-  let t = create p in
+let project_ndjson_with_stats ?telemetry p text =
+  let t = create ?telemetry p in
   let lines =
     List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
   in
@@ -232,7 +301,7 @@ let project_ndjson_with_stats p text =
   in
   go [] lines
 
-let project_ndjson p text =
-  match project_ndjson_with_stats p text with
+let project_ndjson ?telemetry p text =
+  match project_ndjson_with_stats ?telemetry p text with
   | Ok (rows, _) -> Ok rows
   | Error _ as e -> e

@@ -32,7 +32,16 @@ type stats = {
 type t
 (** Stateful projection parser (holds the learned field positions). *)
 
-val create : projection -> t
+val create : ?telemetry:Telemetry.sink -> projection -> t
+(** [telemetry] (default {!Telemetry.nop}) receives the pruned-vs-
+    materialized byte accounting of every record this parser handles:
+    counters [mison.records], [mison.input_bytes],
+    [mison.bytes_materialized], [mison.bytes_pruned] (with
+    [bytes_pruned + bytes_materialized <= input_bytes] always),
+    [mison.fields_materialized] / [mison.fields_pruned],
+    [mison.full_parse_fallbacks], [mison.errors], and the span
+    [mison.index_build] timing the structural-index construction. *)
+
 val stats : t -> stats
 
 val parse_record :
@@ -55,6 +64,7 @@ val parse_line :
     [stats.full_parse_fallbacks]; [Error] only when both paths fail. *)
 
 val project_ndjson :
+  ?telemetry:Telemetry.sink ->
   projection -> string -> ((string * Json.Value.t) list list, string) result
 (** Project every line of an NDJSON text with a fresh speculative parser;
     lines share the learned positions, which is where the speedup comes
@@ -63,4 +73,5 @@ val project_ndjson :
     parser. *)
 
 val project_ndjson_with_stats :
+  ?telemetry:Telemetry.sink ->
   projection -> string -> ((string * Json.Value.t) list list * stats, string) result

@@ -12,8 +12,18 @@
     shard/reduce shape on a pool of OCaml 5 domains (experiment E14), with
     results identical to the sequential fold for any shard count. *)
 
-val infer : equiv:Jtype.Merge.equiv -> Json.Value.t list -> Jtype.Types.t
-(** Sequential fold. *)
+val infer :
+  ?telemetry:Telemetry.sink -> equiv:Jtype.Merge.equiv ->
+  Json.Value.t list -> Jtype.Types.t
+(** Sequential fold. [telemetry] (default {!Telemetry.nop}) records the
+    span [infer], the counter [infer.merge_ops] (pairwise merges performed)
+    and the histogram [infer.union_width] (top-level branch count of the
+    result — see {!union_width}). *)
+
+val union_width : Jtype.Types.t -> int
+(** Top-level union branch count: 0 for [Bot], 1 for any non-union type,
+    the number of branches otherwise. The "how heterogeneous is this
+    collection" observability measure. *)
 
 val infer_partitioned :
   equiv:Jtype.Merge.equiv -> partitions:int -> Json.Value.t list -> Jtype.Types.t
@@ -22,7 +32,8 @@ val infer_partitioned :
     for any partition count. *)
 
 val infer_counting :
-  equiv:Jtype.Merge.equiv -> Json.Value.t list -> Jtype.Counting.t
+  ?telemetry:Telemetry.sink -> equiv:Jtype.Merge.equiv ->
+  Json.Value.t list -> Jtype.Counting.t
 (** Counting variant (DBPL'17). *)
 
 val infer_ndjson :

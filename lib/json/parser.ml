@@ -168,7 +168,37 @@ let parse_value options lx =
   in
   let v = value 0 in
   check_bytes (Lexer.position lx);
-  v
+  (v, !nodes)
+
+(* Per-document observability: emitted by every entry point below on the
+   [telemetry] sink (default {!Telemetry.nop}, one branch per call).
+   Headroom histograms record how close each document came to its budget —
+   the early-warning signal for a corpus drifting toward its caps. *)
+let emit_doc tele options ~bytes ~nodes =
+  if Telemetry.is_recording tele then begin
+    Telemetry.count tele "parse.docs" 1;
+    Telemetry.count tele "parse.bytes" bytes;
+    Telemetry.count tele "parse.nodes" nodes;
+    Telemetry.observe tele "parse.doc_bytes" (float_of_int bytes);
+    Telemetry.observe tele "parse.doc_nodes" (float_of_int nodes);
+    (match options.max_doc_bytes with
+     | Some limit ->
+         Telemetry.observe tele "parse.budget_headroom_bytes"
+           (float_of_int (limit - bytes))
+     | None -> ());
+    match options.max_nodes with
+    | Some limit ->
+        Telemetry.observe tele "parse.budget_headroom_nodes"
+          (float_of_int (limit - nodes))
+    | None -> ()
+  end
+
+let emit_error tele (e : error) =
+  if Telemetry.is_recording tele then
+    match e.kind with
+    | Syntax -> Telemetry.count tele "parse.errors.syntax" 1
+    | Budget_exceeded v ->
+        Telemetry.count tele ("parse.errors.budget." ^ violation_name v) 1
 
 let run lx f =
   try Ok (f ()) with
@@ -185,35 +215,55 @@ let run lx f =
 let lexer_of ?pos options src =
   Lexer.create ?pos ?max_string_bytes:options.max_string_bytes src
 
-let parse ?(options = default_options) src =
+let with_error_telemetry tele result =
+  (match result with Error e -> emit_error tele e | Ok _ -> ());
+  result
+
+let parse ?(options = default_options) ?(telemetry = Telemetry.nop) src =
   let lx = lexer_of options src in
-  run lx (fun () ->
-      let v = parse_value options lx in
-      if not options.allow_trailing then begin
-        match Lexer.next lx with
-        | Lexer.Eof, _ -> ()
-        | t, pos ->
-            fail pos (Printf.sprintf "trailing input: %s" (Lexer.token_name t))
-      end;
-      v)
+  with_error_telemetry telemetry
+    (run lx (fun () ->
+         let start = (Lexer.position lx).Lexer.offset in
+         let v, nodes = parse_value options lx in
+         if not options.allow_trailing then begin
+           match Lexer.next lx with
+           | Lexer.Eof, _ -> ()
+           | t, pos ->
+               fail pos (Printf.sprintf "trailing input: %s" (Lexer.token_name t))
+         end;
+         emit_doc telemetry options
+           ~bytes:((Lexer.position lx).Lexer.offset - start)
+           ~nodes;
+         v))
 
 let parse_exn ?options src =
   match parse ?options src with
   | Ok v -> v
   | Error e -> failwith (string_of_error e)
 
-let parse_many ?(options = default_options) src =
+let parse_many ?(options = default_options) ?(telemetry = Telemetry.nop) src =
   let lx = lexer_of options src in
-  run lx (fun () ->
-      let rec go acc =
-        match Lexer.peek lx with
-        | Lexer.Eof, _ -> List.rev acc
-        | _ -> go (parse_value options lx :: acc)
-      in
-      go [])
+  with_error_telemetry telemetry
+    (run lx (fun () ->
+         let rec go acc =
+           match Lexer.peek lx with
+           | Lexer.Eof, _ -> List.rev acc
+           | _ ->
+               let start = (Lexer.position lx).Lexer.offset in
+               let v, nodes = parse_value options lx in
+               emit_doc telemetry options
+                 ~bytes:((Lexer.position lx).Lexer.offset - start)
+                 ~nodes;
+               go (v :: acc)
+         in
+         go []))
 
-let parse_substring ?(options = default_options) src ~pos =
+let parse_substring ?(options = default_options) ?(telemetry = Telemetry.nop) src
+    ~pos =
   let lx = lexer_of ~pos options src in
-  run lx (fun () ->
-      let v = parse_value options lx in
-      (v, (Lexer.position lx).Lexer.offset))
+  with_error_telemetry telemetry
+    (run lx (fun () ->
+         let v, nodes = parse_value options lx in
+         let stop = (Lexer.position lx).Lexer.offset in
+         emit_doc telemetry options ~bytes:(stop - pos) ~nodes;
+         (v, stop)))

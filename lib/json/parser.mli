@@ -50,17 +50,28 @@ val is_budget_error : error -> bool
 
 val string_of_error : error -> string
 
-val parse : ?options:options -> string -> (Value.t, error) result
-(** Parse one JSON document from a string. *)
+val parse :
+  ?options:options -> ?telemetry:Telemetry.sink -> string ->
+  (Value.t, error) result
+(** Parse one JSON document from a string. [telemetry] (default
+    {!Telemetry.nop}) receives per-document counters and histograms:
+    [parse.docs] / [parse.bytes] / [parse.nodes], size distributions
+    [parse.doc_bytes] / [parse.doc_nodes], budget-headroom histograms when
+    the corresponding cap is set, and error counters keyed by
+    {!error_kind} ([parse.errors.syntax], [parse.errors.budget.<cap>]). *)
 
 val parse_exn : ?options:options -> string -> Value.t
 (** @raise Failure with a formatted message on error. *)
 
-val parse_many : ?options:options -> string -> (Value.t list, error) result
+val parse_many :
+  ?options:options -> ?telemetry:Telemetry.sink -> string ->
+  (Value.t list, error) result
 (** Parse a whitespace/newline-separated stream of documents (NDJSON and
-    concatenated JSON both work). *)
+    concatenated JSON both work). Telemetry as for {!parse}, one
+    observation per document. *)
 
 val parse_substring :
-  ?options:options -> string -> pos:int -> (Value.t * int, error) result
+  ?options:options -> ?telemetry:Telemetry.sink -> string -> pos:int ->
+  (Value.t * int, error) result
 (** Parse one value starting at byte [pos]; returns the value and the offset
     one past its last byte. Used by the lazy/speculative parsers. *)

@@ -2,10 +2,14 @@ type config = {
   assert_formats : bool;
   max_ref_expansions : int;
   max_depth : int;
+  telemetry : Telemetry.sink;
 }
 
 let default_config =
-  { assert_formats = false; max_ref_expansions = 64; max_depth = 4096 }
+  { assert_formats = false;
+    max_ref_expansions = 64;
+    max_depth = 4096;
+    telemetry = Telemetry.nop }
 
 type error = {
   instance_at : Json.Pointer.t;
@@ -131,7 +135,9 @@ exception Invalid_ref of Json.Pointer.t * string
 
 let resolve_ref ctx ~schema_at target =
   match Hashtbl.find_opt ctx.cache target with
-  | Some s -> s
+  | Some s ->
+      Telemetry.count ctx.config.telemetry "validate.ref_cache_hits" 1;
+      s
   | None ->
       let ptr_str =
         if String.equal target "#" then ""
@@ -155,6 +161,7 @@ let resolve_ref ctx ~schema_at target =
         | Ok s -> s
         | Error e -> raise (Invalid_ref (schema_at, Parse.string_of_error e))
       in
+      Telemetry.count ctx.config.telemetry "validate.ref_resolutions" 1;
       Hashtbl.add ctx.cache target s;
       s
 
@@ -234,6 +241,11 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
   let check ctx ~fuel ~schema_at ~at s v =
     check ctx ~fuel ~depth:(depth + 1) ~schema_at ~at s v
   in
+  let tele = ctx.config.telemetry in
+  (* keyword-hit counters: one increment per keyword *evaluation* (present
+     in the schema node and applicable to this instance), pass or fail *)
+  let kw name = Telemetry.count tele ("validate.kw." ^ name) 1 in
+  Telemetry.gauge_max tele "validate.max_depth" (float_of_int depth);
   let err sk message = { instance_at = at; schema_at = kp schema_at sk; message } in
   let errors = ref [] in
   let add e = errors := e :: !errors in
@@ -243,6 +255,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
   (match n.Schema.ref_ with
    | None -> ()
    | Some target -> (
+       kw "$ref";
        if fuel <= 0 then
          add (err "$ref" "reference expansion budget exhausted (cyclic schema?)")
        else
@@ -254,6 +267,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
   (match n.Schema.types with
    | None -> ()
    | Some ts ->
+       kw "type";
        let matches t =
          match (t, v) with
          | `Null, Json.Value.Null -> true
@@ -273,21 +287,27 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
                  (Json.Value.kind_name (Json.Value.kind v)))));
   (* enum / const *)
   (match n.Schema.enum with
-   | Some vs when not (List.exists (Json.Value.equal v) vs) ->
-       add (err "enum" "value is not one of the enumerated values")
-   | _ -> ());
+   | Some vs ->
+       kw "enum";
+       if not (List.exists (Json.Value.equal v) vs) then
+         add (err "enum" "value is not one of the enumerated values")
+   | None -> ());
   (match n.Schema.const with
-   | Some c when not (Json.Value.equal v c) ->
-       add (err "const" (Printf.sprintf "expected %s" (Json.Printer.to_string c)))
-   | _ -> ());
+   | Some c ->
+       kw "const";
+       if not (Json.Value.equal v c) then
+         add (err "const" (Printf.sprintf "expected %s" (Json.Printer.to_string c)))
+   | None -> ());
   (* numeric *)
   (match number_of v with
    | None -> ()
    | Some f ->
        let bound keyword test msg = function
-         | Some limit when not (test f limit) ->
-             add (err keyword (Printf.sprintf msg limit f))
-         | _ -> ()
+         | Some limit ->
+             kw keyword;
+             if not (test f limit) then
+               add (err keyword (Printf.sprintf msg limit f))
+         | None -> ()
        in
        bound "minimum" (fun f l -> f >= l) "expected >= %g, got %g" n.Schema.minimum;
        bound "maximum" (fun f l -> f <= l) "expected <= %g, got %g" n.Schema.maximum;
@@ -296,27 +316,36 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        bound "exclusiveMaximum" (fun f l -> f < l) "expected < %g, got %g"
          n.Schema.exclusive_maximum;
        (match n.Schema.multiple_of with
-        | Some m when not (multiple_of_value_ok v m) ->
-            add (err "multipleOf" (Printf.sprintf "%g is not a multiple of %g" f m))
-        | _ -> ()));
+        | Some m ->
+            kw "multipleOf";
+            if not (multiple_of_value_ok v m) then
+              add (err "multipleOf" (Printf.sprintf "%g is not a multiple of %g" f m))
+        | None -> ()));
   (* string *)
   (match v with
    | Json.Value.String s ->
        let len = lazy (utf8_length s) in
        (match n.Schema.min_length with
-        | Some m when Lazy.force len < m ->
-            add (err "minLength" (Printf.sprintf "length %d < %d" (Lazy.force len) m))
-        | _ -> ());
+        | Some m ->
+            kw "minLength";
+            if Lazy.force len < m then
+              add (err "minLength" (Printf.sprintf "length %d < %d" (Lazy.force len) m))
+        | None -> ());
        (match n.Schema.max_length with
-        | Some m when Lazy.force len > m ->
-            add (err "maxLength" (Printf.sprintf "length %d > %d" (Lazy.force len) m))
-        | _ -> ());
+        | Some m ->
+            kw "maxLength";
+            if Lazy.force len > m then
+              add (err "maxLength" (Printf.sprintf "length %d > %d" (Lazy.force len) m))
+        | None -> ());
        (match n.Schema.pattern with
-        | Some (src, re) when not (Re.execp re s) ->
-            add (err "pattern" (Printf.sprintf "%S does not match /%s/" s src))
-        | _ -> ());
+        | Some (src, re) ->
+            kw "pattern";
+            if not (Re.execp re s) then
+              add (err "pattern" (Printf.sprintf "%S does not match /%s/" s src))
+        | None -> ());
        (match n.Schema.format with
         | Some name when ctx.config.assert_formats -> (
+            kw "format";
             match check_format name s with
             | Some false ->
                 add (err "format" (Printf.sprintf "%S is not a valid %s" s name))
@@ -328,12 +357,17 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
    | Json.Value.Array elems ->
        let len = List.length elems in
        (match n.Schema.min_items with
-        | Some m when len < m -> add (err "minItems" (Printf.sprintf "%d items < %d" len m))
-        | _ -> ());
+        | Some m ->
+            kw "minItems";
+            if len < m then add (err "minItems" (Printf.sprintf "%d items < %d" len m))
+        | None -> ());
        (match n.Schema.max_items with
-        | Some m when len > m -> add (err "maxItems" (Printf.sprintf "%d items > %d" len m))
-        | _ -> ());
+        | Some m ->
+            kw "maxItems";
+            if len > m then add (err "maxItems" (Printf.sprintf "%d items > %d" len m))
+        | None -> ());
        if n.Schema.unique_items then begin
+         kw "uniqueItems";
          let sorted = List.sort Json.Value.compare elems in
          let rec dup = function
            | a :: (b :: _ as rest) -> Json.Value.equal a b || dup rest
@@ -344,6 +378,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        (match n.Schema.items with
         | None -> ()
         | Some (Schema.Items_one s) ->
+            kw "items";
             List.iteri
               (fun i x ->
                 add_all
@@ -351,6 +386,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
                      ~schema_at:(kp schema_at "items") ~at:(ip at i) s x))
               elems
         | Some (Schema.Items_many ss) ->
+            kw "items";
             let rec go i ss xs =
               match (ss, xs) with
               | _, [] -> ()
@@ -376,6 +412,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        (match n.Schema.contains with
         | None -> ()
         | Some s ->
+            kw "contains";
             let hits =
               List.length
                 (List.filter
@@ -398,13 +435,18 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
    | Json.Value.Object fields ->
        let nfields = List.length fields in
        (match n.Schema.min_properties with
-        | Some m when nfields < m ->
-            add (err "minProperties" (Printf.sprintf "%d properties < %d" nfields m))
-        | _ -> ());
+        | Some m ->
+            kw "minProperties";
+            if nfields < m then
+              add (err "minProperties" (Printf.sprintf "%d properties < %d" nfields m))
+        | None -> ());
        (match n.Schema.max_properties with
-        | Some m when nfields > m ->
-            add (err "maxProperties" (Printf.sprintf "%d properties > %d" nfields m))
-        | _ -> ());
+        | Some m ->
+            kw "maxProperties";
+            if nfields > m then
+              add (err "maxProperties" (Printf.sprintf "%d properties > %d" nfields m))
+        | None -> ());
+       if n.Schema.required <> [] then kw "required";
        List.iter
          (fun r ->
            if not (List.mem_assoc r fields) then
@@ -413,6 +455,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        (match n.Schema.property_names with
         | None -> ()
         | Some s ->
+            kw "propertyNames";
             List.iter
               (fun (k, _) ->
                 add_all
@@ -426,6 +469,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
            (match List.assoc_opt k n.Schema.properties with
             | Some s ->
                 matched := true;
+                kw "properties";
                 add_all
                   (check ctx ~fuel:ctx.config.max_ref_expansions
                      ~schema_at:(kp (kp schema_at "properties") k) ~at:(kp at k) s x)
@@ -434,6 +478,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
              (fun (src, re, s) ->
                if Re.execp re k then begin
                  matched := true;
+                 kw "patternProperties";
                  add_all
                    (check ctx ~fuel:ctx.config.max_ref_expansions
                       ~schema_at:(kp (kp schema_at "patternProperties") src)
@@ -444,13 +489,15 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
              match n.Schema.additional_properties with
              | None -> ()
              | Some s ->
+                 kw "additionalProperties";
                  add_all
                    (check ctx ~fuel:ctx.config.max_ref_expansions
                       ~schema_at:(kp schema_at "additionalProperties") ~at:(kp at k) s x))
          fields;
        List.iter
          (fun (trigger, dep) ->
-           if List.mem_assoc trigger fields then
+           if List.mem_assoc trigger fields then begin
+             kw "dependencies";
              match dep with
              | Schema.Dep_required needed ->
                  List.iter
@@ -463,10 +510,12 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
              | Schema.Dep_schema s ->
                  add_all
                    (check ctx ~fuel:ctx.config.max_ref_expansions
-                      ~schema_at:(kp (kp schema_at "dependencies") trigger) ~at s v))
+                      ~schema_at:(kp (kp schema_at "dependencies") trigger) ~at s v)
+           end)
          n.Schema.dependencies
    | _ -> ());
   (* combinators *)
+  if n.Schema.all_of <> [] then kw "allOf";
   List.iteri
     (fun i s ->
       add_all (check ctx ~fuel ~schema_at:(ip (kp schema_at "allOf") i) ~at s v))
@@ -474,6 +523,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
   (match n.Schema.any_of with
    | [] -> ()
    | ss ->
+       kw "anyOf";
        let ok =
          List.exists
            (fun s -> check ctx ~fuel ~schema_at:(kp schema_at "anyOf") ~at s v = [])
@@ -483,6 +533,7 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
   (match n.Schema.one_of with
    | [] -> ()
    | ss ->
+       kw "oneOf";
        let hits =
          List.length
            (List.filter
@@ -492,12 +543,15 @@ and check_node ctx ~fuel ~depth ~schema_at ~at n v =
        if hits <> 1 then
          add (err "oneOf" (Printf.sprintf "%d alternatives match (need exactly 1)" hits)));
   (match n.Schema.not_ with
-   | Some s when check ctx ~fuel ~schema_at:(kp schema_at "not") ~at s v = [] ->
-       add (err "not" "value matches the negated schema")
-   | _ -> ());
+   | Some s ->
+       kw "not";
+       if check ctx ~fuel ~schema_at:(kp schema_at "not") ~at s v = [] then
+         add (err "not" "value matches the negated schema")
+   | None -> ());
   (match n.Schema.if_ with
    | None -> ()
    | Some cond ->
+       kw "if";
        let branch, which =
          if check ctx ~fuel ~schema_at:(kp schema_at "if") ~at cond v = [] then
            (n.Schema.then_, "then")

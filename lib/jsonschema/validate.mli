@@ -17,6 +17,11 @@ type config = {
       (** total recursion bound (instance nesting × schema nesting); deeper
           derivations yield a normal validation error, never
           [Stack_overflow] (default 4096) *)
+  telemetry : Telemetry.sink;
+      (** observability sink (default {!Telemetry.nop}): per-keyword
+          evaluation counters [validate.kw.<keyword>], [$ref] machinery
+          counters [validate.ref_resolutions] / [validate.ref_cache_hits],
+          and the high-water gauge [validate.max_depth] *)
 }
 
 val default_config : config

@@ -38,9 +38,9 @@ Resilient ingestion: bad documents are quarantined, not fatal.
 Resource budgets kill documents with typed errors instead of exceptions:
 
   $ echo '[[[[1]]]]' | jsontool ingest --max-depth 3 -
-  {"ok":0,"quarantined":0,"budget_killed":1,"truncated":false}
+  {"ok":0,"quarantined":0,"budget_killed":1,"budget_by_cause":{"max-depth":1},"truncated":false}
   $ jsontool ingest --max-docs 1 messy.ndjson
-  {"ok":1,"quarantined":0,"budget_killed":1,"truncated":true}
+  {"ok":1,"quarantined":0,"budget_killed":1,"budget_by_cause":{"max-docs":1},"truncated":true}
 
 Seeded fault injection: the report accounts for every fault, and the
 corrupting ones match the quarantine count exactly.
@@ -53,13 +53,13 @@ corrupting ones match the quarantine count exactly.
 With a document byte budget, the oversized faults become budget kills:
 
   $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 -
-  {"ok":42,"quarantined":5,"budget_killed":4,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
+  {"ok":42,"quarantined":5,"budget_killed":4,"budget_by_cause":{"max-bytes":4},"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
 
 Sharded parallel execution is byte-identical to sequential — same report,
 same dead letters in the same order, same inferred type:
 
   $ jsontool generate -c orders -n 50 --seed 5 | jsontool ingest --chaos 7 --max-bytes 16384 --jobs 4 -
-  {"ok":42,"quarantined":5,"budget_killed":4,"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
+  {"ok":42,"quarantined":5,"budget_killed":4,"budget_by_cause":{"max-bytes":4},"truncated":false,"chaos_faults":10,"chaos_corrupting":5,"chaos_oversized":4,"chaos_duplicated":1}
   $ jsontool generate -c orders -n 200 --seed 5 > par.ndjson
   $ jsontool ingest --quarantine dead1.ndjson par.ndjson > report1.json
   wrote 0 dead letters to dead1.ndjson
@@ -170,3 +170,39 @@ Discovery on a mixed collection:
   $ jsontool generate -c tickets -n 10 --seed 1 >> mixed.ndjson
   $ jsontool discover --threshold 0.3 mixed.ndjson | grep -c 'cluster'
   2
+
+Observability: --stats-json prints one JSON object on stderr. Timings and
+sizes vary run to run, so every numeric value is masked to N — the assertion
+is that the *key set* of each command's telemetry is stable. The inputs are
+the checked-in fixtures under test/corpus.
+
+  $ mask() { sed -E 's/:-?[0-9][^,}"]*/:N/g'; }
+
+Ingest of a clean corpus: parser counters and size histograms, no errors:
+
+  $ jsontool ingest --stats-json ../corpus/optional_fields.ndjson 2>&1 >/dev/null | mask
+  {"counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{},"histograms":{"parse.budget_headroom_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.budget_headroom_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+A corpus with syntax faults adds quarantine and error counters; the report
+itself (stdout) is exact:
+
+  $ jsontool ingest --stats-json ../corpus/broken.ndjson 2>stats.json
+  {"ok":3,"quarantined":2,"budget_killed":0,"truncated":false}
+  $ mask < stats.json
+  {"counters":{"ingest.docs_ok":N,"ingest.docs_quarantined":N,"parse.bytes":N,"parse.docs":N,"parse.errors.syntax":N,"parse.nodes":N},"gauges":{},"histograms":{"parse.budget_headroom_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.budget_headroom_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+A depth budget turns the deep fixture into a typed budget kill, visible in
+both the report and the telemetry:
+
+  $ jsontool ingest --max-depth 4 --stats-json ../corpus/deep.ndjson 2>stats.json
+  {"ok":1,"quarantined":0,"budget_killed":1,"budget_by_cause":{"max-depth":1},"truncated":false}
+  $ mask < stats.json
+  {"counters":{"ingest.budget.max-depth":N,"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.errors.budget.max-depth":N,"parse.nodes":N},"gauges":{},"histograms":{"parse.budget_headroom_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.budget_headroom_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+Inference adds merge counters, the union-width histogram, and the infer
+span; the inferred type over the drifting fixture is exact:
+
+  $ jsontool infer --stats-json ../corpus/mixed_types.ndjson 2>stats.json
+  {v: Null + Bool + Num + Str}
+  $ mask < stats.json
+  {"counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
