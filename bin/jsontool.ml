@@ -73,6 +73,101 @@ let jobs_arg =
            ~doc:"Shard the work across $(docv) domains (default 1, sequential). \
                  Output is byte-identical for every job count.")
 
+(* supervision flags: shared by ingest/infer/validate. Supervision engages
+   only when one of them is given, so the default paths — and their
+   telemetry key sets — are exactly the pre-supervisor ones. *)
+
+type sup_opts = {
+  sup_retries : int;
+  sup_timeout_ms : float option;
+  sup_checkpoint : string;
+  sup_resume : bool;
+  sup_chaos_workers : int option;
+  sup_chaos_worker_rate : float;
+  sup_chaos_worker_permanent : bool;
+}
+
+let sup_term =
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed shard up to $(docv) times (with deterministic \
+                   exponential backoff) before quarantining it. Engages the \
+                   shard supervisor.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "shard-timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-attempt wall-clock deadline per shard, enforced \
+                   cooperatively at document boundaries. Engages the shard \
+                   supervisor.")
+  in
+  let checkpoint =
+    Arg.(value & opt string ""
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Journal completed shards to $(docv) so an interrupted run \
+                   can resume. Engages the shard supervisor.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Reuse completed shards from the --checkpoint journal \
+                   (verified against the input fingerprint); only missing or \
+                   poisoned shards are recomputed. Use the same --jobs as the \
+                   original run to actually skip work.")
+  in
+  let chaos_workers =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-workers" ] ~docv:"SEED"
+             ~doc:"Inject seeded worker faults into shard execution (see \
+                   --chaos-worker-rate); a drill for the retry policy. Engages \
+                   the shard supervisor.")
+  in
+  let chaos_worker_rate =
+    Arg.(value & opt float 0.3
+         & info [ "chaos-worker-rate" ] ~docv:"P"
+             ~doc:"Fraction of shards that fault under --chaos-workers \
+                   (default 0.3).")
+  in
+  let chaos_worker_permanent =
+    Arg.(value & flag
+         & info [ "chaos-worker-permanent" ]
+             ~doc:"Injected worker faults fail every attempt (default: \
+                   transient — they heal after 1-2 attempts).")
+  in
+  let mk sup_retries sup_timeout_ms sup_checkpoint sup_resume sup_chaos_workers
+      sup_chaos_worker_rate sup_chaos_worker_permanent =
+    { sup_retries; sup_timeout_ms; sup_checkpoint; sup_resume;
+      sup_chaos_workers; sup_chaos_worker_rate; sup_chaos_worker_permanent }
+  in
+  Term.(const mk $ retries $ timeout $ checkpoint $ resume $ chaos_workers
+        $ chaos_worker_rate $ chaos_worker_permanent)
+
+let sup_engaged o =
+  o.sup_retries > 0 || o.sup_timeout_ms <> None || o.sup_checkpoint <> ""
+  || o.sup_chaos_workers <> None
+
+let sup_policy o =
+  { Supervisor.default_policy with
+    Supervisor.max_attempts = 1 + max 0 o.sup_retries;
+    timeout_ms = o.sup_timeout_ms }
+
+let sup_inject o =
+  Option.map
+    (fun seed ->
+      Chaos.worker_faults ~seed ~rate:o.sup_chaos_worker_rate
+        ~permanent:o.sup_chaos_worker_permanent ())
+    o.sup_chaos_workers
+
+let sup_checkpoint o = if o.sup_checkpoint = "" then None else Some o.sup_checkpoint
+
+let emit_supervision (sup : Pipeline.supervision) =
+  let s = sup.Pipeline.sup_stats in
+  Printf.eprintf
+    "supervisor: shards=%d attempts=%d retries=%d poisoned=%d degraded=%d resumed=%d\n"
+    s.Supervisor.shards s.Supervisor.attempts s.Supervisor.retries
+    s.Supervisor.poisoned s.Supervisor.degraded sup.Pipeline.sup_resumed
+
 (* observability flags: both create a recording sink; the report goes to
    stderr so stdout stays exactly the command's normal output *)
 
@@ -142,7 +237,7 @@ let ingest_cmd =
          & info [ "chaos-rate" ] ~docv:"P" ~doc:"Fraction of lines to fault (default 0.2).")
   in
   let run max_depth max_bytes max_nodes max_string max_docs dup_keys quarantine
-      chaos chaos_rate jobs stats stats_json file =
+      chaos chaos_rate sup jobs stats stats_json file =
     let sink = make_sink ~stats ~stats_json in
     let text = read_input file in
     let text, faults =
@@ -162,14 +257,35 @@ let ingest_cmd =
         max_docs = cap max_docs d.Resilient.max_docs }
     in
     let options = { Json.Parser.default_options with dup_keys } in
-    let r = Parallel.ingest ~budget ~options ~jobs ~telemetry:sink text in
+    let r =
+      if sup_engaged sup then begin
+        let r, s =
+          or_die
+            (Pipeline.ingest_ndjson_supervised ~budget ~options
+               ~policy:(sup_policy sup) ?inject:(sup_inject sup)
+               ?checkpoint:(sup_checkpoint sup) ~resume:sup.sup_resume ~jobs
+               ~telemetry:sink text)
+        in
+        emit_supervision s;
+        r
+      end
+      else Parallel.ingest ~budget ~options ~jobs ~telemetry:sink text
+    in
+    (* attribution: dead letters an injected fault can claim get the fault's
+       site id as their cause, so a drill is distinguishable from a real
+       corpus problem in quarantine output *)
+    let dead =
+      match faults with
+      | Some o -> Chaos.attribute o r.Resilient.dead
+      | None -> r.Resilient.dead
+    in
     (if quarantine <> "" then begin
        let oc = open_out quarantine in
        List.iter
          (fun dl ->
            output_string oc (Json.Printer.to_string (Resilient.dead_letter_to_json dl));
            output_char oc '\n')
-         r.Resilient.dead;
+         dead;
        close_out oc
      end);
     let report_fields =
@@ -188,16 +304,15 @@ let ingest_cmd =
     print_endline (Json.Printer.to_string (Json.Value.Object report_fields));
     emit_stats ~stats ~stats_json sink;
     if quarantine <> "" then
-      Printf.eprintf "wrote %d dead letters to %s\n"
-        (List.length r.Resilient.dead) quarantine
+      Printf.eprintf "wrote %d dead letters to %s\n" (List.length dead) quarantine
   in
   Cmd.v
     (Cmd.info "ingest"
        ~doc:"Resilient NDJSON ingestion: budgets, quarantine, fault injection.")
     Term.(const run $ max_depth_arg ~default:Resilient.default_budget.Resilient.max_depth
           $ max_bytes $ max_nodes $ max_string $ max_docs $ dup_keys_arg
-          $ quarantine $ chaos $ chaos_rate $ jobs_arg $ stats_arg $ stats_json_arg
-          $ input_arg)
+          $ quarantine $ chaos $ chaos_rate $ sup_term $ jobs_arg $ stats_arg
+          $ stats_json_arg $ input_arg)
 
 (* --- validate -------------------------------------------------------- *)
 
@@ -210,13 +325,42 @@ let validate_cmd =
          & info [ "language"; "l" ] ~doc:"Schema language: jsonschema or jsound.")
   in
   let formats = Arg.(value & flag & info [ "assert-formats" ] ~doc:"Treat format as an assertion.") in
-  let run language formats jobs stats stats_json schema_file file =
+  let run language formats sup jobs stats stats_json schema_file file =
     let sink = make_sink ~stats ~stats_json in
-    let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
     let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
     let failures = ref 0 in
+    let print_failures ndocs fs =
+      List.iter
+        (fun (i, es) ->
+          incr failures;
+          List.iter
+            (fun e ->
+              Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
+            es)
+        fs;
+      Printf.printf "%d/%d documents valid\n" (ndocs - !failures) ndocs
+    in
     (match language with
+     | `Jsonschema when sup_engaged sup ->
+         (* supervised path: quarantining ingestion + per-shard validation
+            under retry/timeout, with optional checkpoint/resume *)
+         let config =
+           { Jsonschema.Validate.default_config with
+             Jsonschema.Validate.assert_formats = formats;
+             telemetry = sink }
+         in
+         let r, fs, s =
+           or_die
+             (Pipeline.validate_ndjson_supervised ~config
+                ~budget:Resilient.unbounded_budget ~policy:(sup_policy sup)
+                ?inject:(sup_inject sup) ?checkpoint:(sup_checkpoint sup)
+                ~resume:sup.sup_resume ~jobs ~telemetry:sink ~root:schema_json
+                (read_input file))
+         in
+         emit_supervision s;
+         print_failures (List.length r.Resilient.docs) fs
      | `Jsonschema ->
+         let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
          let config =
            { Jsonschema.Validate.default_config with
              Jsonschema.Validate.assert_formats = formats;
@@ -224,15 +368,10 @@ let validate_cmd =
          in
          (* shard-parallel over document batches; failures come back in
             input order, so the printout matches the sequential one *)
-         List.iter
-           (fun (i, es) ->
-             incr failures;
-             List.iter
-               (fun e ->
-                 Printf.printf "document %d: %s\n" i (Jsonschema.Validate.string_of_error e))
-               es)
+         print_failures (List.length docs)
            (Parallel.validate ~config ~jobs ~telemetry:sink ~root:schema_json docs)
      | `Jsound ->
+         let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
          let schema = or_die (Jsound.parse schema_json) in
          List.iteri
            (fun i v ->
@@ -243,14 +382,15 @@ let validate_cmd =
                  List.iter
                    (fun e -> Printf.printf "document %d: %s\n" i (Jsound.string_of_error e))
                    es)
-           docs);
-    Printf.printf "%d/%d documents valid\n" (List.length docs - !failures) (List.length docs);
+           docs;
+         Printf.printf "%d/%d documents valid\n" (List.length docs - !failures)
+           (List.length docs));
     emit_stats ~stats ~stats_json sink;
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
-    Term.(const run $ language $ formats $ jobs_arg $ stats_arg $ stats_json_arg
-          $ schema_file $ input_arg)
+    Term.(const run $ language $ formats $ sup_term $ jobs_arg $ stats_arg
+          $ stats_json_arg $ schema_file $ input_arg)
 
 (* --- infer ----------------------------------------------------------- *)
 
@@ -271,18 +411,40 @@ let infer_cmd =
                        ("typescript", `Ts); ("swift", `Swift) ]) `Type
          & info [ "output"; "o" ] ~doc:"Output form for parametric inference.")
   in
-  let run approach equiv output jobs stats stats_json file =
+  let run approach equiv output sup jobs stats stats_json file =
     let sink = make_sink ~stats ~stats_json in
+    let print_inferred inferred output =
+      match output with
+      | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
+      | `Counting -> print_endline (Jtype.Counting.to_string inferred.Pipeline.counting)
+      | `Schema -> print_endline (Json.Printer.to_string_pretty inferred.Pipeline.json_schema)
+      | `Ts -> print_endline inferred.Pipeline.typescript
+      | `Swift -> print_endline inferred.Pipeline.swift
+    in
+    if approach = `Parametric && sup_engaged sup then begin
+      (* supervised path: quarantining ingestion (unlike the fail-fast
+         default), retry/timeout per shard, optional checkpoint/resume *)
+      let inferred, r, s =
+        or_die
+          (Pipeline.infer_ndjson_supervised ~equiv
+             ~budget:Resilient.unbounded_budget ~policy:(sup_policy sup)
+             ?inject:(sup_inject sup) ?checkpoint:(sup_checkpoint sup)
+             ~resume:sup.sup_resume ~jobs ~telemetry:sink (read_input file))
+      in
+      emit_supervision s;
+      (match inferred with
+       | Some inferred -> print_inferred inferred output
+       | None ->
+           Printf.eprintf "jsontool: no documents survived ingestion (%d dead)\n"
+             (List.length r.Resilient.dead);
+           exit 1);
+      emit_stats ~stats ~stats_json sink
+    end
+    else begin
     let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
     (match approach with
-    | `Parametric -> (
-        let inferred = Pipeline.infer ~equiv ~jobs ~telemetry:sink docs in
-        match output with
-        | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
-        | `Counting -> print_endline (Jtype.Counting.to_string inferred.Pipeline.counting)
-        | `Schema -> print_endline (Json.Printer.to_string_pretty inferred.Pipeline.json_schema)
-        | `Ts -> print_endline inferred.Pipeline.typescript
-        | `Swift -> print_endline inferred.Pipeline.swift)
+    | `Parametric ->
+        print_inferred (Pipeline.infer ~equiv ~jobs ~telemetry:sink docs) output
     | `Spark ->
         let f = Inference.Spark.infer docs in
         print_endline (Inference.Spark.field_to_ddl f)
@@ -299,9 +461,10 @@ let infer_cmd =
           sk.Inference.Skeleton.groups;
         Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped);
     emit_stats ~stats ~stats_json sink
+    end
   in
   Cmd.v (Cmd.info "infer" ~doc:"Infer a schema from a collection.")
-    Term.(const run $ approach $ equiv $ output $ jobs_arg $ stats_arg
+    Term.(const run $ approach $ equiv $ output $ sup_term $ jobs_arg $ stats_arg
           $ stats_json_arg $ input_arg)
 
 (* --- stats ----------------------------------------------------------- *)

@@ -8,7 +8,9 @@ let fault_name = function
 
 let all_faults = [ Truncate; Bit_flip; Duplicate_line; Oversize ]
 
-type injected = { line : int; fault : fault }
+type injected = { line : int; out_line : int; fault : fault; site : string }
+
+let site_id fault line = Printf.sprintf "chaos:%s@L%d" (fault_name fault) line
 
 type outcome = {
   text : string;
@@ -66,14 +68,20 @@ let corrupt ?(faults = all_faults) ?(pad = 65536) ~seed ~rate text =
   let oversized = ref 0 in
   let duplicated = ref 0 in
   let lines = String.split_on_char '\n' text in
-  let emit line = Buffer.add_string buf line; Buffer.add_char buf '\n' in
+  (* 1-based line the next [emit] lands on in the corrupted output; faults
+     record it so quarantine output can be attributed back to the injection
+     site even though duplications shift everything below them *)
+  let out = ref 1 in
+  let emit line = Buffer.add_string buf line; Buffer.add_char buf '\n'; incr out in
   List.iteri
     (fun i line ->
       if String.trim line = "" then ()
       else if Random.State.float st 1.0 >= rate then emit line
       else begin
         let fault = pick () in
-        injected := { line = i + 1; fault } :: !injected;
+        injected :=
+          { line = i + 1; out_line = !out; fault; site = site_id fault (i + 1) }
+          :: !injected;
         match fault with
         | Duplicate_line ->
             incr duplicated;
@@ -100,3 +108,40 @@ let corrupt ?(faults = all_faults) ?(pad = 65536) ~seed ~rate text =
     corrupting = !corrupting;
     oversized = !oversized;
     duplicated = !duplicated }
+
+(* --- attribution -------------------------------------------------------- *)
+
+let attribute outcome dead =
+  (* only the fault classes that *cause* quarantine can claim a dead letter;
+     a Duplicate_line record is valid JSON and any failure on it is real *)
+  let sites = Hashtbl.create 16 in
+  List.iter
+    (fun inj ->
+      match inj.fault with
+      | Truncate | Bit_flip | Oversize -> Hashtbl.replace sites inj.out_line inj.site
+      | Duplicate_line -> ())
+    outcome.injected;
+  List.map
+    (fun (d : Resilient.dead_letter) ->
+      match Hashtbl.find_opt sites d.Resilient.line with
+      | Some site -> { d with Resilient.cause = site }
+      | None -> d)
+    dead
+
+(* --- deterministic worker-fault plans ----------------------------------- *)
+
+let worker_faults ~seed ~rate ?(permanent = false) () ~shard ~attempt =
+  (* the plan is a pure function of (seed, shard): re-seeding per call makes
+     the decision independent of call order, so a retried or resumed run
+     sees exactly the faults the first run saw *)
+  let st = Random.State.make [| 0x57ea1; seed; shard |] in
+  if Random.State.float st 1.0 >= rate then None
+  else if permanent then Some (Printf.sprintf "chaos:worker@shard%d:permanent" shard)
+  else begin
+    (* transient: the first k attempts fail, then the shard heals — a retry
+       policy with max_attempts > k must recover it *)
+    let k = 1 + Random.State.int st 2 in
+    if attempt <= k then
+      Some (Printf.sprintf "chaos:worker@shard%d:transient%d" shard k)
+    else None
+  end

@@ -14,6 +14,8 @@ module Query = Query
 module Pipeline = Pipeline
 module Resilient = Resilient
 module Parallel = Parallel
+module Supervisor = Supervisor
+module Checkpoint = Checkpoint
 module Chaos = Chaos
 module Telemetry = Telemetry
 module Telemetry_report = Telemetry_report

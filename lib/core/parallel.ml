@@ -164,6 +164,7 @@ let merge_reports (a : Resilient.report) (b : Resilient.report) =
     budget_killed = a.Resilient.budget_killed + b.Resilient.budget_killed;
     budget_causes =
       Resilient.merge_causes a.Resilient.budget_causes b.Resilient.budget_causes;
+    poisoned = a.Resilient.poisoned + b.Resilient.poisoned;
     truncated = a.Resilient.truncated || b.Resilient.truncated }
 
 let dead_order (a : Resilient.dead_letter) (b : Resilient.dead_letter) =

@@ -43,6 +43,14 @@ val shards : jobs:int -> string -> shard list
     only just after ['\n'] so no NDJSON line is divided. Spans are balanced
     by bytes, not by line count. *)
 
+val merge_reports : Resilient.report -> Resilient.report -> Resilient.report
+(** Sum two shard reports (counters add, cause breakdowns merge, truncation
+    ors). Also used by the supervised pipelines ({!Pipeline}). *)
+
+val dead_order : Resilient.dead_letter -> Resilient.dead_letter -> int
+(** Global input order for dead letters (by whole-input byte offset) — the
+    order the sequential scan produces them in. *)
+
 (** {1 Sharded pipelines} *)
 
 val ingest :

@@ -46,6 +46,347 @@ let validate_ndjson ?config ?budget ?(jobs = 1) ?telemetry ~root text =
   in
   (r, failures)
 
+(* --- supervised sharded execution with checkpoint/resume ---------------- *)
+
+type supervision = {
+  sup_stats : Supervisor.stats;
+  sup_resumed : int;
+}
+
+(* a poisoned shard becomes one dead letter in whole-input coordinates, so
+   quarantine triage reads the same whether a single document or a whole
+   shard was lost *)
+let poison_letter ~(sh : Parallel.shard) ~failure ~attempts text =
+  let len = min 80 sh.Parallel.s_len in
+  { Resilient.line = sh.Parallel.s_line;
+    byte_offset = sh.Parallel.s_off;
+    error =
+      Printf.sprintf "shard at line %d poisoned after %d attempt%s: %s"
+        sh.Parallel.s_line attempts
+        (if attempts = 1 then "" else "s")
+        (Supervisor.failure_describe failure);
+    kind = Resilient.Shard (Supervisor.failure_label failure);
+    cause = Supervisor.failure_describe failure;
+    attempts;
+    raw_prefix = String.sub text sh.Parallel.s_off len }
+
+(* Run [encode . ingest] per shard under the supervisor, journaling each
+   completed shard. Returns per-shard results in shard order: completed
+   shards carry (ingest, payload-json, resumed?), poisoned ones their
+   failure. The payload is pipeline-specific (partial inference, local
+   validation failures); callers decode it back from JSON for resumed and
+   fresh shards alike, so both take the identical code path — that, plus
+   exact JSON round-trips, is what makes resume byte-identical. *)
+let supervised_engine ?(budget = Resilient.default_budget) ?options
+    ?(policy = Supervisor.default_policy) ?inject ?checkpoint ?(resume = false)
+    ?(jobs = 1) ?(telemetry = Telemetry.nop) ~job ~encode text =
+  let shards =
+    (* a document-count budget is a global order-dependent cap: it cannot
+       be applied per shard, so the whole input becomes one shard *)
+    if String.length text = 0 then []
+    else if budget.Resilient.max_docs <> None then
+      [ { Parallel.s_off = 0; s_len = String.length text; s_line = 1 } ]
+    else Parallel.shards ~jobs text
+  in
+  let journal_r =
+    match checkpoint with
+    | None -> Ok (None, [])
+    | Some path -> (
+        match Checkpoint.start ~path ~resume ~job ~input:text with
+        | Ok (j, entries) -> Ok (Some j, entries)
+        | Error e -> Error e)
+  in
+  match journal_r with
+  | Error e -> Error e
+  | Ok (journal, entries) ->
+      let find_entry (sh : Parallel.shard) =
+        List.find_opt
+          (fun e ->
+            e.Checkpoint.e_off = sh.Parallel.s_off
+            && e.Checkpoint.e_len = sh.Parallel.s_len
+            && e.Checkpoint.e_line = sh.Parallel.s_line)
+          entries
+      in
+      let tagged = List.map (fun sh -> (sh, find_entry sh)) shards in
+      let resumed_n =
+        List.fold_left
+          (fun n (_, e) -> if e = None then n else n + 1)
+          0 tagged
+      in
+      if resumed_n > 0 then
+        Telemetry.count telemetry "checkpoint.resumed_shards" resumed_n;
+      let pending =
+        List.concat
+          (List.mapi
+             (fun i (sh, e) -> if e = None then [ (i, sh) ] else [])
+             tagged)
+      in
+      (* pending shards keep their *global* index, so a deterministic fault
+         plan (Chaos.worker_faults) hits the same shards in a resumed run
+         as in the original — and never hits already-journaled ones *)
+      let globals = Array.of_list (List.map fst pending) in
+      let inject =
+        Option.map
+          (fun plan ~shard ~attempt -> plan ~shard:globals.(shard) ~attempt)
+          inject
+      in
+      (* the journal is shared across pool domains; entries land in
+         completion order, which is fine — resume matches by coordinates,
+         not position *)
+      let jmutex = Mutex.create () in
+      let record (sh : Parallel.shard) ing pjson =
+        match journal with
+        | None -> ()
+        | Some j ->
+            Mutex.lock jmutex;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock jmutex)
+              (fun () ->
+                Checkpoint.record j
+                  { Checkpoint.e_off = sh.Parallel.s_off;
+                    e_len = sh.Parallel.s_len;
+                    e_line = sh.Parallel.s_line;
+                    e_ingest = ing;
+                    e_payload = pjson })
+      in
+      let tasks =
+        List.map
+          (fun (_, (sh : Parallel.shard)) ->
+            fun ~attempt ~tick ->
+             let sub = String.sub text sh.Parallel.s_off sh.Parallel.s_len in
+             let ing =
+               Resilient.ingest ~budget ?options ~first_line:sh.Parallel.s_line
+                 ~base_offset:sh.Parallel.s_off ~attempt ~tick ~telemetry sub
+             in
+             let pjson = encode ing in
+             record sh ing pjson;
+             (ing, pjson))
+          pending
+      in
+      let outcomes, stats = Supervisor.run ~policy ~telemetry ?inject ~jobs tasks in
+      let rec zip tagged outcomes =
+        match (tagged, outcomes) with
+        | [], _ -> []
+        | (sh, Some e) :: rest, _ ->
+            (sh, `Ok (e.Checkpoint.e_ingest, e.Checkpoint.e_payload, true))
+            :: zip rest outcomes
+        | (sh, None) :: rest, Supervisor.Done { value = (ing, pjson); _ } :: out ->
+            (sh, `Ok (ing, pjson, false)) :: zip rest out
+        | (sh, None) :: rest, Supervisor.Poisoned { failure; attempts } :: out ->
+            (sh, `Poisoned (failure, attempts)) :: zip rest out
+        | (_, None) :: _, [] -> assert false (* one outcome per pending shard *)
+      in
+      let results = zip tagged outcomes in
+      (match journal with Some j -> Checkpoint.close j | None -> ());
+      Ok (results, { sup_stats = stats; sup_resumed = resumed_n })
+
+(* fuse per-shard results into one ingest: completed shards contribute
+   their documents and dead letters, poisoned shards one synthetic letter
+   each; global dead-letter order and summed reports exactly as the
+   unsupervised parallel path produces them *)
+let merge_supervised results text =
+  let docs =
+    List.concat_map
+      (fun (_, r) ->
+        match r with
+        | `Ok ((ing : Resilient.ingest), _, _) -> ing.Resilient.docs
+        | `Poisoned _ -> [])
+      results
+  in
+  let dead =
+    List.concat_map
+      (fun (sh, r) ->
+        match r with
+        | `Ok ((ing : Resilient.ingest), _, _) -> ing.Resilient.dead
+        | `Poisoned (failure, attempts) ->
+            [ poison_letter ~sh ~failure ~attempts text ])
+      results
+    |> List.stable_sort Parallel.dead_order
+  in
+  let report =
+    List.fold_left
+      (fun acc (_, r) ->
+        match r with
+        | `Ok ((ing : Resilient.ingest), _, _) ->
+            Parallel.merge_reports acc ing.Resilient.report
+        | `Poisoned _ ->
+            { acc with Resilient.poisoned = acc.Resilient.poisoned + 1 })
+      Resilient.empty_report results
+  in
+  { Resilient.docs; dead; report }
+
+let ingest_ndjson_supervised ?budget ?options ?policy ?inject ?checkpoint
+    ?resume ?jobs ?telemetry text =
+  match
+    supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
+      ?jobs ?telemetry ~job:"ingest"
+      ~encode:(fun _ -> Json.Value.Null)
+      text
+  with
+  | Error e -> Error e
+  | Ok (results, sup) -> Ok (merge_supervised results text, sup)
+
+let equiv_tag = function Jtype.Merge.Kind -> "kind" | Jtype.Merge.Label -> "label"
+
+let ( let* ) = Result.bind
+
+(* decode every completed shard's payload — resumed and fresh alike take
+   this path, so a corrupt journal can only surface as an explicit error,
+   never as silently different output *)
+let decode_payloads ~decode results =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, `Ok (ing, pjson, _)) :: rest ->
+        let* v = decode (ing : Resilient.ingest) pjson in
+        go (v :: acc) rest
+    | (_, `Poisoned _) :: rest -> go acc rest
+  in
+  go [] results
+
+let infer_ndjson_supervised ?(equiv = Jtype.Merge.Kind) ?name ?budget ?options
+    ?policy ?inject ?checkpoint ?resume ?jobs ?telemetry text =
+  let encode (ing : Resilient.ingest) =
+    let t = Inference.Parametric.infer ~equiv ing.Resilient.docs in
+    let c = Jtype.Counting.infer ~equiv ing.Resilient.docs in
+    Json.Value.Object
+      [ ("jtype", Jtype.Types.to_json t);
+        ("counting", Jtype.Counting.to_json c) ]
+  in
+  let decode _ing pjson =
+    match pjson with
+    | Json.Value.Object fields -> (
+        match (List.assoc_opt "jtype" fields, List.assoc_opt "counting" fields) with
+        | Some tj, Some cj ->
+            let* t = Jtype.Types.of_json tj in
+            let* c = Jtype.Counting.of_json cj in
+            Ok (t, c)
+        | _ -> Error "checkpoint: inference payload missing jtype/counting")
+    | _ -> Error "checkpoint: inference payload must be an object"
+  in
+  match
+    supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
+      ?jobs ?telemetry
+      ~job:("infer:" ^ equiv_tag equiv)
+      ~encode text
+  with
+  | Error e -> Error e
+  | Ok (results, sup) ->
+      let ingest = merge_supervised results text in
+      let* partials = decode_payloads ~decode results in
+      let inferred =
+        match ingest.Resilient.docs with
+        | [] -> None
+        | _ ->
+            let t = Jtype.Merge.merge_all ~equiv (List.map fst partials) in
+            let c = Jtype.Counting.merge_all ~equiv (List.map snd partials) in
+            Some (build_inferred ~name:(Option.value name ~default:"Root") t c)
+      in
+      Ok (inferred, ingest, sup)
+
+let validation_error_to_json (e : Jsonschema.Validate.error) =
+  Json.Value.Object
+    [ ("instance", Json.Value.String (Json.Pointer.to_string e.Jsonschema.Validate.instance_at));
+      ("schema", Json.Value.String (Json.Pointer.to_string e.Jsonschema.Validate.schema_at));
+      ("message", Json.Value.String e.Jsonschema.Validate.message) ]
+
+let validation_error_of_json j =
+  match j with
+  | Json.Value.Object fields -> (
+      match
+        ( List.assoc_opt "instance" fields,
+          List.assoc_opt "schema" fields,
+          List.assoc_opt "message" fields )
+      with
+      | Some (Json.Value.String i), Some (Json.Value.String s),
+        Some (Json.Value.String m) ->
+          let* instance_at = Json.Pointer.parse i in
+          let* schema_at = Json.Pointer.parse s in
+          Ok { Jsonschema.Validate.instance_at; schema_at; message = m }
+      | _ -> Error "checkpoint: malformed validation error")
+  | _ -> Error "checkpoint: validation error must be an object"
+
+let validate_ndjson_supervised ?config ?budget ?options ?policy ?inject
+    ?checkpoint ?resume ?jobs ?telemetry ~root text =
+  let encode (ing : Resilient.ingest) =
+    let failures =
+      List.mapi
+        (fun i v ->
+          match Jsonschema.Validate.validate ?config ~root v with
+          | Ok () -> None
+          | Error es -> Some (i, es))
+        ing.Resilient.docs
+      |> List.filter_map Fun.id
+    in
+    Json.Value.Array
+      (List.map
+         (fun (i, es) ->
+           Json.Value.Object
+             [ ("doc", Json.Value.Int i);
+               ("errors", Json.Value.Array (List.map validation_error_to_json es)) ])
+         failures)
+  in
+  let decode _ing pjson =
+    match pjson with
+    | Json.Value.Array items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Value.Object fields :: rest -> (
+              match
+                (List.assoc_opt "doc" fields, List.assoc_opt "errors" fields)
+              with
+              | Some (Json.Value.Int i), Some (Json.Value.Array ejs) ->
+                  let rec errs acc = function
+                    | [] -> Ok (List.rev acc)
+                    | ej :: more ->
+                        let* e = validation_error_of_json ej in
+                        errs (e :: acc) more
+                  in
+                  let* es = errs [] ejs in
+                  go ((i, es) :: acc) rest
+              | _ -> Error "checkpoint: malformed validation failure")
+          | _ :: _ -> Error "checkpoint: malformed validation failure"
+        in
+        go [] items
+    | _ -> Error "checkpoint: validation payload must be an array"
+  in
+  (* the schema is part of the job identity: a journal written against one
+     schema must not resume a run against another *)
+  let job =
+    "validate:" ^ Checkpoint.fingerprint (Json.Printer.to_string root)
+  in
+  match
+    supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
+      ?jobs ?telemetry ~job ~encode text
+  with
+  | Error e -> Error e
+  | Ok (results, sup) ->
+      let ingest = merge_supervised results text in
+      let* locals = decode_payloads ~decode results in
+      (* rebase each completed shard's document-local failure indices onto
+         the merged document list *)
+      let doc_counts =
+        List.filter_map
+          (fun (_, r) ->
+            match r with
+            | `Ok ((ing : Resilient.ingest), _, _) ->
+                Some (List.length ing.Resilient.docs)
+            | `Poisoned _ -> None)
+          results
+      in
+      let failures =
+        let _, rev =
+          List.fold_left2
+            (fun (base, acc) n fs ->
+              ( base + n,
+                List.rev_append
+                  (List.map (fun (i, es) -> (base + i, es)) fs)
+                  acc ))
+            (0, []) doc_counts locals
+        in
+        List.rev rev
+      in
+      Ok (ingest, failures, sup)
+
 let profile values =
   let t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind values in
   let mongo = Inference.Mongo.analyze values in

@@ -35,6 +35,68 @@ val infer_ndjson_resilient :
     shards ingestion and inference over a domain pool ({!Parallel}) with
     byte-identical results. *)
 
+(** {1 Supervised execution with checkpoint/resume}
+
+    Fault-tolerant variants of the resilient pipelines: shards run under
+    {!Supervisor.run} (retry with deterministic backoff, cooperative
+    per-shard deadlines, graceful degradation), a shard that exhausts its
+    attempts is {e quarantined} as one {!Resilient.dead_letter} with
+    whole-input coordinates ([kind = Shard _], [report.poisoned] counts
+    it) instead of failing the job, and [?checkpoint] journals each
+    completed shard so an interrupted run resumes byte-identically
+    ({!Checkpoint}). Results are deterministic: same input, same policy,
+    same fault plan — same merged output, for any [jobs], interrupted or
+    not. Resume matches journal entries by shard coordinates, so use the
+    same [jobs] value to actually skip work (a different [jobs] is safe
+    but recomputes everything). *)
+
+type supervision = {
+  sup_stats : Supervisor.stats;
+  sup_resumed : int;  (** shards restored from the checkpoint journal *)
+}
+
+val ingest_ndjson_supervised :
+  ?budget:Resilient.budget -> ?options:Json.Parser.options ->
+  ?policy:Supervisor.policy ->
+  ?inject:(shard:int -> attempt:int -> string option) ->
+  ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> string ->
+  (Resilient.ingest * supervision, string) result
+(** Supervised {!Parallel.ingest}. [inject] is a worker-fault plan keyed
+    by {e global} shard index (see {!Chaos.worker_faults}) — consistent
+    across retries and resume, and never consulted for journaled shards.
+    [Error] only for an unusable journal (wrong job, fingerprint
+    mismatch); shard failures never error. *)
+
+val infer_ndjson_supervised :
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
+  ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
+  ?inject:(shard:int -> attempt:int -> string option) ->
+  ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> string ->
+  (inferred option * Resilient.ingest * supervision, string) result
+(** Supervised {!infer_ndjson_resilient}: each shard journals its partial
+    type ({!Jtype.Types.to_json} / {!Jtype.Counting.to_json}) alongside
+    its ingest; the final type merges completed shards' partials, so only
+    genuinely-poisoned shards' documents are missing from it. The journal
+    job tag includes [equiv] — a [Kind] journal cannot resume a [Label]
+    run. *)
+
+val validate_ndjson_supervised :
+  ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
+  ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
+  ?inject:(shard:int -> attempt:int -> string option) ->
+  ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
+  (Resilient.ingest * (int * Jsonschema.Validate.error list) list * supervision,
+   string)
+  result
+(** Supervised {!validate_ndjson}: failure indices are into the merged
+    [ingest.docs], exactly as the unsupervised path reports them. The
+    journal job tag fingerprints the schema, so a journal written against
+    one schema refuses to resume a run against another ([config] is not
+    fingerprinted — resume with the same flags). *)
+
 (** {1 Validation pipeline} *)
 
 val validate_collection :

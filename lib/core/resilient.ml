@@ -27,11 +27,45 @@ let parser_options ?(base = Json.Parser.default_options) b =
     max_nodes = b.max_nodes;
     max_string_bytes = b.max_string_bytes }
 
+type fault_kind =
+  | Parse of Json.Parser.error_kind
+  | Shard of string
+
+let kind_name = function
+  | Parse Json.Parser.Syntax -> "syntax"
+  | Parse (Json.Parser.Budget_exceeded v) -> "budget:" ^ Json.Parser.violation_name v
+  | Shard label -> "shard:" ^ label
+
+let all_violations =
+  [ Json.Parser.Depth_exceeded; Json.Parser.Bytes_exceeded;
+    Json.Parser.Nodes_exceeded; Json.Parser.String_exceeded;
+    Json.Parser.Documents_exceeded ]
+
+let violation_of_name name =
+  List.find_opt (fun v -> Json.Parser.violation_name v = name) all_violations
+
+let kind_of_name name =
+  match String.index_opt name ':' with
+  | None when name = "syntax" -> Some (Parse Json.Parser.Syntax)
+  | None -> None
+  | Some i -> (
+      let prefix = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      match prefix with
+      | "budget" ->
+          Option.map
+            (fun v -> Parse (Json.Parser.Budget_exceeded v))
+            (violation_of_name rest)
+      | "shard" -> Some (Shard rest)
+      | _ -> None)
+
 type dead_letter = {
   line : int;
   byte_offset : int;
   error : string;
-  kind : Json.Parser.error_kind;
+  kind : fault_kind;
+  cause : string;
+  attempts : int;
   raw_prefix : string;
 }
 
@@ -40,11 +74,13 @@ type report = {
   quarantined : int;
   budget_killed : int;
   budget_causes : (Json.Parser.budget_violation * int) list;
+  poisoned : int;
   truncated : bool;
 }
 
 let empty_report =
-  { ok = 0; quarantined = 0; budget_killed = 0; budget_causes = []; truncated = false }
+  { ok = 0; quarantined = 0; budget_killed = 0; budget_causes = []; poisoned = 0;
+    truncated = false }
 
 (* deterministic order for reports and merges: by flag-style name *)
 let sort_causes causes =
@@ -96,7 +132,7 @@ let global_error ~start_line (e : Json.Parser.error) =
 let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
 let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset = 0)
-    ?(telemetry = Telemetry.nop) src =
+    ?(attempt = 1) ?(tick = fun () -> ()) ?(telemetry = Telemetry.nop) src =
   let options =
     { (parser_options ?base:options budget) with Json.Parser.allow_trailing = true }
   in
@@ -132,11 +168,14 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
       { line = !line;
         byte_offset = base_offset + start;
         error;
-        kind;
+        kind = Parse kind;
+        cause = kind_name (Parse kind);
+        attempts = attempt;
         raw_prefix = raw_prefix src ~lo:start ~hi:stop }
       :: !dead
   in
   let rec go pos =
+    tick ();
     let pos = skip_ws pos in
     advance_to pos;
     if pos >= n then ()
@@ -183,6 +222,7 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
         quarantined = !quarantined;
         budget_killed = !budget_killed;
         budget_causes = sort_causes !causes;
+        poisoned = 0;
         truncated = !truncated } }
 
 let parse_ndjson_strict ?(budget = unbounded_budget) ?options src =
@@ -244,7 +284,9 @@ let project ?(budget = default_budget) ?(telemetry = Telemetry.nop) ~fields src 
                    { line = lineno;
                      byte_offset = pos;
                      error = msg;
-                     kind;
+                     kind = Parse kind;
+                     cause = kind_name (Parse kind);
+                     attempts = 1;
                      raw_prefix = raw_prefix src ~lo:pos ~hi:stop }
                    :: !dead));
       go (lineno + 1) (stop + 1)
@@ -258,6 +300,7 @@ let project ?(budget = default_budget) ?(telemetry = Telemetry.nop) ~fields src 
         quarantined = !quarantined;
         budget_killed = !budget_killed;
         budget_causes = sort_causes !causes;
+        poisoned = 0;
         truncated = !truncated };
     mison = Fastjson.Mison.stats t }
 
@@ -270,7 +313,8 @@ let report_to_json r =
       ("budget_killed", Json.Value.Int r.budget_killed) ]
   in
   (* the cause breakdown is keyed by flag-style name and omitted when there
-     were no budget kills, so the common report shape is unchanged *)
+     were no budget kills, so the common report shape is unchanged; the
+     [poisoned] shard counter likewise only appears under a supervisor *)
   let by_cause =
     match r.budget_causes with
     | [] -> []
@@ -282,18 +326,113 @@ let report_to_json r =
                    (Json.Parser.violation_name v, Json.Value.Int n))
                  causes) ) ]
   in
+  let poisoned =
+    if r.poisoned = 0 then [] else [ ("poisoned", Json.Value.Int r.poisoned) ]
+  in
   Json.Value.Object
-    (base @ by_cause @ [ ("truncated", Json.Value.Bool r.truncated) ])
+    (base @ by_cause @ poisoned @ [ ("truncated", Json.Value.Bool r.truncated) ])
 
 let dead_letter_to_json d =
-  let kind_str =
-    match d.kind with
-    | Json.Parser.Syntax -> "syntax"
-    | Json.Parser.Budget_exceeded v -> "budget:" ^ Json.Parser.violation_name v
-  in
   Json.Value.Object
     [ ("line", Json.Value.Int d.line);
       ("byte_offset", Json.Value.Int d.byte_offset);
-      ("kind", Json.Value.String kind_str);
+      ("kind", Json.Value.String (kind_name d.kind));
+      ("cause", Json.Value.String d.cause);
+      ("attempts", Json.Value.Int d.attempts);
       ("error", Json.Value.String d.error);
       ("raw_prefix", Json.Value.String d.raw_prefix) ]
+
+(* --- round trips for the checkpoint journal ---------------------------- *)
+
+let ( let* ) = Result.bind
+
+let member name = function
+  | Json.Value.Object fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "resilient json: missing %S" name))
+  | _ -> Error "resilient json: expected an object"
+
+let int_field name v =
+  let* f = member name v in
+  match f with
+  | Json.Value.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "resilient json: %S must be an integer" name)
+
+let string_field name v =
+  let* f = member name v in
+  match f with
+  | Json.Value.String s -> Ok s
+  | _ -> Error (Printf.sprintf "resilient json: %S must be a string" name)
+
+let bool_field name v =
+  let* f = member name v in
+  match f with
+  | Json.Value.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "resilient json: %S must be a boolean" name)
+
+let report_of_json v =
+  let* ok = int_field "ok" v in
+  let* quarantined = int_field "quarantined" v in
+  let* budget_killed = int_field "budget_killed" v in
+  let* truncated = bool_field "truncated" v in
+  let poisoned =
+    match int_field "poisoned" v with Ok n -> n | Error _ -> 0
+  in
+  let* budget_causes =
+    match v with
+    | Json.Value.Object fields -> (
+        match List.assoc_opt "budget_by_cause" fields with
+        | None -> Ok []
+        | Some (Json.Value.Object causes) ->
+            List.fold_left
+              (fun acc (name, n) ->
+                let* acc = acc in
+                match (violation_of_name name, n) with
+                | Some viol, Json.Value.Int n -> Ok ((viol, n) :: acc)
+                | _ -> Error ("resilient json: bad budget cause " ^ name))
+              (Ok []) causes
+            |> Result.map List.rev
+        | Some _ -> Error "resilient json: budget_by_cause must be an object")
+    | _ -> Error "resilient json: expected an object"
+  in
+  Ok
+    { ok; quarantined; budget_killed; budget_causes = sort_causes budget_causes;
+      poisoned; truncated }
+
+let dead_letter_of_json v =
+  let* line = int_field "line" v in
+  let* byte_offset = int_field "byte_offset" v in
+  let* kind_str = string_field "kind" v in
+  let* cause = string_field "cause" v in
+  let* attempts = int_field "attempts" v in
+  let* error = string_field "error" v in
+  let* raw_prefix = string_field "raw_prefix" v in
+  match kind_of_name kind_str with
+  | None -> Error ("resilient json: unknown dead-letter kind " ^ kind_str)
+  | Some kind -> Ok { line; byte_offset; error; kind; cause; attempts; raw_prefix }
+
+let ingest_to_json r =
+  Json.Value.Object
+    [ ("docs", Json.Value.Array r.docs);
+      ("dead", Json.Value.Array (List.map dead_letter_to_json r.dead));
+      ("report", report_to_json r.report) ]
+
+let ingest_of_json v =
+  let* docs = member "docs" v in
+  let* dead = member "dead" v in
+  let* report = member "report" v in
+  match (docs, dead) with
+  | Json.Value.Array docs, Json.Value.Array dead ->
+      let* dead =
+        List.fold_left
+          (fun acc d ->
+            let* acc = acc in
+            let* d = dead_letter_of_json d in
+            Ok (d :: acc))
+          (Ok []) dead
+        |> Result.map List.rev
+      in
+      let* report = report_of_json report in
+      Ok { docs; dead; report }
+  | _ -> Error "resilient json: docs and dead must be arrays"

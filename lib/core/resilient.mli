@@ -39,11 +39,35 @@ val parser_options : ?base:Json.Parser.options -> budget -> Json.Parser.options
     {!Json.Parser.default_options}; [max_docs] is enforced here, not by the
     parser). *)
 
+type fault_kind =
+  | Parse of Json.Parser.error_kind
+      (** one document failed: syntax fault vs. which budget *)
+  | Shard of string
+      (** a whole supervised shard was poisoned; the label is the
+          supervisor's failure class ("timeout", "crash", "fault") *)
+
+val kind_name : fault_kind -> string
+(** Stable flag-style rendering: ["syntax"], ["budget:max-depth"],
+    ["shard:timeout"], ... *)
+
+val kind_of_name : string -> fault_kind option
+(** Inverse of {!kind_name} (used by the checkpoint journal). *)
+
 type dead_letter = {
   line : int;         (** 1-based line the document started on *)
   byte_offset : int;  (** offset of the document's first byte *)
   error : string;     (** human-readable, with global line/column *)
-  kind : Json.Parser.error_kind;  (** syntax fault vs. which budget *)
+  kind : fault_kind;  (** what killed the span *)
+  cause : string;
+      (** attribution: defaults to {!kind_name}; rewritten to a fault site
+          id when {!Chaos.attribute} proves the fault was injected, or to
+          the supervisor's failure description for poisoned shards —
+          quarantine triage can tell a real corpus problem from a drill *)
+  attempts : int;
+      (** execution attempts made on the shard that produced this letter
+          (1 = no retry); for a poisoned shard this is the exhausted
+          attempt budget, distinguishing transient-exhausted from
+          first-try-permanent failures *)
   raw_prefix : string;  (** first bytes of the offending span, for triage *)
 }
 
@@ -56,6 +80,7 @@ type report = {
           {!Json.Parser.violation_name} — a depth bomb and an oversized
           document are different operational problems, so the aggregate
           alone is not actionable *)
+  poisoned : int;      (** supervised shards that exhausted every retry *)
   truncated : bool;    (** the [max_docs] cap cut ingestion short *)
 }
 
@@ -75,17 +100,24 @@ type ingest = {
 
 val ingest :
   ?budget:budget -> ?options:Json.Parser.options ->
-  ?first_line:int -> ?base_offset:int -> ?telemetry:Telemetry.sink ->
+  ?first_line:int -> ?base_offset:int ->
+  ?attempt:int -> ?tick:(unit -> unit) -> ?telemetry:Telemetry.sink ->
   string -> ingest
-(** Total: never raises, never errors. Parses an NDJSON / concatenated-JSON
+(** Total: never raises, never errors — with one deliberate exception:
+    whatever [tick] raises propagates. Parses an NDJSON / concatenated-JSON
     text document by document under [budget]; a failing document becomes a
     {!dead_letter} and scanning resumes after the next newline. [options]
     supplies non-budget knobs (duplicate-key policy, ...); its budget fields
     are overridden by [budget]. [first_line] (default 1) and [base_offset]
     (default 0) shift reported line numbers and byte offsets — used by
     {!Parallel} so a shard of a larger input produces dead letters in the
-    coordinates of the whole input. [telemetry] (default {!Telemetry.nop})
-    receives [ingest.docs_ok], [ingest.docs_quarantined],
+    coordinates of the whole input. [attempt] (default 1) stamps every dead
+    letter's [attempts] field — the supervisor passes the current retry
+    attempt so quarantine records carry their retry history. [tick]
+    (default a no-op) is called once per document boundary; {!Supervisor}
+    installs a deadline check here, making shard wall-clock timeouts
+    cooperative instead of preemptive. [telemetry] (default
+    {!Telemetry.nop}) receives [ingest.docs_ok], [ingest.docs_quarantined],
     [ingest.budget.<cap>] counters plus the underlying parser's [parse.*]
     metrics. *)
 
@@ -120,3 +152,14 @@ val project :
 
 val report_to_json : report -> Json.Value.t
 val dead_letter_to_json : dead_letter -> Json.Value.t
+
+(** {1 Round trips}
+
+    Exact inverses of the renderings above ([x_of_json (x_to_json v) = Ok
+    v]); {!Checkpoint} journals completed-shard ingest results in this form
+    so a resumed job reproduces the uninterrupted output byte-identically. *)
+
+val report_of_json : Json.Value.t -> (report, string) result
+val dead_letter_of_json : Json.Value.t -> (dead_letter, string) result
+val ingest_to_json : ingest -> Json.Value.t
+val ingest_of_json : Json.Value.t -> (ingest, string) result

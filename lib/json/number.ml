@@ -42,7 +42,14 @@ let parse s =
      exception out of the lexer. *)
   let float_lit s =
     match float_of_string_opt s with
-    | Some f -> Ok (Float_lit f)
+    | Some f when Float.is_finite f -> Ok (Float_lit f)
+    | Some _ ->
+        (* Overflow to ±infinity loses the value and — worse — produces a
+           float no JSON printer can re-encode, so every component that
+           re-renders parsed documents (checkpoint journals, translation)
+           would trap on it later. Underflow to 0. is lossy but printable,
+           so it stays accepted. *)
+        Error (Printf.sprintf "number literal %S overflows the double range" s)
     | None -> Error (Printf.sprintf "unrepresentable number literal %S" s)
   in
   match scan s with

@@ -12,8 +12,12 @@ type parsed =
 
 val parse : string -> (parsed, string) result
 (** Parse a complete JSON number literal. Rejects leading zeros, bare [.5],
-    [5.], [+5], hex, [NaN], [Infinity] — exactly the RFC grammar. Total:
-    malformed or unrepresentable literals return [Error], never raise. *)
+    [5.], [+5], hex, [NaN], [Infinity] — exactly the RFC grammar — and
+    well-formed literals that overflow the IEEE double range (they would
+    parse to an infinity that {!print_float} cannot re-encode; underflow to
+    [0.] is accepted). Total: malformed or unrepresentable literals return
+    [Error], never raise — so every [Ok] value survives a print/parse
+    round-trip. *)
 
 val is_valid_literal : string -> bool
 

@@ -217,3 +217,87 @@ let rec to_json (t : t) : Json.Value.t =
       Json.Value.Object
         [ ("kind", Json.Value.String "union");
           ("branches", Json.Value.Array (List.map to_json ts)) ]
+
+(* Inverse of [to_json]; the encoding is exact, so checkpoint journals can
+   park a partial counting merge on disk and resume it without re-counting.
+   Shapes [to_json] never emits are rejected, not repaired. *)
+let of_json (v : Json.Value.t) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let member name = function
+    | Json.Value.Object fields -> (
+        match List.assoc_opt name fields with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "counting json: missing %S" name))
+    | _ -> Error "counting json: expected an object"
+  in
+  let int_of = function
+    | Json.Value.Int n -> Ok n
+    | _ -> Error "counting json: expected an integer"
+  in
+  let count_of v =
+    let* c = member "count" v in
+    int_of c
+  in
+  let rec go v =
+    let* tag = member "kind" v in
+    match tag with
+    | Json.Value.String "bottom" -> Ok CBot
+    | Json.Value.String "null" ->
+        let* n = count_of v in
+        Ok (CNull n)
+    | Json.Value.String "boolean" ->
+        let* n = count_of v in
+        Ok (CBool n)
+    | Json.Value.String "integer" ->
+        let* n = count_of v in
+        Ok (CInt n)
+    | Json.Value.String "number" ->
+        let* n = count_of v in
+        Ok (CNum n)
+    | Json.Value.String "string" ->
+        let* n = count_of v in
+        Ok (CStr n)
+    | Json.Value.String "any" ->
+        let* n = count_of v in
+        Ok (CAny n)
+    | Json.Value.String "array" ->
+        let* n = count_of v in
+        let* items = member "items" v in
+        let* elem = go items in
+        Ok (CArr (n, elem))
+    | Json.Value.String "record" -> (
+        let* n = count_of v in
+        let* fields = member "fields" v in
+        match fields with
+        | Json.Value.Object fs ->
+            let* cfields =
+              List.fold_left
+                (fun acc (fname, fv) ->
+                  let* acc = acc in
+                  let* occurs = member "occurs" fv in
+                  let* occurs = int_of occurs in
+                  let* tv = member "type" fv in
+                  let* ftype = go tv in
+                  Ok ({ fname; occurs; ftype } :: acc))
+                (Ok []) fs
+            in
+            Ok (CRec (n, List.rev cfields))
+        | _ -> Error "counting json: record fields must be an object")
+    | Json.Value.String "union" -> (
+        let* branches = member "branches" v in
+        match branches with
+        | Json.Value.Array bs ->
+            let* ts =
+              List.fold_left
+                (fun acc b ->
+                  let* acc = acc in
+                  let* t = go b in
+                  Ok (t :: acc))
+                (Ok []) bs
+            in
+            Ok (CUnion (List.rev ts))
+        | _ -> Error "counting json: union branches must be an array")
+    | Json.Value.String other -> Error ("counting json: unknown kind " ^ other)
+    | _ -> Error "counting json: kind must be a string"
+  in
+  go v

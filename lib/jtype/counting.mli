@@ -50,3 +50,7 @@ val field_probability : t -> string list -> float option
 (** [field_probability t path] is the empirical probability that the
     record field at [path] (a chain of field names from the root) occurs,
     e.g. [["user"; "verified"]]. [None] if the path never occurs. *)
+
+val of_json : Json.Value.t -> (t, string) result
+(** Inverse of {!to_json} ([of_json (to_json t) = Ok t]); lets
+    {!Core.Checkpoint} journal and resume partial counting merges. *)

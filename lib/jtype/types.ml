@@ -166,3 +166,103 @@ and to_string_atom t =
   | _ -> to_string t
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* --- precise JSON serialization ---------------------------------------- *)
+
+(* Unlike [Interop.to_schema_json] (which targets JSON Schema and loses the
+   Int/Num distinction in round trips), this is an exact tagged encoding:
+   [of_json (to_json t) = Ok t] for every [t]. Checkpoint journals rely on
+   that equation to resume an interrupted merge byte-identically. *)
+
+let rec to_json (t : t) : Json.Value.t =
+  let k name = Json.Value.Object [ ("k", Json.Value.String name) ] in
+  match t with
+  | Bot -> k "bot"
+  | Null -> k "null"
+  | Bool -> k "bool"
+  | Int -> k "int"
+  | Num -> k "num"
+  | Str -> k "str"
+  | Any -> k "any"
+  | Arr elem ->
+      Json.Value.Object
+        [ ("k", Json.Value.String "arr"); ("of", to_json elem) ]
+  | Rec fields ->
+      Json.Value.Object
+        [ ("k", Json.Value.String "rec");
+          ("fields",
+           Json.Value.Array
+             (List.map
+                (fun f ->
+                  Json.Value.Object
+                    [ ("name", Json.Value.String f.fname);
+                      ("opt", Json.Value.Bool f.optional);
+                      ("type", to_json f.ftype) ])
+                fields)) ]
+  | Union ts ->
+      Json.Value.Object
+        [ ("k", Json.Value.String "union");
+          ("of", Json.Value.Array (List.map to_json ts)) ]
+
+let of_json (v : Json.Value.t) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let member name = function
+    | Json.Value.Object fields -> (
+        match List.assoc_opt name fields with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "jtype json: missing %S" name))
+    | _ -> Error "jtype json: expected an object"
+  in
+  let rec go v =
+    let* tag = member "k" v in
+    match tag with
+    | Json.Value.String "bot" -> Ok bot
+    | Json.Value.String "null" -> Ok null
+    | Json.Value.String "bool" -> Ok bool
+    | Json.Value.String "int" -> Ok int
+    | Json.Value.String "num" -> Ok num
+    | Json.Value.String "str" -> Ok str
+    | Json.Value.String "any" -> Ok any
+    | Json.Value.String "arr" ->
+        let* elem = member "of" v in
+        let* elem = go elem in
+        Ok (arr elem)
+    | Json.Value.String "rec" -> (
+        let* fields = member "fields" v in
+        match fields with
+        | Json.Value.Array fs ->
+            let* fields =
+              List.fold_left
+                (fun acc fv ->
+                  let* acc = acc in
+                  let* name = member "name" fv in
+                  let* opt = member "opt" fv in
+                  let* ftype = member "type" fv in
+                  match (name, opt) with
+                  | Json.Value.String name, Json.Value.Bool optional ->
+                      let* ftype = go ftype in
+                      Ok (field ~optional name ftype :: acc)
+                  | _ -> Error "jtype json: malformed record field")
+                (Ok []) fs
+            in
+            (try Ok (rec_ (List.rev fields))
+             with Invalid_argument m -> Error m)
+        | _ -> Error "jtype json: rec fields must be an array")
+    | Json.Value.String "union" -> (
+        let* branches = member "of" v in
+        match branches with
+        | Json.Value.Array bs ->
+            let* ts =
+              List.fold_left
+                (fun acc b ->
+                  let* acc = acc in
+                  let* t = go b in
+                  Ok (t :: acc))
+                (Ok []) bs
+            in
+            Ok (union (List.rev ts))
+        | _ -> Error "jtype json: union branches must be an array")
+    | Json.Value.String other -> Error ("jtype json: unknown tag " ^ other)
+    | _ -> Error "jtype json: tag must be a string"
+  in
+  go v

@@ -70,3 +70,12 @@ val to_string : t -> string
     [[Int + Str]], [⊥], [⊤]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Exact JSON serialization}
+
+    A tagged encoding with the round-trip law [of_json (to_json t) = Ok t]
+    — unlike the JSON Schema translation in {!Interop}, nothing is widened
+    or lost. {!Core.Checkpoint} journals partial merges in this form. *)
+
+val to_json : t -> Json.Value.t
+val of_json : Json.Value.t -> (t, string) result

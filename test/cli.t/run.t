@@ -33,7 +33,7 @@ Resilient ingestion: bad documents are quarantined, not fatal.
   {"ok":2,"quarantined":1,"budget_killed":0,"truncated":false}
   wrote 1 dead letters to dead.ndjson
   $ cat dead.ndjson
-  {"line":2,"byte_offset":9,"kind":"syntax","error":"line 2, column 2: unexpected character 'b'","raw_prefix":"{broken "}
+  {"line":2,"byte_offset":9,"kind":"syntax","cause":"syntax","attempts":1,"error":"line 2, column 2: unexpected character 'b'","raw_prefix":"{broken "}
 
 Resource budgets kill documents with typed errors instead of exceptions:
 
@@ -170,6 +170,52 @@ Discovery on a mixed collection:
   $ jsontool generate -c tickets -n 10 --seed 1 >> mixed.ndjson
   $ jsontool discover --threshold 0.3 mixed.ndjson | grep -c 'cluster'
   2
+
+Fault-tolerant supervised execution. Transient worker faults (seeded, so the
+schedule is reproducible) are retried with backoff and the final output is
+byte-identical to an undisturbed run:
+
+  $ jsontool ingest --jobs 4 par.ndjson > plain.json
+  $ cat plain.json
+  {"ok":200,"quarantined":0,"budget_killed":0,"truncated":false}
+  $ jsontool ingest --jobs 4 --retries 2 --chaos-workers 5 par.ndjson > sup.json 2> sup.log
+  $ cmp plain.json sup.json && cat sup.log
+  supervisor: shards=4 attempts=7 retries=3 poisoned=0 degraded=0 resumed=0
+
+Permanent worker faults exhaust the retry budget and poison only their own
+shards: the rest of the input survives, and each poisoned shard becomes one
+dead letter naming the injection site and the attempts spent on it.
+
+  $ jsontool ingest --jobs 4 --retries 1 --chaos-workers 5 --chaos-worker-permanent --quarantine deadp.ndjson par.ndjson 2> sup2.log
+  {"ok":99,"quarantined":0,"budget_killed":0,"poisoned":2,"truncated":false}
+  $ cat sup2.log
+  supervisor: shards=4 attempts=6 retries=2 poisoned=2 degraded=0 resumed=0
+  wrote 2 dead letters to deadp.ndjson
+  $ sed -E 's/,"error".*//' deadp.ndjson
+  {"line":1,"byte_offset":0,"kind":"shard:fault","cause":"chaos:worker@shard0:permanent","attempts":2
+  {"line":103,"byte_offset":21475,"kind":"shard:fault","cause":"chaos:worker@shard2:permanent","attempts":2
+
+Checkpoint/resume round trip: a run "killed" by permanent faults journals
+its completed shards; resuming with healthy workers recomputes only the two
+poisoned shards and reproduces the undisturbed output byte for byte.
+
+  $ jsontool ingest --jobs 4 --chaos-workers 5 --chaos-worker-permanent --checkpoint ck.ndjson par.ndjson > interrupted.json 2> int.log
+  $ cat interrupted.json
+  {"ok":99,"quarantined":0,"budget_killed":0,"poisoned":2,"truncated":false}
+  $ wc -l < ck.ndjson
+  3
+  $ jsontool ingest --jobs 4 --checkpoint ck.ndjson --resume par.ndjson > resumed.json 2> resume.log
+  $ cat resume.log
+  supervisor: shards=2 attempts=2 retries=0 poisoned=0 degraded=0 resumed=2
+  $ cmp plain.json resumed.json && echo identical
+  identical
+
+A journal refuses to resume a different input (the header fingerprints it):
+
+  $ jsontool generate -c orders -n 10 --seed 6 > other.ndjson
+  $ jsontool ingest --jobs 4 --checkpoint ck.ndjson --resume other.ndjson
+  jsontool: checkpoint: input fingerprint mismatch (journal 3355e3b63c8e2379, input bb98fcf00dfebc56) — refusing to resume against different data
+  [1]
 
 Observability: --stats-json prints one JSON object on stderr. Timings and
 sizes vary run to run, so every numeric value is masked to N — the assertion

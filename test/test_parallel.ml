@@ -183,6 +183,348 @@ let test_validate_identical () =
     (ingest_fingerprint seq_r) (ingest_fingerprint par_r);
   Alcotest.(check string) "ndjson failures identical" (render seq_f) (render par_f)
 
+(* --- supervised execution ---------------------------------------------- *)
+
+let fuzz_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 20250806
+
+let count base =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> max 1 (base * n / 500)
+  | _ -> base
+
+(* zero backoff everywhere in tests: retry *semantics* are under test, not
+   retry pacing *)
+let test_policy ?timeout_ms ?degrade_threshold ~retries () =
+  { Supervisor.default_policy with
+    Supervisor.max_attempts = 1 + retries;
+    timeout_ms;
+    base_backoff_ms = 0.0;
+    max_backoff_ms = 0.0;
+    degrade_threshold }
+
+(* dead letters record which attempt finally produced them (observability,
+   not semantics); zero that out when comparing against a sequential
+   reference whose letters are always attempt 1 *)
+let forget_attempts (r : Resilient.ingest) =
+  { r with
+    Resilient.dead =
+      List.map
+        (fun (d : Resilient.dead_letter) -> { d with Resilient.attempts = 1 })
+        r.Resilient.dead }
+
+let sup_ingest ?policy ?inject ?checkpoint ?resume ~jobs text =
+  match
+    Pipeline.ingest_ndjson_supervised ?policy ?inject ?checkpoint ?resume ~jobs
+      text
+  with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_supervisor_no_faults_identical () =
+  (* supervision without faults is invisible: byte-identical to the plain
+     parallel path, which is byte-identical to sequential *)
+  let reference = Resilient.ingest messy_text in
+  List.iter
+    (fun jobs ->
+      let r, s = sup_ingest ~policy:(test_policy ~retries:2 ()) ~jobs messy_text in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d byte-identical" jobs)
+        (ingest_fingerprint reference) (ingest_fingerprint r);
+      Alcotest.(check int) "no retries" 0 s.Pipeline.sup_stats.Supervisor.retries)
+    [ 1; 2; 4; 8 ]
+
+let test_supervisor_transient_recovered () =
+  (* worker_faults heals after at most 2 failed attempts, so 2 retries must
+     recover every shard: no data loss, only retries *)
+  let reference = Resilient.ingest messy_text in
+  let inject = Chaos.worker_faults ~seed:5 ~rate:0.9 () in
+  let r, s =
+    sup_ingest ~policy:(test_policy ~retries:2 ()) ~inject ~jobs:4 messy_text
+  in
+  let s = s.Pipeline.sup_stats in
+  Alcotest.(check bool) "faults actually injected" true (s.Supervisor.faults > 0);
+  Alcotest.(check bool) "retries happened" true (s.Supervisor.retries > 0);
+  Alcotest.(check int) "nothing poisoned" 0 s.Supervisor.poisoned;
+  Alcotest.(check string) "identical modulo attempt counts"
+    (ingest_fingerprint reference) (ingest_fingerprint (forget_attempts r))
+
+let test_supervisor_poison_isolation () =
+  (* permanent faults: the faulted shards are quarantined as dead letters
+     with whole-input coordinates; every other shard is untouched *)
+  let inject = Chaos.worker_faults ~seed:5 ~rate:0.5 ~permanent:true () in
+  let jobs = 4 in
+  let r, s = sup_ingest ~policy:(test_policy ~retries:1 ()) ~inject ~jobs messy_text in
+  let s = s.Pipeline.sup_stats in
+  Alcotest.(check bool) "some shards poisoned" true (s.Supervisor.poisoned > 0);
+  Alcotest.(check bool) "not all shards poisoned" true
+    (s.Supervisor.poisoned < s.Supervisor.shards);
+  Alcotest.(check int) "report counts them" s.Supervisor.poisoned
+    r.Resilient.report.Resilient.poisoned;
+  let shard_letters =
+    List.filter
+      (fun (d : Resilient.dead_letter) ->
+        match d.Resilient.kind with Resilient.Shard _ -> true | _ -> false)
+      r.Resilient.dead
+  in
+  Alcotest.(check int) "one letter per poisoned shard" s.Supervisor.poisoned
+    (List.length shard_letters);
+  let ss = Parallel.shards ~jobs messy_text in
+  List.iter
+    (fun (d : Resilient.dead_letter) ->
+      Alcotest.(check bool) "letter sits on a shard boundary" true
+        (List.exists
+           (fun sh ->
+             sh.Parallel.s_off = d.Resilient.byte_offset
+             && sh.Parallel.s_line = d.Resilient.line)
+           ss);
+      Alcotest.(check int) "attempts = exhausted budget" 2 d.Resilient.attempts;
+      Alcotest.(check bool) "cause is the injected site" true
+        (String.length d.Resilient.cause >= String.length "chaos:worker@"
+        && String.sub d.Resilient.cause 0 (String.length "chaos:worker@")
+           = "chaos:worker@"))
+    shard_letters
+
+let test_supervisor_degradation () =
+  (* an impossible deadline poisons every shard in the parallel pass; the
+     degradation fallback (sequential, deadline-free) then recovers all of
+     them, so the job still produces the full result *)
+  let reference = Resilient.ingest messy_text in
+  let r, s =
+    sup_ingest
+      ~policy:(test_policy ~retries:0 ~timeout_ms:0.0 ~degrade_threshold:0.5 ())
+      ~jobs:4 messy_text
+  in
+  let s = s.Pipeline.sup_stats in
+  Alcotest.(check bool) "deadline fired" true (s.Supervisor.timeouts > 0);
+  Alcotest.(check int) "fallback recovered every shard" s.Supervisor.shards
+    s.Supervisor.degraded;
+  Alcotest.(check int) "nothing poisoned" 0 s.Supervisor.poisoned;
+  Alcotest.(check string) "identical after degradation, modulo attempts"
+    (ingest_fingerprint reference) (ingest_fingerprint (forget_attempts r));
+  (* same deadline without the fallback: everything is quarantined *)
+  let r2, s2 =
+    sup_ingest ~policy:(test_policy ~retries:0 ~timeout_ms:0.0 ()) ~jobs:4
+      messy_text
+  in
+  Alcotest.(check int) "without fallback all shards poison"
+    s2.Pipeline.sup_stats.Supervisor.shards
+    s2.Pipeline.sup_stats.Supervisor.poisoned;
+  Alcotest.(check int) "no documents survive" 0
+    (List.length r2.Resilient.docs)
+
+let test_backoff_deterministic () =
+  let p = Supervisor.default_policy in
+  List.iter
+    (fun shard ->
+      List.iter
+        (fun attempt ->
+          let a = Supervisor.backoff_ms p ~shard ~attempt in
+          let b = Supervisor.backoff_ms p ~shard ~attempt in
+          Alcotest.(check (float 0.0)) "same (shard, attempt), same delay" a b;
+          Alcotest.(check bool) "within the cap" true
+            (a >= 0.0 && a <= p.Supervisor.max_backoff_ms))
+        [ 1; 2; 3; 7 ])
+    [ 0; 1; 5 ];
+  (* jitter actually spreads distinct shards retrying the same attempt *)
+  let delays =
+    List.map (fun shard -> Supervisor.backoff_ms p ~shard ~attempt:3) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "not all identical" true
+    (List.exists (fun d -> d <> List.hd delays) delays)
+
+(* The determinism property of the ISSUE: for any seeded worker-fault plan
+   and any jobs/retry-policy combination, the supervised run equals the
+   plain sequential run restricted to surviving shards — plus exactly one
+   Shard dead letter per poisoned shard. The oracle recomputes each
+   surviving shard with the plain sequential ingester (no supervisor, no
+   pool, no injection), so agreement pins the whole retry/merge machinery. *)
+let prop_supervised_determinism =
+  QCheck2.Test.make ~name:"supervised run = sequential minus poisoned shards"
+    ~count:(count 20)
+    QCheck2.Gen.(
+      tup5 (int_range 0 1000) (float_range 0.0 1.0) bool (int_range 1 6)
+        (int_range 0 3))
+    (fun (seed, rate, permanent, jobs, retries) ->
+      let inject = Chaos.worker_faults ~seed ~rate ~permanent () in
+      let policy = test_policy ~retries () in
+      let r, _ =
+        sup_ingest ~policy ~inject ~jobs messy_text
+      in
+      (* the plan is pure, so which shards must be poisoned is computable
+         without running anything *)
+      let max_attempts = 1 + retries in
+      let expect_poisoned shard =
+        let rec all_fail attempt =
+          attempt > max_attempts
+          || (inject ~shard ~attempt <> None && all_fail (attempt + 1))
+        in
+        all_fail 1
+      in
+      let ss = Parallel.shards ~jobs messy_text in
+      let surviving, poisoned_shards =
+        List.partition
+          (fun (i, _) -> not (expect_poisoned i))
+          (List.mapi (fun i sh -> (i, sh)) ss)
+      in
+      let expected =
+        List.map
+          (fun (_, sh) ->
+            let sub = String.sub messy_text sh.Parallel.s_off sh.Parallel.s_len in
+            Resilient.ingest ~first_line:sh.Parallel.s_line
+              ~base_offset:sh.Parallel.s_off sub)
+          surviving
+      in
+      (* documents: exactly the surviving shards' documents, in order *)
+      let got_docs = List.map Json.Printer.to_string r.Resilient.docs in
+      let want_docs =
+        List.concat_map
+          (fun ing -> List.map Json.Printer.to_string ing.Resilient.docs)
+          expected
+      in
+      (* dead letters: the surviving shards' parse letters at unchanged
+         whole-input coordinates + one Shard letter per poisoned shard *)
+      let got_parse, got_shard =
+        List.partition
+          (fun (d : Resilient.dead_letter) ->
+            match d.Resilient.kind with Resilient.Parse _ -> true | _ -> false)
+          (forget_attempts r).Resilient.dead
+      in
+      let want_parse =
+        List.concat_map (fun ing -> List.map dead_to_string ing.Resilient.dead)
+          expected
+      in
+      got_docs = want_docs
+      && List.sort compare (List.map dead_to_string got_parse)
+         = List.sort compare want_parse
+      && List.length got_shard = List.length poisoned_shards
+      && List.for_all
+           (fun (d : Resilient.dead_letter) ->
+             List.exists
+               (fun (_, sh) ->
+                 sh.Parallel.s_off = d.Resilient.byte_offset
+                 && sh.Parallel.s_line = d.Resilient.line)
+               poisoned_shards)
+           got_shard
+      && r.Resilient.report.Resilient.ok = List.length got_docs
+      && r.Resilient.report.Resilient.poisoned = List.length poisoned_shards)
+
+(* --- checkpoint/resume -------------------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "jsontool-ckpt" ".ndjson" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let infer_fingerprint (inf : Pipeline.inferred option) (r : Resilient.ingest)
+    (s : Pipeline.supervision) =
+  String.concat "\n"
+    [ (match inf with
+      | None -> "<none>"
+      | Some i ->
+          Json.Printer.to_string (Jtype.Types.to_json i.Pipeline.jtype)
+          ^ "\n"
+          ^ Json.Printer.to_string (Jtype.Counting.to_json i.Pipeline.counting)
+          ^ "\n"
+          ^ Json.Printer.to_string i.Pipeline.json_schema
+          ^ "\n" ^ i.Pipeline.typescript ^ "\n" ^ i.Pipeline.swift);
+      ingest_fingerprint r;
+      string_of_int r.Resilient.report.Resilient.poisoned;
+      string_of_int s.Pipeline.sup_stats.Supervisor.poisoned ]
+
+let sup_infer ?policy ?inject ?checkpoint ?resume ~jobs text =
+  match
+    Pipeline.infer_ndjson_supervised ?policy ?inject ?checkpoint ?resume ~jobs
+      text
+  with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_checkpoint_kill_and_resume () =
+  (* run 1 is "killed": permanent faults poison some shards, the journal
+     records only the completed ones. Run 2 resumes with healthy workers
+     and must equal an uninterrupted run byte for byte. *)
+  let jobs = 4 in
+  let inf0, r0, s0 = sup_infer ~policy:(test_policy ~retries:0 ()) ~jobs messy_text in
+  let reference = infer_fingerprint inf0 r0 s0 in
+  with_temp_journal (fun path ->
+      let inject = Chaos.worker_faults ~seed:5 ~rate:0.5 ~permanent:true () in
+      let _, rk, sk =
+        sup_infer ~policy:(test_policy ~retries:0 ()) ~inject ~checkpoint:path
+          ~jobs messy_text
+      in
+      Alcotest.(check bool) "interrupted run lost shards" true
+        (sk.Pipeline.sup_stats.Supervisor.poisoned > 0);
+      Alcotest.(check bool) "but completed some" true
+        (sk.Pipeline.sup_stats.Supervisor.poisoned
+        < sk.Pipeline.sup_stats.Supervisor.shards);
+      Alcotest.(check int) "interrupted run resumed nothing" 0 sk.Pipeline.sup_resumed;
+      ignore rk;
+      let inf2, r2, s2 =
+        sup_infer ~policy:(test_policy ~retries:0 ()) ~checkpoint:path
+          ~resume:true ~jobs messy_text
+      in
+      Alcotest.(check int) "completed shards restored from journal"
+        (sk.Pipeline.sup_stats.Supervisor.shards
+        - sk.Pipeline.sup_stats.Supervisor.poisoned)
+        s2.Pipeline.sup_resumed;
+      Alcotest.(check string) "resumed output byte-identical" reference
+        (infer_fingerprint inf2 r2 s2))
+
+let test_checkpoint_torn_tail () =
+  (* a crash mid-write leaves a torn final line; resume must scrub it and
+     recompute that shard, still byte-identical *)
+  let jobs = 4 in
+  let reference = ingest_fingerprint (Resilient.ingest messy_text) in
+  with_temp_journal (fun path ->
+      let _ = sup_ingest ~policy:(test_policy ~retries:0 ()) ~checkpoint:path ~jobs messy_text in
+      let len = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "journal has content" true (len > 40);
+      (* tear the last 10 bytes off *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o600 in
+      Unix.ftruncate fd (len - 10);
+      Unix.close fd;
+      let r, s =
+        sup_ingest ~policy:(test_policy ~retries:0 ()) ~checkpoint:path
+          ~resume:true ~jobs messy_text
+      in
+      let total = List.length (Parallel.shards ~jobs messy_text) in
+      Alcotest.(check int) "exactly the torn entry recomputed" (total - 1)
+        s.Pipeline.sup_resumed;
+      Alcotest.(check int) "supervisor ran only the torn shard" 1
+        s.Pipeline.sup_stats.Supervisor.shards;
+      Alcotest.(check string) "byte-identical after torn-tail resume" reference
+        (ingest_fingerprint r))
+
+let test_checkpoint_rejects_other_input () =
+  with_temp_journal (fun path ->
+      let _ = sup_ingest ~policy:(test_policy ~retries:0 ()) ~checkpoint:path ~jobs:2 messy_text in
+      match
+        Pipeline.ingest_ndjson_supervised ~policy:(test_policy ~retries:0 ())
+          ~checkpoint:path ~resume:true ~jobs:2 clean_text
+      with
+      | Ok _ -> Alcotest.fail "resume against different input must be refused"
+      | Error e ->
+          let contains hay needle =
+            let n = String.length needle and h = String.length hay in
+            let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+            at 0
+          in
+          Alcotest.(check bool) "error names the fingerprint" true
+            (contains e "fingerprint"))
+
+let test_checkpoint_rejects_other_job () =
+  (* an ingest journal cannot resume an infer run *)
+  with_temp_journal (fun path ->
+      let _ = sup_ingest ~policy:(test_policy ~retries:0 ()) ~checkpoint:path ~jobs:2 messy_text in
+      match
+        Pipeline.infer_ndjson_supervised ~policy:(test_policy ~retries:0 ())
+          ~checkpoint:path ~resume:true ~jobs:2 messy_text
+      with
+      | Ok _ -> Alcotest.fail "resume under a different job tag must be refused"
+      | Error _ -> ())
+
 let () =
   Alcotest.run "parallel"
     [ ("pool",
@@ -199,4 +541,18 @@ let () =
          Alcotest.test_case "pipeline resilient" `Quick test_pipeline_resilient_jobs ]);
       ("validation",
        [ Alcotest.test_case "failures identical" `Quick test_validate_identical ]);
+      ("supervision",
+       [ Alcotest.test_case "no faults identical" `Quick test_supervisor_no_faults_identical;
+         Alcotest.test_case "transient recovered" `Quick test_supervisor_transient_recovered;
+         Alcotest.test_case "poison isolation" `Quick test_supervisor_poison_isolation;
+         Alcotest.test_case "graceful degradation" `Quick test_supervisor_degradation;
+         Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+         QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| fuzz_seed |])
+           prop_supervised_determinism ]);
+      ("checkpoint",
+       [ Alcotest.test_case "kill and resume" `Quick test_checkpoint_kill_and_resume;
+         Alcotest.test_case "torn tail" `Quick test_checkpoint_torn_tail;
+         Alcotest.test_case "rejects other input" `Quick test_checkpoint_rejects_other_input;
+         Alcotest.test_case "rejects other job" `Quick test_checkpoint_rejects_other_job ]);
     ]

@@ -347,6 +347,90 @@ let test_chaos_mison_projection () =
     (r.Core.Resilient.quarantined + r.Core.Resilient.budget_killed
      <= o.Core.Chaos.corrupting)
 
+let test_chaos_attribution () =
+  (* every quarantine caused by an injected corrupting fault must be
+     traceable back to its injection site: attribute rewrites the letter's
+     cause to the site id recorded when the fault was planted *)
+  let n = 200 in
+  let text = sample_ndjson n in
+  let o = Core.Chaos.corrupt ~seed:42 ~rate:0.3 text in
+  (* 16 KiB budget: oversize faults become budget kills, so *all* three
+     corrupting fault kinds produce dead letters to attribute *)
+  let budget =
+    { Core.Resilient.default_budget with Core.Resilient.max_doc_bytes = Some 16384 }
+  in
+  let r = Core.Resilient.ingest ~budget o.Core.Chaos.text in
+  let dead = Core.Chaos.attribute o r.Core.Resilient.dead in
+  let attributed, unattributed =
+    List.partition
+      (fun (d : Core.Resilient.dead_letter) ->
+        String.length d.Core.Resilient.cause >= 6
+        && String.sub d.Core.Resilient.cause 0 6 = "chaos:")
+      dead
+  in
+  (* chaos is the only source of corruption here, so every letter is claimed *)
+  Alcotest.(check int) "every dead letter attributed"
+    (o.Core.Chaos.corrupting + o.Core.Chaos.oversized)
+    (List.length attributed);
+  Alcotest.(check int) "no stray letters" 0 (List.length unattributed);
+  (* each claimed letter sits exactly where its fault was injected and
+     names the right fault kind *)
+  List.iter
+    (fun (inj : Core.Chaos.injected) ->
+      match inj.Core.Chaos.fault with
+      | Core.Chaos.Duplicate_line -> ()
+      | _ ->
+          let letter =
+            List.find_opt
+              (fun (d : Core.Resilient.dead_letter) ->
+                d.Core.Resilient.line = inj.Core.Chaos.out_line)
+              attributed
+          in
+          (match letter with
+          | None ->
+              Alcotest.failf "fault %s left no dead letter" inj.Core.Chaos.site
+          | Some d ->
+              Alcotest.(check string) "cause = injection site"
+                inj.Core.Chaos.site d.Core.Resilient.cause))
+    o.Core.Chaos.injected;
+  (* attribution only relabels: coordinates, errors, counts untouched *)
+  Alcotest.(check int) "same letter count" (List.length r.Core.Resilient.dead)
+    (List.length dead);
+  List.iter2
+    (fun (a : Core.Resilient.dead_letter) (b : Core.Resilient.dead_letter) ->
+      Alcotest.(check int) "line" a.Core.Resilient.line b.Core.Resilient.line;
+      Alcotest.(check string) "error" a.Core.Resilient.error b.Core.Resilient.error)
+    r.Core.Resilient.dead dead
+
+let test_dead_letter_attempts () =
+  (* the supervisor stamps retried shards' letters with the attempt that
+     finally produced them; default (unsupervised) is attempt 1 *)
+  let o = Core.Chaos.corrupt ~seed:42 ~rate:0.3 (sample_ndjson 50) in
+  let r1 = Core.Resilient.ingest o.Core.Chaos.text in
+  let r3 = Core.Resilient.ingest ~attempt:3 o.Core.Chaos.text in
+  Alcotest.(check bool) "letters exist" true (r1.Core.Resilient.dead <> []);
+  List.iter
+    (fun (d : Core.Resilient.dead_letter) ->
+      Alcotest.(check int) "default attempt" 1 d.Core.Resilient.attempts)
+    r1.Core.Resilient.dead;
+  List.iter
+    (fun (d : Core.Resilient.dead_letter) ->
+      Alcotest.(check int) "stamped attempt" 3 d.Core.Resilient.attempts)
+    r3.Core.Resilient.dead
+
+let prop_ingest_json_roundtrip =
+  (* the checkpoint journal persists ingests in this encoding; resume
+     correctness rests on it being an exact inverse *)
+  QCheck2.Test.make ~name:"ingest JSON round-trip exact" ~count:(count 500)
+    gen_corrupted_ndjson
+    (fun text ->
+      let r = Core.Resilient.ingest text in
+      match Core.Resilient.ingest_of_json (Core.Resilient.ingest_to_json r) with
+      | Error _ -> false
+      | Ok r2 ->
+          Json.Printer.to_string (Core.Resilient.ingest_to_json r2)
+          = Json.Printer.to_string (Core.Resilient.ingest_to_json r))
+
 (* --- validator recursion guard ----------------------------------------- *)
 
 let test_deep_instance_guard () =
@@ -416,7 +500,10 @@ let () =
       ("chaos",
        [ Alcotest.test_case "fault accounting" `Quick test_chaos_accounting;
          Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
-         Alcotest.test_case "mison fast path" `Quick test_chaos_mison_projection ]);
+         Alcotest.test_case "mison fast path" `Quick test_chaos_mison_projection;
+         Alcotest.test_case "fault attribution" `Quick test_chaos_attribution;
+         Alcotest.test_case "dead-letter attempts" `Quick test_dead_letter_attempts ]
+       @ q [ prop_ingest_json_roundtrip ]);
       ("validator-guards",
        [ Alcotest.test_case "deep instance" `Quick test_deep_instance_guard;
          Alcotest.test_case "deep schema" `Quick test_deep_schema_guard;
