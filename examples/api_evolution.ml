@@ -40,7 +40,7 @@ let () =
   Printf.printf "label-equivalence type size: %4d nodes\n\n" (Jtype.Types.size label_t);
 
   (* the "lang" field shows the union the evolution created *)
-  (match kind_t with
+  (match kind_t.Jtype.Types.node with
    | Jtype.Types.Rec fields ->
        List.iter
          (fun f ->

@@ -228,7 +228,28 @@ let chunked ~jobs xs =
     go 0 [] [] 0 xs
   end
 
+(* Emit the hash-consed kernel's counter deltas (intern and fusion-cache
+   hits/misses) into the sink, so [--stats-json] reports what the memoized
+   merge did during this call and nothing else. Counters are per-domain
+   cells summed over all domains; both snapshots are taken while no pool
+   is running (run/shutdown joins every worker), so the delta is exact. *)
+let with_kernel_stats telemetry f =
+  if not (Telemetry.is_recording telemetry) then f ()
+  else begin
+    let before = Jtype.Kernel.totals () in
+    let r = f () in
+    List.iter
+      (fun (k, v) ->
+        let b = Option.value ~default:0 (List.assoc_opt k before) in
+        if v - b > 0 then Telemetry.count telemetry k (v - b))
+      (Jtype.Kernel.totals ());
+    Telemetry.gauge_max telemetry "kernel.cache.entries"
+      (float_of_int (Jtype.Merge.cache_size ()));
+    r
+  end
+
 let infer_type ~equiv ?(jobs = 1) ?(telemetry = Telemetry.nop) docs =
+  with_kernel_stats telemetry @@ fun () ->
   if jobs <= 1 then Inference.Parametric.infer ~telemetry ~equiv docs
   else begin
     let chunks = chunked ~jobs docs in

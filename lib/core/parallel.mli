@@ -70,13 +70,22 @@ val parse_ndjson_strict :
     byte offset) aborts with its error — the same error the sequential
     {!Resilient.parse_ndjson_strict} reports. *)
 
+val with_kernel_stats : Telemetry.sink -> (unit -> 'a) -> 'a
+(** Run [f] and emit the {!Jtype.Kernel} counter deltas it caused
+    ([kernel.nodes], [kernel.intern.hits], [kernel.merge.hits]/[.misses],
+    [kernel.fuse.*], [kernel.simplify.*], [kernel.cache.clears]) plus the
+    [kernel.cache.entries] gauge into the sink. No-op on {!Telemetry.nop}.
+    Call only around joined parallel sections (deltas are summed over all
+    domains). *)
+
 val infer_type :
   equiv:Jtype.Merge.equiv -> ?jobs:int -> ?telemetry:Telemetry.sink ->
   Json.Value.t list -> Jtype.Types.t
 (** Chunk the collection, infer per chunk on the pool, reduce with
     {!Jtype.Merge.merge_all}. Identical result for any [jobs]. [telemetry]
     records [parallel.merge_fanin], [infer.merge_ops],
-    [infer.union_width], and the [infer.shard] / [infer.merge] spans. *)
+    [infer.union_width], the [infer.shard] / [infer.merge] spans, and the
+    [kernel.*] cache counters of {!with_kernel_stats}. *)
 
 val infer_counting :
   equiv:Jtype.Merge.equiv -> ?jobs:int -> ?telemetry:Telemetry.sink ->

@@ -245,6 +245,8 @@ let decode_payloads ~decode results =
 
 let infer_ndjson_supervised ?(equiv = Jtype.Merge.Kind) ?name ?budget ?options
     ?policy ?inject ?checkpoint ?resume ?jobs ?telemetry text =
+  Parallel.with_kernel_stats (Option.value telemetry ~default:Telemetry.nop)
+  @@ fun () ->
   let encode (ing : Resilient.ingest) =
     let t = Inference.Parametric.infer ~equiv ing.Resilient.docs in
     let c = Jtype.Counting.infer ~equiv ing.Resilient.docs in

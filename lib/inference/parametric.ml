@@ -1,7 +1,7 @@
 (* top-level branch count of an inferred type: how wide the collection's
    variability is after merging (1 for a homogeneous collection) *)
 let union_width (t : Jtype.Types.t) =
-  match t with
+  match t.Jtype.Types.node with
   | Jtype.Types.Union branches -> List.length branches
   | Jtype.Types.Bot -> 0
   | _ -> 1

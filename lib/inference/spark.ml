@@ -82,6 +82,29 @@ let infer = function
   | [] -> { typ = Null_type; nullable = true }
   | v :: vs -> List.fold_left (fun acc x -> merge acc (infer_value x)) (infer_value v) vs
 
+(* Spark SQL identifier rules: a name that is not [A-Za-z_][A-Za-z0-9_]*
+   must be backtick-quoted in DDL, with embedded backticks doubled —
+   otherwise a key containing ':', ',', '<', '>' or spaces produces a
+   STRUCT<...> string Spark cannot parse back. *)
+let is_plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let quote_ident k =
+  if is_plain_ident k then k
+  else
+    let buf = Buffer.create (String.length k + 2) in
+    Buffer.add_char buf '`';
+    String.iter
+      (fun c ->
+        if c = '`' then Buffer.add_string buf "``" else Buffer.add_char buf c)
+      k;
+    Buffer.add_char buf '`';
+    Buffer.contents buf
+
 let rec to_ddl = function
   | Null_type -> "NULL"
   | Boolean -> "BOOLEAN"
@@ -92,7 +115,9 @@ let rec to_ddl = function
   | Struct fields ->
       Printf.sprintf "STRUCT<%s>"
         (String.concat ", "
-           (List.map (fun (k, f) -> Printf.sprintf "%s: %s" k (to_ddl f.typ)) fields))
+           (List.map
+              (fun (k, f) -> Printf.sprintf "%s: %s" (quote_ident k) (to_ddl f.typ))
+              fields))
 
 let field_to_ddl f = to_ddl f.typ ^ if f.nullable then "" else " NOT NULL"
 

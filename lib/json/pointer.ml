@@ -39,8 +39,16 @@ let classify s =
     && (String.length s = 1 || s.[0] <> '0')
   in
   if is_index then
-    match int_of_string_opt s with Some i -> Index i | None -> Key s
-  else Key s
+    match int_of_string_opt s with
+    | Some i -> Ok (Index i)
+    | None ->
+        (* A canonical index literal too large for [int] used to demote
+           silently to [Key s] — and then dereference arrays the wrong way
+           (string member lookup instead of out-of-bounds). The token is
+           unambiguously an array index per RFC 6901, so refuse it rather
+           than misread it. *)
+        Error (Printf.sprintf "array index %s exceeds the supported range" s)
+  else Ok (Key s)
 
 let parse str =
   if String.equal str "" then Ok []
@@ -51,7 +59,10 @@ let parse str =
       | [] -> Ok (List.rev acc)
       | p :: rest -> (
           match unescape p with
-          | Ok s -> go (classify s :: acc) rest
+          | Ok s -> (
+              match classify s with
+              | Ok tok -> go (tok :: acc) rest
+              | Error _ as e -> e)
           | Error _ as e -> e)
     in
     go [] parts

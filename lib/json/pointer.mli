@@ -14,7 +14,10 @@ type t = token list
 val parse : string -> (t, string) result
 (** Parse the string form, e.g. ["/foo/0/bar"]. Handles [~0]/[~1] escapes.
     Numeric tokens are returned as [Index]; resolution against objects
-    falls back to the literal key. *)
+    falls back to the literal key. A canonical index literal (digits, no
+    leading zero) whose value does not fit in [int] is an error — it can
+    only mean an array position, and silently treating it as a member name
+    would dereference the wrong way. *)
 
 val parse_exn : string -> t
 val to_string : t -> string

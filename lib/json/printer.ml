@@ -1,19 +1,70 @@
+(* Length of the valid UTF-8 scalar sequence starting at [s.[i]], or 0.
+   Encodes the exact RFC 3629 ranges: no overlong forms (C0/C1, E0 80-9F,
+   F0 80-8F), no surrogates (ED A0-BF), nothing above U+10FFFF (F4 90+). *)
+let utf8_scalar_len s i =
+  let n = String.length s in
+  let byte k = Char.code s.[k] in
+  let cont k = k < n && byte k land 0xC0 = 0x80 in
+  let b0 = byte i in
+  if b0 < 0x80 then 1
+  else if b0 < 0xC2 then 0 (* continuation byte or overlong lead *)
+  else if b0 < 0xE0 then if cont (i + 1) then 2 else 0
+  else if b0 < 0xF0 then begin
+    let lo, hi =
+      if b0 = 0xE0 then (0xA0, 0xBF)
+      else if b0 = 0xED then (0x80, 0x9F) (* exclude surrogates *)
+      else (0x80, 0xBF)
+    in
+    if i + 1 < n && byte (i + 1) >= lo && byte (i + 1) <= hi && cont (i + 2)
+    then 3
+    else 0
+  end
+  else if b0 <= 0xF4 then begin
+    let lo, hi =
+      if b0 = 0xF0 then (0x90, 0xBF)
+      else if b0 = 0xF4 then (0x80, 0x8F)
+      else (0x80, 0xBF)
+    in
+    if i + 1 < n && byte (i + 1) >= lo && byte (i + 1) <= hi && cont (i + 2)
+       && cont (i + 3)
+    then 4
+    else 0
+  end
+  else 0
+
+(* A JSON document is UTF-8 by definition (RFC 8259 §8.1), so emitting raw
+   bytes ≥ 0x80 that do not form valid sequences would produce output no
+   conforming parser (including ours on a strict round trip) accepts. Valid
+   multi-byte sequences pass through untouched; each byte that is not part
+   of one is replaced by U+FFFD, one replacement character per bogus byte. *)
+let replacement = "\xEF\xBF\xBD" (* U+FFFD *)
+
 let add_escaped buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\b' -> Buffer.add_string buf "\\b"
-      | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | '"' -> Buffer.add_string buf "\\\""; incr i
+     | '\\' -> Buffer.add_string buf "\\\\"; incr i
+     | '\n' -> Buffer.add_string buf "\\n"; incr i
+     | '\r' -> Buffer.add_string buf "\\r"; incr i
+     | '\t' -> Buffer.add_string buf "\\t"; incr i
+     | '\b' -> Buffer.add_string buf "\\b"; incr i
+     | '\012' -> Buffer.add_string buf "\\f"; incr i
+     | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+         incr i
+     | c when Char.code c < 0x80 -> Buffer.add_char buf c; incr i
+     | _ -> (
+         match utf8_scalar_len s !i with
+         | 0 ->
+             Buffer.add_string buf replacement;
+             incr i
+         | len ->
+             Buffer.add_substring buf s !i len;
+             i := !i + len))
+  done;
   Buffer.add_char buf '"'
 
 let escape_string s =

@@ -1,6 +1,6 @@
 let rec to_schema (t : Types.t) : Jsonschema.Schema.t =
   let open Jsonschema.Schema in
-  match t with
+  match t.Types.node with
   | Types.Any -> Bool_schema true
   | Types.Bot -> Bool_schema false
   | Types.Null -> Schema { empty with types = Some [ `Null ] }
@@ -12,7 +12,7 @@ let rec to_schema (t : Types.t) : Jsonschema.Schema.t =
       Schema
         { empty with
           types = Some [ `Array ];
-          items = (match elem with Types.Bot -> None | _ -> Some (Items_one (to_schema elem)));
+          items = (match elem.Types.node with Types.Bot -> None | _ -> Some (Items_one (to_schema elem)));
         }
   | Types.Rec fields ->
       Schema

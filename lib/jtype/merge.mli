@@ -15,7 +15,16 @@
 
     Both parameters yield an associative, commutative, idempotent merge —
     the property that makes map/reduce inference deterministic regardless of
-    partitioning (exercised by experiment E3). *)
+    partitioning (exercised by experiment E3).
+
+    {b Memoized fusion.} On top of the hash-consed kernel ({!Types}), the
+    operator is memoized per domain: [merge_canonical] and the composite
+    [fuse] cases on commutatively normalized [(equiv, min id, max id)]
+    keys, and [simplify] on single node ids. Results are structurally
+    determined, so memoization cannot perturb the byte-identical
+    sequential-vs-sharded guarantee; cache hit/miss/clear counts flow
+    into [kernel.*] telemetry counters (see {!Kernel}). Experiment E17
+    measures the effect. *)
 
 type equiv = Kind | Label
 
@@ -31,3 +40,20 @@ val simplify : equiv:equiv -> Types.t -> Types.t
 (** Re-canonicalize a type bottom-up, collapsing union branches that the
     equivalence identifies. [merge] outputs are already simplified; use this
     on types built by other means (e.g. {!Types.of_value} unions). *)
+
+(** {1 Memo-cache control} *)
+
+val set_memoize : bool -> unit
+(** Globally enable/disable the fusion memo caches (default: enabled).
+    Disabling only changes cost, never results — useful for memory-capped
+    runs and for baseline measurements (bench E17, [jsontool infer
+    --merge-cache=off]). *)
+
+val memoize_enabled : unit -> bool
+
+val cache_size : unit -> int
+(** Number of live memo entries in the {e calling domain}'s caches. *)
+
+val clear_caches : unit -> unit
+(** Drop the calling domain's memo caches (cold-start measurement aid).
+    Never required for correctness. *)

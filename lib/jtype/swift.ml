@@ -6,12 +6,12 @@ let capitalize s =
    [T + Null] as [T?]. *)
 let split_null (ts : Types.t list) =
   let nulls, rest =
-    List.partition (function Types.Null -> true | _ -> false) ts
+    List.partition (fun t -> match t.Types.node with Types.Null -> true | _ -> false) ts
   in
   (nulls <> [], rest)
 
 let rec type_expr (t : Types.t) =
-  match t with
+  match t.Types.node with
   | Types.Bot -> "Never"
   | Types.Null -> "NSNull"
   | Types.Bool -> "Bool"
@@ -28,7 +28,7 @@ let rec type_expr (t : Types.t) =
       | _ -> "Union" (* placeholder; [declaration] names these *))
 
 let case_name (t : Types.t) =
-  match t with
+  match t.Types.node with
   | Types.Bool -> "bool"
   | Types.Int -> "int"
   | Types.Num -> "double"
@@ -49,7 +49,7 @@ let indent n s =
 (* Emit declarations for a type, returning (swift type expression, nested
    declaration blocks in dependency order). *)
 let rec render name (t : Types.t) : string * string list =
-  match t with
+  match t.Types.node with
   | Types.Rec fields ->
       let members, nested =
         List.fold_left

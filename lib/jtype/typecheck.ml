@@ -10,7 +10,7 @@ exception Mismatch of mismatch
 
 let rec check_at at (v : Json.Value.t) (t : Types.t) =
   let fail () = raise (Mismatch { at; expected = t; got = v }) in
-  match (t, v) with
+  match (t.Types.node, v) with
   | Types.Any, _ -> ()
   | Types.Bot, _ -> fail ()
   | Types.Null, Json.Value.Null -> ()
@@ -59,7 +59,8 @@ let member v t = Result.is_ok (check v t)
 (* --- subtyping -------------------------------------------------------- *)
 
 let rec subtype (a : Types.t) (b : Types.t) =
-  match (a, b) with
+  a == b
+  || match (a.Types.node, b.Types.node) with
   | Types.Bot, _ -> true
   | _, Types.Any -> true
   | Types.Any, _ -> false

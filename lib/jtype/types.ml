@@ -1,4 +1,20 @@
-type t =
+(* Hash-consed representation: every structural type is interned so that
+   one physical node stands for each distinct type a domain has seen.
+   [t] wraps the constructor layer [node] with a globally unique [id]
+   (Atomic counter — ids are never reused, so they are safe as memo-cache
+   keys even when nodes cross domains) and a precomputed structural
+   [hash] (derived from child *hashes*, not ids, so structurally equal
+   nodes hash alike on every domain).
+
+   Interning is per-domain (Domain.DLS) with no cross-domain locking: a
+   node built on one domain and revisited on another is simply re-interned
+   there — two physical nodes, same hash, structurally equal — which costs
+   a cache miss, never correctness. Tables are weak (Weak.Make) so types
+   no longer reachable from live data can be collected mid-run. *)
+
+type t = { id : int; hash : int; node : node }
+
+and node =
   | Bot
   | Null
   | Bool
@@ -12,14 +28,88 @@ type t =
 
 and field = { fname : string; optional : bool; ftype : t }
 
-let bot = Bot
-let null = Null
-let bool = Bool
-let int = Int
-let num = Num
-let str = Str
-let any = Any
-let arr t = Arr t
+(* --- structural hashing -------------------------------------------------- *)
+
+let combine h k = (((h * 0x01000193) lxor k) land max_int : int)
+
+let hash_node = function
+  | Bot -> 3
+  | Null -> 5
+  | Bool -> 7
+  | Int -> 11
+  | Num -> 13
+  | Str -> 17
+  | Any -> 19
+  | Arr t -> combine 23 t.hash
+  | Rec fields ->
+      List.fold_left
+        (fun h f ->
+          combine
+            (combine (combine h (Hashtbl.hash f.fname)) (Bool.to_int f.optional))
+            f.ftype.hash)
+        29 fields
+  | Union ts -> List.fold_left (fun h t -> combine h t.hash) 31 ts
+
+(* --- interning ----------------------------------------------------------- *)
+
+(* One pointer-equality probe per child: by the interning invariant,
+   structurally equal children already share a physical node (within a
+   domain), so shallow [==] is a complete equality test for table hits. *)
+let shallow_equal a b =
+  match (a, b) with
+  | Bot, Bot | Null, Null | Bool, Bool | Int, Int | Num, Num | Str, Str
+  | Any, Any ->
+      true
+  | Arr x, Arr y -> x == y
+  | Rec xs, Rec ys ->
+      List.compare_lengths xs ys = 0
+      && List.for_all2
+           (fun x y ->
+             x.optional = y.optional && x.ftype == y.ftype
+             && String.equal x.fname y.fname)
+           xs ys
+  | Union xs, Union ys ->
+      List.compare_lengths xs ys = 0 && List.for_all2 ( == ) xs ys
+  | _ -> false
+
+module Table = Weak.Make (struct
+  type nonrec t = t
+
+  let hash t = t.hash
+  let equal a b = shallow_equal a.node b.node
+end)
+
+(* the scalar constants are interned once, globally, below *)
+let next_id = Atomic.make 16
+let table_key : Table.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Table.create 1024)
+let c_nodes = Kernel.counter "kernel.nodes"
+let c_intern_hits = Kernel.counter "kernel.intern.hits"
+
+let intern node =
+  let tbl = Domain.DLS.get table_key in
+  let probe = { id = 0; hash = hash_node node; node } in
+  match Table.find_opt tbl probe with
+  | Some t ->
+      Kernel.hit c_intern_hits;
+      t
+  | None ->
+      let t = { probe with id = Atomic.fetch_and_add next_id 1 } in
+      Table.add tbl t;
+      Kernel.hit c_nodes;
+      t
+
+(* Scalars are closed and domain-free: intern them once at module
+   initialization and share the physical node across all domains. *)
+let scalar id node = { id; hash = hash_node node; node }
+
+let bot = scalar 0 Bot
+let null = scalar 1 Null
+let bool = scalar 2 Bool
+let int = scalar 3 Int
+let num = scalar 4 Num
+let str = scalar 5 Str
+let any = scalar 6 Any
+let arr t = intern (Arr t)
 let field ?(optional = false) fname ftype = { fname; optional; ftype }
 
 let rec_ fields =
@@ -32,9 +122,12 @@ let rec_ fields =
     | _ -> ()
   in
   check sorted;
-  Rec sorted
+  intern (Rec sorted)
 
-let rank = function
+let id t = t.id
+let hash t = t.hash
+
+let rank_node = function
   | Bot -> 0
   | Null -> 1
   | Bool -> 2
@@ -46,12 +139,18 @@ let rank = function
   | Union _ -> 8
   | Any -> 9
 
+(* The order must stay the seed's *structural* order — the union canonical
+   form (and therefore every printed type) depends on it, and an id-based
+   order would vary run to run. Physical equality gives the O(1) fast path
+   on the interned common case. *)
 let rec compare a b =
-  match (a, b) with
-  | Arr x, Arr y -> compare x y
-  | Rec xs, Rec ys -> compare_fields xs ys
-  | Union xs, Union ys -> compare_list xs ys
-  | _ -> Stdlib.compare (rank a) (rank b)
+  if a == b then 0
+  else
+    match (a.node, b.node) with
+    | Arr x, Arr y -> compare x y
+    | Rec xs, Rec ys -> compare_fields xs ys
+    | Union xs, Union ys -> compare_list xs ys
+    | na, nb -> Stdlib.compare (rank_node na) (rank_node nb)
 
 and compare_list xs ys =
   match (xs, ys) with
@@ -77,32 +176,34 @@ and compare_fields xs ys =
           let c = compare x.ftype y.ftype in
           if c <> 0 then c else compare_fields xs' ys'
 
-let equal a b = compare a b = 0
+(* interned same-domain nodes resolve on the first test; the structural
+   fallback only runs for nodes that crossed a domain boundary *)
+let equal a b = a == b || (a.hash = b.hash && compare a b = 0)
 
 let union ts =
   let rec flatten acc = function
     | [] -> acc
-    | Union us :: rest -> flatten (flatten acc us) rest
-    | Bot :: rest -> flatten acc rest
-    | t :: rest -> flatten (t :: acc) rest
+    | t :: rest -> (
+        match t.node with
+        | Union us -> flatten (flatten acc us) rest
+        | Bot -> flatten acc rest
+        | _ -> flatten (t :: acc) rest)
   in
   let flat = flatten [] ts in
-  if List.exists (fun t -> t = Any) flat then Any
+  if List.exists (fun t -> match t.node with Any -> true | _ -> false) flat
+  then any
   else
     let sorted = List.sort_uniq compare flat in
-    match sorted with
-    | [] -> Bot
-    | [ t ] -> t
-    | ts -> Union ts
+    match sorted with [] -> bot | [ t ] -> t | ts -> intern (Union ts)
 
 let rec of_value (v : Json.Value.t) : t =
   match v with
-  | Json.Value.Null -> Null
-  | Json.Value.Bool _ -> Bool
-  | Json.Value.Int _ -> Int
-  | Json.Value.Float _ -> Num
-  | Json.Value.String _ -> Str
-  | Json.Value.Array vs -> Arr (union (List.map of_value vs))
+  | Json.Value.Null -> null
+  | Json.Value.Bool _ -> bool
+  | Json.Value.Int _ -> int
+  | Json.Value.Float _ -> num
+  | Json.Value.String _ -> str
+  | Json.Value.Array vs -> arr (union (List.map of_value vs))
   | Json.Value.Object fields ->
       (* last-wins on duplicate keys, matching the parser default *)
       let seen = Hashtbl.create 8 in
@@ -118,19 +219,22 @@ let rec of_value (v : Json.Value.t) : t =
       in
       rec_ (List.map (fun (k, x) -> field k (of_value x)) uniq)
 
-let rec size = function
+let rec size t =
+  match t.node with
   | Bot | Null | Bool | Int | Num | Str | Any -> 1
   | Arr t -> 1 + size t
   | Rec fields -> 1 + List.fold_left (fun n f -> n + size f.ftype) 0 fields
   | Union ts -> 1 + List.fold_left (fun n t -> n + size t) 0 ts
 
-let rec depth = function
+let rec depth t =
+  match t.node with
   | Bot | Null | Bool | Int | Num | Str | Any -> 1
   | Arr t -> 1 + depth t
   | Rec fields -> 1 + List.fold_left (fun n f -> max n (depth f.ftype)) 0 fields
   | Union ts -> List.fold_left (fun n t -> max n (depth t)) 1 ts
 
-let kind_of = function
+let kind_of t =
+  match t.node with
   | Bot -> "bottom"
   | Null -> "null"
   | Bool -> "boolean"
@@ -143,7 +247,7 @@ let kind_of = function
   | Any -> "any"
 
 let rec to_string t =
-  match t with
+  match t.node with
   | Bot -> "Bot"
   | Null -> "Null"
   | Bool -> "Bool"
@@ -151,7 +255,7 @@ let rec to_string t =
   | Num -> "Num"
   | Str -> "Str"
   | Any -> "Any"
-  | Arr Bot -> "[]"
+  | Arr { node = Bot; _ } -> "[]"
   | Arr t -> "[" ^ to_string t ^ "]"
   | Rec fields ->
       let f { fname; optional; ftype } =
@@ -161,7 +265,7 @@ let rec to_string t =
   | Union ts -> String.concat " + " (List.map to_string_atom ts)
 
 and to_string_atom t =
-  match t with
+  match t.node with
   | Union _ -> "(" ^ to_string t ^ ")"
   | _ -> to_string t
 
@@ -176,7 +280,7 @@ let pp ppf t = Format.pp_print_string ppf (to_string t)
 
 let rec to_json (t : t) : Json.Value.t =
   let k name = Json.Value.Object [ ("k", Json.Value.String name) ] in
-  match t with
+  match t.node with
   | Bot -> k "bot"
   | Null -> k "null"
   | Bool -> k "bool"

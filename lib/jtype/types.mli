@@ -7,16 +7,30 @@
 
     Types are kept in a canonical form maintained by the smart constructors:
     record fields sorted by name, unions flattened / sorted / deduplicated
-    with [Bot] removed and [Any] absorbing. *)
+    with [Bot] removed and [Any] absorbing.
 
-type t = private
+    {b Hash-consed kernel.} Since PR 5 the representation is hash-consed:
+    [t] is a private record wrapping the constructor layer {!node} with a
+    globally unique [id] and a precomputed structural [hash]. The smart
+    constructors intern every node in a per-domain weak table, so within a
+    domain one physical node stands for each distinct structural type —
+    [equal] is pointer equality in the common case, [compare] short-circuits
+    on shared subtrees, and {!Merge} memoizes fusion on [(id, id)] pairs.
+    Nodes that cross a domain boundary (shard hand-off) are merely
+    re-interned on the receiving domain; structural equality and the hash
+    (computed from child hashes, not ids) are domain-independent. Pattern
+    match through the [node] field: [match t.node with Arr elem -> ...]. *)
+
+type t = private { id : int; hash : int; node : node }
+
+and node =
   | Bot  (** the empty type: no value has it; identity of union *)
   | Null
   | Bool
   | Int
   | Num  (** any number; [Int] is a subtype *)
   | Str
-  | Arr of t  (** element type; [Arr Bot] is the type of the empty array *)
+  | Arr of t  (** element type; [Arr bot] is the type of the empty array *)
   | Rec of field list  (** sorted by field name *)
   | Union of t list  (** canonical: ≥2 branches, flat, sorted, duplicate-free *)
   | Any  (** top *)
@@ -52,10 +66,23 @@ val of_value : Json.Value.t -> t
 
 (** {1 Structure} *)
 
+val id : t -> int
+(** Globally unique node identity (never reused, stable for the process
+    lifetime) — the memo-cache key of {!Merge}. *)
+
+val hash : t -> int
+(** Precomputed structural hash: equal for structurally equal types on any
+    domain, O(1) to read. *)
+
 val compare : t -> t -> int
-(** Total syntactic order (used for the union canonical form). *)
+(** Total syntactic order (used for the union canonical form). Pointer
+    equality short-circuits shared subtrees; the order itself is purely
+    structural and thus deterministic across runs and domains. *)
 
 val equal : t -> t -> bool
+(** Pointer equality on the interned fast path; falls back to hash-guarded
+    structural comparison for nodes interned on different domains. *)
+
 val size : t -> int
 (** Number of type nodes — the "schema size" measure of the experiments. *)
 

@@ -11,7 +11,7 @@ let is_ident s =
 let quote_key k = if is_ident k then k else Json.Printer.escape_string k
 
 let rec type_expr (t : Types.t) =
-  match t with
+  match t.Types.node with
   | Types.Bot -> "never"
   | Types.Null -> "null"
   | Types.Bool -> "boolean"
@@ -30,12 +30,12 @@ let rec type_expr (t : Types.t) =
   | Types.Union ts -> String.concat " | " (List.map atom ts)
 
 and atom t =
-  match t with
+  match t.Types.node with
   | Types.Union _ -> "(" ^ type_expr t ^ ")"
   | _ -> type_expr t
 
 and array_expr elem =
-  match elem with
+  match elem.Types.node with
   | Types.Union _ | Types.Rec _ -> "(" ^ type_expr elem ^ ")[]"
   | Types.Bot -> "never[]"
   | _ -> type_expr elem ^ "[]"
@@ -57,7 +57,7 @@ let declaration ~name t =
     try_ 0
   in
   let rec lift prefix (t : Types.t) : Types.t * string option =
-    match t with
+    match t.Types.node with
     | Types.Rec fields when fields <> [] ->
         let iface = fresh prefix in
         let members =
@@ -95,7 +95,7 @@ let declaration ~name t =
     | _ -> (t, None)
   in
   let rendered =
-    match t with
+    match t.Types.node with
     | Types.Rec _ ->
         let _, named = lift (capitalize name) t in
         (match named with Some _ -> None | None -> Some (type_expr t))

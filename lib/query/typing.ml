@@ -5,7 +5,7 @@ let with_null t = union2 t Types.null
 
 (* type of [v.f] when v : t — Null covers absence and non-records *)
 let rec field_type (t : Types.t) f : Types.t =
-  match t with
+  match t.Types.node with
   | Types.Rec fields -> (
       match List.find_opt (fun fld -> String.equal fld.Types.fname f) fields with
       | Some fld ->
@@ -18,7 +18,7 @@ let rec field_type (t : Types.t) f : Types.t =
 
 (* type of [v[i]] *)
 let rec index_type (t : Types.t) : Types.t =
-  match t with
+  match t.Types.node with
   | Types.Arr elem -> with_null elem (* index may be out of range *)
   | Types.Union ts -> Types.union (List.map index_type ts)
   | Types.Any -> Types.any
@@ -27,7 +27,7 @@ let rec index_type (t : Types.t) : Types.t =
 
 (* element type of array values of t; Bot when t can never be an array *)
 let rec elements_type (t : Types.t) : Types.t =
-  match t with
+  match t.Types.node with
   | Types.Arr elem -> elem
   | Types.Union ts -> Types.union (List.map elements_type ts)
   | Types.Any -> Types.any
@@ -38,7 +38,7 @@ let rec elements_type (t : Types.t) : Types.t =
 type numeric = All_int | All_num | Mixed | Non_num | Empty
 
 let rec numeric_status (t : Types.t) : numeric =
-  match t with
+  match t.Types.node with
   | Types.Int -> All_int
   | Types.Num -> All_num
   | Types.Bot -> Empty

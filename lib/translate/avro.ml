@@ -10,7 +10,7 @@ type schema =
   | Anything
 
 let rec of_jtype ~name (t : Jtype.Types.t) : schema =
-  match t with
+  match t.Jtype.Types.node with
   | Jtype.Types.Bot | Jtype.Types.Null -> Null
   | Jtype.Types.Bool -> Boolean
   | Jtype.Types.Int -> Long

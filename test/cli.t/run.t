@@ -251,4 +251,4 @@ span; the inferred type over the drifting fixture is exact:
   $ jsontool infer --stats-json ../corpus/mixed_types.ndjson 2>stats.json
   {v: Null + Bool + Num + Str}
   $ mask < stats.json
-  {"counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
+  {"counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"kernel.fuse.misses":N,"kernel.intern.hits":N,"kernel.merge.misses":N,"kernel.nodes":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{"kernel.cache.entries":N},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}

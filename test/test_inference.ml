@@ -104,6 +104,26 @@ let test_spark_ddl_printer () =
     "STRUCT<a: ARRAY<BIGINT>, b: STRUCT<c: BOOLEAN>>"
     (Inference.Spark.to_ddl f.Inference.Spark.typ)
 
+let test_spark_ddl_quoting () =
+  (* field names that are not plain identifiers must be backtick-quoted,
+     Spark SQL style, or the emitted STRUCT<...> is unparseable *)
+  let ddl src =
+    Inference.Spark.to_ddl (Inference.Spark.infer_value (parse src)).Inference.Spark.typ
+  in
+  Alcotest.(check string) "colon, angle, comma, space"
+    "STRUCT<`a:b`: BIGINT, `c,d`: BIGINT, `e<f>`: BIGINT, `g h`: BIGINT>"
+    (ddl {|{"a:b": 1, "c,d": 2, "e<f>": 3, "g h": 4}|});
+  Alcotest.(check string) "backtick doubled" "STRUCT<`x``y`: STRING>"
+    (ddl {|{"x`y": "v"}|});
+  Alcotest.(check string) "leading digit quoted" "STRUCT<`0day`: BOOLEAN>"
+    (ddl {|{"0day": true}|});
+  Alcotest.(check string) "nested struct keys quoted"
+    "STRUCT<outer: STRUCT<`in:ner`: BIGINT>>"
+    (ddl {|{"outer": {"in:ner": 1}}|});
+  Alcotest.(check string) "plain identifiers untouched"
+    "STRUCT<_ok: BIGINT, ok2: BIGINT>"
+    (ddl {|{"_ok": 1, "ok2": 2}|})
+
 (* --- mongo ------------------------------------------------------------- *)
 
 let test_mongo_statistics () =
@@ -442,7 +462,8 @@ let () =
        [ Alcotest.test_case "widening" `Quick test_spark_widening;
          Alcotest.test_case "nullability" `Quick test_spark_nullability;
          Alcotest.test_case "imprecision vs parametric" `Quick test_spark_less_precise_than_parametric;
-         Alcotest.test_case "ddl printer" `Quick test_spark_ddl_printer ]);
+         Alcotest.test_case "ddl printer" `Quick test_spark_ddl_printer;
+         Alcotest.test_case "ddl identifier quoting" `Quick test_spark_ddl_quoting ]);
       ("mongo",
        [ Alcotest.test_case "statistics" `Quick test_mongo_statistics;
          Alcotest.test_case "duplicates and nesting" `Quick test_mongo_duplicates_and_nesting;

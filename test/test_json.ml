@@ -282,6 +282,34 @@ let test_pretty_print () =
 let test_escape_string () =
   Alcotest.(check string) "escape" "\"a\\\"b\\u0001\"" (Json.Printer.escape_string "a\"b\x01")
 
+let test_print_utf8_sanitized () =
+  (* pinned policy: valid UTF-8 passes through byte-for-byte; every byte
+     that is not part of a valid scalar sequence becomes one U+FFFD, so the
+     printer's output is always valid JSON (RFC 8259 §8.1: UTF-8) *)
+  let fffd = "\xEF\xBF\xBD" in
+  let escaped s = Json.Printer.escape_string s in
+  Alcotest.(check string) "2/3/4-byte sequences untouched"
+    "\"\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x90\xAB\""
+    (escaped "\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x90\xAB");
+  Alcotest.(check string) "lone 0xFF replaced"
+    ("\"a" ^ fffd ^ "b\"") (escaped "a\xFFb");
+  Alcotest.(check string) "stray continuation byte replaced"
+    ("\"" ^ fffd ^ "\"") (escaped "\x80");
+  Alcotest.(check string) "overlong C0 80 replaced per byte"
+    ("\"" ^ fffd ^ fffd ^ "\"") (escaped "\xC0\x80");
+  Alcotest.(check string) "surrogate ED A0 80 replaced per byte"
+    ("\"" ^ fffd ^ fffd ^ fffd ^ "\"") (escaped "\xED\xA0\x80");
+  Alcotest.(check string) "truncated lead at end replaced per byte"
+    ("\"ok" ^ fffd ^ fffd ^ "\"") (escaped "ok\xE2\x82");
+  Alcotest.(check string) "beyond U+10FFFF replaced per byte"
+    ("\"" ^ fffd ^ fffd ^ fffd ^ fffd ^ "\"") (escaped "\xF5\x80\x80\x80");
+  (* sanitized output must itself re-parse: the checkpoint-journal property *)
+  let junk = Json.Value.String "\xFE\xC3\xA9\x80tail" in
+  let printed = Json.Printer.to_string junk in
+  Alcotest.check value "sanitized output re-parses"
+    (Json.Value.String ("\xEF\xBF\xBD\xC3\xA9\xEF\xBF\xBDtail"))
+    (parse printed)
+
 (* --- Pointer --------------------------------------------------------- *)
 
 let test_pointer_parse () =
@@ -308,6 +336,29 @@ let test_pointer_numeric_member () =
   Alcotest.(check (option value)) "numeric token on object"
     (Some (Json.Value.String "zero"))
     Json.Pointer.(get (parse_exn "/0") doc)
+
+let test_pointer_index_overflow () =
+  (* a canonical index literal beyond max_int used to demote silently to a
+     Key and dereference objects instead of arrays; it is now an error *)
+  let huge = "/18446744073709551616" in
+  (match Json.Pointer.parse huge with
+   | Error msg ->
+       Alcotest.(check bool) "error names the index" true
+         (Re.execp (Re.compile (Re.str "18446744073709551616")) msg)
+   | Ok _ -> Alcotest.fail "overflowing index must not parse");
+  (match Json.Pointer.parse "/a/99999999999999999999999999/b" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "overflow must be detected mid-pointer");
+  (* non-canonical digit strings are still member names, not indices *)
+  (match Json.Pointer.parse "/018446744073709551616" with
+   | Ok [ Json.Pointer.Key k ] ->
+       Alcotest.(check string) "leading zero stays a key" "018446744073709551616" k
+   | _ -> Alcotest.fail "leading-zero token must stay a Key");
+  (* max_int itself still classifies as an index *)
+  let edge = "/" ^ string_of_int max_int in
+  match Json.Pointer.parse edge with
+  | Ok [ Json.Pointer.Index i ] -> Alcotest.(check int) "max_int index" max_int i
+  | _ -> Alcotest.fail "max_int must classify as Index"
 
 let test_pointer_set () =
   let doc = parse {|{"a": [1, 2], "b": 0}|} in
@@ -509,11 +560,13 @@ let () =
       ("printer",
        [ Alcotest.test_case "roundtrips" `Quick test_print_roundtrips;
          Alcotest.test_case "pretty" `Quick test_pretty_print;
-         Alcotest.test_case "escape_string" `Quick test_escape_string ]);
+         Alcotest.test_case "escape_string" `Quick test_escape_string;
+         Alcotest.test_case "utf8 sanitized" `Quick test_print_utf8_sanitized ]);
       ("pointer",
        [ Alcotest.test_case "parse/print" `Quick test_pointer_parse;
          Alcotest.test_case "get (RFC 6901 examples)" `Quick test_pointer_get;
          Alcotest.test_case "numeric member" `Quick test_pointer_numeric_member;
+         Alcotest.test_case "index overflow" `Quick test_pointer_index_overflow;
          Alcotest.test_case "set" `Quick test_pointer_set ]);
       ("jsonpath", [ Alcotest.test_case "eval" `Quick test_jsonpath ]);
       ("stream",
