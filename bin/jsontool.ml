@@ -325,7 +325,25 @@ let validate_cmd =
          & info [ "language"; "l" ] ~doc:"Schema language: jsonschema or jsound.")
   in
   let formats = Arg.(value & flag & info [ "assert-formats" ] ~doc:"Treat format as an assertion.") in
-  let run language formats sup jobs stats stats_json schema_file file =
+  let compiled =
+    Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+         & info [ "compiled" ]
+             ~doc:"Compiled validation plans: on (default) lowers the schema \
+                   once into specialized closures shared across shards; off \
+                   re-interprets it per document. Affects cost only — \
+                   verdicts and error reports are byte-identical.")
+  in
+  let validate_cache =
+    Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+         & info [ "validate-cache" ]
+             ~doc:"Fingerprint-keyed compiled-schema cache: on (default) or \
+                   off. Affects cost only, never verdicts; off forces a \
+                   fresh compilation per run and drops the \
+                   validate.cache.* counters.")
+  in
+  let run language formats compiled validate_cache sup jobs stats stats_json
+      schema_file file =
+    Jsonschema.Compile.set_cache validate_cache;
     let sink = make_sink ~stats ~stats_json in
     let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
     let failures = ref 0 in
@@ -351,7 +369,7 @@ let validate_cmd =
          in
          let r, fs, s =
            or_die
-             (Pipeline.validate_ndjson_supervised ~config
+             (Pipeline.validate_ndjson_supervised ~config ~compiled
                 ~budget:Resilient.unbounded_budget ~policy:(sup_policy sup)
                 ?inject:(sup_inject sup) ?checkpoint:(sup_checkpoint sup)
                 ~resume:sup.sup_resume ~jobs ~telemetry:sink ~root:schema_json
@@ -369,7 +387,8 @@ let validate_cmd =
          (* shard-parallel over document batches; failures come back in
             input order, so the printout matches the sequential one *)
          print_failures (List.length docs)
-           (Parallel.validate ~config ~jobs ~telemetry:sink ~root:schema_json docs)
+           (Parallel.validate ~config ~compiled ~jobs ~telemetry:sink
+              ~root:schema_json docs)
      | `Jsound ->
          let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
          let schema = or_die (Jsound.parse schema_json) in
@@ -389,8 +408,8 @@ let validate_cmd =
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
-    Term.(const run $ language $ formats $ sup_term $ jobs_arg $ stats_arg
-          $ stats_json_arg $ schema_file $ input_arg)
+    Term.(const run $ language $ formats $ compiled $ validate_cache $ sup_term
+          $ jobs_arg $ stats_arg $ stats_json_arg $ schema_file $ input_arg)
 
 (* --- infer ----------------------------------------------------------- *)
 

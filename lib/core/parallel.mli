@@ -93,9 +93,15 @@ val infer_counting :
 (** Counting variant; counts add pointwise under the merge. *)
 
 val validate :
-  ?config:Jsonschema.Validate.config -> ?jobs:int ->
+  ?config:Jsonschema.Validate.config -> ?compiled:bool -> ?jobs:int ->
   ?telemetry:Telemetry.sink -> root:Json.Value.t ->
   Json.Value.t list -> (int * Jsonschema.Validate.error list) list
 (** Shard-parallel validation of a document batch against one schema:
     failing indices (into the input list) with their errors, in input
-    order — the same list the sequential fold produces. *)
+    order — the same list the sequential fold produces. [compiled]
+    (default [true]) lowers the schema once through
+    {!Jsonschema.Compile.plan_for} and shares the immutable plan across
+    all worker domains; [false] re-interprets the schema per document.
+    Verdicts and error reports are byte-identical either way. [telemetry]
+    additionally records [validate.compile_ms], [validate.plan.nodes],
+    and [validate.cache.{hits,misses}] on the compiled path. *)

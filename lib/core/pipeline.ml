@@ -35,14 +35,17 @@ let infer_ndjson_resilient ?equiv ?name ?budget ?(jobs = 1) ?telemetry text =
   in
   (inferred, r)
 
-let validate_collection ?config ?(jobs = 1) ?telemetry ~root values =
-  let failures = Parallel.validate ?config ~jobs ?telemetry ~root values in
+let validate_collection ?config ?compiled ?(jobs = 1) ?telemetry ~root values =
+  let failures =
+    Parallel.validate ?config ?compiled ~jobs ?telemetry ~root values
+  in
   if failures = [] then Ok (List.length values) else Error failures
 
-let validate_ndjson ?config ?budget ?(jobs = 1) ?telemetry ~root text =
+let validate_ndjson ?config ?compiled ?budget ?(jobs = 1) ?telemetry ~root text =
   let r = Parallel.ingest ?budget ~jobs ?telemetry text in
   let failures =
-    Parallel.validate ?config ~jobs ?telemetry ~root r.Resilient.docs
+    Parallel.validate ?config ?compiled ~jobs ?telemetry ~root
+      r.Resilient.docs
   in
   (r, failures)
 
@@ -307,13 +310,22 @@ let validation_error_of_json j =
       | _ -> Error "checkpoint: malformed validation error")
   | _ -> Error "checkpoint: validation error must be an object"
 
-let validate_ndjson_supervised ?config ?budget ?options ?policy ?inject
-    ?checkpoint ?resume ?jobs ?telemetry ~root text =
+let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
+    ?policy ?inject ?checkpoint ?resume ?jobs ?telemetry ~root text =
+  (* one shared plan for every shard and every retry attempt; the plan is
+     immutable, so a retried shard revalidates through the same closures *)
+  let check =
+    if not compiled then fun v -> Jsonschema.Validate.validate ?config ~root v
+    else
+      match Jsonschema.Compile.plan_for ?telemetry root with
+      | Ok plan -> fun v -> Jsonschema.Compile.run ?config plan v
+      | Error es -> fun _ -> Error es
+  in
   let encode (ing : Resilient.ingest) =
     let failures =
       List.mapi
         (fun i v ->
-          match Jsonschema.Validate.validate ?config ~root v with
+          match check v with
           | Ok () -> None
           | Error es -> Some (i, es))
         ing.Resilient.docs

@@ -83,7 +83,8 @@ val infer_ndjson_supervised :
     run. *)
 
 val validate_ndjson_supervised :
-  ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
+  ?config:Jsonschema.Validate.config -> ?compiled:bool ->
+  ?budget:Resilient.budget ->
   ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
   ?inject:(shard:int -> attempt:int -> string option) ->
   ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
@@ -92,7 +93,9 @@ val validate_ndjson_supervised :
    string)
   result
 (** Supervised {!validate_ndjson}: failure indices are into the merged
-    [ingest.docs], exactly as the unsupervised path reports them. The
+    [ingest.docs], exactly as the unsupervised path reports them.
+    [compiled] (default [true]) compiles the schema once and shares the
+    plan across shards and retry attempts. The
     journal job tag fingerprints the schema, so a journal written against
     one schema refuses to resume a run against another ([config] is not
     fingerprinted — resume with the same flags). *)
@@ -100,15 +103,18 @@ val validate_ndjson_supervised :
 (** {1 Validation pipeline} *)
 
 val validate_collection :
-  ?config:Jsonschema.Validate.config -> ?jobs:int ->
+  ?config:Jsonschema.Validate.config -> ?compiled:bool -> ?jobs:int ->
   ?telemetry:Telemetry.sink -> root:Json.Value.t -> Json.Value.t list ->
   (int, (int * Jsonschema.Validate.error list) list) result
 (** Validate every document against a JSON Schema document; [Ok n] = all [n]
     valid, otherwise the failing indices with their errors. [jobs > 1]
-    validates document batches shard-parallel. *)
+    validates document batches shard-parallel. [compiled] (default [true])
+    shares one {!Jsonschema.Compile} plan across shards; verdicts and
+    error reports are byte-identical either way. *)
 
 val validate_ndjson :
-  ?config:Jsonschema.Validate.config -> ?budget:Resilient.budget ->
+  ?config:Jsonschema.Validate.config -> ?compiled:bool ->
+  ?budget:Resilient.budget ->
   ?jobs:int -> ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
   Resilient.ingest * (int * Jsonschema.Validate.error list) list
 (** Guarded validation from raw text: unparseable documents are quarantined

@@ -1,0 +1,878 @@
+(* Compiled validation plans.
+
+   [Validate.check] re-interprets the schema per document: every keyword is
+   an [option] probe on the node record, every [$ref] is a string resolved
+   through a per-document cache, and [validate ~root] even re-parses the
+   whole schema document each call. This module lowers a parsed [Schema.t]
+   once into a tree of specialized closures — the *plan* — and then runs
+   the plan per document:
+
+   - [$ref] targets are resolved exactly once into a memoized target table
+     (cycles are detected during lowering via the in-flight stack and
+     surfaced as {!cycles}); recursive targets are tied with back-patched
+     cells so the plan is an ordinary immutable closure graph.
+   - per-keyword checks are specialized: absent keywords cost nothing,
+     [type] lowers to a kind-dispatch on precomputed booleans, [enum]
+     membership goes through a hashed literal set, [properties] lookup
+     through a hash table, [pattern]/[patternProperties]/[propertyNames]
+     regexes and [format] checkers are bound at build time.
+   - trivially-true subschemas (boolean [true], `{}`, annotation-only
+     nodes) are pruned to a constant check.
+
+   The contract that keeps the fast path honest: a plan must be
+   *byte-identical* to the interpreter — same verdicts, same error records
+   in the same order, same telemetry keyword counters. That is why the
+   runtime still carries the interpreter's fuel and depth counters (the
+   fuel budget is observable through its error message on cyclic schemas,
+   and its reset-on-input rule shapes which documents exhaust it), and why
+   every error string below reuses the interpreter's exact format strings.
+   The differential conformance suite and the QCheck oracle in
+   [test/test_jsonschema.ml] enforce the contract.
+
+   Plans are immutable after [compile] returns and hold only immutable
+   data, so one plan is safely shared across domains; the fingerprint cache
+   below lets sharded pipelines reuse one compilation per schema. *)
+
+type error = Validate.error
+
+(* Everything the plan needs from [Validate.config] at run time. Plans are
+   config-independent: the same plan serves any config. *)
+type rt = {
+  formats : bool;
+  max_fuel : int;
+  max_depth : int;
+  tele : Telemetry.sink;
+}
+
+(* A compiled check: [cc rt fuel depth schema_at at v] mirrors
+   [Validate.check ctx ~fuel ~depth ~schema_at ~at s v]. *)
+type cc =
+  rt -> int -> int -> Json.Pointer.t -> Json.Pointer.t -> Json.Value.t ->
+  error list
+
+(* A compiled keyword: pushes errors onto a reversed accumulator, exactly
+   like the interpreter's [errors] ref, so orderings agree by construction. *)
+type kc =
+  rt -> error list ref -> int -> int -> Json.Pointer.t -> Json.Pointer.t ->
+  Json.Value.t -> unit
+
+let kp at k = Json.Pointer.append at (Json.Pointer.Key k)
+let ip at i = Json.Pointer.append at (Json.Pointer.Index i)
+let add errors e = errors := e :: !errors
+let add_all errors es = errors := List.rev_append es !errors
+
+let err ~at ~schema_at sk message =
+  { Validate.instance_at = at; schema_at = kp schema_at sk; message }
+
+let depth_error rt ~schema_at ~at =
+  { Validate.instance_at = at;
+    schema_at;
+    message =
+      Printf.sprintf
+        "maximum validation depth %d exceeded (deeply nested instance or recursive schema)"
+        rt.max_depth }
+
+let budget_msg = "reference expansion budget exhausted (cyclic schema?)"
+
+(* keyword-counter keys, built once per module instead of per evaluation *)
+let kw_ref = "validate.kw.$ref"
+let kw_type = "validate.kw.type"
+let kw_enum = "validate.kw.enum"
+let kw_const = "validate.kw.const"
+let kw_minimum = "validate.kw.minimum"
+let kw_maximum = "validate.kw.maximum"
+let kw_exclusive_minimum = "validate.kw.exclusiveMinimum"
+let kw_exclusive_maximum = "validate.kw.exclusiveMaximum"
+let kw_multiple_of = "validate.kw.multipleOf"
+let kw_min_length = "validate.kw.minLength"
+let kw_max_length = "validate.kw.maxLength"
+let kw_pattern = "validate.kw.pattern"
+let kw_format = "validate.kw.format"
+let kw_min_items = "validate.kw.minItems"
+let kw_max_items = "validate.kw.maxItems"
+let kw_unique_items = "validate.kw.uniqueItems"
+let kw_items = "validate.kw.items"
+let kw_contains = "validate.kw.contains"
+let kw_min_properties = "validate.kw.minProperties"
+let kw_max_properties = "validate.kw.maxProperties"
+let kw_required = "validate.kw.required"
+let kw_property_names = "validate.kw.propertyNames"
+let kw_properties = "validate.kw.properties"
+let kw_pattern_properties = "validate.kw.patternProperties"
+let kw_additional_properties = "validate.kw.additionalProperties"
+let kw_dependencies = "validate.kw.dependencies"
+let kw_all_of = "validate.kw.allOf"
+let kw_any_of = "validate.kw.anyOf"
+let kw_one_of = "validate.kw.oneOf"
+let kw_not = "validate.kw.not"
+let kw_if = "validate.kw.if"
+
+(* --- hashed literal sets ----------------------------------------------- *)
+
+(* A hash compatible with [Json.Value.equal]: that equality sorts object
+   keys (order-insensitive, multiplicity-sensitive) and compares numbers by
+   value across Int/Float, so numbers hash through their float image
+   (-0.0 normalized: it equals 0.0) and objects through a commutative
+   combination of their fields. Collisions only cost a bucket scan. *)
+let hash_num f = Hashtbl.hash (if f = 0.0 then 0.0 else f)
+
+let rec literal_hash (v : Json.Value.t) =
+  match v with
+  | Json.Value.Null -> 3
+  | Json.Value.Bool false -> 5
+  | Json.Value.Bool true -> 7
+  | Json.Value.Int n -> hash_num (float_of_int n)
+  | Json.Value.Float f -> hash_num f
+  | Json.Value.String s -> Hashtbl.hash s
+  | Json.Value.Array vs ->
+      List.fold_left (fun acc x -> (acc * 31) + literal_hash x) 11 vs
+  | Json.Value.Object fields ->
+      13
+      + List.fold_left
+          (fun acc (k, x) -> acc + (Hashtbl.hash k lxor literal_hash x))
+          0 fields
+
+let literal_set vs =
+  let tbl = Hashtbl.create (2 * List.length vs) in
+  List.iter
+    (fun v ->
+      let h = literal_hash v in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl h) in
+      if not (List.exists (Json.Value.equal v) bucket) then
+        Hashtbl.replace tbl h (v :: bucket))
+    vs;
+  fun v ->
+    match Hashtbl.find_opt tbl (literal_hash v) with
+    | None -> false
+    | Some bucket -> List.exists (Json.Value.equal v) bucket
+
+(* --- plan lowering ------------------------------------------------------ *)
+
+type stats = {
+  mutable nodes : int;        (* subschemas lowered (incl. ref targets) *)
+  mutable pruned : int;       (* trivially-true subschemas shortcut *)
+  mutable ref_targets : int;  (* distinct $ref targets resolved *)
+  mutable cycles : int;       (* back-edges in the $ref graph *)
+}
+
+type builder = {
+  root : Json.Value.t;                      (* the schema document *)
+  targets : (string, cc ref) Hashtbl.t;     (* $ref target -> compiled cell *)
+  mutable in_flight : string list;          (* targets currently lowering *)
+  st : stats;
+}
+
+(* only reachable before the owning [resolve_target] back-patches the cell,
+   i.e. never at run time *)
+let unlinked_cc : cc = fun _ _ _ _ _ _ -> assert false
+
+(* compiled [dependencies] entry *)
+type cdep = Cdep_required of string list | Cdep_schema of cc
+
+let rec compile_schema b (s : Schema.t) : cc =
+  b.st.nodes <- b.st.nodes + 1;
+  match s with
+  | Schema.Bool_schema true ->
+      b.st.pruned <- b.st.pruned + 1;
+      fun rt _fuel depth schema_at at _v ->
+        if depth > rt.max_depth then [ depth_error rt ~schema_at ~at ] else []
+  | Schema.Bool_schema false ->
+      fun rt _fuel depth schema_at at _v ->
+        if depth > rt.max_depth then [ depth_error rt ~schema_at ~at ]
+        else
+          [ { Validate.instance_at = at; schema_at; message = "schema is false" } ]
+  | Schema.Schema n -> (
+      match kchecks b n with
+      | [||] ->
+          (* annotation-only node: no keyword ever fires, but the node still
+             reports its depth to the gauge and guards the depth bound,
+             exactly like the interpreter entering [check_node] *)
+          b.st.pruned <- b.st.pruned + 1;
+          fun rt _fuel depth schema_at at _v ->
+            if depth > rt.max_depth then [ depth_error rt ~schema_at ~at ]
+            else begin
+              Telemetry.gauge_max rt.tele "validate.max_depth"
+                (float_of_int depth);
+              []
+            end
+      | ks ->
+          fun rt fuel depth schema_at at v ->
+            if depth > rt.max_depth then [ depth_error rt ~schema_at ~at ]
+            else begin
+              Telemetry.gauge_max rt.tele "validate.max_depth"
+                (float_of_int depth);
+              let errors = ref [] in
+              Array.iter (fun k -> k rt errors fuel depth schema_at at v) ks;
+              List.rev !errors
+            end)
+
+(* Resolve a [$ref] target once, memoized; recursion ties the knot through
+   the cell. Returns the interpreter's exact [Invalid_ref] message when the
+   target is unusable, so the error closure reproduces it per document. *)
+and resolve_target b target : (cc ref, string) result =
+  match Hashtbl.find_opt b.targets target with
+  | Some cell ->
+      if List.mem target b.in_flight then b.st.cycles <- b.st.cycles + 1;
+      Ok cell
+  | None -> (
+      let ptr_str =
+        if String.equal target "#" then Ok ""
+        else if String.length target > 0 && target.[0] = '#' then
+          Ok (String.sub target 1 (String.length target - 1))
+        else Error (Printf.sprintf "unsupported (non-local) $ref %S" target)
+      in
+      match ptr_str with
+      | Error m -> Error m
+      | Ok ps -> (
+          match Json.Pointer.parse ps with
+          | Error msg -> Error msg
+          | Ok ptr -> (
+              match Json.Pointer.get ptr b.root with
+              | None -> Error (Printf.sprintf "$ref target %S not found" target)
+              | Some sub_json -> (
+                  match Parse.of_json sub_json with
+                  | Error e -> Error (Parse.string_of_error e)
+                  | Ok s ->
+                      b.st.ref_targets <- b.st.ref_targets + 1;
+                      let cell = ref unlinked_cc in
+                      Hashtbl.add b.targets target cell;
+                      b.in_flight <- target :: b.in_flight;
+                      let cc = compile_schema b s in
+                      b.in_flight <- List.tl b.in_flight;
+                      cell := cc;
+                      Ok cell))))
+
+(* One [kc] per keyword group present on the node, in the interpreter's
+   evaluation order. An absent keyword contributes nothing to the array. *)
+and kchecks b (n : Schema.node) : kc array =
+  let ks = ref [] in
+  let addk k = ks := k :: !ks in
+  (* $ref *)
+  (match n.Schema.ref_ with
+   | None -> ()
+   | Some target -> (
+       match resolve_target b target with
+       | Ok cell ->
+           addk (fun rt errors fuel depth schema_at at v ->
+               Telemetry.count rt.tele kw_ref 1;
+               if fuel <= 0 then
+                 add errors (err ~at ~schema_at "$ref" budget_msg)
+               else
+                 add_all errors
+                   (!cell rt (fuel - 1) (depth + 1) (kp schema_at "$ref") at v))
+       | Error msg ->
+           addk (fun rt errors fuel _depth schema_at at _v ->
+               Telemetry.count rt.tele kw_ref 1;
+               if fuel <= 0 then
+                 add errors (err ~at ~schema_at "$ref" budget_msg)
+               else add errors (err ~at ~schema_at "$ref" msg))));
+  (* type: kind dispatch on precomputed booleans *)
+  (match n.Schema.types with
+   | None -> ()
+   | Some ts ->
+       let null_ok = List.mem `Null ts and bool_ok = List.mem `Boolean ts
+       and int_ok = List.mem `Integer ts and num_ok = List.mem `Number ts
+       and str_ok = List.mem `String ts and arr_ok = List.mem `Array ts
+       and obj_ok = List.mem `Object ts in
+       let expected =
+         String.concat " or " (List.map Schema.type_name_to_string ts)
+       in
+       addk (fun rt errors _fuel _depth schema_at at v ->
+           Telemetry.count rt.tele kw_type 1;
+           let ok =
+             match v with
+             | Json.Value.Null -> null_ok
+             | Json.Value.Bool _ -> bool_ok
+             | Json.Value.Int _ -> int_ok || num_ok
+             | Json.Value.Float f -> num_ok || (int_ok && Float.is_integer f)
+             | Json.Value.String _ -> str_ok
+             | Json.Value.Array _ -> arr_ok
+             | Json.Value.Object _ -> obj_ok
+           in
+           if not ok then
+             add errors
+               (err ~at ~schema_at "type"
+                  (Printf.sprintf "expected %s, got %s" expected
+                     (Json.Value.kind_name (Json.Value.kind v))))));
+  (* enum / const *)
+  (match n.Schema.enum with
+   | None -> ()
+   | Some vs ->
+       let mem =
+         (* the hashed set pays off past a handful of literals; tiny enums
+            scan, exactly like the interpreter *)
+         if List.length vs >= 4 then literal_set vs
+         else fun v -> List.exists (Json.Value.equal v) vs
+       in
+       addk (fun rt errors _fuel _depth schema_at at v ->
+           Telemetry.count rt.tele kw_enum 1;
+           if not (mem v) then
+             add errors
+               (err ~at ~schema_at "enum"
+                  "value is not one of the enumerated values")));
+  (match n.Schema.const with
+   | None -> ()
+   | Some c ->
+       let msg = "expected " ^ Json.Printer.to_string c in
+       addk (fun rt errors _fuel _depth schema_at at v ->
+           Telemetry.count rt.tele kw_const 1;
+           if not (Json.Value.equal v c) then
+             add errors (err ~at ~schema_at "const" msg)));
+  (* numeric: bounds folded into one closure guarded by a single
+     [number_of] probe *)
+  (let nchecks = ref [] in
+   let addn c = nchecks := c :: !nchecks in
+   let bound keyword counter test msg = function
+     | None -> ()
+     | Some limit ->
+         addn (fun rt errors schema_at at f _v ->
+             Telemetry.count rt.tele counter 1;
+             if not (test f limit) then
+               add errors (err ~at ~schema_at keyword (Printf.sprintf msg limit f)))
+   in
+   bound "minimum" kw_minimum (fun f l -> f >= l) "expected >= %g, got %g"
+     n.Schema.minimum;
+   bound "maximum" kw_maximum (fun f l -> f <= l) "expected <= %g, got %g"
+     n.Schema.maximum;
+   bound "exclusiveMinimum" kw_exclusive_minimum (fun f l -> f > l)
+     "expected > %g, got %g" n.Schema.exclusive_minimum;
+   bound "exclusiveMaximum" kw_exclusive_maximum (fun f l -> f < l)
+     "expected < %g, got %g" n.Schema.exclusive_maximum;
+   (match n.Schema.multiple_of with
+    | None -> ()
+    | Some m ->
+        addn (fun rt errors schema_at at f v ->
+            Telemetry.count rt.tele kw_multiple_of 1;
+            if not (Validate.multiple_of_value_ok v m) then
+              add errors
+                (err ~at ~schema_at "multipleOf"
+                   (Printf.sprintf "%g is not a multiple of %g" f m))));
+   match List.rev !nchecks with
+   | [] -> ()
+   | ncs ->
+       let ncs = Array.of_list ncs in
+       addk (fun rt errors _fuel _depth schema_at at v ->
+           match Validate.number_of v with
+           | None -> ()
+           | Some f -> Array.iter (fun c -> c rt errors schema_at at f v) ncs));
+  (* string: length bounds share one UTF-8 count, regex and format checker
+     bound at build time *)
+  (let schecks = ref [] in
+   let adds c = schecks := c :: !schecks in
+   (match n.Schema.min_length with
+    | None -> ()
+    | Some m ->
+        adds (fun rt errors schema_at at _s len ->
+            Telemetry.count rt.tele kw_min_length 1;
+            if len < m then
+              add errors
+                (err ~at ~schema_at "minLength"
+                   (Printf.sprintf "length %d < %d" len m))));
+   (match n.Schema.max_length with
+    | None -> ()
+    | Some m ->
+        adds (fun rt errors schema_at at _s len ->
+            Telemetry.count rt.tele kw_max_length 1;
+            if len > m then
+              add errors
+                (err ~at ~schema_at "maxLength"
+                   (Printf.sprintf "length %d > %d" len m))));
+   (match n.Schema.pattern with
+    | None -> ()
+    | Some (src, re) ->
+        adds (fun rt errors schema_at at s _len ->
+            Telemetry.count rt.tele kw_pattern 1;
+            if not (Re.execp re s) then
+              add errors
+                (err ~at ~schema_at "pattern"
+                   (Printf.sprintf "%S does not match /%s/" s src))));
+   (match n.Schema.format with
+    | None -> ()
+    | Some name ->
+        let checker = Validate.format_checker name in
+        adds (fun rt errors schema_at at s _len ->
+            if rt.formats then begin
+              Telemetry.count rt.tele kw_format 1;
+              match checker with
+              | Some f when not (f s) ->
+                  add errors
+                    (err ~at ~schema_at "format"
+                       (Printf.sprintf "%S is not a valid %s" s name))
+              | Some _ | None -> ()
+            end));
+   match List.rev !schecks with
+   | [] -> ()
+   | scs ->
+       let scs = Array.of_list scs in
+       let need_len =
+         n.Schema.min_length <> None || n.Schema.max_length <> None
+       in
+       addk (fun rt errors _fuel _depth schema_at at v ->
+           match v with
+           | Json.Value.String s ->
+               let len = if need_len then Validate.utf8_length s else 0 in
+               Array.iter (fun c -> c rt errors schema_at at s len) scs
+           | _ -> ()));
+  (* array *)
+  (let min_i = n.Schema.min_items and max_i = n.Schema.max_items in
+   let unique = n.Schema.unique_items in
+   let items_cc =
+     match n.Schema.items with
+     | None -> None
+     | Some (Schema.Items_one s) -> Some (`One (compile_schema b s))
+     | Some (Schema.Items_many ss) ->
+         Some
+           (`Many
+              ( Array.of_list (List.map (compile_schema b) ss),
+                Option.map (compile_schema b) n.Schema.additional_items ))
+   in
+   let contains_cc = Option.map (compile_schema b) n.Schema.contains in
+   let min_c = n.Schema.min_contains and max_c = n.Schema.max_contains in
+   if min_i <> None || max_i <> None || unique || items_cc <> None
+      || contains_cc <> None
+   then
+     addk (fun rt errors _fuel depth schema_at at v ->
+         match v with
+         | Json.Value.Array elems ->
+             (if min_i <> None || max_i <> None then begin
+                let len = List.length elems in
+                (match min_i with
+                 | None -> ()
+                 | Some m ->
+                     Telemetry.count rt.tele kw_min_items 1;
+                     if len < m then
+                       add errors
+                         (err ~at ~schema_at "minItems"
+                            (Printf.sprintf "%d items < %d" len m)));
+                match max_i with
+                | None -> ()
+                | Some m ->
+                    Telemetry.count rt.tele kw_max_items 1;
+                    if len > m then
+                      add errors
+                        (err ~at ~schema_at "maxItems"
+                           (Printf.sprintf "%d items > %d" len m))
+              end);
+             if unique then begin
+               Telemetry.count rt.tele kw_unique_items 1;
+               let sorted = List.sort Json.Value.compare elems in
+               let rec dup = function
+                 | a :: (b :: _ as rest) ->
+                     Json.Value.equal a b || dup rest
+                 | _ -> false
+               in
+               if dup sorted then
+                 add errors
+                   (err ~at ~schema_at "uniqueItems"
+                      "array elements are not unique")
+             end;
+             (match items_cc with
+              | None -> ()
+              | Some (`One cc) ->
+                  Telemetry.count rt.tele kw_items 1;
+                  let sat = kp schema_at "items" in
+                  List.iteri
+                    (fun i x ->
+                      add_all errors
+                        (cc rt rt.max_fuel (depth + 1) sat (ip at i) x))
+                    elems
+              | Some (`Many (ccs, add_cc)) ->
+                  Telemetry.count rt.tele kw_items 1;
+                  let isat = kp schema_at "items" in
+                  let nss = Array.length ccs in
+                  let rec go i xs =
+                    match xs with
+                    | [] -> ()
+                    | x :: xs' when i < nss ->
+                        add_all errors
+                          (ccs.(i) rt rt.max_fuel (depth + 1) (ip isat i)
+                             (ip at i) x);
+                        go (i + 1) xs'
+                    | rest -> (
+                        (* beyond the tuple prefix: additionalItems applies *)
+                        match add_cc with
+                        | None -> ()
+                        | Some cc ->
+                            let asat = kp schema_at "additionalItems" in
+                            List.iteri
+                              (fun j x ->
+                                add_all errors
+                                  (cc rt rt.max_fuel (depth + 1) asat
+                                     (ip at (i + j)) x))
+                              rest)
+                  in
+                  go 0 elems);
+             (match contains_cc with
+              | None -> ()
+              | Some cc ->
+                  Telemetry.count rt.tele kw_contains 1;
+                  let csat = kp schema_at "contains" in
+                  let hits =
+                    List.length
+                      (List.filter
+                         (fun x ->
+                           cc rt rt.max_fuel (depth + 1) csat at x = [])
+                         elems)
+                  in
+                  let lo = Option.value ~default:1 min_c in
+                  (if hits < lo then
+                     add errors
+                       (err ~at ~schema_at "contains"
+                          (Printf.sprintf
+                             "%d matching elements, need at least %d" hits lo)));
+                  match max_c with
+                  | Some hi when hits > hi ->
+                      add errors
+                        (err ~at ~schema_at "maxContains"
+                           (Printf.sprintf
+                              "%d matching elements, allowed at most %d" hits
+                              hi))
+                  | _ -> ())
+         | _ -> ()));
+  (* object *)
+  (let min_p = n.Schema.min_properties and max_p = n.Schema.max_properties in
+   let required = n.Schema.required in
+   let prop_names_cc = Option.map (compile_schema b) n.Schema.property_names in
+   let props_tbl =
+     match n.Schema.properties with
+     | [] -> None
+     | props ->
+         let tbl = Hashtbl.create (2 * List.length props) in
+         List.iter
+           (fun (k, s) ->
+             (* first binding wins, like the interpreter's [assoc_opt] *)
+             if not (Hashtbl.mem tbl k) then
+               Hashtbl.add tbl k (compile_schema b s))
+           props;
+         Some tbl
+   in
+   let pat_props =
+     Array.of_list
+       (List.map
+          (fun (src, re, s) -> (src, re, compile_schema b s))
+          n.Schema.pattern_properties)
+   in
+   let add_props = Option.map (compile_schema b) n.Schema.additional_properties in
+   let deps =
+     List.map
+       (fun (trigger, dep) ->
+         match dep with
+         | Schema.Dep_required needed -> (trigger, Cdep_required needed)
+         | Schema.Dep_schema s -> (trigger, Cdep_schema (compile_schema b s)))
+       n.Schema.dependencies
+   in
+   if min_p <> None || max_p <> None || required <> [] || prop_names_cc <> None
+      || props_tbl <> None
+      || Array.length pat_props > 0
+      || add_props <> None || deps <> []
+   then
+     addk (fun rt errors _fuel depth schema_at at v ->
+         match v with
+         | Json.Value.Object fields ->
+             (if min_p <> None || max_p <> None then begin
+                let nfields = List.length fields in
+                (match min_p with
+                 | None -> ()
+                 | Some m ->
+                     Telemetry.count rt.tele kw_min_properties 1;
+                     if nfields < m then
+                       add errors
+                         (err ~at ~schema_at "minProperties"
+                            (Printf.sprintf "%d properties < %d" nfields m)));
+                match max_p with
+                | None -> ()
+                | Some m ->
+                    Telemetry.count rt.tele kw_max_properties 1;
+                    if nfields > m then
+                      add errors
+                        (err ~at ~schema_at "maxProperties"
+                           (Printf.sprintf "%d properties > %d" nfields m))
+              end);
+             if required <> [] then begin
+               Telemetry.count rt.tele kw_required 1;
+               List.iter
+                 (fun r ->
+                   if not (List.mem_assoc r fields) then
+                     add errors
+                       (err ~at ~schema_at "required"
+                          (Printf.sprintf "missing required property %S" r)))
+                 required
+             end;
+             (match prop_names_cc with
+              | None -> ()
+              | Some cc ->
+                  Telemetry.count rt.tele kw_property_names 1;
+                  let psat = kp schema_at "propertyNames" in
+                  List.iter
+                    (fun (k, _) ->
+                      add_all errors
+                        (cc rt rt.max_fuel (depth + 1) psat (kp at k)
+                           (Json.Value.String k)))
+                    fields);
+             (if props_tbl <> None || Array.length pat_props > 0
+                 || add_props <> None
+              then
+                List.iter
+                  (fun (k, x) ->
+                    let matched = ref false in
+                    (match props_tbl with
+                     | None -> ()
+                     | Some tbl -> (
+                         match Hashtbl.find_opt tbl k with
+                         | None -> ()
+                         | Some cc ->
+                             matched := true;
+                             Telemetry.count rt.tele kw_properties 1;
+                             add_all errors
+                               (cc rt rt.max_fuel (depth + 1)
+                                  (kp (kp schema_at "properties") k) (kp at k)
+                                  x)));
+                    Array.iter
+                      (fun (src, re, cc) ->
+                        if Re.execp re k then begin
+                          matched := true;
+                          Telemetry.count rt.tele kw_pattern_properties 1;
+                          add_all errors
+                            (cc rt rt.max_fuel (depth + 1)
+                               (kp (kp schema_at "patternProperties") src)
+                               (kp at k) x)
+                        end)
+                      pat_props;
+                    if not !matched then
+                      match add_props with
+                      | None -> ()
+                      | Some cc ->
+                          Telemetry.count rt.tele kw_additional_properties 1;
+                          add_all errors
+                            (cc rt rt.max_fuel (depth + 1)
+                               (kp schema_at "additionalProperties") (kp at k)
+                               x))
+                  fields);
+             List.iter
+               (fun (trigger, dep) ->
+                 if List.mem_assoc trigger fields then begin
+                   Telemetry.count rt.tele kw_dependencies 1;
+                   match dep with
+                   | Cdep_required needed ->
+                       List.iter
+                         (fun k ->
+                           if not (List.mem_assoc k fields) then
+                             add errors
+                               (err ~at ~schema_at "dependencies"
+                                  (Printf.sprintf
+                                     "property %S requires property %S" trigger
+                                     k)))
+                         needed
+                   | Cdep_schema cc ->
+                       add_all errors
+                         (cc rt rt.max_fuel (depth + 1)
+                            (kp (kp schema_at "dependencies") trigger) at v)
+                 end)
+               deps
+         | _ -> ()));
+  (* combinators: fuel passes through unchanged (no instance input consumed) *)
+  (match n.Schema.all_of with
+   | [] -> ()
+   | ss ->
+       let ccs = Array.of_list (List.map (compile_schema b) ss) in
+       addk (fun rt errors fuel depth schema_at at v ->
+           Telemetry.count rt.tele kw_all_of 1;
+           let asat = kp schema_at "allOf" in
+           Array.iteri
+             (fun i cc ->
+               add_all errors (cc rt fuel (depth + 1) (ip asat i) at v))
+             ccs));
+  (match n.Schema.any_of with
+   | [] -> ()
+   | ss ->
+       let ccs = Array.of_list (List.map (compile_schema b) ss) in
+       addk (fun rt errors fuel depth schema_at at v ->
+           Telemetry.count rt.tele kw_any_of 1;
+           let sat = kp schema_at "anyOf" in
+           if not (Array.exists (fun cc -> cc rt fuel (depth + 1) sat at v = []) ccs)
+           then
+             add errors
+               { Validate.instance_at = at;
+                 schema_at = sat;
+                 message = "no alternative matches" }));
+  (match n.Schema.one_of with
+   | [] -> ()
+   | ss ->
+       let ccs = Array.of_list (List.map (compile_schema b) ss) in
+       addk (fun rt errors fuel depth schema_at at v ->
+           Telemetry.count rt.tele kw_one_of 1;
+           let sat = kp schema_at "oneOf" in
+           let hits =
+             Array.fold_left
+               (fun acc cc ->
+                 if cc rt fuel (depth + 1) sat at v = [] then acc + 1 else acc)
+               0 ccs
+           in
+           if hits <> 1 then
+             add errors
+               { Validate.instance_at = at;
+                 schema_at = sat;
+                 message =
+                   Printf.sprintf "%d alternatives match (need exactly 1)" hits }));
+  (match n.Schema.not_ with
+   | None -> ()
+   | Some s ->
+       let cc = compile_schema b s in
+       addk (fun rt errors fuel depth schema_at at v ->
+           Telemetry.count rt.tele kw_not 1;
+           if cc rt fuel (depth + 1) (kp schema_at "not") at v = [] then
+             add errors
+               (err ~at ~schema_at "not" "value matches the negated schema")));
+  (match n.Schema.if_ with
+   | None -> ()
+   | Some cond ->
+       let cond_cc = compile_schema b cond in
+       let then_cc = Option.map (compile_schema b) n.Schema.then_ in
+       let else_cc = Option.map (compile_schema b) n.Schema.else_ in
+       addk (fun rt errors fuel depth schema_at at v ->
+           Telemetry.count rt.tele kw_if 1;
+           let branch, which =
+             if cond_cc rt fuel (depth + 1) (kp schema_at "if") at v = [] then
+               (then_cc, "then")
+             else (else_cc, "else")
+           in
+           match branch with
+           | None -> ()
+           | Some cc ->
+               add_all errors (cc rt fuel (depth + 1) (kp schema_at which) at v)));
+  Array.of_list (List.rev !ks)
+
+(* --- plans -------------------------------------------------------------- *)
+
+type plan = {
+  check : cc;
+  nodes : int;
+  pruned : int;
+  ref_targets : int;
+  cycles : int;
+}
+
+let nodes p = p.nodes
+let pruned p = p.pruned
+let ref_targets p = p.ref_targets
+let cycles p = p.cycles
+
+let compile ?(telemetry = Telemetry.nop) root =
+  let recording = Telemetry.is_recording telemetry in
+  let t0 = if recording then Telemetry.now () else 0.0 in
+  match Parse.of_json root with
+  | Error e ->
+      (* the same error list [Validate.validate] returns on a malformed
+         schema, so the engines agree even before a plan exists *)
+      Error
+        [ { Validate.instance_at = [];
+            schema_at = e.Parse.at;
+            message = e.Parse.message } ]
+  | Ok s ->
+      let b =
+        { root;
+          targets = Hashtbl.create 16;
+          in_flight = [];
+          st = { nodes = 0; pruned = 0; ref_targets = 0; cycles = 0 } }
+      in
+      let check = compile_schema b s in
+      if recording then begin
+        Telemetry.observe telemetry "validate.compile_ms"
+          ((Telemetry.now () -. t0) *. 1000.0);
+        Telemetry.gauge_max telemetry "validate.plan.nodes"
+          (float_of_int b.st.nodes)
+      end;
+      Ok
+        { check;
+          nodes = b.st.nodes;
+          pruned = b.st.pruned;
+          ref_targets = b.st.ref_targets;
+          cycles = b.st.cycles }
+
+let run ?(config = Validate.default_config) plan v =
+  let rt =
+    { formats = config.Validate.assert_formats;
+      max_fuel = config.Validate.max_ref_expansions;
+      max_depth = config.Validate.max_depth;
+      tele = config.Validate.telemetry }
+  in
+  match plan.check rt rt.max_fuel 0 [] [] v with
+  | [] -> Ok ()
+  | es -> Error es
+  | exception Stack_overflow ->
+      Error
+        [ { Validate.instance_at = [];
+            schema_at = [];
+            message = "validation overflowed the stack (schema too deep)" } ]
+
+let is_valid ?config plan v = Result.is_ok (run ?config plan v)
+
+(* --- fingerprint-keyed plan cache --------------------------------------- *)
+
+(* FNV-1a 64 over the canonical printed schema document. The printer is
+   deterministic, so structurally identical schema values share a plan. *)
+let fingerprint root =
+  let s = Json.Printer.to_string root in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* Plans are immutable, so concurrent readers are safe once a plan is
+   published; the mutex only guards the table itself. Capacity is a blunt
+   wholesale-reset bound: schema churn past it means recompiling, never
+   unbounded growth. *)
+let cache_capacity = 256
+let cache : (string, plan) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let memoize = Atomic.make true
+
+let set_cache on = Atomic.set memoize on
+let cache_enabled () = Atomic.get memoize
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+let cache_size () =
+  Mutex.lock cache_lock;
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  n
+
+let plan_for ?(telemetry = Telemetry.nop) root =
+  if not (Atomic.get memoize) then compile ~telemetry root
+  else begin
+    let key = fingerprint root in
+    let hit =
+      Mutex.lock cache_lock;
+      let r = Hashtbl.find_opt cache key in
+      Mutex.unlock cache_lock;
+      r
+    in
+    match hit with
+    | Some plan ->
+        Telemetry.count telemetry "validate.cache.hits" 1;
+        if Telemetry.is_recording telemetry then
+          Telemetry.gauge_max telemetry "validate.plan.nodes"
+            (float_of_int plan.nodes);
+        Ok plan
+    | None -> (
+        Telemetry.count telemetry "validate.cache.misses" 1;
+        match compile ~telemetry root with
+        | Error _ as e -> e
+        | Ok plan ->
+            Mutex.lock cache_lock;
+            if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+            if not (Hashtbl.mem cache key) then Hashtbl.add cache key plan;
+            Mutex.unlock cache_lock;
+            Ok plan)
+  end
+
+let validate ?(config = Validate.default_config) ~root v =
+  match plan_for ~telemetry:config.Validate.telemetry root with
+  | Error es -> Error es
+  | Ok plan -> run ~config plan v

@@ -1,0 +1,77 @@
+(** Compiled validation plans.
+
+    A one-time lowering of a schema document into an executable plan:
+    [$ref] targets resolved once into a memoized target table (cycles
+    detected during lowering), per-keyword checks specialized into
+    closures, trivially-true subschemas pruned. Running a plan is
+    *byte-identical* to {!Validate.validate} — same verdicts, same error
+    records in the same order, same [validate.kw.*] telemetry — it just
+    skips the per-document schema re-parse, keyword probing, and [$ref]
+    string resolution. The conformance suite and the QCheck differential
+    oracle under [test/] enforce the equivalence.
+
+    Plans are immutable and domain-safe: compile once, share across a
+    domain pool. {!plan_for} adds a fingerprint-keyed cache (FNV-1a over
+    the canonical printed schema) so repeated pipeline calls against the
+    same schema reuse one compilation. *)
+
+type error = Validate.error
+
+type plan
+(** An immutable compiled plan; safe to share across domains. *)
+
+val compile :
+  ?telemetry:Telemetry.sink -> Json.Value.t -> (plan, error list) result
+(** Lower a schema document into a plan. [Error] carries exactly the error
+    list {!Validate.validate} would return for the malformed document.
+    Emits [validate.compile_ms] and [validate.plan.nodes] to [telemetry]. *)
+
+val run :
+  ?config:Validate.config -> plan -> Json.Value.t -> (unit, error list) result
+(** Validate one instance. Plans are config-independent: [config] supplies
+    format assertion, fuel/depth budgets, and the telemetry sink at run
+    time, so one plan serves any config. *)
+
+val is_valid : ?config:Validate.config -> plan -> Json.Value.t -> bool
+
+val validate :
+  ?config:Validate.config -> root:Json.Value.t -> Json.Value.t ->
+  (unit, error list) result
+(** Drop-in for {!Validate.validate} through {!plan_for} (so the plan
+    cache applies) using [config.telemetry] as the compile sink. *)
+
+(** {2 Plan shape} *)
+
+val nodes : plan -> int
+(** Subschemas lowered, including [$ref] target bodies. *)
+
+val pruned : plan -> int
+(** Trivially-true subschemas compiled to a constant check. *)
+
+val ref_targets : plan -> int
+(** Distinct [$ref] targets resolved into the plan. *)
+
+val cycles : plan -> int
+(** Back-edges found in the [$ref] graph during lowering. Cyclic plans
+    still terminate per document through the runtime fuel budget — the
+    budget's error is part of the interpreter-equivalence contract. *)
+
+(** {2 Fingerprint-keyed plan cache} *)
+
+val fingerprint : Json.Value.t -> string
+(** FNV-1a 64 (hex) over the canonical printed document. *)
+
+val plan_for :
+  ?telemetry:Telemetry.sink -> Json.Value.t -> (plan, error list) result
+(** {!compile} through the global cache; counts [validate.cache.hits] /
+    [validate.cache.misses]. When the cache is disabled ({!set_cache}
+    [false]) this is plain {!compile} and no cache counters are emitted.
+    Compilation failures are never cached. *)
+
+val set_cache : bool -> unit
+(** Kill switch for the plan cache (CLI [--validate-cache on|off]).
+    Affects cost only, never verdicts. *)
+
+val cache_enabled : unit -> bool
+val clear_cache : unit -> unit
+val cache_size : unit -> int

@@ -107,21 +107,30 @@ let check_date s =
   in
   month >= 1 && month <= 12 && day >= 1 && day <= days_in_month
 
-let check_format name s =
-  match name with
+(* One closure per known format, resolved by name exactly once: the
+   interpreter looks the checker up per string, a compiled plan binds it at
+   plan-build time. Both go through this table, so the two engines cannot
+   disagree on what a format means. *)
+let format_checker = function
   | "date-time" ->
-      Some (Re.execp datetime_re s && check_date (String.sub s 0 (min 10 (String.length s))))
-  | "date" -> Some (check_date s)
-  | "time" -> Some (Re.execp time_re s)
-  | "email" -> Some (Re.execp email_re s)
-  | "hostname" -> Some (String.length s <= 253 && Re.execp hostname_re s)
-  | "ipv4" -> Some (Re.execp ipv4_re s)
-  | "ipv6" -> Some (check_ipv6 s)
-  | "uri" -> Some (Re.execp uri_re s)
-  | "uuid" -> Some (Re.execp uuid_re s)
-  | "json-pointer" -> Some (Result.is_ok (Json.Pointer.parse s))
-  | "regex" -> Some (match Re.Pcre.re s with _ -> true | exception _ -> false)
+      Some
+        (fun s ->
+          Re.execp datetime_re s
+          && check_date (String.sub s 0 (min 10 (String.length s))))
+  | "date" -> Some check_date
+  | "time" -> Some (fun s -> Re.execp time_re s)
+  | "email" -> Some (fun s -> Re.execp email_re s)
+  | "hostname" -> Some (fun s -> String.length s <= 253 && Re.execp hostname_re s)
+  | "ipv4" -> Some (fun s -> Re.execp ipv4_re s)
+  | "ipv6" -> Some check_ipv6
+  | "uri" -> Some (fun s -> Re.execp uri_re s)
+  | "uuid" -> Some (fun s -> Re.execp uuid_re s)
+  | "json-pointer" -> Some (fun s -> Result.is_ok (Json.Pointer.parse s))
+  | "regex" ->
+      Some (fun s -> match Re.Pcre.re s with _ -> true | exception _ -> false)
   | _ -> None
+
+let check_format name s = Option.map (fun f -> f s) (format_checker name)
 
 (* --- context ---------------------------------------------------------- *)
 

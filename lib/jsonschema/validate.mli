@@ -52,3 +52,27 @@ val check_format : string -> string -> bool option
     unknown formats validate); [Some ok] otherwise. Supported: [date-time],
     [date], [time], [email], [hostname], [ipv4], [ipv6], [uri], [uuid],
     [json-pointer], [regex]. *)
+
+(** {2 Shared semantics internals}
+
+    The pieces of the keyword semantics that {!Compile} must reproduce bit
+    for bit. Exported so the compiled engine calls the same code instead of
+    a copy that could drift; not a stable public API. *)
+
+val format_checker : string -> (string -> bool) option
+(** The checker behind {!check_format}, resolved by name once so compiled
+    plans can bind it at build time. [None] for unknown formats. *)
+
+val number_of : Json.Value.t -> float option
+(** Numeric view of an instance ([Int] widened to float), [None] for
+    non-numbers. *)
+
+val is_integer_value : Json.Value.t -> bool
+(** The [type: integer] judgment: [Int]s and integral [Float]s. *)
+
+val multiple_of_value_ok : Json.Value.t -> float -> bool
+(** [multipleOf] divisibility: exact on [Int] against integral divisors,
+    float-tolerant otherwise. *)
+
+val utf8_length : string -> int
+(** Code-point count; JSON Schema string lengths are in characters. *)

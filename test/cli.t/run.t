@@ -252,3 +252,41 @@ span; the inferred type over the drifting fixture is exact:
   {v: Null + Bool + Num + Str}
   $ mask < stats.json
   {"counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"kernel.fuse.misses":N,"kernel.intern.hits":N,"kernel.merge.misses":N,"kernel.nodes":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{"kernel.cache.entries":N},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
+
+Compiled validation plans: `validate` lowers the schema to an executable plan
+by default; reports must be byte-identical to the interpreter (`--compiled
+off`), on the clean corpus and on violations alike.
+
+  $ jsontool validate -s schema.json orders.ndjson > compiled.out 2>&1
+  $ jsontool validate --compiled off -s schema.json orders.ndjson > interp.out 2>&1
+  $ cmp compiled.out interp.out
+  $ cat compiled.out
+  20/20 documents valid
+
+  $ echo '{"order_id": "not a number"}' > bad.ndjson
+  $ jsontool validate -s schema.json bad.ndjson > compiled.out 2>&1
+  [1]
+  $ jsontool validate --compiled off -s schema.json bad.ndjson > interp.out 2>&1
+  [1]
+  $ cmp compiled.out interp.out
+
+The plan cache kill switch changes nothing observable in the report:
+
+  $ jsontool validate --validate-cache off -s schema.json orders.ndjson
+  20/20 documents valid
+
+Validation telemetry: the compiled engine emits the same per-keyword counters
+as the interpreter plus plan compilation and cache metrics:
+
+  $ jsontool validate --stats-json -s schema.json orders.ndjson 2>stats.json
+  20/20 documents valid
+  $ mask < stats.json
+  {"counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"validate.cache.misses":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N,"validate.plan.nodes":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"validate.compile_ms":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+...and with `--compiled off` the compile/cache keys disappear while the
+keyword counters stay:
+
+  $ jsontool validate --compiled off --stats-json -s schema.json orders.ndjson 2>stats.json
+  20/20 documents valid
+  $ mask < stats.json
+  {"counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}

@@ -448,6 +448,309 @@ let test_generate_deterministic () =
   Alcotest.(check bool) "same seed, same output" true (gen 7 = gen 7);
   Alcotest.(check bool) "diff seed, diff output (overwhelmingly)" true (gen 7 <> gen 8)
 
+(* --- compiled plans: differential oracle ------------------------------ *)
+
+(* The compiled engine (Compile) promises byte-identical results to the
+   interpreter (Validate) — same verdicts, same error records in the same
+   order. These properties throw randomized schema/instance pairs at both
+   and diff the rendered error lists, with the plan cache on and off. *)
+
+let render_errors = function
+  | Ok () -> "valid"
+  | Error es ->
+      String.concat "\n" (List.map Jsonschema.Validate.string_of_error es)
+
+let oracle_gen_value : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-20) 20);
+        map (fun f -> Json.Value.Float f) (float_range (-20.) 20.);
+        map (fun s -> Json.Value.String s)
+          (string_size ~gen:(char_range 'a' 'e') (int_range 0 4));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'c') (int_range 1 2) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [ (3, scalar);
+            (1, map (fun vs -> Json.Value.Array vs)
+                  (list_size (int_range 0 4) (self (n / 2))));
+            (1,
+             map
+               (fun fields ->
+                 let seen = Hashtbl.create 4 in
+                 Json.Value.Object
+                   (List.filter
+                      (fun (k, _) ->
+                        if Hashtbl.mem seen k then false
+                        else (Hashtbl.add seen k (); true))
+                      fields))
+               (list_size (int_range 0 4) (pair key (self (n / 2)))));
+          ])
+
+let oracle_gen_schema : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Json.Value in
+  let type_name =
+    oneofl [ "null"; "boolean"; "integer"; "number"; "string"; "array"; "object" ]
+  in
+  let ref_target =
+    oneofl [ "#"; "#/definitions/a"; "#/definitions/missing"; "not-a-pointer" ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'c') (int_range 1 2) in
+  sized @@ fix (fun self n ->
+      let sub = self (n / 2) in
+      let leaf =
+        oneof
+          [ map (fun t -> Object [ ("type", String t) ]) type_name;
+            map (fun r -> Object [ ("$ref", String r) ]) ref_target;
+            map (fun k -> Object [ ("required", Array [ String k ]) ]) key;
+            map (fun i -> Object [ ("minimum", Int i) ]) (int_range (-5) 5);
+            map (fun i -> Object [ ("maximum", Int i) ]) (int_range (-5) 5);
+            map (fun i -> Object [ ("minLength", Int i) ]) (int_range 0 4);
+            map (fun i -> Object [ ("minItems", Int i) ]) (int_range 0 3);
+            map (fun i -> Object [ ("multipleOf", Int i) ]) (int_range 1 4);
+            return (Object [ ("uniqueItems", Bool true) ]);
+            return (Object [ ("format", String "ipv4") ]);
+            map
+              (fun vs -> Object [ ("enum", Array vs) ])
+              (list_size (int_range 1 6) (map (fun i -> Int i) (int_range 0 9)));
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            (1,
+             map2
+               (fun k s ->
+                 Object
+                   [ ("properties", Object [ (k, s) ]);
+                     ("required", Array [ String k ]) ])
+               key sub);
+            (1, map (fun s -> Object [ ("items", s) ]) sub);
+            (1, map2 (fun a b -> Object [ ("items", Array [ a; b ]) ]) sub sub);
+            (1, map (fun s -> Object [ ("contains", s) ]) sub);
+            (1, map (fun s -> Object [ ("not", s) ]) sub);
+            (1, map (fun ss -> Object [ ("anyOf", Array ss) ])
+                  (list_size (int_range 1 3) sub));
+            (1, map (fun ss -> Object [ ("allOf", Array ss) ])
+                  (list_size (int_range 1 3) sub));
+            (1, map (fun ss -> Object [ ("oneOf", Array ss) ])
+                  (list_size (int_range 1 3) sub));
+            (1, map2 (fun a b ->
+                     Object [ ("if", a); ("then", b); ("else", a) ]) sub sub);
+            (1, map2 (fun k s -> Object [ ("patternProperties", Object [ (k, s) ]) ])
+                  key sub);
+            (1, map (fun s -> Object [ ("additionalProperties", s) ]) sub);
+            (1, map2 (fun k s -> Object [ ("dependencies", Object [ (k, s) ]) ])
+                  key sub);
+            (1,
+             map2
+               (fun k s ->
+                 Object
+                   [ ("definitions", Object [ (k, s) ]);
+                     ("$ref", String ("#/definitions/" ^ k)) ])
+               key sub);
+          ])
+
+let differential_agrees ?(config = Jsonschema.Validate.default_config)
+    (schema, instance) =
+  let interp =
+    render_errors (Jsonschema.Validate.validate ~config ~root:schema instance)
+  in
+  let compiled =
+    render_errors
+      (match Jsonschema.Compile.compile schema with
+      | Ok plan -> Jsonschema.Compile.run ~config plan instance
+      | Error es -> Error es)
+  in
+  Jsonschema.Compile.set_cache true;
+  let cached_on =
+    render_errors (Jsonschema.Compile.validate ~config ~root:schema instance)
+  in
+  Jsonschema.Compile.set_cache false;
+  let cached_off =
+    render_errors (Jsonschema.Compile.validate ~config ~root:schema instance)
+  in
+  Jsonschema.Compile.set_cache true;
+  if interp = compiled && interp = cached_on && interp = cached_off then true
+  else
+    QCheck2.Test.fail_reportf
+      "engines diverge on schema %s / instance %s@.interpreter:@.%s@.compiled:@.%s@.cached on:@.%s@.cached off:@.%s"
+      (Json.Printer.to_string schema)
+      (Json.Printer.to_string instance)
+      interp compiled cached_on cached_off
+
+(* A small $ref budget keeps randomly generated no-input cycles (e.g. a
+   [oneOf] of ["$ref": "#"]s) from doing branches^fuel work; both engines
+   get the same config, so byte-identity is still what's being tested. *)
+let oracle_config =
+  { Jsonschema.Validate.default_config with max_ref_expansions = 6 }
+
+let prop_compiled_differential =
+  QCheck2.Test.make
+    ~name:"compiled = interpreted: verdicts and error lists, cache on/off"
+    ~count:500
+    QCheck2.Gen.(pair oracle_gen_schema oracle_gen_value)
+    (differential_agrees ~config:oracle_config)
+
+let prop_compiled_differential_formats =
+  QCheck2.Test.make
+    ~name:"compiled = interpreted under assert_formats"
+    ~count:200
+    QCheck2.Gen.(pair oracle_gen_schema oracle_gen_value)
+    (differential_agrees ~config:{ oracle_config with assert_formats = true })
+
+let test_compiled_parallel_jobs () =
+  (* The sharded pipeline path: compiled and interpreted engines must report
+     the same failures (order included) at every job count. *)
+  let root =
+    parse
+      {|{"definitions": {"item": {"type": "object",
+                                  "required": ["id"],
+                                  "properties": {"id": {"type": "integer", "minimum": 1},
+                                                 "tag": {"type": "string", "pattern": "^[a-z]+$"}}}},
+         "type": "array", "items": {"$ref": "#/definitions/item"}, "minItems": 1}|}
+  in
+  let docs =
+    List.init 40 (fun i ->
+        if i mod 3 = 0 then parse (Printf.sprintf {|[{"id": %d, "tag": "ok"}]|} (i + 1))
+        else if i mod 3 = 1 then parse (Printf.sprintf {|[{"id": -%d}]|} (i + 1))
+        else parse {|[{"tag": "NOPE"}]|})
+  in
+  let render failures =
+    String.concat "\n"
+      (List.map
+         (fun (i, es) ->
+           String.concat "\n"
+             (List.map
+                (fun e ->
+                  Printf.sprintf "%d: %s" i (Jsonschema.Validate.string_of_error e))
+                es))
+         failures)
+  in
+  let reference = Core.Parallel.validate ~compiled:false ~root docs in
+  Alcotest.(check bool) "some failures exist" true (reference <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d compiled failures identical" jobs)
+        (render reference)
+        (render (Core.Parallel.validate ~compiled:true ~jobs ~root docs));
+      Jsonschema.Compile.set_cache false;
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d compiled, cache off" jobs)
+        (render reference)
+        (render (Core.Parallel.validate ~compiled:true ~jobs ~root docs));
+      Jsonschema.Compile.set_cache true)
+    [ 1; 4; 8 ]
+
+(* --- regression pins --------------------------------------------------- *)
+
+let test_tuple_items_error_paths () =
+  (* Pin the tuple-items error pointers: position i must appear in both the
+     instance pointer (/i) and the schema pointer (/items/i), and overflow
+     elements must blame /additionalItems. Checked against both engines. *)
+  let root =
+    parse
+      {|{"items": [{"type": "string"}, {"type": "integer"}],
+         "additionalItems": {"type": "null"}}|}
+  in
+  let instance = parse {|["ok", "bad", 7]|} in
+  let check_engine label result =
+    match result with
+    | Ok () -> Alcotest.fail (label ^ ": should be invalid")
+    | Error es ->
+        let pairs =
+          List.map
+            (fun e ->
+              ( Json.Pointer.to_string e.Jsonschema.Validate.instance_at,
+                Json.Pointer.to_string e.Jsonschema.Validate.schema_at ))
+            es
+        in
+        Alcotest.(check (list (pair string string)))
+          (label ^ ": tuple error pointers carry the array index")
+          [ ("/1", "/items/1/type"); ("/2", "/additionalItems/type") ]
+          pairs
+  in
+  check_engine "interpreter" (Jsonschema.Validate.validate ~root instance);
+  check_engine "compiled" (Jsonschema.Compile.validate ~root instance)
+
+let test_wellformed_escaped_ref () =
+  (* Pin ~0/~1 un-escaping on the $ref warn path: pointers through keys that
+     contain "/" or "~" must resolve (no dangling-ref warning) and must
+     validate identically in both engines. *)
+  let src =
+    {|{"definitions": {"a/b": {"type": "integer"}, "a~b": {"type": "string"}},
+       "properties": {"slash": {"$ref": "#/definitions/a~1b"},
+                      "tilde": {"$ref": "#/definitions/a~0b"}}}|}
+  in
+  let root = parse src in
+  Alcotest.(check int) "escaped $refs resolve without warnings" 0
+    (List.length (Jsonschema.Wellformed.check root));
+  let dangling =
+    parse
+      {|{"definitions": {"a/b": {}}, "$ref": "#/definitions/a~0b"}|}
+  in
+  Alcotest.(check bool) "genuinely dangling escaped ref still warns" true
+    (List.length (Jsonschema.Wellformed.check dangling) > 0);
+  let inst = parse {|{"slash": 1, "tilde": "x"}|} in
+  Alcotest.(check bool) "interpreter resolves escaped refs" true
+    (Jsonschema.Validate.is_valid ~root inst);
+  Alcotest.(check bool) "compiled resolves escaped refs" true
+    (Result.is_ok (Jsonschema.Compile.validate ~root inst));
+  Alcotest.(check bool) "interpreter enforces escaped target" false
+    (Jsonschema.Validate.is_valid ~root (parse {|{"slash": "no"}|}));
+  Alcotest.(check bool) "compiled enforces escaped target" false
+    (Result.is_ok (Jsonschema.Compile.validate ~root (parse {|{"slash": "no"}|})))
+
+let test_compiled_plan_stats () =
+  let root =
+    parse
+      {|{"definitions": {"node": {"type": "object",
+                                  "properties": {"next": {"$ref": "#/definitions/node"}},
+                                  "additionalProperties": true}},
+         "$ref": "#/definitions/node"}|}
+  in
+  match Jsonschema.Compile.compile root with
+  | Error _ -> Alcotest.fail "schema should compile"
+  | Ok plan ->
+      Alcotest.(check bool) "has nodes" true (Jsonschema.Compile.nodes plan > 0);
+      Alcotest.(check bool) "counts ref targets" true
+        (Jsonschema.Compile.ref_targets plan >= 1);
+      Alcotest.(check bool) "detects the cycle" true
+        (Jsonschema.Compile.cycles plan >= 1);
+      Alcotest.(check bool) "prunes trivial subschemas" true
+        (Jsonschema.Compile.pruned plan >= 1)
+
+let test_plan_cache () =
+  let root = parse {|{"type": "integer", "minimum": 3}|} in
+  Jsonschema.Compile.set_cache true;
+  Jsonschema.Compile.clear_cache ();
+  Alcotest.(check int) "cache empty" 0 (Jsonschema.Compile.cache_size ());
+  ignore (Jsonschema.Compile.validate ~root (parse "4"));
+  Alcotest.(check int) "one plan cached" 1 (Jsonschema.Compile.cache_size ());
+  ignore (Jsonschema.Compile.validate ~root (parse "2"));
+  Alcotest.(check int) "hit, not a second entry" 1
+    (Jsonschema.Compile.cache_size ());
+  let fp1 = Jsonschema.Compile.fingerprint root in
+  let fp2 = Jsonschema.Compile.fingerprint (parse {|{"minimum": 3, "type": "integer"}|}) in
+  Alcotest.(check bool) "fingerprint is over the printed form" true (fp1 <> fp2);
+  Alcotest.(check string) "fingerprint deterministic" fp1
+    (Jsonschema.Compile.fingerprint (parse {|{"type": "integer", "minimum": 3}|}));
+  Jsonschema.Compile.set_cache false;
+  Jsonschema.Compile.clear_cache ();
+  ignore (Jsonschema.Compile.validate ~root (parse "4"));
+  Alcotest.(check int) "disabled cache stays empty" 0
+    (Jsonschema.Compile.cache_size ());
+  Jsonschema.Compile.set_cache true
+
 let () =
   Alcotest.run "jsonschema"
     [ ("keywords",
@@ -484,4 +787,19 @@ let () =
       ("generate",
        [ Alcotest.test_case "satisfies schema" `Quick test_generate_satisfies;
          Alcotest.test_case "deterministic" `Quick test_generate_deterministic ]);
+      ("compiled",
+       [ QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| 20250808 |])
+           prop_compiled_differential;
+         QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| 20250808 |])
+           prop_compiled_differential_formats;
+         Alcotest.test_case "parallel jobs sweep" `Quick test_compiled_parallel_jobs;
+         Alcotest.test_case "plan stats" `Quick test_compiled_plan_stats;
+         Alcotest.test_case "plan cache" `Quick test_plan_cache ]);
+      ("regressions",
+       [ Alcotest.test_case "tuple items error paths" `Quick
+           test_tuple_items_error_paths;
+         Alcotest.test_case "escaped $ref pointers" `Quick
+           test_wellformed_escaped_ref ]);
     ]
