@@ -73,6 +73,21 @@ let jobs_arg =
            ~doc:"Shard the work across $(docv) domains (default 1, sequential). \
                  Output is byte-identical for every job count.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tree", `Tree); ("streaming", `Streaming) ]) `Streaming
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Execution engine: streaming (default) fuses parsing with \
+              inference/validation at token level, never materializing \
+              value trees; tree parses every document into a value first. \
+              Reports and exit codes are byte-identical either way. \
+              Validation streams only with --compiled on; JSound and the \
+              non-parametric inference approaches always use the tree \
+              engine.")
+
+let engine_name = function `Tree -> "tree" | `Streaming -> "streaming"
+
 (* supervision flags: shared by ingest/infer/validate. Supervision engages
    only when one of them is given, so the default paths — and their
    telemetry key sets — are exactly the pre-supervisor ones. *)
@@ -184,13 +199,23 @@ let stats_json_arg =
 let make_sink ~stats ~stats_json =
   if stats || stats_json then Telemetry.create () else Telemetry.nop
 
-let emit_stats ~stats ~stats_json sink =
+(* [tags] lands ahead of the metric families in the JSON form — the engine
+   tag, so a stats consumer can tell which executor produced the numbers *)
+let emit_stats ?(tags = []) ~stats ~stats_json sink =
   if Telemetry.is_recording sink then begin
     let snap = Telemetry.snapshot sink in
-    if stats_json then
-      prerr_endline (Json.Printer.to_string (Telemetry_report.to_json snap));
+    if stats_json then begin
+      let json =
+        match Telemetry_report.to_json snap with
+        | Json.Value.Object fields -> Json.Value.Object (tags @ fields)
+        | j -> j
+      in
+      prerr_endline (Json.Printer.to_string json)
+    end;
     if stats then prerr_string (Telemetry_report.to_table snap)
   end
+
+let engine_tags engine = [ ("engine", Json.Value.String (engine_name engine)) ]
 
 (* --- parse ----------------------------------------------------------- *)
 
@@ -281,10 +306,14 @@ let ingest_cmd =
     in
     (if quarantine <> "" then begin
        let oc = open_out quarantine in
+       (* one buffer reused across the NDJSON emit loop *)
+       let buf = Buffer.create 4096 in
        List.iter
          (fun dl ->
-           output_string oc (Json.Printer.to_string (Resilient.dead_letter_to_json dl));
-           output_char oc '\n')
+           Buffer.clear buf;
+           Json.Printer.to_buffer buf (Resilient.dead_letter_to_json dl);
+           Buffer.add_char buf '\n';
+           Buffer.output_buffer oc buf)
          dead;
        close_out oc
      end);
@@ -341,11 +370,17 @@ let validate_cmd =
                    fresh compilation per run and drops the \
                    validate.cache.* counters.")
   in
-  let run language formats compiled validate_cache sup jobs stats stats_json
-      schema_file file =
+  let run language formats compiled validate_cache engine sup jobs stats
+      stats_json schema_file file =
     Jsonschema.Compile.set_cache validate_cache;
     let sink = make_sink ~stats ~stats_json in
     let schema_json = or_die (Result.map_error Json.Parser.string_of_error (Json.Parser.parse (read_input schema_file))) in
+    (* the fused walk needs a compiled plan; JSound has none *)
+    let engine =
+      match (language, compiled) with
+      | (`Jsound, _) | (_, false) -> `Tree
+      | _ -> engine
+    in
     let failures = ref 0 in
     let print_failures ndocs fs =
       List.iter
@@ -372,23 +407,27 @@ let validate_cmd =
              (Pipeline.validate_ndjson_supervised ~config ~compiled
                 ~budget:Resilient.unbounded_budget ~policy:(sup_policy sup)
                 ?inject:(sup_inject sup) ?checkpoint:(sup_checkpoint sup)
-                ~resume:sup.sup_resume ~jobs ~telemetry:sink ~root:schema_json
-                (read_input file))
+                ~resume:sup.sup_resume ~engine ~jobs ~telemetry:sink
+                ~root:schema_json (read_input file))
          in
          emit_supervision s;
-         print_failures (List.length r.Resilient.docs) fs
+         (* the streaming engine does not materialize documents: the
+            survivor count reads off the report for both engines *)
+         print_failures r.Resilient.report.Resilient.ok fs
      | `Jsonschema ->
-         let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
          let config =
            { Jsonschema.Validate.default_config with
              Jsonschema.Validate.assert_formats = formats;
              telemetry = sink }
          in
-         (* shard-parallel over document batches; failures come back in
-            input order, so the printout matches the sequential one *)
-         print_failures (List.length docs)
-           (Parallel.validate ~config ~compiled ~jobs ~telemetry:sink
-              ~root:schema_json docs)
+         (* shard-parallel; failures come back in input order, so the
+            printout matches the sequential one — and the tree engine's *)
+         let ndocs, fs =
+           or_die
+             (Pipeline.validate_ndjson_strict ~config ~compiled ~engine ~jobs
+                ~telemetry:sink ~root:schema_json (read_input file))
+         in
+         print_failures ndocs fs
      | `Jsound ->
          let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
          let schema = or_die (Jsound.parse schema_json) in
@@ -404,12 +443,13 @@ let validate_cmd =
            docs;
          Printf.printf "%d/%d documents valid\n" (List.length docs - !failures)
            (List.length docs));
-    emit_stats ~stats ~stats_json sink;
+    emit_stats ~tags:(engine_tags engine) ~stats ~stats_json sink;
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "validate" ~doc:"Validate documents against a schema.")
-    Term.(const run $ language $ formats $ compiled $ validate_cache $ sup_term
-          $ jobs_arg $ stats_arg $ stats_json_arg $ schema_file $ input_arg)
+    Term.(const run $ language $ formats $ compiled $ validate_cache
+          $ engine_arg $ sup_term $ jobs_arg $ stats_arg $ stats_json_arg
+          $ schema_file $ input_arg)
 
 (* --- infer ----------------------------------------------------------- *)
 
@@ -438,9 +478,12 @@ let infer_cmd =
                    type; off bounds memory on pathological corpora and gives \
                    an unmemoized baseline for comparisons.")
   in
-  let run approach equiv output merge_cache sup jobs stats stats_json file =
+  let run approach equiv output merge_cache engine sup jobs stats stats_json
+      file =
     Jtype.Merge.set_memoize merge_cache;
     let sink = make_sink ~stats ~stats_json in
+    (* only the parametric map/reduce has a token-level fold *)
+    let engine = if approach = `Parametric then engine else `Tree in
     let print_inferred inferred output =
       match output with
       | `Type -> print_endline (Jtype.Types.to_string inferred.Pipeline.jtype)
@@ -457,7 +500,8 @@ let infer_cmd =
           (Pipeline.infer_ndjson_supervised ~equiv
              ~budget:Resilient.unbounded_budget ~policy:(sup_policy sup)
              ?inject:(sup_inject sup) ?checkpoint:(sup_checkpoint sup)
-             ~resume:sup.sup_resume ~jobs ~telemetry:sink (read_input file))
+             ~resume:sup.sup_resume ~engine ~jobs ~telemetry:sink
+             (read_input file))
       in
       emit_supervision s;
       (match inferred with
@@ -466,13 +510,23 @@ let infer_cmd =
            Printf.eprintf "jsontool: no documents survived ingestion (%d dead)\n"
              (List.length r.Resilient.dead);
            exit 1);
-      emit_stats ~stats ~stats_json sink
+      emit_stats ~tags:(engine_tags engine) ~stats ~stats_json sink
+    end
+    else if approach = `Parametric then begin
+      (* strict like the tree path below — the first bad document aborts
+         with the same error — but folding tokens straight into types *)
+      let inferred =
+        or_die
+          (Pipeline.infer_ndjson ~equiv ~engine ~jobs ~telemetry:sink
+             (read_input file))
+      in
+      print_inferred inferred output;
+      emit_stats ~tags:(engine_tags engine) ~stats ~stats_json sink
     end
     else begin
     let docs = or_die (load_documents ~jobs ~telemetry:sink file) in
     (match approach with
-    | `Parametric ->
-        print_inferred (Pipeline.infer ~equiv ~jobs ~telemetry:sink docs) output
+    | `Parametric -> assert false (* handled above *)
     | `Spark ->
         let f = Inference.Spark.infer docs in
         print_endline (Inference.Spark.field_to_ddl f)
@@ -488,12 +542,12 @@ let infer_cmd =
             Printf.printf "%6d  %s\n" n (Inference.Skeleton.structure_to_string s))
           sk.Inference.Skeleton.groups;
         Printf.printf "(%d documents outside the skeleton)\n" sk.Inference.Skeleton.dropped);
-    emit_stats ~stats ~stats_json sink
+    emit_stats ~tags:(engine_tags engine) ~stats ~stats_json sink
     end
   in
   Cmd.v (Cmd.info "infer" ~doc:"Infer a schema from a collection.")
-    Term.(const run $ approach $ equiv $ output $ merge_cache $ sup_term
-          $ jobs_arg $ stats_arg $ stats_json_arg $ input_arg)
+    Term.(const run $ approach $ equiv $ output $ merge_cache $ engine_arg
+          $ sup_term $ jobs_arg $ stats_arg $ stats_json_arg $ input_arg)
 
 (* --- stats ----------------------------------------------------------- *)
 

@@ -19,7 +19,10 @@ type entry = {
   e_payload : Json.Value.t;
 }
 
-type journal = { oc : out_channel }
+(* [buf] is reused across entry emissions: journaling is a per-shard hot
+   path under the supervisor, and rendering into a retained buffer avoids
+   allocating an intermediate string per entry *)
+type journal = { oc : out_channel; buf : Buffer.t }
 
 let format_tag = "jsontool-checkpoint/1"
 
@@ -126,17 +129,20 @@ let decode_entries lines =
   in
   go [] lines
 
-let emit oc json =
-  output_string oc (Json.Printer.to_string json);
-  output_char oc '\n';
+let emit ~buf oc json =
+  Buffer.clear buf;
+  Json.Printer.to_buffer buf json;
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf;
   flush oc
 
 let start ~path ~resume ~job ~input =
   let input_fp = fingerprint input in
+  let buf = Buffer.create 4096 in
   let fresh () =
     let oc = open_out_bin path in
-    emit oc (header_json ~job ~input_fp);
-    Ok ({ oc }, [])
+    emit ~buf oc (header_json ~job ~input_fp);
+    Ok ({ oc; buf }, [])
   in
   if not (resume && Sys.file_exists path) then fresh ()
   else
@@ -151,10 +157,10 @@ let start ~path ~resume ~job ~input =
             (* rewrite rather than append: scrubs any torn tail so the
                journal on disk is exactly the entries we trusted *)
             let oc = open_out_bin path in
-            emit oc (header_json ~job ~input_fp);
-            List.iter (fun e -> emit oc (entry_to_json e)) entries;
-            Ok ({ oc }, entries))
+            emit ~buf oc (header_json ~job ~input_fp);
+            List.iter (fun e -> emit ~buf oc (entry_to_json e)) entries;
+            Ok ({ oc; buf }, entries))
 
-let record j e = emit j.oc (entry_to_json e)
+let record j e = emit ~buf:j.buf j.oc (entry_to_json e)
 
 let close j = close_out_noerr j.oc

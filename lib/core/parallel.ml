@@ -170,16 +170,21 @@ let merge_reports (a : Resilient.report) (b : Resilient.report) =
 let dead_order (a : Resilient.dead_letter) (b : Resilient.dead_letter) =
   compare a.Resilient.byte_offset b.Resilient.byte_offset
 
-let ingest ?(budget = Resilient.default_budget) ?options ?(jobs = 1)
-    ?(telemetry = Telemetry.nop) src =
+let ingest_with ?(budget = Resilient.default_budget) ?options ?(jobs = 1)
+    ?(telemetry = Telemetry.nop) ~parse_doc src =
   (* the document-count budget is a global, order-dependent cap: shards
      cannot apply it independently, so it routes through the sequential
-     scanner to keep the cut deterministic *)
-  if jobs <= 1 || budget.Resilient.max_docs <> None then
-    Resilient.ingest ~budget ?options ~telemetry src
+     scanner to keep the cut deterministic. [parse_doc] is a factory: one
+     instance per shard, so per-shard scratch state (the streaming engine's
+     field-name interning table) never crosses a domain. *)
+  let sequential () =
+    Resilient.ingest_with ~budget ?options ~telemetry ~parse_doc:(parse_doc ())
+      src
+  in
+  if jobs <= 1 || budget.Resilient.max_docs <> None then sequential ()
   else
     match shards ~jobs src with
-    | ([] | [ _ ]) -> Resilient.ingest ~budget ?options ~telemetry src
+    | ([] | [ _ ]) -> sequential ()
     | ss ->
         Telemetry.count telemetry "parallel.shards" (List.length ss);
         let parts =
@@ -187,20 +192,28 @@ let ingest ?(budget = Resilient.default_budget) ?options ?(jobs = 1)
             (List.map
                (fun sh () ->
                  Telemetry.span telemetry "ingest.shard" (fun () ->
-                     Resilient.ingest ~budget ?options ~first_line:sh.s_line
-                       ~base_offset:sh.s_off ~telemetry
+                     Resilient.ingest_with ~budget ?options
+                       ~first_line:sh.s_line ~base_offset:sh.s_off ~telemetry
+                       ~parse_doc:(parse_doc ())
                        (String.sub src sh.s_off sh.s_len)))
                ss)
         in
         Telemetry.span telemetry "ingest.merge" (fun () ->
-            { Resilient.docs = List.concat_map (fun p -> p.Resilient.docs) parts;
-              dead =
-                List.stable_sort dead_order
-                  (List.concat_map (fun p -> p.Resilient.dead) parts);
-              report =
-                List.fold_left
-                  (fun acc p -> merge_reports acc p.Resilient.report)
-                  Resilient.empty_report parts })
+            ( List.concat_map (fun (p, _, _) -> p) parts,
+              List.stable_sort dead_order
+                (List.concat_map (fun (_, d, _) -> d) parts),
+              List.fold_left
+                (fun acc (_, _, r) -> merge_reports acc r)
+                Resilient.empty_report parts ))
+
+let ingest ?budget ?options ?jobs ?telemetry src =
+  let docs, dead, report =
+    ingest_with ?budget ?options ?jobs ?telemetry
+      ~parse_doc:(fun () ~options ~telemetry src ~pos ->
+        Json.Parser.parse_substring ~options ~telemetry src ~pos)
+      src
+  in
+  { Resilient.docs; dead; report }
 
 let parse_ndjson_strict ?(budget = Resilient.unbounded_budget) ?options ?(jobs = 1)
     ?telemetry src =

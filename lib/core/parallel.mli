@@ -53,6 +53,22 @@ val dead_order : Resilient.dead_letter -> Resilient.dead_letter -> int
 
 (** {1 Sharded pipelines} *)
 
+val ingest_with :
+  ?budget:Resilient.budget -> ?options:Json.Parser.options -> ?jobs:int ->
+  ?telemetry:Telemetry.sink ->
+  parse_doc:
+    (unit ->
+     options:Json.Parser.options -> telemetry:Telemetry.sink ->
+     string -> pos:int -> ('a * int, Json.Parser.error) result) ->
+  string -> 'a list * Resilient.dead_letter list * Resilient.report
+(** Shard-parallel {!Resilient.ingest_with}: payloads come back in input
+    order, dead letters in whole-input coordinates re-sorted by global
+    position, reports summed — the exact sequential output, for any [jobs].
+    [parse_doc] is a {e factory} invoked once per shard on the worker
+    domain that runs it, so an instance may carry mutable per-shard scratch
+    (the streaming engine's interning table) without synchronization. A
+    [max_docs] budget forces the sequential path, as in {!ingest}. *)
+
 val ingest :
   ?budget:Resilient.budget -> ?options:Json.Parser.options -> ?jobs:int ->
   ?telemetry:Telemetry.sink -> string -> Resilient.ingest

@@ -21,19 +21,90 @@ let infer ?(equiv = Jtype.Merge.Kind) ?(name = "Root") ?(jobs = 1)
   let c = Parallel.infer_counting ~equiv ~jobs ~telemetry values in
   build_inferred ~name t c
 
-let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root") text =
-  match Resilient.parse_ndjson_strict text with
-  | Error msg -> Error msg
-  | Ok docs -> Ok (infer ~equiv ~name docs)
+(* --- the streaming engine ----------------------------------------------- *)
 
-let infer_ndjson_resilient ?equiv ?name ?budget ?(jobs = 1) ?telemetry text =
-  let r = Parallel.ingest ?budget ~jobs ?telemetry text in
-  let inferred =
-    match r.Resilient.docs with
-    | [] -> None
-    | docs -> Some (infer ?equiv ?name ~jobs ?telemetry docs)
+type engine = [ `Tree | `Streaming ]
+
+(* one token-level fold instance per shard: the factory shape matches
+   [Parallel.ingest_with], so the interning scratch stays domain-local *)
+let streaming_infer_doc ~equiv () =
+  let scratch = Inference.Streaming.scratch () in
+  fun ~options ~telemetry src ~pos ->
+    Inference.Streaming.infer_tokens ~options ~telemetry ~scratch ~equiv src
+      ~pos
+
+(* Reduce the per-document (type, counting) pairs exactly as the tree
+   engine reduces its per-document [of_value] results — same merge
+   functions, same document order, so the same hash-consed result. The
+   telemetry mirrors the tree path's sequential shape: [infer.merge_ops]
+   counts both folds, [infer.union_width] samples the final type. *)
+let merge_streamed ~equiv ~telemetry pairs =
+  let t =
+    Telemetry.span telemetry "infer" (fun () ->
+        Jtype.Merge.merge_all ~equiv (List.map fst pairs))
   in
-  (inferred, r)
+  let c =
+    Telemetry.span telemetry "infer" (fun () ->
+        Jtype.Counting.merge_all ~equiv (List.map snd pairs))
+  in
+  if Telemetry.is_recording telemetry then begin
+    Telemetry.count telemetry "infer.merge_ops"
+      (2 * max 0 (List.length pairs - 1));
+    Telemetry.observe telemetry "infer.union_width"
+      (float_of_int (Inference.Parametric.union_width t))
+  end;
+  (t, c)
+
+let infer_ndjson ?(equiv = Jtype.Merge.Kind) ?(name = "Root")
+    ?(engine = `Streaming) ?(jobs = 1) ?telemetry text =
+  match engine with
+  | `Tree -> (
+      match Parallel.parse_ndjson_strict ~jobs ?telemetry text with
+      | Error msg -> Error msg
+      | Ok docs -> Ok (infer ~equiv ~name ~jobs ?telemetry docs))
+  | `Streaming -> (
+      let tele = Option.value telemetry ~default:Telemetry.nop in
+      Parallel.with_kernel_stats tele @@ fun () ->
+      let pairs, dead, _report =
+        Parallel.ingest_with ~budget:Resilient.unbounded_budget ~jobs
+          ~telemetry:tele
+          ~parse_doc:(streaming_infer_doc ~equiv)
+          text
+      in
+      match dead with
+      | d :: _ -> Error d.Resilient.error
+      | [] ->
+          let t, c = merge_streamed ~equiv ~telemetry:tele pairs in
+          Ok (build_inferred ~name t c))
+
+let infer_ndjson_resilient ?(equiv = Jtype.Merge.Kind) ?name ?budget
+    ?(engine = `Streaming) ?(jobs = 1) ?telemetry text =
+  match engine with
+  | `Tree ->
+      let r = Parallel.ingest ?budget ~jobs ?telemetry text in
+      let inferred =
+        match r.Resilient.docs with
+        | [] -> None
+        | docs -> Some (infer ~equiv ?name ~jobs ?telemetry docs)
+      in
+      (inferred, r)
+  | `Streaming ->
+      let tele = Option.value telemetry ~default:Telemetry.nop in
+      Parallel.with_kernel_stats tele @@ fun () ->
+      let pairs, dead, report =
+        Parallel.ingest_with ?budget ~jobs ~telemetry:tele
+          ~parse_doc:(streaming_infer_doc ~equiv)
+          text
+      in
+      let inferred =
+        match pairs with
+        | [] -> None
+        | _ ->
+            let t, c = merge_streamed ~equiv ~telemetry:tele pairs in
+            Some
+              (build_inferred ~name:(Option.value name ~default:"Root") t c)
+      in
+      (inferred, { Resilient.docs = []; dead; report })
 
 let validate_collection ?config ?compiled ?(jobs = 1) ?telemetry ~root values =
   let failures =
@@ -41,13 +112,66 @@ let validate_collection ?config ?compiled ?(jobs = 1) ?telemetry ~root values =
   in
   if failures = [] then Ok (List.length values) else Error failures
 
-let validate_ndjson ?config ?compiled ?budget ?(jobs = 1) ?telemetry ~root text =
-  let r = Parallel.ingest ?budget ~jobs ?telemetry text in
-  let failures =
-    Parallel.validate ?config ?compiled ~jobs ?telemetry ~root
-      r.Resilient.docs
-  in
-  (r, failures)
+(* the fused walk needs a compiled plan: when compilation is off or the
+   schema is malformed (every document must fail with the compiler's error
+   list), validation falls back to the tree engine *)
+let streaming_plan ~compiled ~engine ~telemetry root =
+  match engine with
+  | `Tree -> None
+  | `Streaming when not compiled -> None
+  | `Streaming -> (
+      match Jsonschema.Compile.plan_for ?telemetry root with
+      | Ok plan -> Some plan
+      | Error _ -> None)
+
+let streaming_validate_doc ?config plan () ~options ~telemetry src ~pos =
+  Jsonschema.Compile.run_stream ?config ~options ~telemetry plan src ~pos
+
+let indexed_failures verdicts =
+  List.mapi
+    (fun i v -> match v with Ok () -> None | Error es -> Some (i, es))
+    verdicts
+  |> List.filter_map Fun.id
+
+let validate_ndjson ?config ?compiled ?budget ?(engine = `Streaming)
+    ?(jobs = 1) ?telemetry ~root text =
+  match streaming_plan ~compiled:(compiled <> Some false) ~engine ~telemetry root with
+  | None ->
+      let r = Parallel.ingest ?budget ~jobs ?telemetry text in
+      let failures =
+        Parallel.validate ?config ?compiled ~jobs ?telemetry ~root
+          r.Resilient.docs
+      in
+      (r, failures)
+  | Some plan ->
+      let verdicts, dead, report =
+        Parallel.ingest_with ?budget ~jobs
+          ?telemetry
+          ~parse_doc:(streaming_validate_doc ?config plan)
+          text
+      in
+      ({ Resilient.docs = []; dead; report }, indexed_failures verdicts)
+
+let validate_ndjson_strict ?config ?compiled ?(engine = `Streaming)
+    ?(jobs = 1) ?telemetry ~root text =
+  match streaming_plan ~compiled:(compiled <> Some false) ~engine ~telemetry root with
+  | None -> (
+      match Parallel.parse_ndjson_strict ~jobs ?telemetry text with
+      | Error msg -> Error msg
+      | Ok docs ->
+          Ok
+            ( List.length docs,
+              Parallel.validate ?config ?compiled ~jobs ?telemetry ~root docs ))
+  | Some plan -> (
+      let verdicts, dead, _report =
+        Parallel.ingest_with ~budget:Resilient.unbounded_budget ~jobs
+          ?telemetry
+          ~parse_doc:(streaming_validate_doc ?config plan)
+          text
+      in
+      match dead with
+      | d :: _ -> Error d.Resilient.error
+      | [] -> Ok (List.length verdicts, indexed_failures verdicts))
 
 (* --- supervised sharded execution with checkpoint/resume ---------------- *)
 
@@ -73,16 +197,20 @@ let poison_letter ~(sh : Parallel.shard) ~failure ~attempts text =
     attempts;
     raw_prefix = String.sub text sh.Parallel.s_off len }
 
-(* Run [encode . ingest] per shard under the supervisor, journaling each
-   completed shard. Returns per-shard results in shard order: completed
-   shards carry (ingest, payload-json, resumed?), poisoned ones their
-   failure. The payload is pipeline-specific (partial inference, local
-   validation failures); callers decode it back from JSON for resumed and
-   fresh shards alike, so both take the identical code path — that, plus
-   exact JSON round-trips, is what makes resume byte-identical. *)
+(* Run one shard computation per shard under the supervisor, journaling
+   each completed shard. [run_shard] receives the resolved budget/options,
+   the shard descriptor and its substring, and returns the shard's ingest
+   record (dead letters + report; the tree engine also carries documents,
+   the streaming engine journals an empty document list) plus a
+   pipeline-specific JSON payload (partial inference, local validation
+   failures). Returns per-shard results in shard order: completed shards
+   carry (ingest, payload-json, resumed?), poisoned ones their failure.
+   Callers decode the payload back from JSON for resumed and fresh shards
+   alike, so both take the identical code path — that, plus exact JSON
+   round-trips, is what makes resume byte-identical. *)
 let supervised_engine ?(budget = Resilient.default_budget) ?options
     ?(policy = Supervisor.default_policy) ?inject ?checkpoint ?(resume = false)
-    ?(jobs = 1) ?(telemetry = Telemetry.nop) ~job ~encode text =
+    ?(jobs = 1) ?(telemetry = Telemetry.nop) ~job ~run_shard text =
   let shards =
     (* a document-count budget is a global order-dependent cap: it cannot
        be applied per shard, so the whole input becomes one shard *)
@@ -157,11 +285,9 @@ let supervised_engine ?(budget = Resilient.default_budget) ?options
           (fun (_, (sh : Parallel.shard)) ->
             fun ~attempt ~tick ->
              let sub = String.sub text sh.Parallel.s_off sh.Parallel.s_len in
-             let ing =
-               Resilient.ingest ~budget ?options ~first_line:sh.Parallel.s_line
-                 ~base_offset:sh.Parallel.s_off ~attempt ~tick ~telemetry sub
+             let ing, pjson =
+               run_shard ~budget ~options ~telemetry ~attempt ~tick sh sub
              in
-             let pjson = encode ing in
              record sh ing pjson;
              (ing, pjson))
           pending
@@ -182,6 +308,30 @@ let supervised_engine ?(budget = Resilient.default_budget) ?options
       let results = zip tagged outcomes in
       (match journal with Some j -> Checkpoint.close j | None -> ());
       Ok (results, { sup_stats = stats; sup_resumed = resumed_n })
+
+(* the tree engine's shard computation: resilient ingest, then [encode]
+   over the materialized documents *)
+let tree_run_shard encode ~budget ~options ~telemetry ~attempt ~tick
+    (sh : Parallel.shard) sub =
+  let ing =
+    Resilient.ingest ~budget ?options ~first_line:sh.Parallel.s_line
+      ~base_offset:sh.Parallel.s_off ~attempt ~tick ~telemetry sub
+  in
+  (ing, encode ing)
+
+(* the streaming engine's shard computation: a token-level fold with no
+   document materialization. Dead letters and the report are byte-identical
+   to the tree shard's by [ingest_with]'s contract; the journaled ingest
+   record carries an empty document list, which is why the payload — not
+   the journal's documents — is what downstream decoding consumes. *)
+let streaming_run_shard parse_doc finish ~budget ~options ~telemetry ~attempt
+    ~tick (sh : Parallel.shard) sub =
+  let payloads, dead, report =
+    Resilient.ingest_with ~budget ?options ~first_line:sh.Parallel.s_line
+      ~base_offset:sh.Parallel.s_off ~attempt ~tick ~telemetry
+      ~parse_doc:(parse_doc ()) sub
+  in
+  ({ Resilient.docs = []; dead; report }, finish payloads)
 
 (* fuse per-shard results into one ingest: completed shards contribute
    their documents and dead letters, poisoned shards one synthetic letter
@@ -223,7 +373,7 @@ let ingest_ndjson_supervised ?budget ?options ?policy ?inject ?checkpoint
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
       ?jobs ?telemetry ~job:"ingest"
-      ~encode:(fun _ -> Json.Value.Null)
+      ~run_shard:(tree_run_shard (fun _ -> Json.Value.Null))
       text
   with
   | Error e -> Error e
@@ -247,15 +397,32 @@ let decode_payloads ~decode results =
   go [] results
 
 let infer_ndjson_supervised ?(equiv = Jtype.Merge.Kind) ?name ?budget ?options
-    ?policy ?inject ?checkpoint ?resume ?jobs ?telemetry text =
+    ?policy ?inject ?checkpoint ?resume ?(engine = `Streaming) ?jobs ?telemetry
+    text =
   Parallel.with_kernel_stats (Option.value telemetry ~default:Telemetry.nop)
   @@ fun () ->
-  let encode (ing : Resilient.ingest) =
-    let t = Inference.Parametric.infer ~equiv ing.Resilient.docs in
-    let c = Jtype.Counting.infer ~equiv ing.Resilient.docs in
+  let encode_pair t c =
     Json.Value.Object
       [ ("jtype", Jtype.Types.to_json t);
         ("counting", Jtype.Counting.to_json c) ]
+  in
+  let run_shard =
+    match engine with
+    | `Tree ->
+        tree_run_shard (fun (ing : Resilient.ingest) ->
+            let t = Inference.Parametric.infer ~equiv ing.Resilient.docs in
+            let c = Jtype.Counting.infer ~equiv ing.Resilient.docs in
+            encode_pair t c)
+    | `Streaming ->
+        (* the shard's partial is reduced from the per-document pairs with
+           the same merges the tree shard's [infer] applies to its
+           materialized documents, so the journaled payload is identical *)
+        streaming_run_shard
+          (streaming_infer_doc ~equiv)
+          (fun pairs ->
+            let t = Jtype.Merge.merge_all ~equiv (List.map fst pairs) in
+            let c = Jtype.Counting.merge_all ~equiv (List.map snd pairs) in
+            encode_pair t c)
   in
   let decode _ing pjson =
     match pjson with
@@ -268,19 +435,28 @@ let infer_ndjson_supervised ?(equiv = Jtype.Merge.Kind) ?name ?budget ?options
         | _ -> Error "checkpoint: inference payload missing jtype/counting")
     | _ -> Error "checkpoint: inference payload must be an object"
   in
+  (* the engine is part of the job identity: a tree journal's entries carry
+     materialized documents, a streaming journal's do not, so the two must
+     not resume each other *)
+  let job_prefix =
+    match engine with `Tree -> "infer:" | `Streaming -> "infer-stream:"
+  in
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
       ?jobs ?telemetry
-      ~job:("infer:" ^ equiv_tag equiv)
-      ~encode text
+      ~job:(job_prefix ^ equiv_tag equiv)
+      ~run_shard text
   with
   | Error e -> Error e
   | Ok (results, sup) ->
       let ingest = merge_supervised results text in
       let* partials = decode_payloads ~decode results in
       let inferred =
-        match ingest.Resilient.docs with
-        | [] -> None
+        (* the streaming engine keeps [docs] empty, so "did anything
+           survive" reads off the report — identical for the tree engine,
+           whose document list has exactly [report.ok] entries *)
+        match ingest.Resilient.report.Resilient.ok with
+        | 0 -> None
         | _ ->
             let t = Jtype.Merge.merge_all ~equiv (List.map fst partials) in
             let c = Jtype.Counting.merge_all ~equiv (List.map snd partials) in
@@ -311,26 +487,21 @@ let validation_error_of_json j =
   | _ -> Error "checkpoint: validation error must be an object"
 
 let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
-    ?policy ?inject ?checkpoint ?resume ?jobs ?telemetry ~root text =
+    ?policy ?inject ?checkpoint ?resume ?(engine = `Streaming) ?jobs
+    ?telemetry ~root text =
   (* one shared plan for every shard and every retry attempt; the plan is
      immutable, so a retried shard revalidates through the same closures *)
-  let check =
-    if not compiled then fun v -> Jsonschema.Validate.validate ?config ~root v
-    else
-      match Jsonschema.Compile.plan_for ?telemetry root with
-      | Ok plan -> fun v -> Jsonschema.Compile.run ?config plan v
-      | Error es -> fun _ -> Error es
+  let plan_r =
+    if not compiled then None
+    else Some (Jsonschema.Compile.plan_for ?telemetry root)
   in
-  let encode (ing : Resilient.ingest) =
-    let failures =
-      List.mapi
-        (fun i v ->
-          match check v with
-          | Ok () -> None
-          | Error es -> Some (i, es))
-        ing.Resilient.docs
-      |> List.filter_map Fun.id
-    in
+  let check =
+    match plan_r with
+    | None -> fun v -> Jsonschema.Validate.validate ?config ~root v
+    | Some (Ok plan) -> fun v -> Jsonschema.Compile.run ?config plan v
+    | Some (Error es) -> fun _ -> Error es
+  in
+  let encode_failures failures =
     Json.Value.Array
       (List.map
          (fun (i, es) ->
@@ -338,6 +509,27 @@ let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
              [ ("doc", Json.Value.Int i);
                ("errors", Json.Value.Array (List.map validation_error_to_json es)) ])
          failures)
+  in
+  let streaming =
+    match (engine, plan_r) with
+    | `Streaming, Some (Ok plan) -> Some plan
+    | _ -> None
+  in
+  let run_shard =
+    match streaming with
+    | None ->
+        tree_run_shard (fun (ing : Resilient.ingest) ->
+            List.mapi
+              (fun i v ->
+                match check v with
+                | Ok () -> None
+                | Error es -> Some (i, es))
+              ing.Resilient.docs
+            |> List.filter_map Fun.id |> encode_failures)
+    | Some plan ->
+        streaming_run_shard
+          (streaming_validate_doc ?config plan)
+          (fun verdicts -> encode_failures (indexed_failures verdicts))
   in
   let decode _ing pjson =
     match pjson with
@@ -364,26 +556,31 @@ let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
     | _ -> Error "checkpoint: validation payload must be an array"
   in
   (* the schema is part of the job identity: a journal written against one
-     schema must not resume a run against another *)
+     schema must not resume a run against another. So is the engine: a
+     streaming journal's ingest records carry no documents. *)
+  let job_prefix =
+    match streaming with None -> "validate:" | Some _ -> "validate-stream:"
+  in
   let job =
-    "validate:" ^ Checkpoint.fingerprint (Json.Printer.to_string root)
+    job_prefix ^ Checkpoint.fingerprint (Json.Printer.to_string root)
   in
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
-      ?jobs ?telemetry ~job ~encode text
+      ?jobs ?telemetry ~job ~run_shard text
   with
   | Error e -> Error e
   | Ok (results, sup) ->
       let ingest = merge_supervised results text in
       let* locals = decode_payloads ~decode results in
       (* rebase each completed shard's document-local failure indices onto
-         the merged document list *)
+         the merged document list; [report.ok] is the shard's document
+         count whether or not the documents were materialized *)
       let doc_counts =
         List.filter_map
           (fun (_, r) ->
             match r with
             | `Ok ((ing : Resilient.ingest), _, _) ->
-                Some (List.length ing.Resilient.docs)
+                Some ing.Resilient.report.Resilient.ok
             | `Poisoned _ -> None)
           results
       in

@@ -20,20 +20,42 @@ val infer :
     identical for any job count. [telemetry] (default {!Telemetry.nop})
     observes without changing any output — see {!Telemetry}. *)
 
+type engine = [ `Tree | `Streaming ]
+(** How the NDJSON pipelines execute. [`Tree] (the executable spec)
+    materializes every document as a {!Json.Value.t} and folds over the
+    trees. [`Streaming] (the default) fuses parsing with the fold:
+    inference types the token stream directly
+    ({!Inference.Streaming.infer_tokens}) and validation walks a compiled
+    plan over it, skimming subtrees the plan provably ignores
+    ({!Jsonschema.Compile.run_stream}). The two engines produce
+    byte-identical inferred types, verdicts, error lists and dead-letter
+    coordinates — enforced by a differential QCheck oracle — and differ
+    only in cost and in the [stream.*] telemetry the streaming engine adds.
+    The one observable difference: streaming pipelines return their
+    {!Resilient.ingest} with an empty [docs] list (not materializing it is
+    the point); consumers must read counts off [report], not [docs]. *)
+
 val infer_ndjson :
-  ?equiv:Jtype.Merge.equiv -> ?name:string -> string -> (inferred, string) result
-(** Parses through {!Resilient.parse_ndjson_strict}: fail-fast on the first
-    bad document, with global line/column in the error. *)
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> ?engine:engine -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> string -> (inferred, string) result
+(** Strict inference from raw text: fail-fast on the first bad document,
+    with global line/column in the error. The default [`Streaming] engine
+    types the token stream shard-parallel without materializing documents;
+    [`Tree] parses through {!Parallel.parse_ndjson_strict}. Same result,
+    same error either way. *)
 
 val infer_ndjson_resilient :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
-  ?jobs:int -> ?telemetry:Telemetry.sink ->
+  ?engine:engine -> ?jobs:int -> ?telemetry:Telemetry.sink ->
   string -> inferred option * Resilient.ingest
 (** Guarded variant: corrupted or over-budget documents are quarantined
     (see the returned {!Resilient.ingest}) and inference runs on the
     survivors; [None] when nothing survived. Never raises. [jobs > 1]
     shards ingestion and inference over a domain pool ({!Parallel}) with
-    byte-identical results. *)
+    byte-identical results. Under the default [`Streaming] engine each
+    shard folds tokens straight into per-document types with a per-shard
+    field-name interning scratch, and the returned ingest carries no
+    documents. *)
 
 (** {1 Supervised execution with checkpoint/resume}
 
@@ -72,7 +94,7 @@ val infer_ndjson_supervised :
   ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
   ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
   ?inject:(shard:int -> attempt:int -> string option) ->
-  ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
+  ?checkpoint:string -> ?resume:bool -> ?engine:engine -> ?jobs:int ->
   ?telemetry:Telemetry.sink -> string ->
   (inferred option * Resilient.ingest * supervision, string) result
 (** Supervised {!infer_ndjson_resilient}: each shard journals its partial
@@ -80,25 +102,29 @@ val infer_ndjson_supervised :
     its ingest; the final type merges completed shards' partials, so only
     genuinely-poisoned shards' documents are missing from it. The journal
     job tag includes [equiv] — a [Kind] journal cannot resume a [Label]
-    run. *)
+    run — and the engine, since a streaming journal's ingest records carry
+    no documents. *)
 
 val validate_ndjson_supervised :
   ?config:Jsonschema.Validate.config -> ?compiled:bool ->
   ?budget:Resilient.budget ->
   ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
   ?inject:(shard:int -> attempt:int -> string option) ->
-  ?checkpoint:string -> ?resume:bool -> ?jobs:int ->
+  ?checkpoint:string -> ?resume:bool -> ?engine:engine -> ?jobs:int ->
   ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
   (Resilient.ingest * (int * Jsonschema.Validate.error list) list * supervision,
    string)
   result
 (** Supervised {!validate_ndjson}: failure indices are into the merged
-    [ingest.docs], exactly as the unsupervised path reports them.
-    [compiled] (default [true]) compiles the schema once and shares the
-    plan across shards and retry attempts. The
-    journal job tag fingerprints the schema, so a journal written against
-    one schema refuses to resume a run against another ([config] is not
-    fingerprinted — resume with the same flags). *)
+    surviving-document sequence (the tree engine's [ingest.docs]), exactly
+    as the unsupervised path reports them. [compiled] (default [true])
+    compiles the schema once and shares the plan across shards and retry
+    attempts; the default [`Streaming] engine additionally requires it —
+    with [compiled = false], or when the schema fails to compile, the tree
+    engine runs regardless of [engine]. The journal job tag fingerprints
+    the schema and names the engine, so a journal written against one
+    schema or engine refuses to resume a run against another ([config] is
+    not fingerprinted — resume with the same flags). *)
 
 (** {1 Validation pipeline} *)
 
@@ -114,13 +140,28 @@ val validate_collection :
 
 val validate_ndjson :
   ?config:Jsonschema.Validate.config -> ?compiled:bool ->
-  ?budget:Resilient.budget ->
+  ?budget:Resilient.budget -> ?engine:engine ->
   ?jobs:int -> ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
   Resilient.ingest * (int * Jsonschema.Validate.error list) list
 (** Guarded validation from raw text: unparseable documents are quarantined
     in the ingest report, surviving documents are validated (indices are
-    into [ingest.docs]). Never raises. [jobs > 1] shards both ingestion and
-    validation over a domain pool. *)
+    into the surviving-document sequence — the tree engine's
+    [ingest.docs]). Never raises. [jobs > 1] shards both ingestion and
+    validation over a domain pool. The default [`Streaming] engine fuses
+    parse and validation per shard through the compiled plan's access
+    analysis ({!Jsonschema.Compile.run_stream}); it requires [compiled]
+    (the default) and a well-formed schema, falling back to the tree
+    engine otherwise. *)
+
+val validate_ndjson_strict :
+  ?config:Jsonschema.Validate.config -> ?compiled:bool -> ?engine:engine ->
+  ?jobs:int -> ?telemetry:Telemetry.sink -> root:Json.Value.t -> string ->
+  (int * (int * Jsonschema.Validate.error list) list, string) result
+(** Fail-fast validation from raw text: the first unparseable document
+    aborts with its (whole-input line/column) error, otherwise
+    [Ok (ndocs, failures)] — the document count and the failing indices
+    with their errors ([failures = []] means every document validated).
+    Engine semantics as in {!validate_ndjson}. *)
 
 (** {1 Dataset profiling} *)
 

@@ -131,8 +131,9 @@ let global_error ~start_line (e : Json.Parser.error) =
 
 let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
-let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset = 0)
-    ?(attempt = 1) ?(tick = fun () -> ()) ?(telemetry = Telemetry.nop) src =
+let ingest_with ?(budget = default_budget) ?options ?(first_line = 1)
+    ?(base_offset = 0) ?(attempt = 1) ?(tick = fun () -> ())
+    ?(telemetry = Telemetry.nop) ~parse_doc src =
   let options =
     { (parser_options ?base:options budget) with Json.Parser.allow_trailing = true }
   in
@@ -145,7 +146,8 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
   let advance_to off =
     let off = min off n in
     for i = !counted to off - 1 do
-      if src.[i] = '\n' then incr line
+      (* i < n by the clamp above *)
+      if String.unsafe_get src i = '\n' then incr line
     done;
     counted := max !counted off
   in
@@ -191,7 +193,7 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
                  !line cap)
             ~kind:(Json.Parser.Budget_exceeded Json.Parser.Documents_exceeded)
       | _ -> (
-          match Json.Parser.parse_substring ~options ~telemetry src ~pos with
+          match parse_doc ~options ~telemetry src ~pos with
           | Ok (v, next_pos) ->
               incr ok;
               Telemetry.count telemetry "ingest.docs_ok" 1;
@@ -215,15 +217,25 @@ let ingest ?(budget = default_budget) ?options ?(first_line = 1) ?(base_offset =
               go resume)
   in
   go 0;
-  { docs = List.rev !docs;
-    dead = List.rev !dead;
-    report =
-      { ok = !ok;
-        quarantined = !quarantined;
-        budget_killed = !budget_killed;
-        budget_causes = sort_causes !causes;
-        poisoned = 0;
-        truncated = !truncated } }
+  ( List.rev !docs,
+    List.rev !dead,
+    { ok = !ok;
+      quarantined = !quarantined;
+      budget_killed = !budget_killed;
+      budget_causes = sort_causes !causes;
+      poisoned = 0;
+      truncated = !truncated } )
+
+let ingest ?budget ?options ?first_line ?base_offset ?attempt ?tick ?telemetry
+    src =
+  let docs, dead, report =
+    ingest_with ?budget ?options ?first_line ?base_offset ?attempt ?tick
+      ?telemetry
+      ~parse_doc:(fun ~options ~telemetry src ~pos ->
+        Json.Parser.parse_substring ~options ~telemetry src ~pos)
+      src
+  in
+  { docs; dead; report }
 
 let parse_ndjson_strict ?(budget = unbounded_budget) ?options src =
   let r = ingest ~budget ?options src in

@@ -98,6 +98,27 @@ type ingest = {
   report : report;
 }
 
+val ingest_with :
+  ?budget:budget -> ?options:Json.Parser.options ->
+  ?first_line:int -> ?base_offset:int ->
+  ?attempt:int -> ?tick:(unit -> unit) -> ?telemetry:Telemetry.sink ->
+  parse_doc:
+    (options:Json.Parser.options -> telemetry:Telemetry.sink ->
+     string -> pos:int -> ('a * int, Json.Parser.error) result) ->
+  string -> 'a list * dead_letter list * report
+(** The ingestion loop, generic over what one document becomes. [parse_doc]
+    is handed the resolved parser options (budget lowered, trailing input
+    allowed) and must consume exactly one document starting at [pos],
+    returning its payload and the offset one past it — or the error
+    {!Json.Parser.parse_substring} would report there. The scanning, budget,
+    quarantine, dead-letter and telemetry behaviour is exactly {!ingest}'s;
+    with [parse_doc = Json.Parser.parse_substring] the payloads are the
+    parsed documents and this {e is} {!ingest}. The streaming engine
+    ({!Pipeline}) plugs in token-level folds
+    ({!Inference.Streaming.infer_tokens}, {!Jsonschema.Compile.run_stream})
+    whose error behaviour is byte-identical by contract, so dead letters and
+    reports cannot differ between engines. *)
+
 val ingest :
   ?budget:budget -> ?options:Json.Parser.options ->
   ?first_line:int -> ?base_offset:int ->

@@ -1,0 +1,322 @@
+(* Token-level fused inference: fold the lexer's token stream directly into
+   hash-consed types, producing exactly what [Types.of_value] and
+   [Counting.of_value] would produce on the tree that
+   [Parser.parse_substring] would build — without building it.
+
+   The walker is a line-by-line mirror of [Parser.parse_value]: same node
+   and byte accounting (spent at the same token positions), same depth
+   checks (including the peeked-token ordering at the head of a non-empty
+   array), same grammar errors. It runs on [Lexer.skim] tokens — immediate
+   constants, no per-token tuple/position/number allocation — and interns
+   field names straight from their source spans. When the walker fails for
+   any reason, the document is re-parsed with the tree parser so the
+   reported error — and its telemetry — is the canonical one; if that
+   re-parse unexpectedly succeeds, its value is typed the classic way.
+   Either way the observable behavior is byte-identical to the tree engine,
+   which is what the differential oracle pins. *)
+
+module L = Json.Lexer
+module P = Json.Parser
+module T = Jtype.Types
+module C = Jtype.Counting
+
+(* Open-addressing intern table keyed by the *contents* bytes of a field
+   name. Escape-free names are probed directly from their source span — no
+   per-occurrence allocation; names with escapes are materialized first and
+   probed by the same content hash, so both spellings of a key intern to
+   the same string instance. That physical uniqueness is what lets the
+   record close path detect duplicate keys with pointer comparisons. *)
+
+let sentinel = String.make 1 '\000' (* slot emptiness: compared with ==, never = *)
+
+type scratch = {
+  mutable slots : string array;
+  mutable count : int;
+  mutable reuse : int;
+}
+
+let make_scratch () = { slots = Array.make 128 sentinel; count = 0; reuse = 0 }
+let scratch = make_scratch
+
+(* FNV-1a over a byte span, masked positive. *)
+let content_hash s i stop =
+  let h = ref 0x811c9dc5 in
+  for k = i to stop - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s k)) * 0x01000193 land max_int
+  done;
+  !h
+
+let span_matches src i stop s =
+  String.length s = stop - i
+  && (let rec eq k =
+        k >= String.length s
+        || (String.unsafe_get s k = String.unsafe_get src (i + k) && eq (k + 1))
+      in
+      eq 0)
+
+let rec add_absent sc s =
+  let mask = Array.length sc.slots - 1 in
+  let h = content_hash s 0 (String.length s) in
+  let rec probe k =
+    let j = (h + k) land mask in
+    if sc.slots.(j) == sentinel then begin
+      sc.slots.(j) <- s;
+      sc.count <- sc.count + 1;
+      if 2 * sc.count > Array.length sc.slots then rehash sc
+    end
+    else probe (k + 1)
+  in
+  probe 0
+
+and rehash sc =
+  let old = sc.slots in
+  sc.slots <- Array.make (2 * Array.length old) sentinel;
+  sc.count <- 0;
+  Array.iter (fun s -> if s != sentinel then add_absent sc s) old
+
+let intern_span sc src i stop =
+  let mask = Array.length sc.slots - 1 in
+  let h = content_hash src i stop in
+  let rec probe k =
+    let j = (h + k) land mask in
+    let slot = Array.unsafe_get sc.slots j in
+    if slot == sentinel then begin
+      let s = String.sub src i (stop - i) in
+      sc.slots.(j) <- s;
+      sc.count <- sc.count + 1;
+      if 2 * sc.count > Array.length sc.slots then rehash sc;
+      s
+    end
+    else if span_matches src i stop slot then begin
+      sc.reuse <- sc.reuse + 1;
+      slot
+    end
+    else probe (k + 1)
+  in
+  probe 0
+
+let intern_string sc s =
+  let mask = Array.length sc.slots - 1 in
+  let h = content_hash s 0 (String.length s) in
+  let rec probe k =
+    let j = (h + k) land mask in
+    let slot = Array.unsafe_get sc.slots j in
+    if slot == sentinel then begin
+      sc.slots.(j) <- s;
+      sc.count <- sc.count + 1;
+      if 2 * sc.count > Array.length sc.slots then rehash sc;
+      s
+    end
+    else if String.equal slot s then begin
+      sc.reuse <- sc.reuse + 1;
+      slot
+    end
+    else probe (k + 1)
+  in
+  probe 0
+
+let sort_cfields =
+  List.sort (fun a b -> String.compare a.C.fname b.C.fname)
+
+(* Resolve the duplicate-key policy, then apply [of_value]'s own last-wins
+   dedup (which matters only under [Keep_all]). The result order is
+   irrelevant: both record constructors sort by field name. *)
+let resolve_fields dup_keys fields_rev close_pos =
+  let resolved = P.apply_dup_policy dup_keys fields_rev close_pos in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    (List.rev resolved)
+
+(* Keys are interned, so physical equality is key equality. Small records
+   take the quadratic pointer scan; wide ones a sort plus adjacency check
+   (the comparator's pointer shortcut makes equal keys free to confirm). *)
+let has_dup_keys acc =
+  let rec mem_key k = function
+    | [] -> false
+    | (k', _) :: rest -> k' == k || mem_key k rest
+  in
+  let rec small = function
+    | [] -> false
+    | (k, _) :: rest -> mem_key k rest || small rest
+  in
+  let rec len n = function [] -> n | _ :: r -> len (n + 1) r in
+  if len 0 acc <= 12 then small acc
+  else
+    let sorted =
+      List.sort
+        (fun (a, _) (b, _) -> if a == b then 0 else String.compare a b)
+        acc
+    in
+    let rec adjacent_dup = function
+      | (a, _) :: ((b, _) :: _ as rest) -> a == b || adjacent_dup rest
+      | _ -> false
+    in
+    adjacent_dup sorted
+
+(* Scalar results are identical for every occurrence — the type side is
+   hash-consed already, and a count-1 leaf is immutable — so one tuple per
+   kind serves the whole process instead of one per scalar token. *)
+let typed_null = (T.null, C.CNull 1)
+let typed_bool = (T.bool, C.CBool 1)
+let typed_int = (T.int, C.CInt 1)
+let typed_float = (T.num, C.CNum 1)
+let typed_str = (T.str, C.CStr 1)
+
+let infer_tokens ?(options = P.default_options) ?(telemetry = Telemetry.nop)
+    ?scratch ~equiv src ~pos =
+  let lx = L.create ~pos ?max_string_bytes:options.P.max_string_bytes src in
+  let tokens = ref 0 in
+  let sc = match scratch with Some sc -> sc | None -> make_scratch () in
+  let reuse0 = sc.reuse in
+  let max_depth = options.P.max_depth in
+  let max_nodes = options.P.max_nodes in
+  let max_doc_bytes = options.P.max_doc_bytes in
+  let intern () =
+    let i, stop, escaped = L.last_string_span lx in
+    if escaped then intern_string sc (L.string_of_last lx)
+    else intern_span sc src i stop
+  in
+  let walk () =
+    let nodes = ref 0 in
+    let spend_node () =
+      incr nodes;
+      match max_nodes with
+      | Some limit when !nodes > limit ->
+          P.fail ~kind:(P.Budget_exceeded P.Nodes_exceeded) (L.tok_pos lx)
+            (Printf.sprintf "document exceeds %d nodes" limit)
+      | _ -> ()
+    in
+    (* Byte budget against the last token's start — positions are built
+       lazily, only if the check fails. *)
+    let check_bytes_tok () =
+      match max_doc_bytes with
+      | Some limit when L.tok_start lx - pos > limit ->
+          P.fail ~kind:(P.Budget_exceeded P.Bytes_exceeded) (L.tok_pos lx)
+            (Printf.sprintf "document exceeds %d bytes" limit)
+      | _ -> ()
+    in
+    let check_bytes_end () =
+      match max_doc_bytes with
+      | Some limit when L.offset lx - pos > limit ->
+          P.fail ~kind:(P.Budget_exceeded P.Bytes_exceeded) (L.position lx)
+            (Printf.sprintf "document exceeds %d bytes" limit)
+      | _ -> ()
+    in
+    let next_skim () = incr tokens; L.skim lx in
+    let rec value depth =
+      if depth > max_depth then
+        P.fail ~kind:(P.Budget_exceeded P.Depth_exceeded) (L.position lx)
+          "maximum nesting depth exceeded";
+      let tok = next_skim () in
+      spend_node ();
+      check_bytes_tok ();
+      value_tok tok depth
+    and value_tok tok depth =
+      match tok with
+      | L.S_null -> typed_null
+      | L.S_true | L.S_false -> typed_bool
+      | L.S_int -> typed_int
+      | L.S_float -> typed_float
+      | L.S_string -> typed_str
+      | L.S_lbracket -> array depth
+      | L.S_lbrace -> object_ depth
+      | (L.S_rbrace | L.S_rbracket | L.S_colon | L.S_comma | L.S_eof) as t ->
+          P.fail (L.tok_pos lx)
+            (Printf.sprintf "expected a value, got %s" (L.skim_name t))
+    and array depth =
+      (* [parse_value] peeks for ']', lexing the first element's token
+         before its depth check; reading the token first reproduces that
+         failure order exactly. *)
+      let tok = next_skim () in
+      match tok with
+      | L.S_rbracket -> (T.arr (T.union []), C.CArr (1, C.CBot))
+      | _ ->
+          if depth + 1 > max_depth then
+            P.fail ~kind:(P.Budget_exceeded P.Depth_exceeded) (L.position lx)
+              "maximum nesting depth exceeded";
+          spend_node ();
+          check_bytes_tok ();
+          let t0, c0 = value_tok tok (depth + 1) in
+          elements depth [ t0 ] (C.merge ~equiv C.CBot c0)
+    and elements depth ttys cacc =
+      let tok = next_skim () in
+      match tok with
+      | L.S_comma ->
+          let t, c = value (depth + 1) in
+          elements depth (t :: ttys) (C.merge ~equiv cacc c)
+      | L.S_rbracket -> (T.arr (T.union (List.rev ttys)), C.CArr (1, cacc))
+      | t ->
+          P.fail (L.tok_pos lx)
+            (Printf.sprintf "expected ',' or ']', got %s" (L.skim_name t))
+    and object_ depth =
+      let tok = next_skim () in
+      match tok with
+      | L.S_rbrace -> (T.rec_ [], C.CRec (1, []))
+      | _ -> fields depth [] tok
+    and fields depth acc tok =
+      match tok with
+      | L.S_string -> (
+          let key = intern () in
+          let tok = next_skim () in
+          match tok with
+          | L.S_colon -> (
+              let t, c = value (depth + 1) in
+              let tok = next_skim () in
+              match tok with
+              | L.S_comma ->
+                  let tok = next_skim () in
+                  fields depth ((key, (t, c)) :: acc) tok
+              | L.S_rbrace -> close_record ((key, (t, c)) :: acc)
+              | t ->
+                  P.fail (L.tok_pos lx)
+                    (Printf.sprintf "expected ',' or '}', got %s"
+                       (L.skim_name t)))
+          | t ->
+              P.fail (L.tok_pos lx)
+                (Printf.sprintf "expected ':', got %s" (L.skim_name t)))
+      | t ->
+          P.fail (L.tok_pos lx)
+            (Printf.sprintf "expected a field name, got %s" (L.skim_name t))
+    and close_record acc =
+      (* No-dup fast path: [apply_dup_policy] and the last-wins filter are
+         both identity (modulo order, which the constructors sort away)
+         when every key is distinct — the overwhelmingly common case. *)
+      let uniq =
+        if has_dup_keys acc then
+          resolve_fields options.P.dup_keys acc (L.tok_pos lx)
+        else List.rev acc
+      in
+      ( T.rec_ (List.map (fun (k, (t, _)) -> T.field k t) uniq),
+        C.CRec
+          ( 1,
+            sort_cfields
+              (List.map
+                 (fun (k, (_, c)) -> { C.fname = k; occurs = 1; ftype = c })
+                 uniq) ) )
+    in
+    let typed = value 0 in
+    check_bytes_end ();
+    (typed, !nodes)
+  in
+  match P.run lx walk with
+  | Ok (typed, nodes) ->
+      let stop = L.offset lx in
+      P.emit_doc telemetry options ~bytes:(stop - pos) ~nodes;
+      if Telemetry.is_recording telemetry then begin
+        Telemetry.count telemetry "stream.tokens" !tokens;
+        Telemetry.count telemetry "stream.scratch.reuse" (sc.reuse - reuse0)
+      end;
+      Ok (typed, stop)
+  | Error _ -> (
+      (* Canonical fallback: let the tree parser produce the authoritative
+         error (and its telemetry); type its value classically in the
+         unexpected case where it succeeds. *)
+      match P.parse_substring ~options ~telemetry src ~pos with
+      | Ok (v, stop) -> Ok ((T.of_value v, C.of_value ~equiv v), stop)
+      | Error e -> Error e)

@@ -1,0 +1,41 @@
+(** Token-level fused inference (the streaming engine's map step).
+
+    Mison's observation — type-aware parsers win by not building what
+    downstream doesn't need — applied to parametric inference: the typing
+    judgment of a document depends only on its shape, so the map step of the
+    Baazizi et al. fold never needed the value tree. {!infer_tokens} folds
+    the lexer's token stream directly into hash-consed {!Jtype.Types} and
+    {!Jtype.Counting} nodes: string payloads are skimmed, not unescaped;
+    field names are interned in a per-shard {!scratch} table; no
+    intermediate {!Json.Value.t} exists.
+
+    The contract is byte-identity with the tree engine: same types, same
+    errors (position, message, kind), same [parse.*] telemetry — enforced by
+    sharing the parser's own budget arithmetic and error machinery and by a
+    differential QCheck oracle. Documents the walker cannot handle are
+    re-parsed with the tree parser, so failure reporting is always the
+    canonical one. *)
+
+type scratch
+(** Per-domain scratch state: a field-name interning table reused across the
+    documents of a shard, so a wide-record corpus allocates each distinct
+    key once per shard instead of once per document. Not thread-safe — one
+    per domain. *)
+
+val scratch : unit -> scratch
+
+val infer_tokens :
+  ?options:Json.Parser.options ->
+  ?telemetry:Telemetry.sink ->
+  ?scratch:scratch ->
+  equiv:Jtype.Merge.equiv ->
+  string ->
+  pos:int ->
+  ((Jtype.Types.t * Jtype.Counting.t) * int, Json.Parser.error) result
+(** Type one document starting at byte [pos]: exactly
+    [(Types.of_value v, Counting.of_value ~equiv v)] for the [v] that
+    {!Json.Parser.parse_substring} would return, plus the offset one past
+    the document — or exactly that parse's error. Telemetry: the parser's
+    per-document [parse.*] family as emitted by [parse_substring], plus
+    [stream.tokens] (tokens consumed) and [stream.scratch.reuse] (interning
+    hits) on success. *)

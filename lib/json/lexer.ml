@@ -24,16 +24,34 @@ type t = {
   mutable line : int;
   mutable bol : int; (* offset of the beginning of the current line *)
   mutable lookahead : (token * position) option;
-  buf : Buffer.t; (* scratch for string unescaping *)
+  mutable buf : Buffer.t option; (* scratch for string unescaping, created on
+                                    first materialized string — a skimming
+                                    lex never needs it *)
   max_string_bytes : int option;
+  (* Latched by [skim] so hot loops can read token metadata without a
+     position record or tuple being allocated per token. *)
+  mutable tok_start : int; (* byte offset where the last skimmed token starts *)
+  mutable str_start : int; (* contents start (past the quote) of the last string *)
+  mutable str_stop : int; (* offset of that string's closing quote *)
+  mutable str_escaped : bool; (* the span contains backslash escapes *)
 }
 
 let create ?(pos = 0) ?max_string_bytes src =
-  { src; pos; line = 1; bol = pos; lookahead = None; buf = Buffer.create 64;
-    max_string_bytes }
+  { src; pos; line = 1; bol = pos; lookahead = None; buf = None;
+    max_string_bytes; tok_start = pos; str_start = 0; str_stop = 0;
+    str_escaped = false }
+
+let get_buf lx =
+  match lx.buf with
+  | Some b -> b
+  | None ->
+      let b = Buffer.create 64 in
+      lx.buf <- Some b;
+      b
 
 let position_at lx off = { offset = off; line = lx.line; column = off - lx.bol + 1 }
 let position lx = position_at lx lx.pos
+let offset lx = lx.pos
 
 let error lx off msg = raise (Lex_error (position_at lx off, msg))
 
@@ -70,11 +88,22 @@ let skip_ws lx =
 
 let expect_keyword lx word token =
   let n = String.length word in
-  if lx.pos + n <= String.length lx.src && String.sub lx.src lx.pos n = word then begin
-    lx.pos <- lx.pos + n;
+  let src = lx.src in
+  let start = lx.pos in
+  let matches =
+    start + n <= String.length src
+    && (let rec eq i =
+          i >= n
+          || (String.unsafe_get src (start + i) = String.unsafe_get word i
+              && eq (i + 1))
+        in
+        eq 0)
+  in
+  if matches then begin
+    lx.pos <- start + n;
     token
   end
-  else error lx lx.pos (Printf.sprintf "expected %s" word)
+  else error lx start (Printf.sprintf "expected %s" word)
 
 (* Append a Unicode scalar value as UTF-8. *)
 let add_utf8 buf u =
@@ -118,10 +147,11 @@ let read_string lx =
   let n = String.length lx.src in
   let start = lx.pos in
   lx.pos <- lx.pos + 1; (* opening quote *)
-  Buffer.clear lx.buf;
+  let buf = get_buf lx in
+  Buffer.clear buf;
   let check_budget () =
     match lx.max_string_bytes with
-    | Some limit when Buffer.length lx.buf > limit ->
+    | Some limit when Buffer.length buf > limit ->
         raise
           (Limit_error
              ( position_at lx start,
@@ -138,14 +168,14 @@ let read_string lx =
           lx.pos <- lx.pos + 1;
           if lx.pos >= n then error lx start "unterminated string";
           (match lx.src.[lx.pos] with
-           | '"' -> Buffer.add_char lx.buf '"'; lx.pos <- lx.pos + 1
-           | '\\' -> Buffer.add_char lx.buf '\\'; lx.pos <- lx.pos + 1
-           | '/' -> Buffer.add_char lx.buf '/'; lx.pos <- lx.pos + 1
-           | 'b' -> Buffer.add_char lx.buf '\b'; lx.pos <- lx.pos + 1
-           | 'f' -> Buffer.add_char lx.buf '\012'; lx.pos <- lx.pos + 1
-           | 'n' -> Buffer.add_char lx.buf '\n'; lx.pos <- lx.pos + 1
-           | 'r' -> Buffer.add_char lx.buf '\r'; lx.pos <- lx.pos + 1
-           | 't' -> Buffer.add_char lx.buf '\t'; lx.pos <- lx.pos + 1
+           | '"' -> Buffer.add_char buf '"'; lx.pos <- lx.pos + 1
+           | '\\' -> Buffer.add_char buf '\\'; lx.pos <- lx.pos + 1
+           | '/' -> Buffer.add_char buf '/'; lx.pos <- lx.pos + 1
+           | 'b' -> Buffer.add_char buf '\b'; lx.pos <- lx.pos + 1
+           | 'f' -> Buffer.add_char buf '\012'; lx.pos <- lx.pos + 1
+           | 'n' -> Buffer.add_char buf '\n'; lx.pos <- lx.pos + 1
+           | 'r' -> Buffer.add_char buf '\r'; lx.pos <- lx.pos + 1
+           | 't' -> Buffer.add_char buf '\t'; lx.pos <- lx.pos + 1
            | 'u' ->
                lx.pos <- lx.pos + 1;
                let u = read_hex4 lx in
@@ -156,25 +186,306 @@ let read_string lx =
                    lx.pos <- lx.pos + 2;
                    let lo = read_hex4 lx in
                    if lo >= 0xDC00 && lo <= 0xDFFF then
-                     add_utf8 lx.buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                     add_utf8 buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
                    else error lx lx.pos "invalid low surrogate"
                  end
                  else error lx lx.pos "unpaired high surrogate"
                end
                else if u >= 0xDC00 && u <= 0xDFFF then
                  error lx lx.pos "unpaired low surrogate"
-               else add_utf8 lx.buf u
+               else add_utf8 buf u
            | c -> error lx lx.pos (Printf.sprintf "invalid escape '\\%c'" c));
           go ()
       | c when Char.code c < 0x20 ->
           error lx lx.pos "unescaped control character in string"
       | c ->
-          Buffer.add_char lx.buf c;
+          Buffer.add_char buf c;
           lx.pos <- lx.pos + 1;
           go ()
   in
   go ();
-  Buffer.contents lx.buf
+  Buffer.contents buf
+
+(* Validate and skip one string literal without materializing its unescaped
+   contents. Mirrors [read_string] check-for-check: the budget is tested at
+   the top of every iteration against the *decoded* length accumulated so
+   far, and every malformed-input case raises the same error at the same
+   position, so a skimming parse fails exactly where a materializing parse
+   would. Returns the decoded (unescaped) byte length. *)
+let skim_string lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  lx.pos <- lx.pos + 1; (* opening quote *)
+  lx.str_start <- lx.pos;
+  lx.str_escaped <- false;
+  let len = ref 0 in
+  let check_budget () =
+    match lx.max_string_bytes with
+    | Some limit when !len > limit ->
+        raise
+          (Limit_error
+             ( position_at lx start,
+               Printf.sprintf "string literal exceeds %d bytes" limit ))
+    | _ -> ()
+  in
+  let utf8_width u = if u < 0x80 then 1 else if u < 0x800 then 2 else 3 in
+  let rec go () =
+    check_budget ();
+    if lx.pos >= n then error lx start "unterminated string"
+    else
+      match lx.src.[lx.pos] with
+      | '"' -> lx.pos <- lx.pos + 1
+      | '\\' ->
+          lx.str_escaped <- true;
+          lx.pos <- lx.pos + 1;
+          if lx.pos >= n then error lx start "unterminated string";
+          (match lx.src.[lx.pos] with
+           | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+               incr len;
+               lx.pos <- lx.pos + 1
+           | 'u' ->
+               lx.pos <- lx.pos + 1;
+               let u = read_hex4 lx in
+               if u >= 0xD800 && u <= 0xDBFF then begin
+                 if lx.pos + 2 <= n && lx.src.[lx.pos] = '\\' && lx.src.[lx.pos + 1] = 'u'
+                 then begin
+                   lx.pos <- lx.pos + 2;
+                   let lo = read_hex4 lx in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then len := !len + 4
+                   else error lx lx.pos "invalid low surrogate"
+                 end
+                 else error lx lx.pos "unpaired high surrogate"
+               end
+               else if u >= 0xDC00 && u <= 0xDFFF then
+                 error lx lx.pos "unpaired low surrogate"
+               else len := !len + utf8_width u
+           | c -> error lx lx.pos (Printf.sprintf "invalid escape '\\%c'" c));
+          go ()
+      | c when Char.code c < 0x20 ->
+          error lx lx.pos "unescaped control character in string"
+      | _ ->
+          (* Run of plain bytes: consume the whole stretch in one tight
+             loop. The budget is re-tested at the top of [go] before the
+             stopping byte is examined, so a budget kill still wins over
+             any later syntax error, exactly as in the per-byte loop. *)
+          let p = ref (lx.pos + 1) in
+          while
+            !p < n
+            && (let c = String.unsafe_get lx.src !p in
+                c <> '"' && c <> '\\' && Char.code c >= 0x20)
+          do
+            incr p
+          done;
+          len := !len + (!p - lx.pos);
+          lx.pos <- !p;
+          go ()
+  in
+  go ();
+  lx.str_stop <- lx.pos - 1;
+  !len
+
+(* Largest digit count that can never overflow a 63-bit [int]. *)
+let max_safe_int_digits = 18
+
+(* Number scan that avoids the literal copy on the common integer path.
+   Consumes exactly the span [read_number] would, then classifies: a plain
+   in-range integer literal is evaluated in place; anything else (floats,
+   oversized or malformed literals) falls back to [Number.parse] on the
+   substring so values and error messages stay identical. *)
+let skim_number lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  let neg = lx.pos < n && lx.src.[lx.pos] = '-' in
+  if neg then lx.pos <- lx.pos + 1;
+  let digits_start = lx.pos in
+  while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done;
+  let digits_stop = lx.pos in
+  let has_frac = lx.pos < n && lx.src.[lx.pos] = '.' in
+  if has_frac then begin
+    lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done
+  end;
+  let has_exp = lx.pos < n && (lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E') in
+  if has_exp then begin
+    lx.pos <- lx.pos + 1;
+    if lx.pos < n && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-') then
+      lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do lx.pos <- lx.pos + 1 done
+  end;
+  let ndigits = digits_stop - digits_start in
+  let valid_int =
+    (not has_frac) && (not has_exp) && ndigits > 0
+    && (lx.src.[digits_start] <> '0' || ndigits = 1)
+    && ndigits <= max_safe_int_digits
+  in
+  if valid_int then begin
+    let v = ref 0 in
+    for i = digits_start to digits_stop - 1 do
+      v := (!v * 10) + (Char.code lx.src.[i] - Char.code '0')
+    done;
+    Number_tok (Number.Int_lit (if neg then - !v else !v))
+  end
+  else
+    let literal = String.sub lx.src start (lx.pos - start) in
+    match Number.parse literal with
+    | Ok parsed -> Number_tok parsed
+    | Error msg -> error lx start msg
+
+(* --- Allocation-free skim tokens ----------------------------------------
+
+   [skim] is [next_skimming] stripped for fused hot loops: every token is an
+   immediate constant, the start offset is latched in [tok_start] (a
+   position record is built only on demand via [tok_pos]), string contents
+   stay in the source (recoverable through [last_string_span] /
+   [string_of_last]), and numbers are classified int-vs-float without
+   materializing a value. Scanning, budgets, and every malformed-input
+   error are shared with the materializing paths, so a skim loop fails at
+   exactly the byte a full lex would. *)
+
+type skim_tok =
+  | S_lbrace
+  | S_rbrace
+  | S_lbracket
+  | S_rbracket
+  | S_colon
+  | S_comma
+  | S_true
+  | S_false
+  | S_null
+  | S_int
+  | S_float
+  | S_string
+  | S_eof
+
+let skim_name = function
+  | S_lbrace -> "'{'"
+  | S_rbrace -> "'}'"
+  | S_lbracket -> "'['"
+  | S_rbracket -> "']'"
+  | S_colon -> "':'"
+  | S_comma -> "','"
+  | S_true -> "'true'"
+  | S_false -> "'false'"
+  | S_null -> "'null'"
+  | S_int | S_float -> "number"
+  | S_string -> "string"
+  | S_eof -> "end of input"
+
+(* Classify a number literal in place. The well-formed cases whose magnitude
+   provably fits the double range return without allocating; everything
+   else — oversized integers, huge exponents, malformed literals — falls
+   back to [Number.parse] on the substring so classification and error
+   messages match [skim_number] exactly (overflow to infinity is a parse
+   error, so it must not be classified blindly as a float). *)
+let skim_number_kind lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  if lx.pos < n && lx.src.[lx.pos] = '-' then lx.pos <- lx.pos + 1;
+  let digits_start = lx.pos in
+  while lx.pos < n && is_digit (String.unsafe_get lx.src lx.pos) do
+    lx.pos <- lx.pos + 1
+  done;
+  let ndigits = lx.pos - digits_start in
+  let has_frac = lx.pos < n && lx.src.[lx.pos] = '.' in
+  let frac_digits = ref 0 in
+  if has_frac then begin
+    lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit (String.unsafe_get lx.src lx.pos) do
+      incr frac_digits;
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  let has_exp = lx.pos < n && (lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E') in
+  let exp_neg = ref false and exp_digits = ref 0 and exp_val = ref 0 in
+  if has_exp then begin
+    lx.pos <- lx.pos + 1;
+    if lx.pos < n && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-') then begin
+      exp_neg := lx.src.[lx.pos] = '-';
+      lx.pos <- lx.pos + 1
+    end;
+    while lx.pos < n && is_digit (String.unsafe_get lx.src lx.pos) do
+      if !exp_digits < 5 then
+        exp_val := (!exp_val * 10) + (Char.code lx.src.[lx.pos] - Char.code '0');
+      incr exp_digits;
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  let well_formed =
+    ndigits > 0
+    && (lx.src.[digits_start] <> '0' || ndigits = 1)
+    && ((not has_frac) || !frac_digits > 0)
+    && ((not has_exp) || !exp_digits > 0)
+  in
+  let fallback () =
+    let literal = String.sub lx.src start (lx.pos - start) in
+    match Number.parse literal with
+    | Ok (Number.Int_lit _) -> S_int
+    | Ok (Number.Float_lit _) -> S_float
+    | Error msg -> error lx start msg
+  in
+  if not well_formed then fallback ()
+  else if (not has_frac) && not has_exp then
+    if ndigits <= max_safe_int_digits then S_int else fallback ()
+  else begin
+    (* magnitude < 10^(integer digits + signed exponent); safe when that
+       bound stays below 10^308 <= DBL_MAX. *)
+    let safe =
+      if not has_exp then ndigits <= 308
+      else if !exp_digits > 5 then false
+      else ndigits + (if !exp_neg then - !exp_val else !exp_val) <= 308
+    in
+    if safe then S_float else fallback ()
+  end
+
+let skim lx =
+  (match lx.lookahead with
+   | Some _ -> invalid_arg "Json.Lexer.skim: a peeked token is pending"
+   | None -> ());
+  skip_ws lx;
+  let start = lx.pos in
+  lx.tok_start <- start;
+  if start >= String.length lx.src then S_eof
+  else
+    match String.unsafe_get lx.src start with
+    | '{' -> lx.pos <- start + 1; S_lbrace
+    | '}' -> lx.pos <- start + 1; S_rbrace
+    | '[' -> lx.pos <- start + 1; S_lbracket
+    | ']' -> lx.pos <- start + 1; S_rbracket
+    | ':' -> lx.pos <- start + 1; S_colon
+    | ',' -> lx.pos <- start + 1; S_comma
+    | 't' -> ignore (expect_keyword lx "true" True); S_true
+    | 'f' -> ignore (expect_keyword lx "false" False); S_false
+    | 'n' -> ignore (expect_keyword lx "null" Null_tok); S_null
+    | '"' ->
+        let _len = skim_string lx in
+        S_string
+    | '-' | '0' .. '9' -> skim_number_kind lx
+    | c -> error lx start (Printf.sprintf "unexpected character %C" c)
+
+let tok_start lx = lx.tok_start
+
+(* No token contains a raw newline (strings reject unescaped control
+   characters), so line/bol have not moved since the token started and the
+   position can be reconstructed lazily. *)
+let tok_pos lx = position_at lx lx.tok_start
+
+let last_string_span lx = (lx.str_start, lx.str_stop, lx.str_escaped)
+
+let string_of_last lx =
+  if not lx.str_escaped then
+    String.sub lx.src lx.str_start (lx.str_stop - lx.str_start)
+  else begin
+    (* Escaped span: rewind to the opening quote and materialize with the
+       canonical unescaper. It cannot fail — the skim already validated
+       the literal and its budget. *)
+    let save = lx.pos in
+    lx.pos <- lx.str_start - 1;
+    let s = read_string lx in
+    lx.pos <- save;
+    s
+  end
+
+let source lx = lx.src
 
 let read_number lx =
   let n = String.length lx.src in
@@ -233,3 +544,38 @@ let peek lx =
       let t = lex_token lx in
       lx.lookahead <- Some t;
       t
+
+(* Like [next], but string literals are skimmed instead of unescaped: the
+   returned token is [String_tok ""] with the same budget enforcement and
+   error behavior as a materializing lex. A pending [peek]ed token is
+   consumed as-is (its string, if any, is already materialized). *)
+let next_skimming lx =
+  match lx.lookahead with
+  | Some (tok, pos) ->
+      lx.lookahead <- None;
+      let tok = match tok with String_tok _ -> String_tok "" | t -> t in
+      (tok, pos)
+  | None ->
+      skip_ws lx;
+      let start = lx.pos in
+      let pos = position_at lx start in
+      let tok =
+        if lx.pos >= String.length lx.src then Eof
+        else
+          match lx.src.[lx.pos] with
+          | '{' -> lx.pos <- lx.pos + 1; Lbrace
+          | '}' -> lx.pos <- lx.pos + 1; Rbrace
+          | '[' -> lx.pos <- lx.pos + 1; Lbracket
+          | ']' -> lx.pos <- lx.pos + 1; Rbracket
+          | ':' -> lx.pos <- lx.pos + 1; Colon
+          | ',' -> lx.pos <- lx.pos + 1; Comma
+          | 't' -> expect_keyword lx "true" True
+          | 'f' -> expect_keyword lx "false" False
+          | 'n' -> expect_keyword lx "null" Null_tok
+          | '"' ->
+              let _len = skim_string lx in
+              String_tok ""
+          | '-' | '0' .. '9' -> skim_number lx
+          | c -> error lx start (Printf.sprintf "unexpected character %C" c)
+      in
+      (tok, pos)

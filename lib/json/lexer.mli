@@ -43,8 +43,78 @@ val next : t -> token * position
 val peek : t -> token * position
 (** Like {!next} without consuming. *)
 
+val next_skimming : t -> token * position
+(** Like {!next}, but string literals are validated and skipped without
+    materializing their unescaped contents: the token comes back as
+    [String_tok ""]. Budget enforcement ([max_string_bytes], counted in
+    decoded bytes) and every malformed-input error — position and message —
+    are identical to {!next}, so a skimming parse fails exactly where a
+    materializing parse would. A token already buffered by {!peek} is
+    returned as lexed. The streaming engines use this for payloads whose
+    contents provably don't influence the result. *)
+
 val position : t -> position
 (** Current position (after the last consumed token). *)
 
+val offset : t -> int
+(** Current byte offset — [(position lx).offset] without the record. *)
+
 val token_name : token -> string
 (** Human-readable token description for error messages. *)
+
+(** {2 Allocation-free skim tokens}
+
+    The fused streaming engines lex millions of tokens per shard; returning
+    a [(token * position)] tuple plus a position record per token is pure
+    GC pressure when the consumer only branches on the token's kind. [skim]
+    returns an immediate constant instead: numbers are classified
+    int-vs-float in place, string contents stay in the source (recover them
+    with {!last_string_span} / {!string_of_last}), and the token's start
+    offset is latched on the lexer ({!tok_start}, {!tok_pos}). Scanning,
+    budgets, and malformed-input errors are shared with {!next}, so a skim
+    loop fails at exactly the byte a materializing lex would. *)
+
+type skim_tok =
+  | S_lbrace
+  | S_rbrace
+  | S_lbracket
+  | S_rbracket
+  | S_colon
+  | S_comma
+  | S_true
+  | S_false
+  | S_null
+  | S_int  (** number literal that evaluates to an integer *)
+  | S_float  (** number literal that evaluates to a float *)
+  | S_string  (** string literal; span latched on the lexer *)
+  | S_eof
+
+val skim : t -> skim_tok
+(** Next token as an unallocated constant. Must not be called with a
+    {!peek}ed token pending (raises [Invalid_argument]); the streaming
+    engines own their lexer and never peek.
+    @raise Lex_error on malformed input, as {!next} would. *)
+
+val skim_name : skim_tok -> string
+(** Human-readable description, matching {!token_name} on the
+    corresponding token. *)
+
+val tok_start : t -> int
+(** Byte offset where the last {!skim}med token starts. *)
+
+val tok_pos : t -> position
+(** Position where the last {!skim}med token starts — built on demand, for
+    error paths only. *)
+
+val last_string_span : t -> int * int * bool
+(** [(start, stop, escaped)] for the last [S_string]: the contents span
+    (exclusive of quotes) in the source, and whether it contains backslash
+    escapes (in which case the raw span is not the decoded contents). *)
+
+val string_of_last : t -> string
+(** Decoded contents of the last [S_string] token: a direct substring when
+    the span is escape-free, otherwise a re-lex through the canonical
+    unescaper. *)
+
+val source : t -> string
+(** The document being lexed (for span-based consumers). *)

@@ -75,3 +75,31 @@ val parse_substring :
   (Value.t * int, error) result
 (** Parse one value starting at byte [pos]; returns the value and the offset
     one past its last byte. Used by the lazy/speculative parsers. *)
+
+(** {1 Building blocks for alternative executors}
+
+    The streaming engines ({!Inference.Streaming},
+    [Jsonschema.Compile.run_stream]) re-implement the token walk but must
+    fail, account, and report {e exactly} like this parser. These exports
+    let them share the authoritative pieces instead of copying them. *)
+
+val fail : ?kind:error_kind -> Lexer.position -> string -> 'a
+(** Raise the parser's own error exception; callers recover it via {!run}. *)
+
+val apply_dup_policy :
+  dup_policy -> (string * 'a) list -> Lexer.position -> (string * 'a) list
+(** Resolve repeated keys in a field list given in {e reverse} document
+    order; the position is where a [Reject] error is reported (the closing
+    brace). Polymorphic in the payload so token-level engines can apply the
+    same semantics to types instead of values. *)
+
+val run : Lexer.t -> (unit -> 'a) -> ('a, error) result
+(** Run a parsing thunk, mapping lexer and parser exceptions (including
+    [Stack_overflow]) to this module's {!error} exactly as the built-in
+    entry points do. *)
+
+val emit_doc : Telemetry.sink -> options -> bytes:int -> nodes:int -> unit
+(** Emit the per-document success telemetry described at {!parse}. *)
+
+val emit_error : Telemetry.sink -> error -> unit
+(** Emit the per-document error counter described at {!parse}. *)

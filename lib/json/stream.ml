@@ -239,6 +239,55 @@ let fold ?options:_ src ~init ~f =
   in
   go init
 
+let fold_documents_chunked ?(options = Parser.default_options) refill ~init ~f =
+  let options = { options with Parser.allow_trailing = true } in
+  (* Buffered input: [data] holds the not-yet-consumed suffix of the stream,
+     [consumed] counts the bytes dropped by compaction so reported offsets
+     stay absolute in the whole stream. Line/column need no rebasing:
+     [fold_documents] creates a fresh lexer per document, so positions are
+     document-relative there too. *)
+  let data = ref "" in
+  let cursor = ref 0 in
+  let consumed = ref 0 in
+  let rebase (e : Parser.error) =
+    let p = e.Parser.position in
+    { e with
+      Parser.position = { p with Lexer.offset = p.Lexer.offset + !consumed } }
+  in
+  let ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let rec step acc ~eof =
+    let s = !data in
+    let n = String.length s in
+    while !cursor < n && ws s.[!cursor] do incr cursor done;
+    if !cursor >= n then if eof then Ok acc else grow acc
+    else
+      match Parser.parse_substring ~options s ~pos:!cursor with
+      | Ok (v, stop) when stop < n || eof ->
+          (* A value ending strictly before the buffered frontier is
+             complete no matter what bytes follow; at [eof] the frontier is
+             final. A value that touches the frontier mid-stream (e.g. a
+             bare number) could still be extended by the next chunk, so it
+             is not accepted yet. *)
+          consumed := !consumed + stop;
+          data := String.sub s stop (n - stop);
+          cursor := 0;
+          step (f acc v) ~eof
+      | Ok _ -> grow acc
+      | Error e when eof -> Error (rebase e)
+      | Error _ ->
+          (* Possibly a truncated document (unterminated string, dangling
+             escape, split UTF-8 sequence...); retry once more input
+             arrives. Real errors surface unchanged at end of stream. *)
+          grow acc
+  and grow acc =
+    match refill () with
+    | None -> step acc ~eof:true
+    | Some chunk ->
+        if chunk <> "" then data := !data ^ chunk;
+        step acc ~eof:false
+  in
+  step init ~eof:false
+
 let fold_documents ?(options = Parser.default_options) src ~init ~f =
   let options = { options with Parser.allow_trailing = true } in
   let n = String.length src in

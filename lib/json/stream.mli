@@ -42,3 +42,20 @@ val fold_documents :
   ('a, Parser.error) result
 (** Fold over an NDJSON / concatenated-JSON collection one parsed document at
     a time — constant memory in the number of documents. *)
+
+val fold_documents_chunked :
+  ?options:Parser.options ->
+  (unit -> string option) ->
+  init:'a ->
+  f:('a -> Value.t -> 'a) ->
+  ('a, Parser.error) result
+(** [fold_documents_chunked refill ~init ~f] is like {!fold_documents}, but
+    over input delivered in chunks by [refill]
+    ([None] = end of stream). Chunk boundaries are invisible: a token —
+    including a multi-byte UTF-8 sequence or a [\uXXXX] surrogate pair split
+    mid-escape — may land anywhere, even one byte per chunk, and the fold
+    produces the same documents and the same errors as {!fold_documents} on
+    the concatenation. Consumed documents are dropped from the buffer, so
+    memory is bounded by the largest single document plus one chunk.
+    Reported byte offsets are absolute in the whole stream; line/column are
+    document-relative, exactly as in {!fold_documents}. *)

@@ -742,10 +742,136 @@ and kchecks b (n : Schema.node) : kc array =
                add_all errors (cc rt fuel (depth + 1) (kp schema_at which) at v)));
   Array.of_list (List.rev !ks)
 
+(* --- access analysis ----------------------------------------------------- *)
+
+(* What the plan can observe of a value at a given schema position. The
+   streaming walker prunes everything the plan provably ignores:
+
+   - [A_skip]: the check outcome is constant in the value (boolean schemas,
+     annotation-only nodes, positions no keyword ever visits). The walker
+     skims the subtree at token level ({!Fastjson.Rawscan.skim_value}) and
+     plants [Null]; any constant check still runs on the placeholder and
+     behaves identically.
+   - [A_node]: only the selected parts matter. The value's *kind* is always
+     preserved (for [type] dispatch), numbers and booleans are materialized
+     for real (they are free at token level), but string payloads are
+     skimmed to [""] unless a string-content keyword is present, and
+     object-field / array-element subtrees follow their own access.
+   - [A_full]: materialize exactly ([enum]/[const] compare whole values,
+     [uniqueItems] compares elements, [$ref] is conservatively opaque).
+
+   Soundness invariant: a position's access over-approximates the demands
+   of every checker closure that can receive that position's value. *)
+
+type access = A_full | A_skip | A_node of node_access
+
+and node_access = {
+  a_str : bool;              (* string contents inspected here *)
+  a_props : (string * access) list;  (* first-wins, like [props_tbl] *)
+  a_other : access;          (* fields not named in [a_props] *)
+  a_prefix : access list;    (* tuple prefix, from [Items_many] *)
+  a_elems : access;          (* elements past the prefix *)
+}
+
+let rec access_join a b =
+  match (a, b) with
+  | A_full, _ | _, A_full -> A_full
+  | A_skip, x | x, A_skip -> x
+  | A_node x, A_node y ->
+      let prop k d ps = Option.value ~default:d (List.assoc_opt k ps) in
+      let keys =
+        List.fold_left
+          (fun acc (k, _) -> if List.mem k acc then acc else k :: acc)
+          [] (x.a_props @ y.a_props)
+      in
+      let a_props =
+        List.rev_map
+          (fun k ->
+            (k,
+             access_join (prop k x.a_other x.a_props) (prop k y.a_other y.a_props)))
+          keys
+      in
+      let nth xs d i = Option.value ~default:d (List.nth_opt xs i) in
+      let plen = max (List.length x.a_prefix) (List.length y.a_prefix) in
+      let a_prefix =
+        List.init plen (fun i ->
+            access_join (nth x.a_prefix x.a_elems i) (nth y.a_prefix y.a_elems i))
+      in
+      A_node
+        { a_str = x.a_str || y.a_str;
+          a_props;
+          a_other = access_join x.a_other y.a_other;
+          a_prefix;
+          a_elems = access_join x.a_elems y.a_elems }
+
+let rec access_of (s : Schema.t) : access =
+  match s with
+  | Schema.Bool_schema _ -> A_skip
+  | Schema.Schema n ->
+      (* [$ref] targets are opaque here (cycles would need a fixpoint);
+         [enum]/[const] compare the whole value. *)
+      if n.Schema.ref_ <> None || n.Schema.enum <> None || n.Schema.const <> None
+      then A_full
+      else begin
+        let a_str =
+          n.Schema.min_length <> None || n.Schema.max_length <> None
+          || n.Schema.pattern <> None || n.Schema.format <> None
+        in
+        let a_props, a_other =
+          if n.Schema.pattern_properties <> [] then
+            (* a pattern may match any key: every field is reachable by an
+               arbitrary subschema, so materialize them all *)
+            ([], A_full)
+          else
+            ( List.fold_left
+                (fun acc (k, s) ->
+                  if List.mem_assoc k acc then acc else (k, access_of s) :: acc)
+                [] n.Schema.properties
+              |> List.rev,
+              match n.Schema.additional_properties with
+              | None -> A_skip
+              | Some s -> access_of s )
+        in
+        let contains_a =
+          match n.Schema.contains with Some s -> access_of s | None -> A_skip
+        in
+        let a_prefix, a_elems =
+          if n.Schema.unique_items then ([], A_full)
+          else
+            match n.Schema.items with
+            | None -> ([], contains_a)
+            | Some (Schema.Items_one s) ->
+                ([], access_join (access_of s) contains_a)
+            | Some (Schema.Items_many ss) ->
+                ( List.map (fun s -> access_join (access_of s) contains_a) ss,
+                  access_join contains_a
+                    (match n.Schema.additional_items with
+                     | None -> A_skip
+                     | Some s -> access_of s) )
+        in
+        let own = A_node { a_str; a_props; a_other; a_prefix; a_elems } in
+        (* everything applied to the same value joins at this level *)
+        let subs =
+          List.map access_of
+            (n.Schema.all_of @ n.Schema.any_of @ n.Schema.one_of)
+          @ List.filter_map
+              (Option.map access_of)
+              [ n.Schema.not_; n.Schema.if_; n.Schema.then_; n.Schema.else_ ]
+          @ List.filter_map
+              (fun (_, dep) ->
+                match dep with
+                | Schema.Dep_required _ -> None
+                | Schema.Dep_schema s -> Some (access_of s))
+              n.Schema.dependencies
+        in
+        List.fold_left access_join own subs
+      end
+
 (* --- plans -------------------------------------------------------------- *)
 
 type plan = {
   check : cc;
+  access : access;
   nodes : int;
   pruned : int;
   ref_targets : int;
@@ -784,6 +910,7 @@ let compile ?(telemetry = Telemetry.nop) root =
       end;
       Ok
         { check;
+          access = access_of s;
           nodes = b.st.nodes;
           pruned = b.st.pruned;
           ref_targets = b.st.ref_targets;
@@ -806,6 +933,163 @@ let run ?(config = Validate.default_config) plan v =
             message = "validation overflowed the stack (schema too deep)" } ]
 
 let is_valid ?config plan v = Result.is_ok (run ?config plan v)
+
+(* --- streaming execution ------------------------------------------------- *)
+
+(* Walk one document at token level, materializing only what [plan.access]
+   demands and planting placeholders elsewhere, then run the ordinary plan
+   on the pruned tree. The walk is a line-by-line mirror of
+   [Json.Parser.parse_value] — same peek-based empty-container detection,
+   same node/byte spends at the same positions, same depth checks, same
+   duplicate-key resolution — so parse failures are byte-identical; the
+   pruning soundness invariant (see {!access}) makes the verdicts, error
+   lists, and [validate.kw.*] counters byte-identical too. *)
+let walk_pruned ~options ~telemetry access src ~pos =
+  let module L = Json.Lexer in
+  let module P = Json.Parser in
+  let lx = L.create ~pos ?max_string_bytes:options.P.max_string_bytes src in
+  let tokens = ref 0 in
+  let skipped = ref 0 in
+  let walk_doc () =
+    let nodes = ref 0 in
+    let spend_node p =
+      incr nodes;
+      match options.P.max_nodes with
+      | Some limit when !nodes > limit ->
+          P.fail ~kind:(P.Budget_exceeded P.Nodes_exceeded) p
+            (Printf.sprintf "document exceeds %d nodes" limit)
+      | _ -> ()
+    in
+    let check_bytes p =
+      match options.P.max_doc_bytes with
+      | Some limit when p.L.offset - pos > limit ->
+          P.fail ~kind:(P.Budget_exceeded P.Bytes_exceeded) p
+            (Printf.sprintf "document exceeds %d bytes" limit)
+      | _ -> ()
+    in
+    let next_full () = incr tokens; L.next lx in
+    let next_skim () = incr tokens; L.next_skimming lx in
+    let rec walk a depth =
+      match a with
+      | A_skip ->
+          let before = (L.position lx).L.offset in
+          Fastjson.Rawscan.skim_value lx ~dup_keys:options.P.dup_keys
+            ~max_depth:options.P.max_depth ~depth ~spend_node ~check_bytes;
+          skipped := !skipped + ((L.position lx).L.offset - before);
+          Json.Value.Null
+      | A_full | A_node _ ->
+          if depth > options.P.max_depth then
+            P.fail ~kind:(P.Budget_exceeded P.Depth_exceeded) (L.position lx)
+              "maximum nesting depth exceeded";
+          let want_str =
+            match a with A_node na -> na.a_str | A_full | A_skip -> true
+          in
+          let tok, p = if want_str then next_full () else next_skim () in
+          spend_node p;
+          check_bytes p;
+          walk_tok a tok p depth
+    and walk_tok a tok p depth =
+      match tok with
+      | L.Null_tok -> Json.Value.Null
+      | L.True -> Json.Value.Bool true
+      | L.False -> Json.Value.Bool false
+      | L.Number_tok (Json.Number.Int_lit n) -> Json.Value.Int n
+      | L.Number_tok (Json.Number.Float_lit f) -> Json.Value.Float f
+      | L.String_tok s -> Json.Value.String s
+      | L.Lbracket -> walk_array a depth
+      | L.Lbrace -> walk_object a depth
+      | (L.Rbrace | L.Rbracket | L.Colon | L.Comma | L.Eof) as t ->
+          P.fail p (Printf.sprintf "expected a value, got %s" (L.token_name t))
+    and walk_array a depth =
+      let elem_access i =
+        match a with
+        | A_full -> A_full
+        | A_node na ->
+            Option.value ~default:na.a_elems (List.nth_opt na.a_prefix i)
+        | A_skip -> assert false
+      in
+      match L.peek lx with
+      | L.Rbracket, _ ->
+          ignore (next_full ());
+          Json.Value.Array []
+      | _ ->
+          let rec elements i acc =
+            let v = walk (elem_access i) (depth + 1) in
+            let tok, p = next_full () in
+            match tok with
+            | L.Comma -> elements (i + 1) (v :: acc)
+            | L.Rbracket -> List.rev (v :: acc)
+            | t ->
+                P.fail p
+                  (Printf.sprintf "expected ',' or ']', got %s" (L.token_name t))
+          in
+          Json.Value.Array (elements 0 [])
+    and walk_object a depth =
+      let key_access k =
+        match a with
+        | A_full -> A_full
+        | A_node na -> Option.value ~default:na.a_other (List.assoc_opt k na.a_props)
+        | A_skip -> assert false
+      in
+      match L.peek lx with
+      | L.Rbrace, _ ->
+          ignore (next_full ());
+          Json.Value.Object []
+      | _ ->
+          let rec fields acc =
+            let tok, p = next_full () in
+            match tok with
+            | L.String_tok key -> (
+                let tok, p = next_full () in
+                match tok with
+                | L.Colon -> (
+                    let v = walk (key_access key) (depth + 1) in
+                    let tok, p = next_full () in
+                    match tok with
+                    | L.Comma -> fields ((key, v) :: acc)
+                    | L.Rbrace -> ((key, v) :: acc, p)
+                    | t ->
+                        P.fail p
+                          (Printf.sprintf "expected ',' or '}', got %s"
+                             (L.token_name t)))
+                | t ->
+                    P.fail p
+                      (Printf.sprintf "expected ':', got %s" (L.token_name t)))
+            | t ->
+                P.fail p
+                  (Printf.sprintf "expected a field name, got %s"
+                     (L.token_name t))
+          in
+          let fields_rev, close_pos = fields [] in
+          Json.Value.Object
+            (P.apply_dup_policy options.P.dup_keys fields_rev close_pos)
+    in
+    let v = walk access 0 in
+    check_bytes (L.position lx);
+    (v, !nodes)
+  in
+  match P.run lx walk_doc with
+  | Ok (v, nodes) ->
+      let stop = (L.position lx).L.offset in
+      P.emit_doc telemetry options ~bytes:(stop - pos) ~nodes;
+      if Telemetry.is_recording telemetry then begin
+        Telemetry.count telemetry "stream.tokens" !tokens;
+        Telemetry.count telemetry "stream.skipped_bytes" !skipped
+      end;
+      Ok (v, stop)
+  | Error _ as e -> e
+
+let run_stream ?(config = Validate.default_config)
+    ?(options = Json.Parser.default_options) ?(telemetry = Telemetry.nop) plan
+    src ~pos =
+  match walk_pruned ~options ~telemetry plan.access src ~pos with
+  | Ok (v, stop) -> Ok (run ~config plan v, stop)
+  | Error _ -> (
+      (* canonical fallback: the tree parser owns failure reporting (and its
+         error telemetry); if it succeeds after all, validate its tree *)
+      match Json.Parser.parse_substring ~options ~telemetry src ~pos with
+      | Ok (v, stop) -> Ok (run ~config plan v, stop)
+      | Error e -> Error e)
 
 (* --- fingerprint-keyed plan cache --------------------------------------- *)
 

@@ -34,6 +34,30 @@ val run :
 
 val is_valid : ?config:Validate.config -> plan -> Json.Value.t -> bool
 
+val run_stream :
+  ?config:Validate.config ->
+  ?options:Json.Parser.options ->
+  ?telemetry:Telemetry.sink ->
+  plan ->
+  string ->
+  pos:int ->
+  ((unit, error list) result * int, Json.Parser.error) result
+(** Parse-and-validate one document starting at byte [pos], fused: the
+    token stream is walked directly against the plan's compile-time access
+    analysis, materializing only the parts some keyword can observe.
+    Subtrees the plan provably ignores — properties outside the first-wins
+    table when [additionalProperties] is trivially true or absent, array
+    tails past [items] tuple bounds with no [additionalItems], string
+    payloads with no string-content keyword — are validated and skipped at
+    token level ({!Fastjson.Rawscan.skim_value}) without allocation.
+
+    Byte-identical to [Json.Parser.parse_substring] followed by {!run}:
+    same parse errors (position/message/kind and [parse.*] telemetry on
+    [telemetry]), same verdicts, error lists, and [validate.kw.*] counters
+    (on [config]'s sink), enforced by the differential oracle. Extra
+    telemetry on success: [stream.tokens] and [stream.skipped_bytes].
+    Returns the verdict and the offset one past the document. *)
+
 val validate :
   ?config:Validate.config -> root:Json.Value.t -> Json.Value.t ->
   (unit, error list) result

@@ -246,12 +246,22 @@ both the report and the telemetry:
   {"counters":{"ingest.budget.max-depth":N,"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.errors.budget.max-depth":N,"parse.nodes":N},"gauges":{},"histograms":{"parse.budget_headroom_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.budget_headroom_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
 
 Inference adds merge counters, the union-width histogram, and the infer
-span; the inferred type over the drifting fixture is exact:
+span; the default streaming engine tags the report and adds its token and
+scratch-reuse counters. The inferred type over the drifting fixture is
+exact:
 
   $ jsontool infer --stats-json ../corpus/mixed_types.ndjson 2>stats.json
   {v: Null + Bool + Num + Str}
   $ mask < stats.json
-  {"counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"kernel.fuse.misses":N,"kernel.intern.hits":N,"kernel.merge.misses":N,"kernel.nodes":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{"kernel.cache.entries":N},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
+  {"engine":"streaming","counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"kernel.fuse.misses":N,"kernel.intern.hits":N,"kernel.merge.misses":N,"kernel.nodes":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"stream.scratch.reuse":N,"stream.tokens":N},"gauges":{"kernel.cache.entries":N},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
+
+With `--engine tree` the stream.* counters disappear and the tag flips; the
+key set is otherwise the streaming one:
+
+  $ jsontool infer --engine tree --stats-json ../corpus/mixed_types.ndjson 2>stats.json
+  {v: Null + Bool + Num + Str}
+  $ mask < stats.json
+  {"engine":"tree","counters":{"infer.merge_ops":N,"ingest.docs_ok":N,"kernel.fuse.misses":N,"kernel.intern.hits":N,"kernel.merge.misses":N,"kernel.nodes":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N},"gauges":{"kernel.cache.entries":N},"histograms":{"infer.union_width":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{"infer":{"calls":N,"total_s":N,"max_s":N}}}
 
 Compiled validation plans: `validate` lowers the schema to an executable plan
 by default; reports must be byte-identical to the interpreter (`--compiled
@@ -276,17 +286,42 @@ The plan cache kill switch changes nothing observable in the report:
   20/20 documents valid
 
 Validation telemetry: the compiled engine emits the same per-keyword counters
-as the interpreter plus plan compilation and cache metrics:
+as the interpreter plus plan compilation and cache metrics; the default
+streaming engine tags the report and counts the tokens it walked:
 
   $ jsontool validate --stats-json -s schema.json orders.ndjson 2>stats.json
   20/20 documents valid
   $ mask < stats.json
-  {"counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"validate.cache.misses":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N,"validate.plan.nodes":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"validate.compile_ms":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+  {"engine":"streaming","counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"stream.tokens":N,"validate.cache.misses":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N,"validate.plan.nodes":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"validate.compile_ms":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
 
 ...and with `--compiled off` the compile/cache keys disappear while the
-keyword counters stay:
+keyword counters stay; no plan means no streaming, so the run is tagged with
+the tree engine it fell back to:
 
   $ jsontool validate --compiled off --stats-json -s schema.json orders.ndjson 2>stats.json
   20/20 documents valid
   $ mask < stats.json
-  {"counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+  {"engine":"tree","counters":{"ingest.docs_ok":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"validate.kw.properties":N,"validate.kw.required":N,"validate.kw.type":N},"gauges":{"validate.max_depth":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+Engine byte-identity: `--engine tree` materializes every document;
+`--engine streaming` (the default) fuses parsing with the fold. Reports must
+be byte-identical across engines and job counts, for inference and
+validation, on clean corpora and on violations alike:
+
+  $ jsontool infer --engine tree par.ndjson > infer_tree.txt
+  $ jsontool infer --engine streaming par.ndjson > infer_stream.txt
+  $ cmp infer_tree.txt infer_stream.txt
+  $ jsontool infer --engine streaming --jobs 4 par.ndjson > infer_stream4.txt
+  $ cmp infer_tree.txt infer_stream4.txt
+
+  $ jsontool validate --engine tree -s schema.json orders.ndjson > val_tree.out 2>&1
+  $ jsontool validate --engine streaming -s schema.json orders.ndjson > val_stream.out 2>&1
+  $ cmp val_tree.out val_stream.out
+  $ jsontool validate --engine streaming --jobs 4 -s schema.json orders.ndjson > val_stream4.out 2>&1
+  $ cmp val_tree.out val_stream4.out
+
+  $ jsontool validate --engine tree -s schema.json bad.ndjson > bad_tree.out 2>&1
+  [1]
+  $ jsontool validate --engine streaming -s schema.json bad.ndjson > bad_stream.out 2>&1
+  [1]
+  $ cmp bad_tree.out bad_stream.out

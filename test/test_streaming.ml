@@ -1,0 +1,465 @@
+(* Differential oracle for the streaming fused engine (ISSUE 9): the
+   [`Streaming] executors — token-level inference and plan-driven
+   validation — must be byte-identical to the [`Tree] executable spec.
+   Same inferred types (all five artifacts), same verdicts and error
+   lists, same dead-letter coordinates, same reports, for any jobs count,
+   both equivalences, cache on or off, on clean and corrupted input
+   alike. Plus the chunk-boundary audit for [Stream.fold_documents_chunked]:
+   multi-byte UTF-8 and surrogate-pair escapes split across refills,
+   down to one-byte chunks. *)
+
+open Core
+
+let fuzz_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 20250806
+
+let count base =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> base
+
+(* --- fingerprints ------------------------------------------------------ *)
+
+let dead_to_string d = Json.Printer.to_string (Resilient.dead_letter_to_json d)
+let report_to_string r = Json.Printer.to_string (Resilient.report_to_json r)
+
+(* streaming ingests deliberately carry [docs = []], so the comparable
+   surface is the report and the dead letters (coordinates included) *)
+let ingest_fingerprint (r : Resilient.ingest) =
+  String.concat "\n"
+    (report_to_string r.Resilient.report
+    :: List.map dead_to_string r.Resilient.dead)
+
+let inferred_fingerprint (i : Pipeline.inferred) =
+  String.concat "\n"
+    [ Jtype.Types.to_string i.Pipeline.jtype;
+      Jtype.Counting.to_string i.Pipeline.counting;
+      Json.Printer.to_string i.Pipeline.json_schema;
+      i.Pipeline.typescript;
+      i.Pipeline.swift ]
+
+let failures_fingerprint fs =
+  String.concat "\n"
+    (List.map
+       (fun (i, es) ->
+         Printf.sprintf "%d: %s" i
+           (String.concat " | "
+              (List.map Jsonschema.Validate.string_of_error es)))
+       fs)
+
+(* --- corpora ----------------------------------------------------------- *)
+
+let messy_text =
+  let st = Datagen.rng ~seed:91 in
+  let text = Datagen.to_ndjson (Datagen.tweets st 300) in
+  (Chaos.corrupt ~seed:910 ~rate:0.15 text).Chaos.text
+
+let clean_text =
+  let st = Datagen.rng ~seed:92 in
+  Datagen.to_ndjson (Datagen.open_data st 200)
+
+let orders_text =
+  let st = Datagen.rng ~seed:93 in
+  Datagen.to_ndjson (Datagen.orders st 200)
+
+let equivs = [ Jtype.Merge.Kind; Jtype.Merge.Label ]
+let jobses = [ 1; 4; 8 ]
+
+(* --- inference --------------------------------------------------------- *)
+
+let test_infer_strict_identical () =
+  List.iter
+    (fun equiv ->
+      List.iter
+        (fun jobs ->
+          let label =
+            Printf.sprintf "%s jobs=%d" (Jtype.Merge.equiv_to_string equiv) jobs
+          in
+          match
+            ( Pipeline.infer_ndjson ~equiv ~engine:`Tree ~jobs clean_text,
+              Pipeline.infer_ndjson ~equiv ~engine:`Streaming ~jobs clean_text )
+          with
+          | Ok t, Ok s ->
+              Alcotest.(check string) label (inferred_fingerprint t)
+                (inferred_fingerprint s)
+          | _ -> Alcotest.fail (label ^ ": clean corpus must infer"))
+        jobses)
+    equivs
+
+let test_infer_strict_same_error () =
+  List.iter
+    (fun jobs ->
+      match
+        ( Pipeline.infer_ndjson ~engine:`Tree ~jobs messy_text,
+          Pipeline.infer_ndjson ~engine:`Streaming ~jobs messy_text )
+      with
+      | Error a, Error b ->
+          Alcotest.(check string) (Printf.sprintf "jobs=%d" jobs) a b
+      | _ -> Alcotest.fail "corrupted corpus must error strictly")
+    jobses
+
+let resilient_fingerprint (inferred, ingest) =
+  (match inferred with
+  | None -> "none"
+  | Some i -> inferred_fingerprint i)
+  ^ "\n---\n" ^ ingest_fingerprint ingest
+
+let test_infer_resilient_identical () =
+  let budgets =
+    [ ("unbounded", None);
+      ( "doc-bytes-512",
+        Some
+          { Resilient.default_budget with
+            Resilient.max_doc_bytes = Some 512 } ) ]
+  in
+  List.iter
+    (fun (bname, budget) ->
+      List.iter
+        (fun equiv ->
+          List.iter
+            (fun jobs ->
+              let run engine =
+                Pipeline.infer_ndjson_resilient ?budget ~equiv ~engine ~jobs
+                  messy_text
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s %s jobs=%d" bname
+                   (Jtype.Merge.equiv_to_string equiv) jobs)
+                (resilient_fingerprint (run `Tree))
+                (resilient_fingerprint (run `Streaming)))
+            jobses)
+        equivs)
+    budgets
+
+let test_infer_streaming_counts_docs () =
+  (* the streaming ingest must report the documents it refused to
+     materialize *)
+  let _, ingest = Pipeline.infer_ndjson_resilient ~engine:`Streaming clean_text in
+  Alcotest.(check (list Alcotest.string)) "no docs" []
+    (List.map Json.Printer.to_string ingest.Resilient.docs);
+  Alcotest.(check int) "ok = corpus size" 200
+    ingest.Resilient.report.Resilient.ok
+
+(* --- validation -------------------------------------------------------- *)
+
+(* schema inferred from the orders corpus: every order validates; the
+   tweet-derived messy corpus mostly does not, exercising error paths *)
+let orders_schema =
+  match Pipeline.infer_ndjson orders_text with
+  | Ok i -> i.Pipeline.json_schema
+  | Error e -> failwith e
+
+let test_validate_identical () =
+  List.iter
+    (fun (cname, text) ->
+      List.iter
+        (fun jobs ->
+          let run engine =
+            Pipeline.validate_ndjson ~engine ~jobs ~root:orders_schema text
+          in
+          let ti, tf = run `Tree and si, sf = run `Streaming in
+          let label = Printf.sprintf "%s jobs=%d" cname jobs in
+          Alcotest.(check string) (label ^ " failures")
+            (failures_fingerprint tf) (failures_fingerprint sf);
+          Alcotest.(check string) (label ^ " ingest")
+            (ingest_fingerprint ti) (ingest_fingerprint si))
+        jobses)
+    [ ("orders", orders_text); ("messy", messy_text) ]
+
+let test_validate_strict_identical () =
+  let run engine =
+    Pipeline.validate_ndjson_strict ~engine ~root:orders_schema orders_text
+  in
+  (match (run `Tree, run `Streaming) with
+  | Ok (nt, ft), Ok (ns, fs) ->
+      Alcotest.(check int) "ndocs" nt ns;
+      Alcotest.(check string) "failures" (failures_fingerprint ft)
+        (failures_fingerprint fs)
+  | _ -> Alcotest.fail "orders corpus must parse strictly");
+  (* first parse error aborts identically *)
+  match
+    ( Pipeline.validate_ndjson_strict ~engine:`Tree ~root:orders_schema
+        messy_text,
+      Pipeline.validate_ndjson_strict ~engine:`Streaming ~root:orders_schema
+        messy_text )
+  with
+  | Error a, Error b -> Alcotest.(check string) "same abort" a b
+  | _ -> Alcotest.fail "messy corpus must abort strictly"
+
+(* Full conformance corpus: every group's test documents as one NDJSON
+   collection, validated with both engines, plan cache on and off. The
+   streaming engine must agree with the tree engine on every case —
+   including schemas whose access analysis can't prune anything. *)
+let test_validate_conformance_corpus () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let dir = "conformance" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  let groups = ref 0 in
+  let was_cached = Jsonschema.Compile.cache_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Jsonschema.Compile.set_cache was_cached)
+    (fun () ->
+      List.iter
+        (fun cache ->
+          Jsonschema.Compile.set_cache cache;
+          Jsonschema.Compile.clear_cache ();
+          List.iter
+            (fun file ->
+              match Json.Parser.parse_exn (read_file (Filename.concat dir file)) with
+              | Json.Value.Array gs ->
+                  List.iter
+                    (fun g ->
+                      match g with
+                      | Json.Value.Object fields ->
+                          let get k = List.assoc_opt k fields in
+                          let schema =
+                            match get "schema" with
+                            | Some s -> s
+                            | None -> failwith (file ^ ": no schema")
+                          in
+                          let assert_formats =
+                            match get "formats" with
+                            | Some (Json.Value.Bool b) -> b
+                            | _ -> false
+                          in
+                          let config =
+                            { Jsonschema.Validate.default_config with
+                              Jsonschema.Validate.assert_formats }
+                          in
+                          let tests =
+                            match get "tests" with
+                            | Some (Json.Value.Array ts) -> ts
+                            | _ -> []
+                          in
+                          let data =
+                            List.filter_map
+                              (fun t ->
+                                match t with
+                                | Json.Value.Object fs ->
+                                    List.assoc_opt "data" fs
+                                | _ -> None)
+                              tests
+                          in
+                          if data <> [] then begin
+                            incr groups;
+                            let text = Datagen.to_ndjson data in
+                            let run engine =
+                              Pipeline.validate_ndjson ~config ~engine
+                                ~root:schema text
+                            in
+                            let ti, tf = run `Tree
+                            and si, sf = run `Streaming in
+                            let label =
+                              Printf.sprintf "%s :: group %d (cache=%b)" file
+                                !groups cache
+                            in
+                            Alcotest.(check string) (label ^ " failures")
+                              (failures_fingerprint tf)
+                              (failures_fingerprint sf);
+                            Alcotest.(check string) (label ^ " ingest")
+                              (ingest_fingerprint ti) (ingest_fingerprint si)
+                          end
+                      | _ -> failwith (file ^ ": group is not an object"))
+                    gs
+              | _ -> failwith (file ^ ": top level is not an array"))
+            files)
+        [ true; false ]);
+  Alcotest.(check bool) "non-trivial corpus" true (!groups >= 2 * 40)
+
+(* --- chunk boundaries (Stream.fold_documents_chunked) ------------------ *)
+
+let chunked_refill text size =
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= String.length text then None
+    else begin
+      let n = min size (String.length text - !pos) in
+      let s = String.sub text !pos n in
+      pos := !pos + n;
+      Some s
+    end
+
+let fold_fingerprint r =
+  match r with
+  | Ok docs ->
+      "ok\n"
+      ^ String.concat "\n" (List.rev_map Json.Printer.to_string docs)
+  | Error e -> "error " ^ Json.Parser.string_of_error e
+
+let run_chunked text size =
+  fold_fingerprint
+    (Json.Stream.fold_documents_chunked (chunked_refill text size) ~init:[]
+       ~f:(fun acc v -> v :: acc))
+
+let run_whole text =
+  fold_fingerprint
+    (Json.Stream.fold_documents text ~init:[] ~f:(fun acc v -> v :: acc))
+
+(* multi-byte UTF-8 (2-, 3- and 4-byte sequences) and \uXXXX escapes
+   including a surrogate pair; any chunk size may split any of them *)
+let unicode_text =
+  String.concat "\n"
+    [ {|{"café": "élève"}|};
+      "{\"k\": \"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80\"}";
+      {|{"pair": "😀 tail", "n": [1.5e2, -0.25]}|};
+      "\"\xf0\x9f\x98\x80\xf0\x9f\x98\x81\xf0\x9f\x98\x82\"";
+      {|{"esc": "\u00e9 \u20ac \ud83d\ude00 pair"}|};
+      {|{"deep": {"𝄞": ["\u0000nul", "two\u2028sep"]}}|} ]
+
+let test_chunked_unicode_boundaries () =
+  let whole = run_whole unicode_text in
+  Alcotest.(check bool) "fixture parses" true
+    (String.length whole >= 2 && String.sub whole 0 2 = "ok");
+  List.iter
+    (fun size ->
+      Alcotest.(check string)
+        (Printf.sprintf "chunk=%d" size)
+        whole (run_chunked unicode_text size))
+    [ 1; 2; 3; 5; 7; 64; 4096 ]
+
+let test_chunked_error_boundaries () =
+  (* a lone high surrogate and a truncated escape: the error (message and
+     absolute position) must not depend on where the refill boundary fell *)
+  List.iter
+    (fun text ->
+      let whole = run_whole text in
+      List.iter
+        (fun size ->
+          Alcotest.(check string)
+            (Printf.sprintf "chunk=%d" size)
+            whole (run_chunked text size))
+        [ 1; 2; 3; 8 ])
+    [ {|{"ok": 1}
+{"bad": "\ud83d oops"}|};
+      {|{"ok": 1}
+{"bad": "\u00g1"}|};
+      "{\"ok\": 1}\n{\"bad\": \"tear \xf0\x9f" ]
+
+(* --- properties -------------------------------------------------------- *)
+
+let gen_value : Json.Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Value.Null;
+        map (fun b -> Json.Value.Bool b) bool;
+        map (fun n -> Json.Value.Int n) (int_range (-1000) 1000);
+        map (fun f -> Json.Value.Float f) (float_range (-1e6) 1e6);
+        map
+          (fun s -> Json.Value.String s)
+          (string_size ~gen:printable (int_range 0 10)) ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 5) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [ (3, scalar);
+               ( 1,
+                 map
+                   (fun vs -> Json.Value.Array vs)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun fields ->
+                     let seen = Hashtbl.create 4 in
+                     Json.Value.Object
+                       (List.filter
+                          (fun (k, _) ->
+                            if Hashtbl.mem seen k then false
+                            else (Hashtbl.add seen k (); true))
+                          fields))
+                   (list_size (int_range 0 4) (pair key (self (n / 2)))) ) ])
+
+(* an NDJSON text where some lines are corrupted by byte edits *)
+let gen_ndjson : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* docs = list_size (int_range 0 20) gen_value in
+  let lines = List.map Json.Printer.to_string docs in
+  let* lines =
+    flatten_l
+      (List.map
+         (fun line ->
+           let* corrupt = frequency [ (4, return false); (1, return true) ] in
+           if not corrupt || String.length line = 0 then return line
+           else
+             let* pos = int_range 0 (String.length line - 1) in
+             let* c = map Char.chr (int_range 0 255) in
+             return (String.mapi (fun i ch -> if i = pos then c else ch) line))
+         lines)
+  in
+  return (String.concat "\n" lines)
+
+let prop_infer_differential =
+  QCheck2.Test.make ~name:"streaming infer = tree infer (resilient)"
+    ~count:(count 120)
+    QCheck2.Gen.(tup3 gen_ndjson (oneofl equivs) (oneofl jobses))
+    (fun (text, equiv, jobs) ->
+      let run engine =
+        resilient_fingerprint
+          (Pipeline.infer_ndjson_resilient ~equiv ~engine ~jobs text)
+      in
+      run `Tree = run `Streaming)
+
+let prop_validate_differential =
+  QCheck2.Test.make ~name:"streaming validate = tree validate"
+    ~count:(count 120)
+    QCheck2.Gen.(tup2 gen_ndjson (oneofl jobses))
+    (fun (text, jobs) ->
+      let run engine =
+        let i, f =
+          Pipeline.validate_ndjson ~engine ~jobs ~root:orders_schema text
+        in
+        ingest_fingerprint i ^ "\n===\n" ^ failures_fingerprint f
+      in
+      run `Tree = run `Streaming)
+
+let prop_chunked_fold =
+  QCheck2.Test.make ~name:"chunked fold invariant under chunk size"
+    ~count:(count 120)
+    QCheck2.Gen.(tup2 gen_ndjson (int_range 1 9))
+    (fun (text, size) -> run_whole text = run_chunked text size)
+
+let () =
+  let prop p =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| fuzz_seed |]) p
+  in
+  Alcotest.run "streaming"
+    [ ( "inference",
+        [ Alcotest.test_case "strict identical" `Quick
+            test_infer_strict_identical;
+          Alcotest.test_case "strict same error" `Quick
+            test_infer_strict_same_error;
+          Alcotest.test_case "resilient identical" `Quick
+            test_infer_resilient_identical;
+          Alcotest.test_case "streaming counts docs" `Quick
+            test_infer_streaming_counts_docs ] );
+      ( "validation",
+        [ Alcotest.test_case "corpus identical" `Quick test_validate_identical;
+          Alcotest.test_case "strict identical" `Quick
+            test_validate_strict_identical;
+          Alcotest.test_case "conformance identical" `Quick
+            test_validate_conformance_corpus ] );
+      ( "chunk-boundaries",
+        [ Alcotest.test_case "unicode split anywhere" `Quick
+            test_chunked_unicode_boundaries;
+          Alcotest.test_case "errors split anywhere" `Quick
+            test_chunked_error_boundaries ] );
+      ( "properties",
+        [ prop prop_infer_differential;
+          prop prop_validate_differential;
+          prop prop_chunked_fold ] ) ]
