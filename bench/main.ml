@@ -1,4 +1,4 @@
-(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E19).
+(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E20).
 
    The source paper is a tutorial with no tables/figures of its own; each
    experiment here operationalizes one of its quantitative claims (see
@@ -1361,6 +1361,112 @@ let e19 () =
   print_endline "       the plan provably ignores (validation); reports stay";
   print_endline "       byte-identical to the tree engine at every --jobs level"
 
+(* ---------------------------------------------------------------- E20 --- *)
+
+let e20 () =
+  header "E20 Containment check: type-vs-plan decision vs full re-validation";
+  (* the question `check` answers — "does this corpus still fit the
+     schema?" — re-validation answers in O(|data|); the containment
+     decision answers it in O(|type|·|plan|), so its cost must not move
+     as the corpus grows *)
+  let sizes = [ 2_000; 10_000; 30_000 ] in
+  let corpora =
+    List.map
+      (fun n ->
+        let st = Datagen.rng ~seed:120 in
+        (n, Datagen.to_ndjson (Datagen.orders st n)))
+      sizes
+  in
+  let schema =
+    match Pipeline.infer_ndjson (snd (List.hd corpora)) with
+    | Ok i -> i.Pipeline.json_schema
+    | Error e -> failwith e
+  in
+  Printf.printf "%-12s %8s %12s %12s %10s %9s\n" "corpus" "MB" "validate ms"
+    "contain ms" "verdict" "speedup";
+  let rows =
+    List.map
+      (fun (n, text) ->
+        let cname = Printf.sprintf "orders-%dk" (n / 1000) in
+        let mb = float_of_int (String.length text) /. 1e6 in
+        let t =
+          match Pipeline.infer_ndjson text with
+          | Ok i -> i.Pipeline.jtype
+          | Error e -> failwith e
+        in
+        let verdict, contain_s =
+          time (fun () -> Jtype.Contain.check ~root:schema t)
+        in
+        let contain_s =
+          (* median-of-3 like [timed], reusing the first sample's verdict *)
+          List.nth
+            (List.sort compare
+               (contain_s
+               :: List.init 2 (fun _ ->
+                      snd (time (fun () -> Jtype.Contain.check ~root:schema t)))))
+            1
+        in
+        (match verdict with
+        | Jtype.Contain.Contained -> ()
+        | v ->
+            failwith
+              (Printf.sprintf "E20: %s vs own schema: %s" cname
+                 (Jtype.Contain.verdict_to_string v)));
+        let validate_s =
+          timed (fun () -> ignore (Pipeline.validate_ndjson ~root:schema text))
+        in
+        let speedup = validate_s /. contain_s in
+        Printf.printf "%-12s %8.1f %12.2f %12.3f %10s %8.0fx\n" cname mb
+          (validate_s *. 1e3) (contain_s *. 1e3) "contained" speedup;
+        record_bench ~name:("e20/" ^ cname) ~variant:"validate"
+          ~wall_ms:(validate_s *. 1e3) ~mb_per_s:(mb /. validate_s);
+        record_bench ~name:("e20/" ^ cname) ~variant:"contain"
+          ~wall_ms:(contain_s *. 1e3) ~mb_per_s:(mb /. contain_s);
+        (n, contain_s, speedup))
+      corpora
+  in
+  (* drift: the corpus type against a schema that retyped a field — the
+     verdict must carry a concrete witness both engines reject *)
+  let drift_schema =
+    Json.Value.Object
+      [ ("type", Json.Value.String "object");
+        ( "properties",
+          Json.Value.Object
+            [ ( "order_id",
+                Json.Value.Object
+                  [ ("type", Json.Value.String "string") ] ) ] ) ]
+  in
+  let t30 =
+    match Pipeline.infer_ndjson (snd (List.nth corpora 2)) with
+    | Ok i -> i.Pipeline.jtype
+    | Error e -> failwith e
+  in
+  (match Jtype.Contain.check ~root:drift_schema t30 with
+  | Jtype.Contain.Not_contained w ->
+      let tree = Jsonschema.Validate.is_valid ~root:drift_schema w in
+      let compiled =
+        match Jsonschema.Compile.compile drift_schema with
+        | Ok plan -> Jsonschema.Compile.is_valid plan w
+        | Error _ -> failwith "E20: drift schema must compile"
+      in
+      if tree || compiled then failwith "E20: witness accepted by an engine";
+      Printf.printf "drift witness: %s (rejected by both engines)\n"
+        (Json.Printer.to_string w)
+  | v ->
+      failwith
+        (Printf.sprintf "E20: drift must be refuted, got %s"
+           (Jtype.Contain.verdict_to_string v)));
+  (* acceptance: the decision beats re-validation by >=5x on the largest
+     corpus, and its cost does not scale with the data *)
+  (match List.rev rows with
+  | (_, _, speedup) :: _ when speedup < 5.0 ->
+      failwith (Printf.sprintf "E20: speedup %.1fx < 5x" speedup)
+  | _ -> ());
+  print_endline "claim: containment decides schema drift from the inferred type";
+  print_endline "       and the compiled plan alone — O(|type|*|plan|), constant";
+  print_endline "       in corpus size — and every refutation carries a witness";
+  print_endline "       value both validation engines reject"
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -1412,7 +1518,7 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19) ]
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20) ]
 
 let () =
   let micro_mode = Array.exists (fun a -> a = "--micro") Sys.argv in
@@ -1431,7 +1537,7 @@ let () =
       List.filter (fun (n, _) -> Array.exists (String.equal n) Sys.argv) experiments
     in
     let to_run = if requested = [] then experiments else requested in
-    print_endline "schemas_types experiment harness (tables E1-E19; see EXPERIMENTS.md)";
+    print_endline "schemas_types experiment harness (tables E1-E20; see EXPERIMENTS.md)";
     List.iter (fun (_, f) -> f ()) to_run;
     print_newline ()
   end;

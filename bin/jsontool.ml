@@ -549,6 +549,76 @@ let infer_cmd =
     Term.(const run $ approach $ equiv $ output $ merge_cache $ engine_arg
           $ sup_term $ jobs_arg $ stats_arg $ stats_json_arg $ input_arg)
 
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let schema_file =
+    Arg.(required & opt (some string) None
+         & info [ "schema"; "s" ] ~docv:"SCHEMA" ~doc:"Schema file.")
+  in
+  let formats =
+    Arg.(value & flag
+         & info [ "assert-formats" ]
+             ~doc:"Treat format as an assertion (a schema with an asserted \
+                   format can then never be proved to contain a type).")
+  in
+  let equiv =
+    Arg.(value & opt (enum [ ("kind", Jtype.Merge.Kind); ("label", Jtype.Merge.Label) ]) Jtype.Merge.Kind
+         & info [ "equiv"; "e" ] ~doc:"Equivalence for the inference step: kind or label.")
+  in
+  let run equiv formats engine sup jobs stats stats_json schema_file file =
+    let sink = make_sink ~stats ~stats_json in
+    let schema_json =
+      or_die
+        (Result.map_error Json.Parser.string_of_error
+           (Json.Parser.parse (read_input schema_file)))
+    in
+    let vconfig =
+      { Jsonschema.Validate.default_config with
+        Jsonschema.Validate.assert_formats = formats }
+    in
+    let checked, r, s =
+      or_die
+        (Pipeline.check_ndjson ~equiv ~budget:Resilient.unbounded_budget
+           ~policy:(sup_policy sup) ?inject:(sup_inject sup)
+           ?checkpoint:(sup_checkpoint sup) ~resume:sup.sup_resume ~engine
+           ~jobs ~telemetry:sink ~vconfig ~root:schema_json (read_input file))
+    in
+    if sup_engaged sup then emit_supervision s;
+    let code =
+      match (checked.Pipeline.chk_inferred, checked.Pipeline.chk_verdict) with
+      | None, _ | _, None ->
+          Printf.eprintf "jsontool: no documents survived ingestion (%d dead)\n"
+            (List.length r.Resilient.dead);
+          1
+      | Some inferred, Some verdict -> (
+          Printf.printf "inferred: %s\n"
+            (Jtype.Types.to_string inferred.Pipeline.jtype);
+          match verdict with
+          | Jtype.Contain.Contained ->
+              print_endline "contained: every instance of the inferred type satisfies the schema";
+              0
+          | Jtype.Contain.Not_contained w ->
+              Printf.printf
+                "NOT contained: the schema rejects this instance of the inferred type:\n  %s\n"
+                (Json.Printer.to_string w);
+              1
+          | Jtype.Contain.Unknown reason ->
+              Printf.printf "unknown: %s\n" reason;
+              2)
+    in
+    emit_stats ~tags:(engine_tags engine) ~stats ~stats_json sink;
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check a collection against a schema statically: infer the \
+             collection's type, then decide whether every value of that type \
+             satisfies the schema. Exit 0 = contained, 1 = a counter-example \
+             witness exists (printed), 2 = outside the decided fragment.")
+    Term.(const run $ equiv $ formats $ engine_arg $ sup_term $ jobs_arg
+          $ stats_arg $ stats_json_arg $ schema_file $ input_arg)
+
 (* --- stats ----------------------------------------------------------- *)
 
 let stats_cmd =
@@ -754,6 +824,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; ingest_cmd; validate_cmd; infer_cmd; stats_cmd;
-            translate_cmd; generate_cmd; query_cmd; discover_cmd; profile_cmd;
-            compat_cmd; normalize_cmd ]))
+          [ parse_cmd; ingest_cmd; validate_cmd; infer_cmd; check_cmd;
+            stats_cmd; translate_cmd; generate_cmd; query_cmd; discover_cmd;
+            profile_cmd; compat_cmd; normalize_cmd ]))

@@ -37,10 +37,11 @@ let fingerprint s =
     s;
   Printf.sprintf "%016Lx" !h
 
-let header_json ~job ~input_fp =
+let header_json ~job ~engine ~input_fp =
   Json.Value.Object
     [ ("format", Json.Value.String format_tag);
       ("job", Json.Value.String job);
+      ("engine", Json.Value.String engine);
       ("input_fp", Json.Value.String input_fp) ]
 
 let entry_to_json e =
@@ -81,9 +82,10 @@ let entry_of_json j =
   let* e_payload = member "payload" j in
   Ok { e_off; e_len; e_line; e_ingest; e_payload }
 
-let check_header ~job ~input_fp j =
+let check_header ~job ~engine ~input_fp j =
   let* format = string_field "format" j in
   let* file_job = string_field "job" j in
+  let* file_engine = string_field "engine" j in
   let* file_fp = string_field "input_fp" j in
   if format <> format_tag then
     Error (Printf.sprintf "checkpoint: unknown format %S" format)
@@ -91,6 +93,15 @@ let check_header ~job ~input_fp j =
     Error
       (Printf.sprintf "checkpoint: journal is for job %S, this run is %S"
          file_job job)
+  else if file_engine <> engine then
+    (* shard payloads are engine-independent by the byte-identity contract,
+       but a mixed journal would silently launder one engine's results as
+       the other's — refuse, like any other provenance mismatch *)
+    Error
+      (Printf.sprintf
+         "checkpoint: engine mismatch (journal %s, this run %s) — refusing \
+          to resume across engines"
+         file_engine engine)
   else if file_fp <> input_fp then
     Error
       (Printf.sprintf
@@ -136,12 +147,12 @@ let emit ~buf oc json =
   Buffer.output_buffer oc buf;
   flush oc
 
-let start ~path ~resume ~job ~input =
+let start ~path ~resume ~job ~engine ~input =
   let input_fp = fingerprint input in
   let buf = Buffer.create 4096 in
   let fresh () =
     let oc = open_out_bin path in
-    emit ~buf oc (header_json ~job ~input_fp);
+    emit ~buf oc (header_json ~job ~engine ~input_fp);
     Ok ({ oc; buf }, [])
   in
   if not (resume && Sys.file_exists path) then fresh ()
@@ -152,12 +163,12 @@ let start ~path ~resume ~job ~input =
         match Json.Parser.parse header_line with
         | Error _ -> Error "checkpoint: unreadable journal header"
         | Ok header ->
-            let* () = check_header ~job ~input_fp header in
+            let* () = check_header ~job ~engine ~input_fp header in
             let entries = decode_entries entry_lines in
             (* rewrite rather than append: scrubs any torn tail so the
                journal on disk is exactly the entries we trusted *)
             let oc = open_out_bin path in
-            emit ~buf oc (header_json ~job ~input_fp);
+            emit ~buf oc (header_json ~job ~engine ~input_fp);
             List.iter (fun e -> emit ~buf oc (entry_to_json e)) entries;
             Ok ({ oc; buf }, entries))
 

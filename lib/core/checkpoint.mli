@@ -1,8 +1,8 @@
 (** Crash-safe checkpoint journal for supervised sharded jobs.
 
     Append-only NDJSON file: a header line
-    [{"format":"jsontool-checkpoint/1","job":...,"input_fp":...}] followed
-    by one line per {e completed} shard. Poisoned shards are never
+    [{"format":"jsontool-checkpoint/1","job":...,"engine":...,"input_fp":...}]
+    followed by one line per {e completed} shard. Poisoned shards are never
     journaled — a resumed run retries them instead of inheriting their
     quarantine. Every line is flushed as a unit, so a crash loses at most
     a torn final line, which the loader silently drops (along with
@@ -10,9 +10,10 @@
 
     Resume invariants (enforced by {!start}, relied on by {!Pipeline}):
 
-    - the journal's [job] tag and input fingerprint must match, so a
-      journal can never replay against different data or a different
-      pipeline;
+    - the journal's [job] tag, [engine] tag and input fingerprint must
+      match, so a journal can never replay against different data, a
+      different pipeline, or (tree vs. streaming) a different execution
+      engine;
     - entries round-trip exactly ({!Resilient.ingest_of_json} inverts
       {!Resilient.ingest_to_json}; the JSON printer emits
       shortest-round-trip floats), so shards restored from the journal are
@@ -37,15 +38,16 @@ val fingerprint : string -> string
     not cryptography. *)
 
 val start :
-  path:string -> resume:bool -> job:string -> input:string ->
+  path:string -> resume:bool -> job:string -> engine:string -> input:string ->
   (journal * entry list, string) result
-(** Open a journal at [path] for a run of pipeline [job] over [input].
-    With [resume] false (or no file yet): truncate, write the header,
-    return no entries. With [resume] true: verify the header against [job]
-    and [input]'s fingerprint (mismatch is an [Error] — never silently
-    recompute against the wrong journal), load every decodable entry,
-    drop the torn tail, and rewrite the file to exactly the trusted
-    entries before returning them. *)
+(** Open a journal at [path] for a run of pipeline [job] on execution
+    [engine] (["tree"] or ["streaming"]) over [input]. With [resume] false
+    (or no file yet): truncate, write the header, return no entries. With
+    [resume] true: verify the header against [job], [engine] and [input]'s
+    fingerprint (mismatch is an [Error] — never silently recompute against
+    the wrong journal or mix engines), load every decodable entry, drop
+    the torn tail, and rewrite the file to exactly the trusted entries
+    before returning them. *)
 
 val record : journal -> entry -> unit
 (** Append one completed-shard entry and flush. *)

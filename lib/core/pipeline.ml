@@ -210,7 +210,7 @@ let poison_letter ~(sh : Parallel.shard) ~failure ~attempts text =
    round-trips, is what makes resume byte-identical. *)
 let supervised_engine ?(budget = Resilient.default_budget) ?options
     ?(policy = Supervisor.default_policy) ?inject ?checkpoint ?(resume = false)
-    ?(jobs = 1) ?(telemetry = Telemetry.nop) ~job ~run_shard text =
+    ?(jobs = 1) ?(telemetry = Telemetry.nop) ~job ~engine ~run_shard text =
   let shards =
     (* a document-count budget is a global order-dependent cap: it cannot
        be applied per shard, so the whole input becomes one shard *)
@@ -223,7 +223,7 @@ let supervised_engine ?(budget = Resilient.default_budget) ?options
     match checkpoint with
     | None -> Ok (None, [])
     | Some path -> (
-        match Checkpoint.start ~path ~resume ~job ~input:text with
+        match Checkpoint.start ~path ~resume ~job ~engine ~input:text with
         | Ok (j, entries) -> Ok (Some j, entries)
         | Error e -> Error e)
   in
@@ -372,7 +372,7 @@ let ingest_ndjson_supervised ?budget ?options ?policy ?inject ?checkpoint
     ?resume ?jobs ?telemetry text =
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
-      ?jobs ?telemetry ~job:"ingest"
+      ?jobs ?telemetry ~job:"ingest" ~engine:"tree"
       ~run_shard:(tree_run_shard (fun _ -> Json.Value.Null))
       text
   with
@@ -435,16 +435,11 @@ let infer_ndjson_supervised ?(equiv = Jtype.Merge.Kind) ?name ?budget ?options
         | _ -> Error "checkpoint: inference payload missing jtype/counting")
     | _ -> Error "checkpoint: inference payload must be an object"
   in
-  (* the engine is part of the job identity: a tree journal's entries carry
-     materialized documents, a streaming journal's do not, so the two must
-     not resume each other *)
-  let job_prefix =
-    match engine with `Tree -> "infer:" | `Streaming -> "infer-stream:"
-  in
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
       ?jobs ?telemetry
-      ~job:(job_prefix ^ equiv_tag equiv)
+      ~job:("infer:" ^ equiv_tag equiv)
+      ~engine:(match engine with `Tree -> "tree" | `Streaming -> "streaming")
       ~run_shard text
   with
   | Error e -> Error e
@@ -556,17 +551,18 @@ let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
     | _ -> Error "checkpoint: validation payload must be an array"
   in
   (* the schema is part of the job identity: a journal written against one
-     schema must not resume a run against another. So is the engine: a
-     streaming journal's ingest records carry no documents. *)
-  let job_prefix =
-    match streaming with None -> "validate:" | Some _ -> "validate-stream:"
-  in
+     schema must not resume a run against another. The engine travels in
+     the journal header's own field — note it is the *effective* engine: a
+     `Streaming request falls back to tree execution when the plan does not
+     compile, and the journal records what actually ran. *)
   let job =
-    job_prefix ^ Checkpoint.fingerprint (Json.Printer.to_string root)
+    "validate:" ^ Checkpoint.fingerprint (Json.Printer.to_string root)
   in
   match
     supervised_engine ?budget ?options ?policy ?inject ?checkpoint ?resume
-      ?jobs ?telemetry ~job ~run_shard text
+      ?jobs ?telemetry ~job
+      ~engine:(match streaming with None -> "tree" | Some _ -> "streaming")
+      ~run_shard text
   with
   | Error e -> Error e
   | Ok (results, sup) ->
@@ -597,6 +593,47 @@ let validate_ndjson_supervised ?config ?(compiled = true) ?budget ?options
         List.rev rev
       in
       Ok (ingest, failures, sup)
+
+type checked = {
+  chk_inferred : inferred option;
+  chk_verdict : Jtype.Contain.verdict option;
+}
+
+(* The containment step runs outside [Parallel.with_kernel_stats] (the
+   inference phase already wraps itself — nesting would double-count), so
+   its kernel counters are snapshotted by hand. All three [subtype.*]
+   keys are characteristic of the check pipeline and land in the sink
+   whenever any subtype work happened. *)
+let subtype_counter_delta telemetry f =
+  if not (Telemetry.is_recording telemetry) then f ()
+  else begin
+    let get totals k = Option.value ~default:0 (List.assoc_opt k totals) in
+    let before = Jtype.Kernel.totals () in
+    let r = f () in
+    let after = Jtype.Kernel.totals () in
+    List.iter
+      (fun k -> Telemetry.count telemetry k (get after k - get before k))
+      [ "subtype.queries"; "subtype.hits"; "subtype.unknown" ];
+    r
+  end
+
+let check_ndjson ?equiv ?name ?budget ?options ?policy ?inject ?checkpoint
+    ?resume ?engine ?jobs ?telemetry ?vconfig ~root text =
+  match
+    infer_ndjson_supervised ?equiv ?name ?budget ?options ?policy ?inject
+      ?checkpoint ?resume ?engine ?jobs ?telemetry text
+  with
+  | Error e -> Error e
+  | Ok (inferred, ingest, sup) ->
+      let tele = Option.value telemetry ~default:Telemetry.nop in
+      let verdict =
+        Option.map
+          (fun inf ->
+            subtype_counter_delta tele (fun () ->
+                Jtype.Contain.check ?config:vconfig ~root inf.jtype))
+          inferred
+      in
+      Ok ({ chk_inferred = inferred; chk_verdict = verdict }, ingest, sup)
 
 let profile values =
   let t = Inference.Parametric.infer ~equiv:Jtype.Merge.Kind values in

@@ -102,8 +102,9 @@ val infer_ndjson_supervised :
     its ingest; the final type merges completed shards' partials, so only
     genuinely-poisoned shards' documents are missing from it. The journal
     job tag includes [equiv] — a [Kind] journal cannot resume a [Label]
-    run — and the engine, since a streaming journal's ingest records carry
-    no documents. *)
+    run — and the journal header records the engine, since a streaming
+    journal's ingest records carry no documents: a [`Tree] journal refuses
+    to resume a [`Streaming] run and vice versa. *)
 
 val validate_ndjson_supervised :
   ?config:Jsonschema.Validate.config -> ?compiled:bool ->
@@ -122,9 +123,36 @@ val validate_ndjson_supervised :
     attempts; the default [`Streaming] engine additionally requires it —
     with [compiled = false], or when the schema fails to compile, the tree
     engine runs regardless of [engine]. The journal job tag fingerprints
-    the schema and names the engine, so a journal written against one
-    schema or engine refuses to resume a run against another ([config] is
-    not fingerprinted — resume with the same flags). *)
+    the schema and the journal header records the {e effective} engine, so
+    a journal written against one schema or engine refuses to resume a run
+    against another ([config] is not fingerprinted — resume with the same
+    flags). *)
+
+type checked = {
+  chk_inferred : inferred option;
+      (** the inferred artifacts, as {!infer_ndjson_supervised} *)
+  chk_verdict : Jtype.Contain.verdict option;
+      (** containment of the inferred type in the schema; [None] iff no
+          document survived ingestion *)
+}
+
+val check_ndjson :
+  ?equiv:Jtype.Merge.equiv -> ?name:string -> ?budget:Resilient.budget ->
+  ?options:Json.Parser.options -> ?policy:Supervisor.policy ->
+  ?inject:(shard:int -> attempt:int -> string option) ->
+  ?checkpoint:string -> ?resume:bool -> ?engine:engine -> ?jobs:int ->
+  ?telemetry:Telemetry.sink -> ?vconfig:Jsonschema.Validate.config ->
+  root:Json.Value.t -> string ->
+  (checked * Resilient.ingest * supervision, string) result
+(** Schema-drift check: infer the type of the corpus (through the full
+    supervised/parallel machinery of {!infer_ndjson_supervised}, including
+    engine choice and checkpoint/resume), then decide whether that type is
+    contained in schema [root] with {!Jtype.Contain.check}. The
+    containment step's cost depends on the type and the schema, not the
+    corpus size. [vconfig] configures witness verification (notably
+    [assert_formats]). Kernel counters [subtype.queries]/[subtype.hits]/
+    [subtype.unknown] from the containment step are published to
+    [telemetry]. *)
 
 (** {1 Validation pipeline} *)
 

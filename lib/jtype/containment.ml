@@ -72,13 +72,23 @@ let check ?(samples = 200) sub_root super_root =
   | Some cex -> Not_included cex
   | None -> (
       match (Jsonschema.Parse.of_json sub_root, Jsonschema.Parse.of_json super_root) with
-      | Ok sub, Ok super when exact sub && exact super ->
-          if Typecheck.subtype (Interop.of_schema sub) (Interop.of_schema super) then
-            Included
-          else
-            (* the algebra's subtyping is sound but (for unions of records)
-               incomplete: absence of proof is not refutation *)
-            Unknown
+      | Ok sub, Ok super when exact sub && exact super -> (
+          (* both translations are exact, so the kernel subtype procedure
+             decides inclusion of the schemas themselves — and its witness,
+             double-checked against the real validator, upgrades what used
+             to be a blind Unknown into a counterexample *)
+          match
+            Subtype.check (Interop.of_schema sub) (Interop.of_schema super)
+          with
+          | Subtype.Sub -> Included
+          | Subtype.Not_sub w
+            when Jsonschema.Validate.is_valid ~root:sub_root w
+                 && not (Jsonschema.Validate.is_valid ~root:super_root w) ->
+              Not_included w
+          | Subtype.Not_sub _ | Subtype.Unknown _ ->
+              (* record-vs-union distribution, or a witness the engines
+                 dispute: absence of proof is not refutation *)
+              Unknown)
       | _ -> Unknown)
 
 let equivalent ?samples a b =

@@ -1,0 +1,288 @@
+(* Witness-producing subtype decision procedure.
+
+   The semantics decided here is exactly [Typecheck.member]: closed
+   records, Int ⊆ Num, unions as set union. Structure of the algorithm:
+
+   - [Bot] and uninhabited types are subtypes of everything (vacuously);
+     [Any] on the right absorbs; [Any] on the left of anything smaller is
+     refuted by an object with a field name that occurs nowhere in the
+     supertype (records are closed, so no record branch can admit it, and
+     non-record branches reject objects outright).
+   - Scalars check kind coverage of the supertype's branches.
+   - [Arr e ≤ b] holds iff some [Arr u] branch of [b] has [e ≤ u];
+     otherwise one failing element per array branch is packed into a
+     single witness array that no branch admits.
+   - [Rec fs ≤ b] tries each record branch; a branch's counterexample is
+     only a witness if the *whole* union rejects it, which we test with
+     [Typecheck.member]. When every candidate is absorbed by some other
+     branch we are facing union distribution, outside the decided
+     fragment: [Unknown], never a guess.
+
+   Verdicts are memoized per domain on interned id pairs; an in-flight
+   pair re-entered during its own computation answers [Sub] — the
+   coinductive hypothesis. Types are interned as finite dags today, so
+   the hypothesis is never actually consulted, but it keeps the procedure
+   total if cyclic type graphs ever appear. A final self-check rejects
+   any witness the semantics disagrees with, downgrading to [Unknown]
+   rather than ever returning an unverified counterexample. *)
+
+module V = Json.Value
+
+type verdict = Sub | Not_sub of V.t | Unknown of string
+
+let verdict_to_string = function
+  | Sub -> "sub"
+  | Not_sub w -> "not sub (witness: " ^ Json.Printer.to_string w ^ ")"
+  | Unknown reason -> "unknown (" ^ reason ^ ")"
+
+let c_queries = Kernel.counter "subtype.queries"
+let c_hits = Kernel.counter "subtype.hits"
+let c_unknown = Kernel.counter "subtype.unknown"
+
+type cell = Pending | Done of verdict
+
+let cache_capacity = 1 lsl 16
+
+let memo_key : (int * int, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let rec inhabitant (t : Types.t) : V.t option =
+  match t.Types.node with
+  | Types.Bot -> None
+  | Types.Null -> Some V.Null
+  | Types.Bool -> Some (V.Bool true)
+  | Types.Int -> Some (V.Int 0)
+  | Types.Num -> Some (V.Float 0.5)
+  | Types.Str -> Some (V.String "")
+  | Types.Any -> Some V.Null
+  | Types.Arr _ -> Some (V.Array [])
+  | Types.Rec fields ->
+      let rec go acc = function
+        | [] -> Some (V.Object (List.rev acc))
+        | (f : Types.field) :: rest ->
+            if f.Types.optional then go acc rest
+            else (
+              match inhabitant f.Types.ftype with
+              | None -> None
+              | Some v -> go ((f.Types.fname, v) :: acc) rest)
+      in
+      go [] fields
+  | Types.Union ts -> List.find_map inhabitant ts
+
+let inhabited t = inhabitant t <> None
+
+let branches (t : Types.t) =
+  match t.Types.node with Types.Union ts -> ts | _ -> [ t ]
+
+let covers b pred = List.exists (fun (u : Types.t) -> pred u.Types.node) (branches b)
+
+(* A field name foreign to every record type reachable in [t] — the
+   refutation key for [Any ≤ t]. *)
+let fresh_field t =
+  let rec names acc (t : Types.t) =
+    match t.Types.node with
+    | Types.Arr e -> names acc e
+    | Types.Rec fs ->
+        List.fold_left
+          (fun acc (f : Types.field) -> names (f.Types.fname :: acc) f.Types.ftype)
+          acc fs
+    | Types.Union ts -> List.fold_left names acc ts
+    | _ -> acc
+  in
+  let used = names [] t in
+  let rec go i =
+    let cand = if i = 0 then "_" else "_" ^ string_of_int i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+(* Functional field update/append on an object witness. *)
+let set_field obj k v =
+  match obj with
+  | V.Object kvs ->
+      if List.mem_assoc k kvs then
+        V.Object
+          (List.map (fun (k', v') -> if String.equal k' k then (k, v) else (k', v')) kvs)
+      else V.Object (kvs @ [ (k, v) ])
+  | _ -> invalid_arg "Subtype.set_field: not an object"
+
+let first_reason a b = match a with Some _ -> a | None -> b
+
+let rec sub (a : Types.t) (b : Types.t) : verdict =
+  Kernel.hit c_queries;
+  if Types.equal a b then Sub
+  else begin
+    let memo = Domain.DLS.get memo_key in
+    let key = (Types.id a, Types.id b) in
+    match Hashtbl.find_opt memo key with
+    | Some (Done v) ->
+        Kernel.hit c_hits;
+        v
+    | Some Pending ->
+        (* coinductive hypothesis: assume the pair holds while deciding it *)
+        Kernel.hit c_hits;
+        Sub
+    | None ->
+        if Hashtbl.length memo >= cache_capacity then Hashtbl.reset memo;
+        Hashtbl.replace memo key Pending;
+        let v = compute a b in
+        Hashtbl.replace memo key (Done v);
+        v
+  end
+
+and compute (a : Types.t) (b : Types.t) : verdict =
+  match (a.Types.node, b.Types.node) with
+  | Types.Bot, _ -> Sub
+  | _, Types.Any -> Sub
+  | _ -> (
+      match inhabitant a with
+      | None -> Sub (* uninhabited: vacuously below everything *)
+      | Some wa -> (
+          match (a.Types.node, b.Types.node) with
+          | _, Types.Bot -> Not_sub wa
+          | Types.Any, _ -> Not_sub (V.Object [ (fresh_field b, V.Null) ])
+          | Types.Union ts, _ ->
+              (* every branch must fit; a branch witness refutes the union *)
+              let rec go unknown = function
+                | [] -> (
+                    match unknown with None -> Sub | Some r -> Unknown r)
+                | t :: rest -> (
+                    match sub t b with
+                    | Sub -> go unknown rest
+                    | Not_sub w -> Not_sub w
+                    | Unknown r -> go (first_reason unknown (Some r)) rest)
+              in
+              go None ts
+          | Types.Null, _ ->
+              if covers b (function Types.Null -> true | _ -> false) then Sub
+              else Not_sub V.Null
+          | Types.Bool, _ ->
+              if covers b (function Types.Bool -> true | _ -> false) then Sub
+              else Not_sub (V.Bool true)
+          | Types.Int, _ ->
+              if covers b (function Types.Int | Types.Num -> true | _ -> false)
+              then Sub
+              else Not_sub (V.Int 0)
+          | Types.Num, _ ->
+              (* 0.5 refutes Int branches too, so coverage needs Num itself *)
+              if covers b (function Types.Num -> true | _ -> false) then Sub
+              else Not_sub (V.Float 0.5)
+          | Types.Str, _ ->
+              if covers b (function Types.Str -> true | _ -> false) then Sub
+              else Not_sub (V.String "")
+          | Types.Arr e, _ -> arr_case e b
+          | Types.Rec fs, _ -> rec_case fs b wa
+          | Types.Bot, _ -> assert false))
+
+and arr_case e b =
+  let elems =
+    List.filter_map
+      (fun (u : Types.t) ->
+        match u.Types.node with Types.Arr x -> Some x | _ -> None)
+      (branches b)
+  in
+  if elems = [] then Not_sub (V.Array [])
+  else
+    (* Arr e ≤ ∪ᵢ Arr uᵢ iff e ≤ uᵢ for some i: element types live in a
+       lattice where an array's elements must all fit one branch… they
+       don't — an array mixes branches only through e itself, so we need
+       one uᵢ above e. Failing that, an array holding one bad element per
+       branch is rejected by all of them at once. *)
+    let rec go wits unknown = function
+      | [] -> (
+          match unknown with
+          | Some r -> Unknown r
+          | None -> Not_sub (V.Array (List.rev wits)))
+      | u :: rest -> (
+          match sub e u with
+          | Sub -> Sub
+          | Not_sub w -> go (w :: wits) unknown rest
+          | Unknown r -> go wits (first_reason unknown (Some r)) rest)
+    in
+    go [] None elems
+
+and rec_case fs b base =
+  let recs =
+    List.filter
+      (fun (u : Types.t) ->
+        match u.Types.node with Types.Rec _ -> true | _ -> false)
+      (branches b)
+  in
+  if recs = [] then Not_sub base
+  else
+    let rec go cands unknown = function
+      | [] -> (
+          (* no single branch admits all of [a]; a branch counterexample
+             refutes the union only if no *other* branch absorbs it *)
+          match
+            List.find_opt (fun w -> not (Typecheck.member w b)) (List.rev cands)
+          with
+          | Some w -> Not_sub w
+          | None -> (
+              match unknown with
+              | Some r -> Unknown r
+              | None ->
+                  Unknown
+                    "record type vs. union of record types (distribution \
+                     outside the decided fragment)"))
+      | r :: rest -> (
+          match rec_vs_rec fs r base with
+          | Sub -> Sub
+          | Not_sub w -> go (w :: cands) unknown rest
+          | Unknown r' -> go cands (first_reason unknown (Some r')) rest)
+    in
+    go [] None recs
+
+and rec_vs_rec fs (r : Types.t) base =
+  let gs = match r.Types.node with Types.Rec gs -> gs | _ -> assert false in
+  let find name l =
+    List.find_opt (fun (f : Types.field) -> String.equal f.Types.fname name) l
+  in
+  let rec fields_check unknown = function
+    | [] -> (
+        (* a mandatory supertype field the subtype never provides: the
+           base inhabitant (mandatory fields of [fs] only) lacks it *)
+        let missing =
+          List.find_opt
+            (fun (g : Types.field) ->
+              (not g.Types.optional) && find g.Types.fname fs = None)
+            gs
+        in
+        match missing with
+        | Some _ -> Not_sub base
+        | None -> ( match unknown with None -> Sub | Some r -> Unknown r))
+    | (x : Types.field) :: rest -> (
+        match find x.Types.fname gs with
+        | None -> (
+            (* extra field: closed records reject it when present *)
+            if not x.Types.optional then Not_sub base
+            else
+              match inhabitant x.Types.ftype with
+              | Some wx -> Not_sub (set_field base x.Types.fname wx)
+              | None -> fields_check unknown rest (* can never be present *))
+        | Some y ->
+            (* optional-here vs mandatory-there: base omits the field *)
+            if x.Types.optional && not y.Types.optional then Not_sub base
+            else (
+              match sub x.Types.ftype y.Types.ftype with
+              | Sub -> fields_check unknown rest
+              | Not_sub w -> Not_sub (set_field base x.Types.fname w)
+              | Unknown r -> fields_check (first_reason unknown (Some r)) rest))
+  in
+  fields_check None fs
+
+let check a b =
+  match sub a b with
+  | Sub -> Sub
+  | Unknown reason ->
+      Kernel.hit c_unknown;
+      Unknown reason
+  | Not_sub w ->
+      (* self-check: never hand out a witness the semantics disputes *)
+      if Typecheck.member w a && not (Typecheck.member w b) then Not_sub w
+      else begin
+        Kernel.hit c_unknown;
+        Unknown "internal: constructed witness failed its member self-check"
+      end
+
+let is_sub a b = match check a b with Sub -> true | _ -> false

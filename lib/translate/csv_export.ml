@@ -20,13 +20,22 @@ let cell_to_string (v : Json.Value.t) =
   | Json.Value.String s -> s
   | Json.Value.Array _ | Json.Value.Object _ -> Json.Printer.to_string v
 
+(* An SQL-ish NULL/empty-string distinction: null is the bare empty cell,
+   the empty string is explicitly quoted. Every other value renders as
+   [cell_to_string] then RFC 4180 quoting — where the two used to
+   collapse into the same empty cell and the export did not round-trip. *)
+let render_cell (v : Json.Value.t) =
+  match v with
+  | Json.Value.String "" -> "\"\""
+  | _ -> escape_cell (cell_to_string v)
+
 let table_to_csv (t : Inference.Relational.table) =
   let header =
     String.concat "," (List.map escape_cell t.Inference.Relational.columns)
   in
   let lines =
     List.map
-      (fun row -> String.concat "," (List.map (fun c -> escape_cell (cell_to_string c)) row))
+      (fun row -> String.concat "," (List.map render_cell row))
       t.Inference.Relational.rows
   in
   String.concat "\n" (header :: lines) ^ "\n"

@@ -8,7 +8,10 @@ val cell_to_string : Json.Value.t -> string
 (** Scalars print bare ([null] as empty); containers as their JSON text. *)
 
 val table_to_csv : Inference.Relational.table -> string
-(** Header line + one line per row. *)
+(** Header line + one line per row. [null] renders as a bare empty cell
+    and the empty string as a quoted one ([""]), so the two survive a
+    round-trip through the CSV — every other cell is
+    {!cell_to_string} under {!escape_cell} quoting. *)
 
 val result_to_csvs : Inference.Relational.result -> (string * string) list
 (** [(table name, CSV text)] for every table of the normalization. *)

@@ -325,3 +325,63 @@ validation, on clean corpora and on violations alike:
   $ jsontool validate --engine streaming -s schema.json bad.ndjson > bad_stream.out 2>&1
   [1]
   $ cmp bad_tree.out bad_stream.out
+
+Schema-drift check: `check` infers the corpus type and decides containment
+against the schema — the cost of the verdict depends on the type and the
+schema, never the corpus size. Exit 0 = contained, 1 = refuted (with a
+concrete witness the schema rejects), 2 = outside the decided fragment.
+
+  $ printf '{"a":1,"b":"x"}\n{"a":2,"b":"y"}\n' > chk.ndjson
+  $ echo '{"type":"object","required":["a","b"],"properties":{"a":{"type":"integer"},"b":{"type":"string"}}}' > chk_ok.json
+  $ jsontool check -s chk_ok.json chk.ndjson
+  inferred: {a: Int, b: Str}
+  contained: every instance of the inferred type satisfies the schema
+
+  $ echo '{"type":"object","properties":{"a":{"type":"string"}}}' > chk_bad.json
+  $ jsontool check -s chk_bad.json chk.ndjson
+  inferred: {a: Int, b: Str}
+  NOT contained: the schema rejects this instance of the inferred type:
+    {"a":0,"b":""}
+  [1]
+
+  $ echo '{"type":"object","properties":{"w":{"type":"string","pattern":".*"}}}' > chk_unk.json
+  $ printf '{"u":1,"v":2,"w":"x"}\n' > uvw.ndjson
+  $ jsontool check -s chk_unk.json uvw.ndjson
+  inferred: {u: Int, v: Int, w: Str}
+  unknown: properties/w: pattern ".*" outside the decided fragment
+  [2]
+
+The check rides the same engine plumbing as infer; both engines agree:
+
+  $ jsontool check --engine tree -s chk_bad.json chk.ndjson > chk_tree.out 2>&1
+  [1]
+  $ jsontool check --engine streaming -s chk_bad.json chk.ndjson > chk_stream.out 2>&1
+  [1]
+  $ cmp chk_tree.out chk_stream.out
+
+Check telemetry: the subtype engine's memoized decision cache is observable.
+Two Int fields against two identical exact `number` subschemas are one
+computed query plus one memo hit; the pattern keyword forces the one
+conservative Unknown. The counters are deterministic:
+
+  $ echo '{"type":"object","properties":{"u":{"type":"number"},"v":{"type":"number"},"w":{"type":"string","pattern":".*"}}}' > chk_memo.json
+  $ jsontool check -s chk_memo.json --stats-json uvw.ndjson 2>stats.json
+  inferred: {u: Int, v: Int, w: Str}
+  unknown: properties/w: pattern ".*" outside the decided fragment
+  [2]
+  $ grep -o '"subtype[^,}]*' stats.json | sort
+  "subtype.hits":1
+  "subtype.queries":2
+  "subtype.unknown":1
+  $ mask < stats.json
+  {"engine":"streaming","counters":{"ingest.docs_ok":N,"kernel.intern.hits":N,"kernel.nodes":N,"kernel.simplify.hits":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"stream.tokens":N,"subtype.hits":N,"subtype.queries":N,"subtype.unknown":N,"supervisor.attempts":N},"gauges":{"kernel.cache.entries":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}
+
+Under the tree engine the stream.* counters disappear and a fully-contained
+check touches the subtype cache without ever answering Unknown — only the
+positive counters materialize:
+
+  $ jsontool check --engine tree -s chk_ok.json --stats-json chk.ndjson 2>stats.json
+  inferred: {a: Int, b: Str}
+  contained: every instance of the inferred type satisfies the schema
+  $ mask < stats.json
+  {"engine":"tree","counters":{"ingest.docs_ok":N,"kernel.intern.hits":N,"kernel.nodes":N,"kernel.simplify.hits":N,"kernel.simplify.misses":N,"parse.bytes":N,"parse.docs":N,"parse.nodes":N,"subtype.queries":N,"supervisor.attempts":N},"gauges":{"kernel.cache.entries":N},"histograms":{"parse.doc_bytes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N},"parse.doc_nodes":{"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,"p99":N}},"spans":{}}

@@ -49,6 +49,38 @@ let test_enum_const () =
   check_valid {|{"const": 3}|} "3.0";
   check_invalid {|{"const": 3}|} "4"
 
+(* Audited and verified not a bug: JSON has one number type, so 1 and 1.0
+   must be the same value to uniqueItems/enum/const. The tree engine's
+   sorted-dup check goes through Value.compare (which compares Int/Float
+   through the float image) and the compiled engine's hashed literal sets
+   hash Int through the same image — this pins both, including the hashed
+   path (enum >= 4 literals) the scan-path tests never reach. *)
+let test_numeric_literal_equality_both_engines () =
+  let both schema_src instance_src expect =
+    let schema = parse schema_src and instance = parse instance_src in
+    let tree = Jsonschema.Validate.is_valid ~root:schema instance in
+    let compiled =
+      match Jsonschema.Compile.compile schema with
+      | Ok plan -> Jsonschema.Compile.is_valid plan instance
+      | Error _ -> Alcotest.fail (schema_src ^ " must compile")
+    in
+    Alcotest.(check bool) ("tree: " ^ schema_src ^ " / " ^ instance_src)
+      expect tree;
+    Alcotest.(check bool) ("compiled: " ^ schema_src ^ " / " ^ instance_src)
+      expect compiled
+  in
+  both {|{"uniqueItems": true}|} "[1, 1.0]" false;
+  both {|{"uniqueItems": true}|} {|[{"a": 1}, {"a": 1.0}]|} false;
+  both {|{"uniqueItems": true}|} {|[1, "1"]|} true;
+  both {|{"enum": [1]}|} "1.0" true;
+  both {|{"const": 1}|} "1.0" true;
+  both {|{"const": 1.0}|} "1" true;
+  (* >= 4 literals engages Compile's hashed literal_set *)
+  both {|{"enum": [1, 2.0, 3, "x"]}|} "1.0" true;
+  both {|{"enum": [1, 2.0, 3, "x"]}|} "2" true;
+  both {|{"enum": [1, 2.0, 3, "x"]}|} "2.5" false;
+  both {|{"enum": [1, 2.0, 3, "x"]}|} {|"1"|} false
+
 let test_numeric_keywords () =
   check_valid {|{"minimum": 2, "maximum": 5}|} "3";
   check_valid {|{"minimum": 2}|} "2";
@@ -757,6 +789,8 @@ let () =
        [ Alcotest.test_case "boolean schemas" `Quick test_boolean_schemas;
          Alcotest.test_case "type" `Quick test_type_keyword;
          Alcotest.test_case "enum/const" `Quick test_enum_const;
+         Alcotest.test_case "numeric literal equality (both engines)" `Quick
+           test_numeric_literal_equality_both_engines;
          Alcotest.test_case "numeric" `Quick test_numeric_keywords;
          Alcotest.test_case "string" `Quick test_string_keywords;
          Alcotest.test_case "array" `Quick test_array_keywords;

@@ -433,10 +433,10 @@ let infer_fingerprint (inf : Pipeline.inferred option) (r : Resilient.ingest)
       string_of_int r.Resilient.report.Resilient.poisoned;
       string_of_int s.Pipeline.sup_stats.Supervisor.poisoned ]
 
-let sup_infer ?policy ?inject ?checkpoint ?resume ~jobs text =
+let sup_infer ?policy ?inject ?checkpoint ?resume ?engine ~jobs text =
   match
-    Pipeline.infer_ndjson_supervised ?policy ?inject ?checkpoint ?resume ~jobs
-      text
+    Pipeline.infer_ndjson_supervised ?policy ?inject ?checkpoint ?resume
+      ?engine ~jobs text
   with
   | Ok v -> v
   | Error e -> Alcotest.fail e
@@ -514,6 +514,74 @@ let test_checkpoint_rejects_other_input () =
           Alcotest.(check bool) "error names the fingerprint" true
             (contains e "fingerprint"))
 
+let test_checkpoint_rejects_other_engine () =
+  (* a tree journal's shard payloads are meaningless to the streaming
+     resume path (and vice versa): the header records the engine and a
+     cross-engine resume must be refused, not silently merged *)
+  with_temp_journal (fun path ->
+      let _ =
+        sup_infer ~policy:(test_policy ~retries:0 ()) ~checkpoint:path
+          ~engine:`Tree ~jobs:2 messy_text
+      in
+      match
+        Pipeline.infer_ndjson_supervised ~policy:(test_policy ~retries:0 ())
+          ~checkpoint:path ~resume:true ~engine:`Streaming ~jobs:2 messy_text
+      with
+      | Ok _ -> Alcotest.fail "cross-engine resume must be refused"
+      | Error e ->
+          let contains hay needle =
+            let n = String.length needle and h = String.length hay in
+            let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+            at 0
+          in
+          Alcotest.(check bool) "error names the engine mismatch" true
+            (contains e "engine mismatch"));
+  (* same journal, same engine: resumes fine in both directions *)
+  List.iter
+    (fun engine ->
+      with_temp_journal (fun path ->
+          let inf0, _, _ =
+            sup_infer ~policy:(test_policy ~retries:0 ()) ~checkpoint:path
+              ~engine ~jobs:2 messy_text
+          in
+          let inf1, _, s1 =
+            sup_infer ~policy:(test_policy ~retries:0 ()) ~checkpoint:path
+              ~resume:true ~engine ~jobs:2 messy_text
+          in
+          Alcotest.(check bool) "all shards restored" true
+            (s1.Pipeline.sup_resumed > 0
+            && s1.Pipeline.sup_stats.Supervisor.shards = 0);
+          match (inf0, inf1) with
+          | Some a, Some b ->
+              Alcotest.(check bool) "same type after resume" true
+                (Jtype.Types.equal a.Pipeline.jtype b.Pipeline.jtype)
+          | _ -> Alcotest.fail "inference must survive"))
+    [ `Tree; `Streaming ]
+
+let test_check_ndjson () =
+  (* the drift check rides the same supervised machinery: inferred type plus
+     a containment verdict, under both engines *)
+  let parse s = Result.get_ok (Json.Parser.parse s) in
+  let text = "{\"a\":1}\n{\"a\":2,\"b\":true}\n" in
+  List.iter
+    (fun engine ->
+      let ok_root = parse {|{"type":"object","properties":{"a":{"type":"integer"}}}|} in
+      (match Pipeline.check_ndjson ~engine ~jobs:2 ~root:ok_root text with
+      | Ok ({ chk_verdict = Some Jtype.Contain.Contained; _ }, _, _) -> ()
+      | Ok ({ chk_verdict = v; _ }, _, _) ->
+          Alcotest.failf "expected Contained, got %s"
+            (match v with
+            | None -> "no verdict"
+            | Some v -> Jtype.Contain.verdict_to_string v)
+      | Error e -> Alcotest.fail e);
+      let bad_root = parse {|{"type":"object","properties":{"a":{"type":"string"}}}|} in
+      match Pipeline.check_ndjson ~engine ~jobs:2 ~root:bad_root text with
+      | Ok ({ chk_verdict = Some (Jtype.Contain.Not_contained w); _ }, _, _) ->
+          Alcotest.(check bool) "witness rejected by the validator" false
+            (Jsonschema.Validate.is_valid ~root:bad_root w)
+      | Ok _ | Error _ -> Alcotest.fail "expected a witnessed refutation")
+    [ `Tree; `Streaming ]
+
 let test_checkpoint_rejects_other_job () =
   (* an ingest journal cannot resume an infer run *)
   with_temp_journal (fun path ->
@@ -554,5 +622,8 @@ let () =
        [ Alcotest.test_case "kill and resume" `Quick test_checkpoint_kill_and_resume;
          Alcotest.test_case "torn tail" `Quick test_checkpoint_torn_tail;
          Alcotest.test_case "rejects other input" `Quick test_checkpoint_rejects_other_input;
-         Alcotest.test_case "rejects other job" `Quick test_checkpoint_rejects_other_job ]);
+         Alcotest.test_case "rejects other job" `Quick test_checkpoint_rejects_other_job;
+         Alcotest.test_case "rejects other engine" `Quick
+           test_checkpoint_rejects_other_engine;
+         Alcotest.test_case "check_ndjson verdicts" `Quick test_check_ndjson ]);
     ]

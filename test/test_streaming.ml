@@ -348,6 +348,121 @@ let test_chunked_error_boundaries () =
 {"bad": "\u00g1"}|};
       "{\"ok\": 1}\n{\"bad\": \"tear \xf0\x9f" ]
 
+(* --- 1-byte-chunk audit for the Lexer.skim fast path -------------------- *)
+
+(* The fused engine's lexer latches escape-free string payloads as raw
+   spans on the lexer state instead of materializing them ([Lexer.skim] /
+   [last_string_span]). Feed [Streaming.infer_tokens] through the refill
+   discipline of [Stream.fold_documents_chunked] — accept a document only
+   when it ends strictly before the buffered frontier (or at eof), grow
+   and re-lex on anything else — so every retry re-skims a string whose
+   span crossed the previous frontier. The per-document report (type and
+   counting) must be byte-identical to whole-buffer inference for every
+   chunk size, down to 1 byte. *)
+let skim_ws s i =
+  let n = String.length s in
+  let j = ref i in
+  while !j < n && (s.[!j] = ' ' || s.[!j] = '\t' || s.[!j] = '\n' || s.[!j] = '\r')
+  do incr j done;
+  !j
+
+let infer_report r =
+  match r with
+  | Ok docs ->
+      "ok\n"
+      ^ String.concat "\n"
+          (List.rev_map
+             (fun (t, c) ->
+               Json.Printer.to_string (Jtype.Types.to_json t)
+               ^ " / "
+               ^ Json.Printer.to_string (Jtype.Counting.to_json c))
+             docs)
+  | Error (e : Json.Parser.error) ->
+      Printf.sprintf "error %s at %d" e.Json.Parser.message
+        e.Json.Parser.position.Json.Lexer.offset
+
+let infer_whole ~equiv text =
+  let scr = Inference.Streaming.scratch () in
+  let n = String.length text in
+  let rec go acc pos =
+    let pos = skim_ws text pos in
+    if pos >= n then Ok acc
+    else
+      match Inference.Streaming.infer_tokens ~scratch:scr ~equiv text ~pos with
+      | Ok (doc, stop) -> go (doc :: acc) stop
+      | Error e -> Error e
+  in
+  infer_report (go [] 0)
+
+let infer_chunked ~equiv text size =
+  let scr = Inference.Streaming.scratch () in
+  let refill = chunked_refill text size in
+  let data = ref "" in
+  let consumed = ref 0 in
+  let rebase (e : Json.Parser.error) =
+    let p = e.Json.Parser.position in
+    { e with
+      Json.Parser.position = { p with Json.Lexer.offset = p.Json.Lexer.offset + !consumed } }
+  in
+  let rec step acc ~eof =
+    let s = !data in
+    let n = String.length s in
+    let pos = skim_ws s 0 in
+    if pos >= n then if eof then Ok acc else grow acc
+    else
+      match Inference.Streaming.infer_tokens ~scratch:scr ~equiv s ~pos with
+      | Ok (doc, stop) when stop < n || eof ->
+          consumed := !consumed + stop;
+          data := String.sub s stop (n - stop);
+          step (doc :: acc) ~eof
+      | Ok _ -> grow acc
+      | Error e when eof -> Error (rebase e)
+      | Error _ -> grow acc
+  and grow acc =
+    match refill () with
+    | None -> step acc ~eof:true
+    | Some chunk ->
+        if chunk <> "" then data := !data ^ chunk;
+        step acc ~eof:false
+  in
+  infer_report (step [] ~eof:false)
+
+(* long escape-free spans (the latched fast path), escapes forcing the slow
+   path, multi-byte UTF-8 inside spans, and a string-heavy record — every
+   1-byte frontier lands inside some span *)
+let skim_span_text =
+  String.concat "\n"
+    [ {|{"long": "|} ^ String.make 120 'a' ^ {|", "n": 1}|};
+      {|"|} ^ String.make 64 'z' ^ {|"|};
+      {|{"esc": "head\né tail", "raw": "café"}|};
+      "{\"k\": \"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80 span\"}";
+      {|{"mix": ["|} ^ String.make 40 'b' ^ {|", "c\\d", "", "x"]}|} ]
+
+let test_skim_one_byte_chunks () =
+  List.iter
+    (fun equiv ->
+      let whole = infer_whole ~equiv skim_span_text in
+      Alcotest.(check bool) "fixture infers" true
+        (String.length whole >= 2 && String.sub whole 0 2 = "ok");
+      List.iter
+        (fun size ->
+          Alcotest.(check string)
+            (Printf.sprintf "chunk=%d" size)
+            whole
+            (infer_chunked ~equiv skim_span_text size))
+        [ 1; 2; 3; 5; 64; 4096 ])
+    [ Jtype.Merge.Kind; Jtype.Merge.Label ];
+  (* a corrupted corpus: truncation retries must not mask real errors *)
+  let messy = String.sub messy_text 0 (min 4096 (String.length messy_text)) in
+  let whole = infer_whole ~equiv:Jtype.Merge.Kind messy in
+  List.iter
+    (fun size ->
+      Alcotest.(check string)
+        (Printf.sprintf "messy chunk=%d" size)
+        whole
+        (infer_chunked ~equiv:Jtype.Merge.Kind messy size))
+    [ 1; 7; 512 ]
+
 (* --- properties -------------------------------------------------------- *)
 
 let gen_value : Json.Value.t QCheck2.Gen.t =
@@ -434,6 +549,14 @@ let prop_chunked_fold =
     QCheck2.Gen.(tup2 gen_ndjson (int_range 1 9))
     (fun (text, size) -> run_whole text = run_chunked text size)
 
+let prop_skim_chunked =
+  QCheck2.Test.make ~name:"chunked skim inference invariant under chunk size"
+    ~count:(count 120)
+    QCheck2.Gen.(tup2 gen_ndjson (int_range 1 9))
+    (fun (text, size) ->
+      infer_whole ~equiv:Jtype.Merge.Kind text
+      = infer_chunked ~equiv:Jtype.Merge.Kind text size)
+
 let () =
   let prop p =
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| fuzz_seed |]) p
@@ -458,8 +581,11 @@ let () =
         [ Alcotest.test_case "unicode split anywhere" `Quick
             test_chunked_unicode_boundaries;
           Alcotest.test_case "errors split anywhere" `Quick
-            test_chunked_error_boundaries ] );
+            test_chunked_error_boundaries;
+          Alcotest.test_case "skim spans split anywhere" `Quick
+            test_skim_one_byte_chunks ] );
       ( "properties",
         [ prop prop_infer_differential;
           prop prop_validate_differential;
-          prop prop_chunked_fold ] ) ]
+          prop prop_chunked_fold;
+          prop prop_skim_chunked ] ) ]

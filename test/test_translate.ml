@@ -241,6 +241,21 @@ let test_csv_escaping () =
   Alcotest.(check string) "quote" "\"a\"\"b\"" (Translate.Csv_export.escape_cell "a\"b");
   Alcotest.(check string) "newline" "\"a\nb\"" (Translate.Csv_export.escape_cell "a\nb")
 
+(* Regression: null and "" used to render as the same bare empty cell; the
+   export must keep them distinguishable (null bare, empty string quoted). *)
+let test_csv_null_vs_empty_string () =
+  let t =
+    { Inference.Relational.table_name = "t";
+      columns = [ "a"; "b"; "c" ];
+      key = None;
+      rows =
+        [ [ Json.Value.Null; Json.Value.String ""; Json.Value.String "x" ];
+          [ Json.Value.String "a,b"; Json.Value.Null; Json.Value.Int 0 ] ] }
+  in
+  Alcotest.(check string) "null bare, empty string quoted"
+    "a,b,c\n,\"\",x\n\"a,b\",,0\n"
+    (Translate.Csv_export.table_to_csv t)
+
 let test_csv_tables () =
   let st = Datagen.rng ~seed:71 in
   let docs = Datagen.orders st 50 in
@@ -294,5 +309,7 @@ let () =
          Alcotest.test_case "rejects nonconforming" `Quick test_columnar_rejects_nonconforming ]);
       ("csv",
        [ Alcotest.test_case "escaping" `Quick test_csv_escaping;
+         Alcotest.test_case "null vs empty string" `Quick
+           test_csv_null_vs_empty_string;
          Alcotest.test_case "tables" `Quick test_csv_tables ]);
     ]
